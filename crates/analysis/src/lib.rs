@@ -1,0 +1,42 @@
+//! # patty-analysis
+//!
+//! Static and dynamic program analyses for Patty, culminating in the
+//! [`SemanticModel`]: the "cross product from the control flow graph, the
+//! data dependencies, the call graph, and runtime information" of
+//! Section 2.1 of the PMAM'15 paper.
+//!
+//! The analyses are deliberately **optimistic** — syntactic paths are
+//! assumed unaliased and callee locals fresh — because Patty's process
+//! model trades static soundness for recall and recovers correctness via
+//! generated parallel unit tests and systematic race testing (the
+//! `patty-testgen` and `patty-chess` crates).
+//!
+//! ```
+//! use patty_analysis::SemanticModel;
+//! use patty_minilang::{parse, InterpOptions};
+//!
+//! let program = parse(
+//!     "fn main() { var s = 0; foreach (x in range(0, 8)) { s += x; } print(s); }",
+//! ).unwrap();
+//! let model = SemanticModel::build(&program, InterpOptions::default()).unwrap();
+//! assert_eq!(model.loops.len(), 1);
+//! assert_eq!(model.loop_iterations(model.loops[0].id), 8);
+//! ```
+
+pub mod callgraph;
+pub mod cfg;
+pub mod deps;
+pub mod effects;
+pub mod loc;
+pub mod loops;
+pub mod rw;
+pub mod semantic;
+
+pub use callgraph::CallGraph;
+pub use cfg::{Cfg, CfgNode};
+pub use deps::{LoopDeps, StaticDep};
+pub use effects::{FnSummary, SummaryTable};
+pub use loc::StaticLoc;
+pub use loops::{collect_loops, jump_effects, JumpEffects, LoopInfo, LoopKind};
+pub use rw::{stmt_effects, Effects};
+pub use semantic::SemanticModel;

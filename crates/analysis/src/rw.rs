@@ -1,0 +1,365 @@
+//! Read/write-set computation for statements and expressions.
+//!
+//! The caller-side view: given the function summaries from
+//! [`crate::effects`], compute which abstract locations a statement may
+//! read, may write, and whether it performs order-sensitive I/O (printing,
+//! random-number state). These sets feed the dependence computation
+//! (rules PLDD/PLDS) and the replication-safety check (rule PLTP).
+
+use crate::effects::SummaryTable;
+use crate::loc::StaticLoc;
+use patty_minilang::ast::*;
+use std::collections::BTreeSet;
+
+/// The may-effects of evaluating a statement or expression.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Effects {
+    pub reads: BTreeSet<StaticLoc>,
+    pub writes: BTreeSet<StaticLoc>,
+    /// Order-sensitive external effect (`print`, `rand`, ...).
+    pub io: bool,
+}
+
+impl Effects {
+    /// Merge another effect set into this one.
+    pub fn merge(&mut self, other: Effects) {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self.io |= other.io;
+    }
+
+    /// True when this computation writes no non-local state and does no
+    /// I/O — the precondition for replicating a pipeline stage ("if this
+    /// stage has no side effects on other stages", Section 2.2).
+    pub fn is_observationally_pure(&self) -> bool {
+        !self.io && self.writes.is_empty()
+    }
+
+    fn read(&mut self, loc: StaticLoc) {
+        self.reads.insert(loc);
+    }
+
+    fn write(&mut self, loc: StaticLoc) {
+        self.writes.insert(loc);
+    }
+}
+
+/// Effects of one statement, including everything statements nested inside
+/// it do (a loop body statement that is itself an `if` contributes the
+/// effects of both branches).
+pub fn stmt_effects(stmt: &Stmt, table: &SummaryTable) -> Effects {
+    let mut e = Effects::default();
+    collect_stmt(stmt, table, &mut e);
+    e
+}
+
+fn collect_block(block: &Block, table: &SummaryTable, e: &mut Effects) {
+    for s in &block.stmts {
+        collect_stmt(s, table, e);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, table: &SummaryTable, e: &mut Effects) {
+    match &stmt.kind {
+        StmtKind::VarDecl { name, init } => {
+            collect_expr(init, table, e);
+            e.write(StaticLoc::Var(name.clone()));
+        }
+        StmtKind::Assign { target, op, value } => {
+            collect_expr(value, table, e);
+            let loc = lvalue_loc(target, table, e);
+            if *op != AssignOp::Set {
+                e.read(loc.clone());
+            }
+            e.write(loc);
+        }
+        StmtKind::Expr(expr) => collect_expr(expr, table, e),
+        StmtKind::If { cond, then_blk, else_blk } => {
+            collect_expr(cond, table, e);
+            collect_block(then_blk, table, e);
+            if let Some(b) = else_blk {
+                collect_block(b, table, e);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            collect_expr(cond, table, e);
+            collect_block(body, table, e);
+        }
+        StmtKind::For { init, cond, update, body } => {
+            if let Some(i) = init {
+                collect_stmt(i, table, e);
+            }
+            if let Some(c) = cond {
+                collect_expr(c, table, e);
+            }
+            if let Some(u) = update {
+                collect_stmt(u, table, e);
+            }
+            collect_block(body, table, e);
+        }
+        StmtKind::Foreach { var, iter, body } => {
+            collect_expr(iter, table, e);
+            if let Some(p) = iter.path() {
+                e.read(StaticLoc::Struct(p.clone()));
+                e.read(StaticLoc::Elem(p));
+            }
+            e.write(StaticLoc::Var(var.clone()));
+            collect_block(body, table, e);
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Return(v) => {
+            if let Some(v) = v {
+                collect_expr(v, table, e);
+            }
+        }
+        StmtKind::Block(b) | StmtKind::Region { body: b, .. } => collect_block(b, table, e),
+    }
+}
+
+fn lvalue_loc(target: &LValue, table: &SummaryTable, e: &mut Effects) -> StaticLoc {
+    match &target.kind {
+        LValueKind::Var(name) => StaticLoc::Var(name.clone()),
+        LValueKind::Field { base, field } => {
+            collect_expr(base, table, e);
+            match base.path() {
+                Some(p) => StaticLoc::Path(format!("{p}.{field}")),
+                None => StaticLoc::Unknown,
+            }
+        }
+        LValueKind::Index { base, index } => {
+            collect_expr(base, table, e);
+            collect_expr(index, table, e);
+            match base.path() {
+                Some(p) => StaticLoc::Elem(p),
+                None => StaticLoc::Unknown,
+            }
+        }
+    }
+}
+
+fn collect_expr(expr: &Expr, table: &SummaryTable, e: &mut Effects) {
+    match &expr.kind {
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null => {}
+        ExprKind::Var(name) => e.read(StaticLoc::Var(name.clone())),
+        ExprKind::Unary { expr, .. } => collect_expr(expr, table, e),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, table, e);
+            collect_expr(rhs, table, e);
+        }
+        ExprKind::Field { base, field } => {
+            collect_expr(base, table, e);
+            if let Some(p) = base.path() {
+                e.read(StaticLoc::Path(format!("{p}.{field}")));
+            }
+            // No path: optimistic — the object was produced by an
+            // expression and is assumed fresh/unaliased.
+        }
+        ExprKind::Index { base, index } => {
+            collect_expr(base, table, e);
+            collect_expr(index, table, e);
+            if let Some(p) = base.path() {
+                e.read(StaticLoc::Elem(p));
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            for a in args {
+                collect_expr(a, table, e);
+            }
+            match table.free_function(callee) {
+                Some(summary) => {
+                    let arg_paths: Vec<Option<String>> = args.iter().map(|a| a.path()).collect();
+                    summary.apply(None, &arg_paths, e);
+                }
+                None => builtin_call_effects(callee, e),
+            }
+        }
+        ExprKind::MethodCall { base, method, args } => {
+            collect_expr(base, table, e);
+            for a in args {
+                collect_expr(a, table, e);
+            }
+            let base_path = base.path();
+            let arg_paths: Vec<Option<String>> = args.iter().map(|a| a.path()).collect();
+            let candidates = table.methods(method);
+            if candidates.is_empty() {
+                builtin_method_effects(method, base_path.as_deref(), e);
+            } else {
+                for summary in candidates {
+                    summary.apply(base_path.as_deref(), &arg_paths, e);
+                }
+            }
+        }
+        ExprKind::New { args, .. } => {
+            for a in args {
+                collect_expr(a, table, e);
+            }
+            // Construction yields a fresh object; `init` side effects on
+            // `this` touch only fresh memory, but effects on arguments and
+            // globals must still be visible.
+            // (Handled via summaries keyed as methods named "init" — the
+            // receiver is fresh, so this-rooted effects are dropped.)
+            let arg_paths: Vec<Option<String>> = args.iter().map(|a| a.path()).collect();
+            for summary in table.methods("init") {
+                summary.apply_fresh(&arg_paths, e);
+            }
+        }
+        ExprKind::ListLit(items) => {
+            for a in items {
+                collect_expr(a, table, e);
+            }
+        }
+    }
+}
+
+/// Effects of a builtin free function.
+fn builtin_call_effects(name: &str, e: &mut Effects) {
+    match name {
+        // Order-sensitive external effects.
+        "print" | "rand" => e.io = true,
+        // Pure computations over their (already collected) arguments.
+        "work" | "range" | "list" | "len" | "str" | "int" | "float" | "abs" | "sqrt"
+        | "floor" | "min" | "max" | "pow" | "assert" => {}
+        // Unknown name: will fail at runtime; no memory effect.
+        _ => {}
+    }
+}
+
+/// Effects of a builtin method (list/string operations).
+fn builtin_method_effects(method: &str, base_path: Option<&str>, e: &mut Effects) {
+    let elem = |p: Option<&str>| match p {
+        Some(p) => StaticLoc::Elem(p.to_string()),
+        None => StaticLoc::Unknown,
+    };
+    let strct = |p: Option<&str>| match p {
+        Some(p) => StaticLoc::Struct(p.to_string()),
+        None => StaticLoc::Unknown,
+    };
+    match method {
+        "add" => {
+            e.write(strct(base_path));
+            e.write(elem(base_path));
+        }
+        "set" => e.write(elem(base_path)),
+        "clear" => {
+            e.write(strct(base_path));
+            e.write(elem(base_path));
+        }
+        "get" => e.read(elem(base_path)),
+        "len" => e.read(strct(base_path)),
+        "contains" | "clone" => {
+            e.read(strct(base_path));
+            e.read(elem(base_path));
+        }
+        // String methods are pure.
+        "upper" | "lower" | "trim" | "split" | "substr" | "startsWith" => {}
+        // Unknown method on a non-object: no memory model; be conservative
+        // only if it could mutate. We treat it as unknown-write.
+        _ => e.write(StaticLoc::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::SummaryTable;
+    use patty_minilang::parse;
+
+    fn effects_of_first_stmt(src: &str) -> Effects {
+        let p = parse(src).unwrap();
+        let table = SummaryTable::build(&p);
+        let f = p.func("main").unwrap();
+        stmt_effects(&f.body.stmts[0], &table)
+    }
+
+    #[test]
+    fn var_decl_reads_rhs_writes_var() {
+        let e = effects_of_first_stmt("fn main() { var x = a + b.c; }");
+        assert!(e.reads.contains(&StaticLoc::Var("a".into())));
+        assert!(e.reads.contains(&StaticLoc::Path("b.c".into())));
+        assert!(e.writes.contains(&StaticLoc::Var("x".into())));
+        assert!(!e.io);
+    }
+
+    #[test]
+    fn compound_assign_reads_target() {
+        let e = effects_of_first_stmt("fn main() { s += 1; }");
+        assert!(e.reads.contains(&StaticLoc::Var("s".into())));
+        assert!(e.writes.contains(&StaticLoc::Var("s".into())));
+    }
+
+    #[test]
+    fn list_add_writes_structure_and_elements() {
+        let e = effects_of_first_stmt("fn main() { out.items.add(x); }");
+        assert!(e.writes.contains(&StaticLoc::Struct("out.items".into())));
+        assert!(e.writes.contains(&StaticLoc::Elem("out.items".into())));
+        assert!(e.reads.contains(&StaticLoc::Var("x".into())));
+    }
+
+    #[test]
+    fn index_assignment_writes_elements() {
+        let e = effects_of_first_stmt("fn main() { a[i] = b[i]; }");
+        assert!(e.writes.contains(&StaticLoc::Elem("a".into())));
+        assert!(e.reads.contains(&StaticLoc::Elem("b".into())));
+        assert!(e.reads.contains(&StaticLoc::Var("i".into())));
+    }
+
+    #[test]
+    fn print_is_io() {
+        let e = effects_of_first_stmt("fn main() { print(x); }");
+        assert!(e.io);
+        assert!(!e.is_observationally_pure());
+    }
+
+    #[test]
+    fn pure_method_chain_is_pure() {
+        let e = effects_of_first_stmt(r#"fn main() { var t = "a,b".split(",").len(); }"#);
+        // writes only the local t
+        assert!(e.writes.iter().all(|w| matches!(w, StaticLoc::Var(_))));
+        assert!(!e.io);
+    }
+
+    #[test]
+    fn user_method_effects_rebased_to_receiver() {
+        let src = r#"
+            class Acc { var total = 0; fn bump(v) { this.total += v; } }
+            fn main() { acc.bump(3); }
+        "#;
+        let e = effects_of_first_stmt(src);
+        assert!(e.writes.contains(&StaticLoc::Path("acc.total".into())));
+        assert!(e.reads.contains(&StaticLoc::Path("acc.total".into())));
+    }
+
+    #[test]
+    fn method_mutating_param_list_rebases_to_arg() {
+        let src = r#"
+            class W { fn push(buf, v) { buf.add(v); } }
+            fn main() { w.push(queue, 1); }
+        "#;
+        let e = effects_of_first_stmt(src);
+        assert!(e.writes.contains(&StaticLoc::Struct("queue".into())));
+    }
+
+    #[test]
+    fn pure_user_method_is_pure_at_callsite() {
+        let src = r#"
+            class Filter { var gain = 2; fn apply(x) { work(10); return x * this.gain; } }
+            fn main() { var y = f.apply(3); }
+        "#;
+        let e = effects_of_first_stmt(src);
+        assert!(e.writes.iter().all(|w| matches!(w, StaticLoc::Var(_))), "{:?}", e.writes);
+        assert!(e.reads.contains(&StaticLoc::Path("f.gain".into())));
+        assert!(!e.io);
+    }
+
+    #[test]
+    fn if_collects_both_branches() {
+        let e = effects_of_first_stmt("fn main() { if (c) { a = 1; } else { b = 2; } }");
+        assert!(e.writes.contains(&StaticLoc::Var("a".into())));
+        assert!(e.writes.contains(&StaticLoc::Var("b".into())));
+        assert!(e.reads.contains(&StaticLoc::Var("c".into())));
+    }
+}

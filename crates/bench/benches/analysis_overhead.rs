@@ -1,0 +1,40 @@
+//! Criterion bench: runtime overhead of the dynamic analysis
+//! (Section 5's future-work metric: "we want to quantify the runtime
+//! overhead by the dynamic analysis, so we will measure the runtime and
+//! memory increase") — interpretation with loop tracing on vs. off, and
+//! the full semantic-model build, on the study benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patty_analysis::SemanticModel;
+use patty_minilang::{parse, run, InterpOptions};
+
+fn bench_overhead(c: &mut Criterion) {
+    let program = parse(patty_corpus::RAYTRACER).expect("raytracer parses");
+    let mut group = c.benchmark_group("dynamic_analysis_overhead");
+    group.sample_size(20);
+    group.bench_function("interpret_plain", |b| {
+        b.iter(|| {
+            run(
+                &program,
+                InterpOptions { trace_loops: false, ..InterpOptions::default() },
+            )
+            .expect("runs")
+        });
+    });
+    group.bench_function("interpret_traced", |b| {
+        b.iter(|| run(&program, InterpOptions::default()).expect("runs"));
+    });
+    group.bench_function("semantic_model_full", |b| {
+        b.iter(|| SemanticModel::build(&program, InterpOptions::default()).expect("builds"));
+    });
+    group.bench_function("detect_patterns", |b| {
+        let model = SemanticModel::build(&program, InterpOptions::default()).expect("builds");
+        b.iter(|| {
+            patty_patterns::detect_patterns(&model, &patty_patterns::DetectOptions::default())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

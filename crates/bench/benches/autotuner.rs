@@ -1,0 +1,49 @@
+//! Criterion bench: cost of one auto-tuning cycle (Fig. 4c) per search
+//! algorithm, over the deterministic performance model of the AviStream
+//! architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patty_tool::Patty;
+use patty_transform::{PipelineSimEvaluator, SimParams};
+use patty_tuning::{HillClimbing, LinearSearch, NelderMead, TabuSearch, Tuner};
+
+fn bench_tuners(c: &mut Criterion) {
+    let run = Patty::new()
+        .run_automatic(patty_corpus::avistream_program().source)
+        .expect("avistream runs");
+    let artifact = run.artifacts[0].clone();
+    let mut group = c.benchmark_group("autotuner_cycle");
+    group.sample_size(10);
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut eval =
+                PipelineSimEvaluator { plan: artifact.plan.clone(), params: SimParams::default() };
+            LinearSearch::default().tune(artifact.instance.tuning.clone(), &mut eval, 60)
+        });
+    });
+    group.bench_function("hill_climbing", |b| {
+        b.iter(|| {
+            let mut eval =
+                PipelineSimEvaluator { plan: artifact.plan.clone(), params: SimParams::default() };
+            HillClimbing::default().tune(artifact.instance.tuning.clone(), &mut eval, 60)
+        });
+    });
+    group.bench_function("nelder_mead", |b| {
+        b.iter(|| {
+            let mut eval =
+                PipelineSimEvaluator { plan: artifact.plan.clone(), params: SimParams::default() };
+            NelderMead::default().tune(artifact.instance.tuning.clone(), &mut eval, 60)
+        });
+    });
+    group.bench_function("tabu", |b| {
+        b.iter(|| {
+            let mut eval =
+                PipelineSimEvaluator { plan: artifact.plan.clone(), params: SimParams::default() };
+            TabuSearch::default().tune(artifact.instance.tuning.clone(), &mut eval, 60)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuners);
+criterion_main!(benches);

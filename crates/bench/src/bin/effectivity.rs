@@ -1,0 +1,32 @@
+//! Regenerates the **Section 4.2 effectivity** numbers: identified
+//! locations per group, false positives, detection accuracy and time.
+//!
+//! Paper reference: Patty 3.0/3 (100%) in ~39 min; intel 2.25/3 (75%) in
+//! ~47 min; manual 2.0/3, the only group with false positives, done in
+//! ~34 min.
+
+use patty_bench::print_table;
+use patty_userstudy::{run_study, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::default());
+    let rows: Vec<Vec<String>> = results
+        .effectivity()
+        .iter()
+        .map(|e| {
+            vec![
+                e.group.to_string(),
+                format!("{:.2} / 3", e.avg_found),
+                format!("{:.0}%", e.accuracy * 100.0),
+                format!("{:.2}", e.avg_false_positives),
+                format!("{:.1} min", e.avg_total_min),
+            ]
+        })
+        .collect();
+    print_table(
+        "Section 4.2 — Effectivity",
+        &["Group", "locations found", "accuracy", "false positives", "working time"],
+        &rows,
+    );
+    println!("\npaper reference: Patty 3.0 (100%), intel 2.25 (75%), manual 2.0 + sole false positives");
+}

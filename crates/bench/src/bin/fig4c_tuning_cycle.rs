@@ -1,0 +1,50 @@
+//! Regenerates **Figure 4c** — the runtime tuning view: the auto tuner
+//! initializes the program with parameter values, executes it, measures
+//! the runtime and computes new values; the series below is the
+//! best-so-far curve over the tuning cycle, for the paper's linear search
+//! and the three "smarter algorithms" named as future work.
+
+use patty_bench::bar;
+use patty_corpus::avistream_program;
+use patty_tool::Patty;
+use patty_transform::{PipelineSimEvaluator, SimParams};
+use patty_tuning::{HillClimbing, LinearSearch, NelderMead, TabuSearch, Tuner};
+
+fn main() {
+    let run = Patty::new()
+        .run_automatic(avistream_program().source)
+        .expect("avistream runs");
+    let a = &run.artifacts[0];
+    println!("== Figure 4c — Runtime Tuning (architecture {}) ==", a.arch.expr);
+
+    let budget = 80;
+    let mut tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(LinearSearch::default()),
+        Box::new(HillClimbing::default()),
+        Box::new(NelderMead::default()),
+        Box::new(TabuSearch::default()),
+    ];
+    let mut results = Vec::new();
+    for tuner in &mut tuners {
+        let mut eval = PipelineSimEvaluator { plan: a.plan.clone(), params: SimParams::default() };
+        let r = tuner.tune(a.instance.tuning.clone(), &mut eval, budget);
+        results.push((tuner.name(), r));
+    }
+    let worst = results
+        .iter()
+        .filter_map(|(_, r)| r.history.first().map(|h| h.1))
+        .fold(0.0f64, f64::max);
+    for (name, r) in &results {
+        let initial = r.history.first().map(|h| h.1).unwrap_or(f64::NAN);
+        println!("\n{name} ({} evaluations):", r.evaluations);
+        println!("  initial {initial:>10.0}  |{}|", bar(initial, worst, 30));
+        println!("  best    {:>10.0}  |{}|", r.best_score, bar(r.best_score, worst, 30));
+        for p in &r.best.params {
+            if p.value.as_i64() != 0 && p.value != patty_tuning::ParamValue::Bool(false) {
+                println!("    {} = {}", p.name, p.value);
+            }
+        }
+    }
+    println!("\n(the paper ships the linear per-dimension search and names");
+    println!(" hill climbing [29], Nelder–Mead [30] and tabu search [31] as future work)");
+}

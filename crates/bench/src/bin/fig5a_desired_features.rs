@@ -1,0 +1,44 @@
+//! Regenerates **Figure 5a** (Desired features of parallelization tools):
+//! the manual control group's ratings of nine candidate tool features,
+//! with quantiles, and which features Patty / Parallel Studio already
+//! provide.
+//!
+//! Paper reference: Patty provides five of the nine (three of the top
+//! five); Parallel Studio provides two (one of the top five: visualize
+//! runtime distribution).
+
+use patty_bench::bar;
+use patty_userstudy::{run_study, top_features, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::default());
+    println!("\n== Figure 5a — Desired Features of Parallelization Tools ==");
+    println!("{:<34} {:>5}  [{:>5} … {:>5}]  provided by", "feature", "avg", "lo", "hi");
+    for row in &results.feature_rows {
+        let provided = match (row.patty_provides, row.studio_provides) {
+            (true, true) => "Patty + Parallel Studio",
+            (true, false) => "Patty",
+            (false, true) => "Parallel Studio",
+            (false, false) => "-",
+        };
+        println!(
+            "{:<34} {:>5.2}  [{:>5.2} … {:>5.2}]  {}  |{}|",
+            row.name,
+            row.average,
+            row.lower,
+            row.upper,
+            provided,
+            bar(row.average + 3.0, 6.0, 20),
+        );
+    }
+    let top5 = top_features(&results.feature_rows, 5);
+    let patty_top = top5.iter().filter(|r| r.patty_provides).count();
+    let studio_top = top5.iter().filter(|r| r.studio_provides).count();
+    println!(
+        "\ncoverage: Patty {}/9 features ({} of top five); Parallel Studio {}/9 ({} of top five)",
+        results.feature_rows.iter().filter(|r| r.patty_provides).count(),
+        patty_top,
+        results.feature_rows.iter().filter(|r| r.studio_provides).count(),
+        studio_top,
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 5b** (Time measurements in minutes): total
+//! working time, time to first identification, time to first tool usage,
+//! per group.
+//!
+//! Paper reference: Patty 38.67 / 6.66 / 0.33; Parallel Studio 46.5 /
+//! 13.5; Manual 34 / 2.66.
+
+use patty_bench::bar;
+use patty_userstudy::{run_study, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::default());
+    println!("\n== Figure 5b — Time Measurements (minutes) ==");
+    let times = results.fig5b();
+    for (label, f) in [
+        ("Total working time", &(|t: &patty_userstudy::TimeRow| t.total_working_time) as &dyn Fn(&patty_userstudy::TimeRow) -> f64),
+        ("Time for first identification", &|t| t.time_to_first_identification),
+        ("Time for first tool usage", &|t| t.time_to_first_tool_usage),
+    ] {
+        println!("\n{label}:");
+        for t in &times {
+            println!("  {:<16} {:>6.2}  |{}|", t.group.to_string(), f(t), bar(f(t), 50.0, 25));
+        }
+    }
+    println!("\npaper reference (minutes):");
+    println!("  total working time: Patty 38.67, Parallel Studio 46.5, Manual 34");
+    println!("  first identification: Patty 6.66, Parallel Studio 13.5, Manual 2.66");
+    println!("  first tool usage: Patty 0.33 (immediate)");
+}

@@ -1,0 +1,65 @@
+//! Regenerates the **Section 5** detection-quality experiment: precision,
+//! recall and balanced F-score of the pattern detector against the
+//! ground-truth corpus.
+//!
+//! Paper reference: "Early results indicate that with pattern-based
+//! parallelization we achieve high values for precision and recall with a
+//! balanced F-score of approximately 70%."
+
+use patty_analysis::{collect_loops, SemanticModel};
+use patty_bench::print_table;
+use patty_corpus::all_programs;
+use patty_minilang::InterpOptions;
+use patty_patterns::{detect_patterns, DetectOptions};
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut rows = Vec::new();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    let mut corpus_loc = 0usize;
+    for prog in all_programs() {
+        let parsed = prog.parse();
+        corpus_loc += prog
+            .source
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//"))
+            .count();
+        let model = SemanticModel::build(&parsed, InterpOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let loops = collect_loops(&parsed);
+        let truth: BTreeSet<_> = prog.truth_loop_ids(&loops).into_iter().collect();
+        let detected: BTreeSet<_> = detect_patterns(&model, &DetectOptions::default())
+            .into_iter()
+            .map(|i| i.loop_id)
+            .collect();
+        let p_tp = detected.intersection(&truth).count();
+        let p_fp = detected.difference(&truth).count();
+        let p_fn = truth.difference(&detected).count();
+        tp += p_tp;
+        fp += p_fp;
+        fn_ += p_fn;
+        rows.push(vec![
+            prog.name.to_string(),
+            prog.domain.to_string(),
+            loops.len().to_string(),
+            truth.len().to_string(),
+            p_tp.to_string(),
+            p_fp.to_string(),
+            p_fn.to_string(),
+        ]);
+    }
+    print_table(
+        "Section 5 — Detection quality per corpus program",
+        &["program", "domain", "loops", "truth", "TP", "FP", "FN"],
+        &rows,
+    );
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    let f = 2.0 * precision * recall / (precision + recall).max(1e-9);
+    println!("\ncorpus size: {corpus_loc} lines across {} programs", rows.len());
+    println!("precision = {precision:.3}   recall = {recall:.3}   balanced F = {f:.3}");
+    println!("paper reference: balanced F-score of approximately 70%");
+    println!("\nmisses are loops needing restructuring (privatization, index writes);");
+    println!("false alarms come from conflicts beyond the traced iteration prefix —");
+    println!("the blind spot of dynamic analysis the paper concedes in Section 6.");
+}

@@ -1,0 +1,207 @@
+//! Regenerates the **Section 2.1 correctness-validation claim** (and the
+//! underlying result of reference \[22\]): generated parallel unit tests
+//! plus systematic interleaving exploration locate injected parallel
+//! errors with high accuracy within minutes.
+//!
+//! The experiment builds a panel of pattern instances — half correct,
+//! half deliberately over-parallelized (a mode-2 annotation replicating a
+//! stateful stage, claiming independence of dependent stages, or running
+//! a racy loop as a DOALL) — generates the parallel unit test for each,
+//! and checks that CHESS flags exactly the broken ones.
+
+use patty_analysis::SemanticModel;
+use patty_bench::print_table;
+use patty_chess::{ChessOptions, FailureKind};
+use patty_minilang::{parse, InterpOptions};
+use patty_testgen::{generate_unit_test, run_unit_test};
+use patty_transform::{extract_annotations, instance_from_annotation};
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    source: &'static str,
+    /// Is the annotated parallelization actually racy?
+    injected_error: bool,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "clean two-stage pipeline",
+        injected_error: false,
+        source: r#"
+            class F { var g = 2; fn apply(x) { work(40); return x * this.g; } }
+            fn main() {
+                var f = new F();
+                var out = [];
+                #region TADL: A+ => B
+                foreach (x in range(0, 4)) {
+                    #region A:
+                    var v = f.apply(x);
+                    #endregion
+                    #region B:
+                    out.add(v);
+                    #endregion
+                }
+                #endregion
+                print(len(out));
+            }
+        "#,
+    },
+    Case {
+        name: "replicated stateful stage",
+        injected_error: true,
+        source: r#"
+            class S { var v = 0; fn bump(x) { this.v = this.v + x; return this.v; } }
+            fn main() {
+                var s = new S();
+                var out = [];
+                #region TADL: A+ => B
+                foreach (x in range(0, 4)) {
+                    #region A:
+                    var a = s.bump(x);
+                    #endregion
+                    #region B:
+                    out.add(a);
+                    #endregion
+                }
+                #endregion
+                print(len(out));
+            }
+        "#,
+    },
+    Case {
+        name: "dependent stages claimed parallel",
+        injected_error: true,
+        source: r#"
+            class Acc { var total = 0; fn add(x) { this.total += x; return this.total; } }
+            class Rd { fn get(a) { return a.total; } }
+            fn main() {
+                var acc = new Acc();
+                var rd = new Rd();
+                var log = [];
+                #region TADL: (A || B) => C
+                foreach (x in range(0, 4)) {
+                    #region A:
+                    var s = acc.add(x);
+                    #endregion
+                    #region B:
+                    var t = rd.get(acc);
+                    #endregion
+                    #region C:
+                    log.add(s + t);
+                    #endregion
+                }
+                #endregion
+                print(len(log));
+            }
+        "#,
+    },
+    Case {
+        name: "clean parallel filters with join",
+        injected_error: false,
+        source: r#"
+            class F { var g = 3; fn apply(x) { work(25); return x * this.g; } }
+            fn main() {
+                var f1 = new F();
+                var f2 = new F();
+                var out = [];
+                #region TADL: (A || B) => C
+                foreach (x in range(0, 3)) {
+                    #region A:
+                    var a = f1.apply(x);
+                    #endregion
+                    #region B:
+                    var b = f2.apply(x);
+                    #endregion
+                    #region C:
+                    out.add(a + b);
+                    #endregion
+                }
+                #endregion
+                print(len(out));
+            }
+        "#,
+    },
+    Case {
+        name: "racy DOALL over shared cursor",
+        injected_error: true,
+        source: r#"
+            class Cur { var pos = 0; fn next() { this.pos += 1; return this.pos; } }
+            fn main() {
+                var cur = new Cur();
+                var out = [0, 0, 0, 0];
+                #region TADL: A+
+                for (var i = 0; i < 4; i = i + 1) {
+                    #region A:
+                    out[i] = cur.next();
+                    #endregion
+                }
+                #endregion
+                print(out[0]);
+            }
+        "#,
+    },
+    Case {
+        name: "clean DOALL over disjoint elements",
+        injected_error: false,
+        source: r#"
+            fn main() {
+                var a = [0, 0, 0, 0];
+                var b = [5, 6, 7, 8];
+                #region TADL: A+
+                for (var i = 0; i < 4; i = i + 1) {
+                    #region A:
+                    a[i] = b[i] * 2;
+                    #endregion
+                }
+                #endregion
+                print(a[0]);
+            }
+        "#,
+    },
+];
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut correct = 0usize;
+    let t0 = Instant::now();
+    for case in CASES {
+        let program = parse(case.source).expect("case parses");
+        let model = SemanticModel::build(&program, InterpOptions::default()).expect("case runs");
+        let anns = extract_annotations(&program).expect("annotated");
+        let inst = instance_from_annotation(&model, &anns[0]).expect("instance");
+        let test = generate_unit_test(&model, &inst, 2).expect("unit test");
+        let started = Instant::now();
+        let report = run_unit_test(
+            &test,
+            ChessOptions { max_schedules: 4_000, ..ChessOptions::default() },
+        );
+        let elapsed = started.elapsed();
+        let racy = report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Race { .. } | FailureKind::CheckFailed(_)));
+        let verdict_ok = racy == case.injected_error;
+        correct += verdict_ok as usize;
+        rows.push(vec![
+            case.name.to_string(),
+            if case.injected_error { "yes" } else { "no" }.to_string(),
+            if racy { "race found" } else { "clean" }.to_string(),
+            report.schedules.to_string(),
+            format!("{:.2}s", elapsed.as_secs_f64()),
+            if verdict_ok { "✓" } else { "✗" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Parallel unit tests on the systematic race detector",
+        &["case", "injected error", "CHESS verdict", "schedules", "time", "correct"],
+        &rows,
+    );
+    println!(
+        "\ndetection accuracy: {}/{} cases, total wall time {:.1}s",
+        correct,
+        CASES.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!("paper reference: parallel errors located with high detection accuracy within minutes [22]");
+}

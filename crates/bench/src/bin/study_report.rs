@@ -1,0 +1,13 @@
+//! Render the full simulated user study as a markdown report (all of
+//! Section 4.2 in one artifact).
+
+use patty_userstudy::{run_study, StudyConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2015);
+    let results = run_study(&StudyConfig { seed });
+    print!("{}", results.render_report());
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 1** (Comprehensibility: average values and
+//! standard deviations per indicator, Patty vs. intel Parallel Studio).
+//!
+//! Paper values for reference: Patty total 2.17, Parallel Studio 1.00.
+
+use patty_bench::print_table;
+use patty_userstudy::{run_study, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::default());
+    let (rows, patty_total, studio_total) = results.table1();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.indicator.clone(),
+                format!("{:.2}, {:.2}", r.patty_mean, r.patty_sd),
+                format!("{:.2}, {:.2}", r.studio_mean, r.studio_sd),
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "Total Comprehensibility".to_string(),
+            format!("{patty_total:.2}"),
+            format!("{studio_total:.2}"),
+        ]))
+        .collect();
+    print_table(
+        "Table 1 — Comprehensibility: Average Values, Standard Deviation [-3(worst); +3(best)]",
+        &["Indicator", "Group 1: Patty", "Group 2: intel"],
+        &table,
+    );
+    println!("\npaper reference: Patty 2.17 vs intel 1.00 (same ordering expected)");
+}

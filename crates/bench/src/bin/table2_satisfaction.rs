@@ -1,0 +1,35 @@
+//! Regenerates **Table 2** (Subjective tool assistance: perceived tool
+//! support, subjective satisfaction with result, overall assessment).
+//!
+//! Paper values for reference: overall Patty 2.25 vs intel 1.40; the
+//! intel satisfaction row has the large spread caused by the multicore
+//! expert's excellent scores.
+
+use patty_bench::print_table;
+use patty_userstudy::{run_study, StudyConfig};
+
+fn main() {
+    let results = run_study(&StudyConfig::default());
+    let (rows, patty_overall, studio_overall) = results.table2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.indicator.clone(),
+                format!("{:.2}, {:.2}", r.patty_mean, r.patty_sd),
+                format!("{:.2}, {:.2}", r.studio_mean, r.studio_sd),
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "Overall assessment".to_string(),
+            format!("{patty_overall:.2}"),
+            format!("{studio_overall:.2}"),
+        ]))
+        .collect();
+    print_table(
+        "Table 2 — Subjective Tool Assistance: Average Values, Standard Deviation [-3; +3]",
+        &["Indicator", "Group 1: Patty", "Group 2: intel"],
+        &table,
+    );
+    println!("\npaper reference: overall Patty 2.25 vs intel 1.40");
+}

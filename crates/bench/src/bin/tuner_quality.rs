@@ -1,0 +1,133 @@
+//! Tuner-quality ablation: how close does each search algorithm get to
+//! the exhaustive optimum, and at what evaluation cost, across a family
+//! of randomly shaped pipeline architectures?
+//!
+//! This is the experiment DESIGN.md calls out for the tuning design
+//! choice: the paper ships the linear per-dimension search and names
+//! hill climbing \[29\], Nelder–Mead \[30\] and tabu search \[31\] as future
+//! work — here they are compared head-to-head on the same performance
+//! model.
+
+use patty_bench::print_table;
+use patty_tadl::PatternKind;
+use patty_transform::{ParallelPlan, PipelineSimEvaluator, PlanStage, SimParams};
+use patty_tuning::{
+    Evaluator, ExhaustiveSearch, HillClimbing, LinearSearch, NelderMead, TabuSearch, Tuner,
+    TuningConfig, TuningParam,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random pipeline shape: 2–4 stages with lognormal-ish costs, a random
+/// subset replicable, a random stream length.
+fn random_case(rng: &mut StdRng) -> (ParallelPlan, TuningConfig) {
+    let n_stages = rng.gen_range(2..=4);
+    let mut stages = Vec::new();
+    let mut config = TuningConfig::new("case");
+    let mut names = Vec::new();
+    for i in 0..n_stages {
+        let name = ((b'A' + i as u8) as char).to_string();
+        let cost = 10u64 << rng.gen_range(0..8); // 10 .. 1280
+        let replicable = rng.gen_bool(0.6);
+        if replicable {
+            config.push(TuningParam::replication(
+                format!("case.{name}.replication"),
+                "sim:0",
+                8,
+            ));
+            config.push(TuningParam::order_preservation(
+                format!("case.{name}.order"),
+                "sim:0",
+            ));
+        }
+        stages.push(PlanStage {
+            name: name.clone(),
+            sources: vec![],
+            cost_per_element: cost,
+            replication_param: replicable.then(|| format!("case.{name}.replication")),
+            order_param: replicable.then(|| format!("case.{name}.order")),
+            parallel_with_prev: false,
+        });
+        names.push(name);
+    }
+    for w in names.windows(2) {
+        config.push(TuningParam::stage_fusion(
+            format!("case.fuse.{}_{}", w[0], w[1]),
+            "sim:0",
+        ));
+    }
+    config.push(TuningParam::sequential_execution("case.sequential", "sim:0"));
+    let element_cost = stages.iter().map(|s| s.cost_per_element).sum();
+    let plan = ParallelPlan {
+        arch_name: "case".into(),
+        kind: PatternKind::Pipeline,
+        expr: String::new(),
+        stages,
+        stream_length: 1 << rng.gen_range(2..10), // 4 .. 512
+        element_cost,
+        code: String::new(),
+    };
+    (plan, config)
+}
+
+fn main() {
+    let cases = 12;
+    let budget = 120;
+    let mut rng = StdRng::seed_from_u64(0xAB1E);
+    let mut rows: Vec<(&str, f64, f64, u64)> = vec![
+        ("linear (paper)", 0.0, 0.0, 0),
+        ("hill climbing [29]", 0.0, 0.0, 0),
+        ("nelder-mead [30]", 0.0, 0.0, 0),
+        ("tabu search [31]", 0.0, 0.0, 0),
+    ];
+    for _ in 0..cases {
+        let (plan, config) = random_case(&mut rng);
+        let mut oracle_eval =
+            PipelineSimEvaluator { plan: plan.clone(), params: SimParams::default() };
+        // ground truth: full enumeration (spaces here are ≤ a few thousand)
+        let space = config.space_size().min(100_000) as u32;
+        let oracle = ExhaustiveSearch
+            .tune(config.clone(), &mut oracle_eval, space)
+            .best_score;
+        let baseline = {
+            let mut e =
+                PipelineSimEvaluator { plan: plan.clone(), params: SimParams::default() };
+            e.measure(&config)
+        };
+        let tuners: Vec<Box<dyn Tuner>> = vec![
+            Box::new(LinearSearch::default()),
+            Box::new(HillClimbing::default()),
+            Box::new(NelderMead::default()),
+            Box::new(TabuSearch::default()),
+        ];
+        for (mut tuner, row) in tuners.into_iter().zip(rows.iter_mut()) {
+            let mut eval =
+                PipelineSimEvaluator { plan: plan.clone(), params: SimParams::default() };
+            let r = tuner.tune(config.clone(), &mut eval, budget);
+            // gap to oracle, normalized by untuned-vs-oracle headroom
+            let headroom = (baseline - oracle).max(1.0);
+            let gap = ((r.best_score - oracle) / headroom).max(0.0);
+            row.1 += gap;
+            row.2 += (baseline / r.best_score.max(1.0)).max(1.0);
+            row.3 += r.evaluations as u64;
+        }
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, gap, speedup, evals)| {
+            vec![
+                name.to_string(),
+                format!("{:.1}%", 100.0 * gap / cases as f64),
+                format!("{:.2}x", speedup / cases as f64),
+                format!("{:.0}", *evals as f64 / cases as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Tuner quality over {cases} random pipeline architectures (budget {budget})"),
+        &["algorithm", "avg gap to exhaustive optimum", "avg improvement", "avg evaluations"],
+        &table,
+    );
+    println!("\n(gap = remaining distance to the exhaustive optimum, as a share of");
+    println!(" the untuned-to-optimal headroom; 0% = always finds the optimum)");
+}

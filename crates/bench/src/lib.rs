@@ -1,0 +1,112 @@
+//! # patty-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! PMAM'15 paper's evaluation. Each table/figure has a binary that prints
+//! the same rows/series the paper reports (see DESIGN.md's per-experiment
+//! index), and the performance claims are measured by Criterion benches
+//! against the real `patty-runtime` pattern library.
+
+use std::time::Duration;
+
+/// CPU-bound work of roughly `units` arbitrary cost units, for real-time
+/// pipeline benchmarks (deterministic, not optimizable away).
+#[inline]
+pub fn busy_work(units: u64, seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for i in 0..units * 25 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        x ^= x >> 33;
+    }
+    x
+}
+
+/// Render a simple aligned table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Render a horizontal bar for terminal "figures".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let frac = (value / max).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "·".repeat(width - filled))
+}
+
+/// Median wall time of `f` over `runs` runs (after one warmup).
+pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_work_scales_and_is_deterministic() {
+        assert_eq!(busy_work(10, 3), busy_work(10, 3));
+        assert_ne!(busy_work(10, 3), busy_work(10, 4));
+    }
+
+    #[test]
+    fn bar_renders_proportionally() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████·····");
+        assert_eq!(bar(0.0, 10.0, 4), "····");
+        assert_eq!(bar(20.0, 10.0, 4), "████");
+    }
+
+    #[test]
+    fn time_median_returns_nonzero_for_real_work() {
+        let d = time_median(3, || {
+            std::hint::black_box(busy_work(100, 1));
+        });
+        assert!(d.as_nanos() > 0);
+    }
+}
+
+/// Number of cores available to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A caveat printed by the wall-clock benches when real parallelism is
+/// physically unobservable on the host.
+pub fn core_caveat() -> Option<String> {
+    let cores = host_cores();
+    (cores < 2).then(|| {
+        format!(
+            "NOTE: this host exposes {cores} core(s); wall-clock parallel speedup is \
+             physically unobservable here. The speedup *shape* claims are carried by \
+             the deterministic multi-core performance model (patty-transform::sim); \
+             the wall-clock numbers below measure semantics and overhead only."
+        )
+    })
+}

@@ -1,0 +1,668 @@
+//! Systematic schedule exploration with iterative preemption bounding.
+//!
+//! The explorer enumerates schedules depth-first: each run replays a
+//! prefix of scheduling decisions and takes the first unexplored branch at
+//! the deepest decision point, exactly like CHESS's stateless search.
+//! *Iterative context bounding* — CHESS's key idea — explores all
+//! schedules with at most `c` preemptions before trying `c + 1`, because
+//! most concurrency bugs need only a couple of preemptions.
+
+use crate::sched::{run_schedule, Failure, Policy, Sched, ThreadCtx};
+use std::sync::Arc;
+
+/// Exploration options.
+#[derive(Clone, Debug)]
+pub struct ChessOptions {
+    /// Maximum schedules to run before giving up.
+    pub max_schedules: u64,
+    /// Per-schedule step limit (livelock guard).
+    pub max_steps: u64,
+    /// Maximum preemptions per schedule (`None` = unbounded).
+    pub preemption_bound: Option<usize>,
+    /// Stop at the first failing schedule.
+    pub stop_on_first_failure: bool,
+}
+
+impl Default for ChessOptions {
+    fn default() -> ChessOptions {
+        ChessOptions {
+            max_schedules: 10_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+            stop_on_first_failure: false,
+        }
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Whether the search space was exhausted (within the bound).
+    pub complete: bool,
+    /// Unique failures (first witness schedule each).
+    pub failures: Vec<Failure>,
+    /// Total yield points executed across all schedules.
+    pub total_steps: u64,
+}
+
+impl Report {
+    /// Did any schedule fail?
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Merge another report into this one (used by iterative bounding).
+    fn merge(&mut self, other: Report) {
+        self.schedules += other.schedules;
+        self.total_steps += other.total_steps;
+        for f in other.failures {
+            if !self.failures.iter().any(|g| g.kind == f.kind) {
+                self.failures.push(f);
+            }
+        }
+    }
+}
+
+struct Frame {
+    choices: Vec<usize>,
+    next: usize,
+}
+
+struct DfsPolicy {
+    frames: Vec<Frame>,
+    bound: Option<usize>,
+    preemptions: usize,
+}
+
+impl Policy for DfsPolicy {
+    fn choose(&mut self, step: usize, runnable: &[usize], last: Option<usize>) -> usize {
+        let allowed: Vec<usize> = match (self.bound, last) {
+            (Some(c), Some(l)) if self.preemptions >= c && runnable.contains(&l) => vec![l],
+            _ => runnable.to_vec(),
+        };
+        if step == self.frames.len() {
+            self.frames.push(Frame { choices: allowed.clone(), next: 0 });
+        }
+        debug_assert_eq!(
+            self.frames[step].choices, allowed,
+            "nondeterministic test: runnable set diverged on replay"
+        );
+        let f = &self.frames[step];
+        let tid = *f.choices.get(f.next).unwrap_or(&allowed[0]);
+        if let Some(l) = last {
+            if tid != l && runnable.contains(&l) {
+                self.preemptions += 1;
+            }
+        }
+        tid
+    }
+}
+
+/// Explore all schedules of `test` (within the options' bounds).
+pub fn explore<F>(test: F, options: ChessOptions) -> Report
+where
+    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+{
+    let test = Arc::new(test);
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut report = Report::default();
+    loop {
+        let sched = Sched::new(options.max_steps);
+        let mut policy = DfsPolicy {
+            frames: std::mem::take(&mut frames),
+            bound: options.preemption_bound,
+            preemptions: 0,
+        };
+        let (failures, _decisions, steps) = run_schedule(sched, test.clone(), &mut policy);
+        frames = policy.frames;
+        report.schedules += 1;
+        report.total_steps += steps;
+        for f in failures {
+            if !report.failures.iter().any(|g| g.kind == f.kind) {
+                report.failures.push(f);
+            }
+        }
+        if options.stop_on_first_failure && report.failed() {
+            return report;
+        }
+        if report.schedules >= options.max_schedules {
+            return report;
+        }
+        // Backtrack: drop exhausted suffix, advance the deepest open frame.
+        loop {
+            match frames.last_mut() {
+                None => {
+                    report.complete = true;
+                    return report;
+                }
+                Some(f) if f.next + 1 < f.choices.len() => {
+                    f.next += 1;
+                    break;
+                }
+                Some(_) => {
+                    frames.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Iterative context bounding: explore with preemption bounds
+/// `0, 1, …, max_bound`, stopping early when a failure is found (if
+/// requested). The returned report accumulates all bounds explored.
+pub fn explore_iterative<F>(test: F, max_bound: usize, options: ChessOptions) -> Report
+where
+    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+{
+    let test = Arc::new(test);
+    let mut total = Report { complete: true, ..Report::default() };
+    for c in 0..=max_bound {
+        let opts = ChessOptions {
+            preemption_bound: Some(c),
+            max_schedules: options
+                .max_schedules
+                .saturating_sub(total.schedules)
+                .max(1),
+            ..options.clone()
+        };
+        let t = test.clone();
+        let r = explore(move |ctx| t(ctx), opts);
+        let complete = r.complete;
+        total.merge(r);
+        total.complete &= complete;
+        if options.stop_on_first_failure && total.failed() {
+            return total;
+        }
+        if total.schedules >= options.max_schedules {
+            total.complete = false;
+            return total;
+        }
+    }
+    total
+}
+
+/// Random schedule sampling — the practical fallback when the state space
+/// is too large to exhaust: `runs` independent random walks over the
+/// scheduling decisions. Far cheaper than DFS per unit of coverage
+/// diversity; finds shallow bugs quickly but gives no completeness
+/// guarantee.
+pub fn explore_random<F>(test: F, runs: u64, seed: u64, options: ChessOptions) -> Report
+where
+    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct RandomPolicy {
+        rng: StdRng,
+    }
+    impl Policy for RandomPolicy {
+        fn choose(&mut self, _step: usize, runnable: &[usize], _last: Option<usize>) -> usize {
+            runnable[self.rng.gen_range(0..runnable.len())]
+        }
+    }
+
+    let test = Arc::new(test);
+    let mut report = Report::default();
+    for i in 0..runs {
+        let sched = Sched::new(options.max_steps);
+        let mut policy = RandomPolicy { rng: StdRng::seed_from_u64(seed ^ i) };
+        let (failures, _, steps) = run_schedule(sched, test.clone(), &mut policy);
+        report.schedules += 1;
+        report.total_steps += steps;
+        for f in failures {
+            if !report.failures.iter().any(|g| g.kind == f.kind) {
+                report.failures.push(f);
+            }
+        }
+        if options.stop_on_first_failure && report.failed() {
+            break;
+        }
+    }
+    report
+}
+
+/// Replay a specific schedule (e.g. a failure witness) and return the
+/// failures it triggers.
+pub fn replay<F>(test: F, schedule: &[usize], max_steps: u64) -> Vec<Failure>
+where
+    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+{
+    struct ReplayPolicy {
+        schedule: Vec<usize>,
+    }
+    impl Policy for ReplayPolicy {
+        fn choose(&mut self, step: usize, runnable: &[usize], _last: Option<usize>) -> usize {
+            self.schedule
+                .get(step)
+                .copied()
+                .filter(|t| runnable.contains(t))
+                .unwrap_or(runnable[0])
+        }
+    }
+    let sched = Sched::new(max_steps);
+    let mut policy = ReplayPolicy { schedule: schedule.to_vec() };
+    let (failures, _, _) = run_schedule(sched, Arc::new(test), &mut policy);
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FailureKind;
+
+    /// Unsynchronized increment by two threads.
+    fn racy_counter(ctx: &ThreadCtx) {
+        let counter = ctx.shared("counter", 0i64);
+        let c1 = counter.clone();
+        let c2 = counter.clone();
+        let t1 = ctx.spawn(move |ctx| {
+            let v = c1.read(ctx);
+            c1.write(ctx, v + 1);
+        });
+        let t2 = ctx.spawn(move |ctx| {
+            let v = c2.read(ctx);
+            c2.write(ctx, v + 1);
+        });
+        ctx.join(t1);
+        ctx.join(t2);
+        ctx.check(counter.read(ctx) == 2, "both increments must land");
+    }
+
+    #[test]
+    fn finds_race_and_lost_update() {
+        let report = explore(racy_counter, ChessOptions::default());
+        assert!(report.complete, "small test must be exhaustable");
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Race { .. })));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::CheckFailed(_))));
+    }
+
+    #[test]
+    fn mutex_protected_counter_is_clean_except_for_no_failures() {
+        let report = explore(
+            |ctx| {
+                let counter = ctx.shared("counter", 0i64);
+                let m = ctx.mutex("m");
+                let (c1, m1) = (counter.clone(), m.clone());
+                let (c2, m2) = (counter.clone(), m.clone());
+                let t1 = ctx.spawn(move |ctx| {
+                    m1.lock(ctx);
+                    let v = c1.read(ctx);
+                    c1.write(ctx, v + 1);
+                    m1.unlock(ctx);
+                });
+                let t2 = ctx.spawn(move |ctx| {
+                    m2.lock(ctx);
+                    let v = c2.read(ctx);
+                    c2.write(ctx, v + 1);
+                    m2.unlock(ctx);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+                ctx.check(counter.read(ctx) == 2, "serialized increments");
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert!(!report.failed(), "failures: {:?}", report.failures);
+        assert!(report.schedules > 1, "must explore several interleavings");
+    }
+
+    #[test]
+    fn atomic_fetch_modify_has_no_lost_update() {
+        let report = explore(
+            |ctx| {
+                let counter = ctx.shared("counter", 0i64);
+                let c1 = counter.clone();
+                let c2 = counter.clone();
+                let t1 = ctx.spawn(move |ctx| {
+                    c1.fetch_modify(ctx, |v| v + 1);
+                });
+                let t2 = ctx.spawn(move |ctx| {
+                    c2.fetch_modify(ctx, |v| v + 1);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+                ctx.check(counter.read(ctx) == 2, "atomic increments");
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        // fetch_modify is a single yield point, so there is no lost
+        // update; but the two unsynchronized RMWs are still flagged as a
+        // race by the happens-before detector (correct: no ordering).
+        assert!(!report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::CheckFailed(_))));
+    }
+
+    #[test]
+    fn detects_abba_deadlock() {
+        let report = explore(
+            |ctx| {
+                let a = ctx.mutex("a");
+                let b = ctx.mutex("b");
+                let (a1, b1) = (a.clone(), b.clone());
+                let (a2, b2) = (a.clone(), b.clone());
+                let t1 = ctx.spawn(move |ctx| {
+                    a1.lock(ctx);
+                    b1.lock(ctx);
+                    b1.unlock(ctx);
+                    a1.unlock(ctx);
+                });
+                let t2 = ctx.spawn(move |ctx| {
+                    b2.lock(ctx);
+                    a2.lock(ctx);
+                    a2.unlock(ctx);
+                    b2.unlock(ctx);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+            },
+            ChessOptions::default(),
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::Deadlock));
+    }
+
+    #[test]
+    fn preemption_bound_zero_misses_lost_update_but_bound_one_finds_it() {
+        // The lost update needs a preemption between the read and the
+        // write; non-preemptive schedules never expose it. This is the
+        // iterative-context-bounding story of CHESS.
+        let r0 = explore(
+            racy_counter,
+            ChessOptions { preemption_bound: Some(0), ..ChessOptions::default() },
+        );
+        assert!(
+            !r0.failures
+                .iter()
+                .any(|f| matches!(f.kind, FailureKind::CheckFailed(_))),
+            "bound 0 must not expose the lost update: {:?}",
+            r0.failures
+        );
+        let r1 = explore(
+            racy_counter,
+            ChessOptions { preemption_bound: Some(1), ..ChessOptions::default() },
+        );
+        assert!(r1
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::CheckFailed(_))));
+        // And bound 0 is much cheaper.
+        assert!(r0.schedules < r1.schedules);
+    }
+
+    #[test]
+    fn iterative_bounding_accumulates() {
+        let report = explore_iterative(racy_counter, 2, ChessOptions::default());
+        assert!(report.failed());
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn failure_schedules_replay() {
+        let report = explore(racy_counter, ChessOptions::default());
+        let lost = report
+            .failures
+            .iter()
+            .find(|f| matches!(f.kind, FailureKind::CheckFailed(_)))
+            .expect("lost update found");
+        let replayed = replay(racy_counter, &lost.schedule, 20_000);
+        assert!(
+            replayed.iter().any(|f| f.kind == lost.kind),
+            "replay must reproduce: {replayed:?}"
+        );
+    }
+
+    #[test]
+    fn panic_in_thread_is_reported() {
+        let report = explore(
+            |ctx| {
+                let t = ctx.spawn(|_| panic!("boom"));
+                ctx.join(t);
+            },
+            ChessOptions { max_schedules: 10, ..ChessOptions::default() },
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(&f.kind, FailureKind::Panic(m) if m.contains("boom"))));
+    }
+
+    #[test]
+    fn single_thread_test_has_one_schedule() {
+        let report = explore(
+            |ctx| {
+                let x = ctx.shared("x", 1i64);
+                let v = x.read(ctx);
+                x.write(ctx, v * 2);
+                ctx.check(x.read(ctx) == 2, "sequential");
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert_eq!(report.schedules, 1);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn schedule_count_grows_with_interleavings() {
+        let small = explore(
+            |ctx| {
+                let t = ctx.spawn(|ctx| ctx.step());
+                ctx.step();
+                ctx.join(t);
+            },
+            ChessOptions::default(),
+        );
+        let big = explore(
+            |ctx| {
+                let t = ctx.spawn(|ctx| {
+                    ctx.step();
+                    ctx.step();
+                    ctx.step();
+                });
+                ctx.step();
+                ctx.step();
+                ctx.step();
+                ctx.join(t);
+            },
+            ChessOptions::default(),
+        );
+        assert!(big.schedules > small.schedules);
+        assert!(big.complete && small.complete);
+    }
+
+    #[test]
+    fn join_establishes_happens_before() {
+        // Parent reads what the child wrote after joining: no race.
+        let report = explore(
+            |ctx| {
+                let x = ctx.shared("x", 0i64);
+                let xc = x.clone();
+                let t = ctx.spawn(move |ctx| xc.write(ctx, 42));
+                ctx.join(t);
+                ctx.check(x.read(ctx) == 42, "joined value visible");
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert!(!report.failed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn step_limit_guards_against_livelock() {
+        let report = explore(
+            |ctx| {
+                // A long but finite loop that exceeds the tiny step limit.
+                for _ in 0..1000 {
+                    ctx.step();
+                }
+            },
+            ChessOptions { max_steps: 100, max_schedules: 2, ..ChessOptions::default() },
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::StepLimit));
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::*;
+    use crate::sched::FailureKind;
+
+    #[test]
+    fn channel_handoff_is_race_free() {
+        // Producer writes a cell, sends a token; consumer receives then
+        // reads the cell: the channel edge orders the accesses.
+        let report = explore(
+            |ctx| {
+                let x = ctx.shared("x", 0i64);
+                let ch = ctx.channel::<i64>("buf");
+                let (xp, chp) = (x.clone(), ch.clone());
+                let producer = ctx.spawn(move |ctx| {
+                    xp.write(ctx, 7);
+                    chp.send(ctx, 1);
+                });
+                let (xc, chc) = (x.clone(), ch.clone());
+                let consumer = ctx.spawn(move |ctx| {
+                    let _token = chc.recv(ctx);
+                    let v = xc.read(ctx);
+                    ctx.check(v == 7, "value visible after handoff");
+                });
+                ctx.join(producer);
+                ctx.join(consumer);
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert!(!report.failed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn unordered_access_despite_channel_still_races() {
+        // Consumer reads the cell BEFORE receiving: race must be found.
+        let report = explore(
+            |ctx| {
+                let x = ctx.shared("x", 0i64);
+                let ch = ctx.channel::<i64>("buf");
+                let (xp, chp) = (x.clone(), ch.clone());
+                let producer = ctx.spawn(move |ctx| {
+                    xp.write(ctx, 7);
+                    chp.send(ctx, 1);
+                });
+                let (xc, chc) = (x.clone(), ch.clone());
+                let consumer = ctx.spawn(move |ctx| {
+                    let _early = xc.read(ctx); // unsynchronized
+                    let _token = chc.recv(ctx);
+                });
+                ctx.join(producer);
+                ctx.join(consumer);
+            },
+            ChessOptions::default(),
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Race { .. })));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let report = explore(
+            |ctx| {
+                let ch = ctx.channel::<i64>("buf");
+                let chp = ch.clone();
+                let producer = ctx.spawn(move |ctx| {
+                    for i in 0..3 {
+                        chp.send(ctx, i);
+                    }
+                });
+                let a = ch.recv(ctx);
+                let b = ch.recv(ctx);
+                let c = ch.recv(ctx);
+                ctx.check(a == 0 && b == 1 && c == 2, "FIFO");
+                ctx.join(producer);
+            },
+            ChessOptions { max_schedules: 2_000, ..ChessOptions::default() },
+        );
+        assert!(!report.failed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn recv_on_never_filled_channel_deadlocks() {
+        let report = explore(
+            |ctx| {
+                let ch = ctx.channel::<i64>("buf");
+                let _ = ch.recv(ctx);
+            },
+            ChessOptions { max_schedules: 10, ..ChessOptions::default() },
+        );
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::Deadlock));
+    }
+}
+
+#[cfg(test)]
+mod random_tests {
+    use super::*;
+    use crate::sched::FailureKind;
+
+    fn racy(ctx: &ThreadCtx) {
+        let x = ctx.shared("x", 0i64);
+        let xc = x.clone();
+        let t = ctx.spawn(move |ctx| {
+            let v = xc.read(ctx);
+            xc.write(ctx, v + 1);
+        });
+        let v = x.read(ctx);
+        x.write(ctx, v + 1);
+        ctx.join(t);
+    }
+
+    #[test]
+    fn random_exploration_finds_shallow_races() {
+        let report = explore_random(racy, 40, 7, ChessOptions::default());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Race { .. })));
+        assert_eq!(report.schedules, 40);
+    }
+
+    #[test]
+    fn random_exploration_is_deterministic_per_seed() {
+        let a = explore_random(racy, 10, 3, ChessOptions::default());
+        let b = explore_random(racy, 10, 3, ChessOptions::default());
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert_eq!(a.total_steps, b.total_steps);
+    }
+
+    #[test]
+    fn stop_on_first_failure_stops_early() {
+        let report = explore_random(
+            racy,
+            1000,
+            1,
+            ChessOptions { stop_on_first_failure: true, ..ChessOptions::default() },
+        );
+        assert!(report.failed());
+        assert!(report.schedules < 1000);
+    }
+}

@@ -1,0 +1,768 @@
+//! The deterministic cooperative scheduler.
+//!
+//! Like CHESS \[24\], the tester owns every scheduling decision: controlled
+//! threads run one at a time, stopping at each shared-memory or
+//! synchronization operation (a *yield point*) and waiting for the
+//! scheduler's grant. The sequence of grants *is* the schedule, so any
+//! execution can be replayed exactly, and the explorer
+//! ([`crate::explore`]) can enumerate all schedules of a test.
+//!
+//! A vector-clock happens-before detector runs piggy-backed on the same
+//! yield points and reports data races even on schedules where the race
+//! does not corrupt the result.
+
+use crate::clock::VectorClock;
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// What went wrong on some schedule.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// Two concurrent conflicting accesses to a shared cell.
+    Race { cell: String },
+    /// All live threads blocked.
+    Deadlock,
+    /// A controlled thread panicked.
+    Panic(String),
+    /// An explicit `check` failed.
+    CheckFailed(String),
+    /// The schedule exceeded the step limit (livelock guard).
+    StepLimit,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Race { cell } => write!(f, "data race on `{cell}`"),
+            FailureKind::Deadlock => write!(f, "deadlock"),
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+            FailureKind::CheckFailed(m) => write!(f, "check failed: {m}"),
+            FailureKind::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+/// A failure together with the schedule (sequence of chosen thread ids)
+/// that reproduces it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub schedule: Vec<usize>,
+}
+
+/// Why a thread cannot currently run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockReason {
+    Mutex(usize),
+    Join(usize),
+    /// Waiting to receive on an empty channel.
+    Recv(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Real thread exists but has not reached its first yield point.
+    Starting,
+    /// Waiting at a yield point for a grant.
+    Parked,
+    /// Holds the grant (or is running between yield points).
+    Running,
+    /// Waiting for a condition (mutex release, join target).
+    Blocked(BlockReason),
+    Finished,
+}
+
+struct CellMeta {
+    name: String,
+    last_write: Option<(usize, VectorClock)>,
+    reads: Vec<(usize, VectorClock)>,
+}
+
+struct MutexMeta {
+    owner: Option<usize>,
+    clock: VectorClock,
+}
+
+struct ChannelMeta {
+    /// Sender clocks of queued messages (FIFO), joined at receive to
+    /// establish the happens-before edge of the handoff.
+    queue: std::collections::VecDeque<VectorClock>,
+}
+
+pub(crate) struct State {
+    pub(crate) threads: Vec<TState>,
+    clocks: Vec<VectorClock>,
+    finish_clocks: Vec<Option<VectorClock>>,
+    /// The thread currently holding the grant.
+    pub(crate) current: Option<usize>,
+    cells: Vec<CellMeta>,
+    mutexes: Vec<MutexMeta>,
+    channels: Vec<ChannelMeta>,
+    pub(crate) failures: Vec<Failure>,
+    /// Chosen tids, in order — the schedule of this run.
+    pub(crate) decisions: Vec<usize>,
+    pub(crate) steps: u64,
+    pub(crate) aborted: bool,
+}
+
+/// Panic payload used to unwind controlled threads when a schedule is
+/// aborted; not a user-visible failure.
+pub(crate) struct Abort;
+
+pub(crate) struct Sched {
+    pub(crate) state: Mutex<State>,
+    pub(crate) cv: Condvar,
+    pub(crate) max_steps: u64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Sched {
+    pub(crate) fn new(max_steps: u64) -> Arc<Sched> {
+        Arc::new(Sched {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                clocks: Vec::new(),
+                finish_clocks: Vec::new(),
+                current: None,
+                cells: Vec::new(),
+                mutexes: Vec::new(),
+                channels: Vec::new(),
+                failures: Vec::new(),
+                decisions: Vec::new(),
+                steps: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            max_steps,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Record a failure with the current schedule and abort the run.
+    fn fail(&self, state: &mut State, kind: FailureKind) {
+        self.observe(state, kind);
+        state.aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Record a failure without aborting (data races are observations:
+    /// the schedule remains meaningful and must keep running so deeper
+    /// failures — lost updates, failed checks — are still reached).
+    fn observe(&self, state: &mut State, kind: FailureKind) {
+        if state.failures.iter().any(|f| f.kind == kind) {
+            return;
+        }
+        let schedule = state.decisions.clone();
+        state.failures.push(Failure { kind, schedule });
+    }
+
+    /// Yield point: park, wait for the grant, count the step.
+    fn gate(&self, tid: usize) {
+        let mut st = self.state.lock();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[tid] = TState::Parked;
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.cv.notify_all();
+        while st.current != Some(tid) {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            self.cv.wait(&mut st);
+        }
+        st.threads[tid] = TState::Running;
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail(&mut st, FailureKind::StepLimit);
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    fn register_thread(&self, state: &mut State, parent: Option<usize>) -> usize {
+        let tid = state.threads.len();
+        state.threads.push(TState::Starting);
+        let mut clock = match parent {
+            Some(p) => {
+                let mut c = state.clocks[p].clone();
+                c.tick(tid);
+                c
+            }
+            None => {
+                let mut c = VectorClock::new();
+                c.tick(tid);
+                c
+            }
+        };
+        if let Some(p) = parent {
+            state.clocks[p].tick(p);
+            clock.join(&state.clocks[p]);
+        }
+        state.clocks.push(clock);
+        state.finish_clocks.push(None);
+        tid
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut st = self.state.lock();
+        st.finish_clocks[tid] = Some(st.clocks[tid].clone());
+        st.threads[tid] = TState::Finished;
+        if st.current == Some(tid) {
+            st.current = None;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to a controlled thread.
+pub struct JoinHandle {
+    tid: usize,
+}
+
+/// The per-thread capability for writing controlled concurrency tests:
+/// spawn controlled threads, create shared cells and mutexes, assert.
+#[derive(Clone)]
+pub struct ThreadCtx {
+    tid: usize,
+    sched: Arc<Sched>,
+}
+
+impl ThreadCtx {
+    pub(crate) fn root(sched: Arc<Sched>) -> ThreadCtx {
+        {
+            let mut st = sched.state.lock();
+            let tid = sched.register_thread(&mut st, None);
+            debug_assert_eq!(tid, 0);
+        }
+        ThreadCtx { tid: 0, sched }
+    }
+
+    /// This thread's id (0 = the test's main thread).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Spawn a controlled thread.
+    pub fn spawn<F>(&self, f: F) -> JoinHandle
+    where
+        F: FnOnce(&ThreadCtx) + Send + 'static,
+    {
+        self.sched.gate(self.tid);
+        let tid = {
+            let mut st = self.sched.state.lock();
+            self.sched.register_thread(&mut st, Some(self.tid))
+        };
+        let ctx = ThreadCtx { tid, sched: self.sched.clone() };
+        let sched = self.sched.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("chess-{tid}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    // First yield point: the new thread starts parked.
+                    ctx.sched.gate(tid);
+                    f(&ctx);
+                }));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<Abort>().is_none() {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into());
+                        let mut st = sched.state.lock();
+                        sched.fail(&mut st, FailureKind::Panic(msg));
+                    }
+                }
+                sched.finish_thread(tid);
+            })
+            .expect("spawn controlled thread");
+        self.sched.handles.lock().push(handle);
+        JoinHandle { tid }
+    }
+
+    /// Join a controlled thread (blocks this thread in the model).
+    pub fn join(&self, handle: JoinHandle) {
+        self.sched.gate(self.tid);
+        let mut st = self.sched.state.lock();
+        while st.threads[handle.tid] != TState::Finished {
+            // Block and give up the grant.
+            st.threads[self.tid] = TState::Blocked(BlockReason::Join(handle.tid));
+            if st.current == Some(self.tid) {
+                st.current = None;
+            }
+            self.sched.cv.notify_all();
+            while st.threads[handle.tid] != TState::Finished {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            // Re-park and wait for a grant before continuing.
+            st.threads[self.tid] = TState::Parked;
+            self.sched.cv.notify_all();
+            while st.current != Some(self.tid) {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            st.threads[self.tid] = TState::Running;
+        }
+        // Happens-before edge from the finished thread.
+        let fc = st.finish_clocks[handle.tid].clone().expect("finished");
+        st.clocks[self.tid].join(&fc);
+        st.clocks[self.tid].tick(self.tid);
+    }
+
+    /// Create a shared cell participating in scheduling and race
+    /// detection.
+    pub fn shared<T: Send>(&self, name: &str, init: T) -> Shared<T> {
+        let id = {
+            let mut st = self.sched.state.lock();
+            st.cells.push(CellMeta {
+                name: name.to_string(),
+                last_write: None,
+                reads: Vec::new(),
+            });
+            st.cells.len() - 1
+        };
+        Shared {
+            id,
+            data: Arc::new(Mutex::new(init)),
+            sched: self.sched.clone(),
+        }
+    }
+
+    /// Create a controlled mutex.
+    pub fn mutex(&self, _name: &str) -> CMutex {
+        let id = {
+            let mut st = self.sched.state.lock();
+            st.mutexes.push(MutexMeta { owner: None, clock: VectorClock::new() });
+            st.mutexes.len() - 1
+        };
+        CMutex { id, sched: self.sched.clone() }
+    }
+
+    /// Create a controlled FIFO channel (models a pipeline buffer: the
+    /// send→receive handoff is a happens-before edge).
+    pub fn channel<T: Send>(&self, _name: &str) -> CChannel<T> {
+        let id = {
+            let mut st = self.sched.state.lock();
+            st.channels.push(ChannelMeta { queue: std::collections::VecDeque::new() });
+            st.channels.len() - 1
+        };
+        CChannel {
+            id,
+            data: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+            sched: self.sched.clone(),
+        }
+    }
+
+    /// Assert a property of the current schedule; a failure is recorded
+    /// with the reproducing schedule and the run is aborted.
+    pub fn check(&self, cond: bool, msg: &str) {
+        self.sched.gate(self.tid);
+        if !cond {
+            let mut st = self.sched.state.lock();
+            self.sched
+                .fail(&mut st, FailureKind::CheckFailed(msg.to_string()));
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// A scheduling point without a memory access (models local work).
+    pub fn step(&self) {
+        self.sched.gate(self.tid);
+    }
+}
+
+/// A shared memory cell; every access is a yield point and feeds the race
+/// detector.
+pub struct Shared<T> {
+    id: usize,
+    data: Arc<Mutex<T>>,
+    sched: Arc<Sched>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Shared<T> {
+        Shared { id: self.id, data: self.data.clone(), sched: self.sched.clone() }
+    }
+}
+
+impl<T: Clone + Send> Shared<T> {
+    /// Read the cell.
+    pub fn read(&self, ctx: &ThreadCtx) -> T {
+        self.sched.gate(ctx.tid);
+        {
+            let mut st = self.sched.state.lock();
+            st.clocks[ctx.tid].tick(ctx.tid);
+            let reader_clock = st.clocks[ctx.tid].clone();
+            let cell = &mut st.cells[self.id];
+            let race = cell
+                .last_write
+                .as_ref()
+                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&reader_clock))
+                .unwrap_or(false);
+            cell.reads.push((ctx.tid, reader_clock));
+            if race {
+                let name = cell.name.clone();
+                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+            }
+        }
+        self.data.lock().clone()
+    }
+
+    /// Write the cell.
+    pub fn write(&self, ctx: &ThreadCtx, value: T) {
+        self.sched.gate(ctx.tid);
+        {
+            let mut st = self.sched.state.lock();
+            st.clocks[ctx.tid].tick(ctx.tid);
+            let writer_clock = st.clocks[ctx.tid].clone();
+            let cell = &mut st.cells[self.id];
+            let mut race = cell
+                .last_write
+                .as_ref()
+                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&writer_clock))
+                .unwrap_or(false);
+            race |= cell
+                .reads
+                .iter()
+                .any(|(rt, rc)| *rt != ctx.tid && !rc.le(&writer_clock));
+            cell.last_write = Some((ctx.tid, writer_clock));
+            cell.reads.clear();
+            if race {
+                let name = cell.name.clone();
+                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+            }
+        }
+        *self.data.lock() = value;
+    }
+
+    /// Atomic read-modify-write (a single yield point; models an atomic
+    /// instruction — no race window inside).
+    pub fn fetch_modify(&self, ctx: &ThreadCtx, f: impl FnOnce(T) -> T) -> T {
+        self.sched.gate(ctx.tid);
+        {
+            let mut st = self.sched.state.lock();
+            st.clocks[ctx.tid].tick(ctx.tid);
+            let clock = st.clocks[ctx.tid].clone();
+            let cell = &mut st.cells[self.id];
+            let mut race = cell
+                .last_write
+                .as_ref()
+                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&clock))
+                .unwrap_or(false);
+            race |= cell
+                .reads
+                .iter()
+                .any(|(rt, rc)| *rt != ctx.tid && !rc.le(&clock));
+            cell.last_write = Some((ctx.tid, clock));
+            cell.reads.clear();
+            if race {
+                let name = cell.name.clone();
+                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+            }
+        }
+        let mut data = self.data.lock();
+        let old = data.clone();
+        *data = f(old.clone());
+        old
+    }
+}
+
+/// A controlled mutex: lock/unlock are yield points and establish
+/// happens-before edges (so properly locked accesses are race-free).
+pub struct CMutex {
+    id: usize,
+    sched: Arc<Sched>,
+}
+
+impl Clone for CMutex {
+    fn clone(&self) -> CMutex {
+        CMutex { id: self.id, sched: self.sched.clone() }
+    }
+}
+
+impl CMutex {
+    /// Acquire the mutex (blocking in the model).
+    pub fn lock(&self, ctx: &ThreadCtx) {
+        self.sched.gate(ctx.tid);
+        let mut st = self.sched.state.lock();
+        loop {
+            if st.mutexes[self.id].owner.is_none() {
+                st.mutexes[self.id].owner = Some(ctx.tid);
+                let mclock = st.mutexes[self.id].clock.clone();
+                st.clocks[ctx.tid].join(&mclock);
+                st.clocks[ctx.tid].tick(ctx.tid);
+                return;
+            }
+            if st.mutexes[self.id].owner == Some(ctx.tid) {
+                drop(st);
+                panic!("recursive lock of a CMutex");
+            }
+            // Block: give up the grant until the owner releases.
+            st.threads[ctx.tid] = TState::Blocked(BlockReason::Mutex(self.id));
+            if st.current == Some(ctx.tid) {
+                st.current = None;
+            }
+            self.sched.cv.notify_all();
+            while st.mutexes[self.id].owner.is_some() {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            st.threads[ctx.tid] = TState::Parked;
+            self.sched.cv.notify_all();
+            while st.current != Some(ctx.tid) {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            st.threads[ctx.tid] = TState::Running;
+        }
+    }
+
+    /// Release the mutex.
+    pub fn unlock(&self, ctx: &ThreadCtx) {
+        self.sched.gate(ctx.tid);
+        let mut st = self.sched.state.lock();
+        assert_eq!(
+            st.mutexes[self.id].owner,
+            Some(ctx.tid),
+            "unlock by non-owner"
+        );
+        let thread_clock = st.clocks[ctx.tid].clone();
+        st.mutexes[self.id].clock = thread_clock;
+        st.clocks[ctx.tid].tick(ctx.tid);
+        st.mutexes[self.id].owner = None;
+        self.sched.cv.notify_all();
+    }
+
+    /// Run `f` under the lock.
+    pub fn with<R>(&self, ctx: &ThreadCtx, f: impl FnOnce() -> R) -> R {
+        self.lock(ctx);
+        let r = f();
+        self.unlock(ctx);
+        r
+    }
+}
+
+/// A controlled unbounded FIFO channel. `send`/`recv` are yield points;
+/// a receive joins the sender's clock, so values handed through a channel
+/// are race-free on the receiving side — exactly the guarantee pipeline
+/// buffers give (rule PLDS).
+pub struct CChannel<T> {
+    id: usize,
+    data: Arc<Mutex<std::collections::VecDeque<T>>>,
+    sched: Arc<Sched>,
+}
+
+impl<T> Clone for CChannel<T> {
+    fn clone(&self) -> CChannel<T> {
+        CChannel { id: self.id, data: self.data.clone(), sched: self.sched.clone() }
+    }
+}
+
+impl<T: Send> CChannel<T> {
+    /// Send a value (never blocks; the model channel is unbounded).
+    pub fn send(&self, ctx: &ThreadCtx, value: T) {
+        self.sched.gate(ctx.tid);
+        let mut st = self.sched.state.lock();
+        st.clocks[ctx.tid].tick(ctx.tid);
+        let clock = st.clocks[ctx.tid].clone();
+        st.channels[self.id].queue.push_back(clock);
+        self.data.lock().push_back(value);
+        self.sched.cv.notify_all();
+    }
+
+    /// Receive a value, blocking (in the model) while the channel is
+    /// empty.
+    pub fn recv(&self, ctx: &ThreadCtx) -> T {
+        self.sched.gate(ctx.tid);
+        let mut st = self.sched.state.lock();
+        loop {
+            if !st.channels[self.id].queue.is_empty() {
+                let sender_clock = st.channels[self.id]
+                    .queue
+                    .pop_front()
+                    .expect("checked nonempty");
+                st.clocks[ctx.tid].join(&sender_clock);
+                st.clocks[ctx.tid].tick(ctx.tid);
+                drop(st);
+                return self
+                    .data
+                    .lock()
+                    .pop_front()
+                    .expect("data and clock queues stay in sync");
+            }
+            // Block until a sender delivers.
+            st.threads[ctx.tid] = TState::Blocked(BlockReason::Recv(self.id));
+            if st.current == Some(ctx.tid) {
+                st.current = None;
+            }
+            self.sched.cv.notify_all();
+            while st.channels[self.id].queue.is_empty() {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            st.threads[ctx.tid] = TState::Parked;
+            self.sched.cv.notify_all();
+            while st.current != Some(ctx.tid) {
+                if st.aborted {
+                    drop(st);
+                    std::panic::panic_any(Abort);
+                }
+                self.sched.cv.wait(&mut st);
+            }
+            st.threads[ctx.tid] = TState::Running;
+        }
+    }
+}
+
+/// The scheduling policy queried by the driver at each decision point.
+pub(crate) trait Policy {
+    /// Pick one of `runnable` (sorted ascending). `last` is the thread
+    /// scheduled at the previous step, if any.
+    fn choose(&mut self, step: usize, runnable: &[usize], last: Option<usize>) -> usize;
+}
+
+/// Run one schedule of `test` under `policy`; returns the final state
+/// (failures, decisions, steps).
+pub(crate) fn run_schedule<F>(
+    sched: Arc<Sched>,
+    test: Arc<F>,
+    policy: &mut dyn Policy,
+) -> (Vec<Failure>, Vec<usize>, u64)
+where
+    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+{
+    // Root thread (tid 0).
+    let root_ctx = ThreadCtx::root(sched.clone());
+    {
+        let sched2 = sched.clone();
+        let test = test.clone();
+        let handle = std::thread::Builder::new()
+            .name("chess-0".into())
+            .spawn(move || {
+                let ctx = root_ctx;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    ctx.sched.gate(0);
+                    test(&ctx);
+                }));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<Abort>().is_none() {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into());
+                        let mut st = sched2.state.lock();
+                        sched2.fail(&mut st, FailureKind::Panic(msg));
+                    }
+                }
+                sched2.finish_thread(0);
+            })
+            .expect("spawn root thread");
+        sched.handles.lock().push(handle);
+    }
+
+    // Driver loop.
+    let mut last: Option<usize> = None;
+    let mut step = 0usize;
+    loop {
+        let mut st = sched.state.lock();
+        let runnable: Vec<usize> = loop {
+            if st.aborted {
+                break Vec::new();
+            }
+            let busy = st
+                .threads
+                .iter()
+                .any(|t| matches!(t, TState::Running | TState::Starting))
+                || st.current.is_some();
+            if busy {
+                sched.cv.wait(&mut st);
+                continue;
+            }
+            // Blocked threads whose condition is already satisfied will
+            // re-park on their own; wait for them so the runnable set is
+            // deterministic across replays.
+            let blocked: Vec<(usize, BlockReason)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    TState::Blocked(r) => Some((i, *r)),
+                    _ => None,
+                })
+                .collect();
+            let progress_possible = blocked.iter().any(|(_, r)| match r {
+                BlockReason::Mutex(mid) => st.mutexes[*mid].owner.is_none(),
+                BlockReason::Join(t) => st.threads[*t] == TState::Finished,
+                BlockReason::Recv(cid) => !st.channels[*cid].queue.is_empty(),
+            });
+            if progress_possible {
+                sched.cv.wait(&mut st);
+                continue;
+            }
+            let parked: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, TState::Parked))
+                .map(|(i, _)| i)
+                .collect();
+            if !parked.is_empty() {
+                break parked;
+            }
+            if blocked.is_empty() {
+                break Vec::new(); // all finished
+            }
+            sched.fail(&mut st, FailureKind::Deadlock);
+            break Vec::new();
+        };
+        if runnable.is_empty() {
+            drop(st);
+            break;
+        }
+        let tid = policy.choose(step, &runnable, last);
+        debug_assert!(runnable.contains(&tid));
+        st.decisions.push(tid);
+        st.current = Some(tid);
+        last = Some(tid);
+        step += 1;
+        sched.cv.notify_all();
+        drop(st);
+    }
+
+    // Release any stragglers and join the real threads.
+    {
+        let mut st = sched.state.lock();
+        st.aborted = true;
+        sched.cv.notify_all();
+    }
+    let handles: Vec<_> = std::mem::take(&mut *sched.handles.lock());
+    for h in handles {
+        let _ = h.join();
+    }
+    let st = sched.state.lock();
+    (st.failures.clone(), st.decisions.clone(), st.steps)
+}

@@ -1,0 +1,237 @@
+//! The RayTracing study benchmark (Section 4.1).
+//!
+//! "We selected RayTracing as single benchmark program. The implementation
+//! consisted of 13 classes and 173 lines of code. We manually analyzed
+//! this program before to identify all locations that could profit from
+//! parallelization" — three locations, of which the built-in profiler
+//! reveals only one (the hot render loop), which is why the manual
+//! control group missed the other two and why they produced
+//! false positives on racy-looking loops.
+//!
+//! Our version mirrors that structure: 13 classes, ~170 lines, exactly
+//! three ground-truth parallel locations with very different runtime
+//! shares (a hot row-render DOALL, a medium gamma pipeline, a cold
+//! brightness reduction), plus two "trap" loops that look parallel but
+//! carry real dependencies (the source of the manual group's false
+//! positives).
+
+/// The ray tracer source (minilang).
+pub const RAYTRACER: &str = r#"
+class Vec3 {
+    var x = 0;
+    var y = 0;
+    var z = 0;
+    fn init(a, b, c) { this.x = a; this.y = b; this.z = c; }
+    fn dot(o) { return this.x * o.x + this.y * o.y + this.z * o.z; }
+    fn scale(s) { return new Vec3(this.x * s, this.y * s, this.z * s); }
+    fn sub(o) { return new Vec3(this.x - o.x, this.y - o.y, this.z - o.z); }
+}
+class Ray {
+    var origin = null;
+    var dir = null;
+    fn init(o, d) { this.origin = o; this.dir = d; }
+}
+class Sphere {
+    var center = null;
+    var radius = 0;
+    var color = 0;
+    fn init(c, r, col) { this.center = c; this.radius = r; this.color = col; }
+    fn hit(ray) {
+        work(12);
+        var oc = ray.origin.sub(this.center);
+        var b = oc.dot(ray.dir);
+        var c = oc.dot(oc) - this.radius * this.radius;
+        var disc = b * b - c;
+        if (disc < 0) { return 0 - 1; }
+        return abs(0 - b - floor(sqrt(float(abs(disc)))));
+    }
+}
+class Camera {
+    var fov = 90;
+    fn makeRay(px, py) {
+        return new Ray(new Vec3(0, 0, 0), new Vec3(px - 8, py - 8, 16));
+    }
+}
+class Scene {
+    var spheres = [];
+    fn add(s) { this.spheres.add(s); }
+}
+class SceneBuilder {
+    var built = 0;
+    fn build() {
+        var scene = new Scene();
+        var i = 0;
+        while (i < 6) {
+            scene.add(new Sphere(new Vec3(i * 3 - 9, 0, 20 + i), 2 + i % 2, i * 40));
+            i = i + 1;
+        }
+        this.built = 1;
+        return scene;
+    }
+}
+class Shader {
+    var ambient = 10;
+    fn shade(score) {
+        work(8);
+        if (score < 0) { return this.ambient; }
+        return this.ambient + score % 64;
+    }
+}
+class Tracer {
+    var scene = null;
+    var shader = null;
+    fn init(sc, sh) { this.scene = sc; this.shader = sh; }
+    fn trace(ray) {
+        var bestScore = 0 - 1;
+        foreach (s in this.scene.spheres) {
+            bestScore = pickBetter(bestScore, s.hit(ray), s.color);
+        }
+        return this.shader.shade(bestScore);
+    }
+}
+class Image {
+    var pixels = [];
+    var width = 0;
+    fn init(w) { this.width = w; }
+    fn set(p) { this.pixels.add(p); }
+}
+class Histogram {
+    var buckets = [0, 0, 0, 0];
+    var total = 0;
+    fn record(v) {
+        var b = v % 4;
+        this.buckets[b] = this.buckets[b] + 1;
+        this.total = this.total + 1;
+    }
+}
+class GammaFilter {
+    var gamma = 2;
+    fn apply(v) { work(3); return v * this.gamma % 256; }
+}
+class Smoother {
+    var value = 0;
+    fn fold(p) { this.value = (this.value + p) / 2; }
+}
+class Renderer {
+    var camera = null;
+    var tracer = null;
+    fn init(cam, tr) { this.camera = cam; this.tracer = tr; }
+    fn renderRow(y, width) {
+        var row = [];
+        for (var x = 0; x < width; x = x + 1) {
+            row.add(this.tracer.trace(this.camera.makeRay(x, y)));
+        }
+        return row;
+    }
+}
+fn pickBetter(best, t, color) {
+    if (t < 0) { return best; }
+    var score = t * 1000 + color;
+    if (best < 0) { return score; }
+    if (score < best) { return score; }
+    return best;
+}
+fn main() {
+    var builder = new SceneBuilder();
+    var scene = builder.build();
+    var shader = new Shader();
+    var tracer = new Tracer(scene, shader);
+    var camera = new Camera();
+    var renderer = new Renderer(camera, tracer);
+    var width = 16;
+    var height = 12;
+    var rows = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+
+    // Location 1 (HOT — the one the profiler reveals): independent rows.
+    for (var y = 0; y < height; y = y + 1) {
+        rows[y] = renderer.renderRow(y, width);
+    }
+
+    // Flatten rows into the image (ordered append: not a candidate).
+    var image = new Image(width);
+    foreach (r in rows) {
+        foreach (p in r) {
+            image.set(p);
+        }
+    }
+
+    // Trap A: looks parallel, but every iteration bumps the shared
+    // histogram (the manual group's false positive).
+    var histo = new Histogram();
+    foreach (p in image.pixels) {
+        histo.record(p);
+    }
+
+    // Location 2 (medium): two-stage post-processing pipeline.
+    var gamma = new GammaFilter();
+    var output = [];
+    foreach (p in image.pixels) {
+        var g = gamma.apply(p);
+        output.add(g);
+    }
+
+    // Location 3 (cold, easy to overlook): brightness reduction.
+    var brightness = 0;
+    foreach (p in output) {
+        brightness += p;
+    }
+
+    // Trap B: sequential smoothing chain (carried dependence).
+    var smoother = new Smoother();
+    foreach (p in output) {
+        smoother.fold(p);
+    }
+
+    print(histo.total, brightness, smoother.value);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patty_minilang::{parse, run, InterpOptions};
+
+    #[test]
+    fn raytracer_parses_and_runs() {
+        let p = parse(RAYTRACER).unwrap();
+        let out = run(&p, InterpOptions::default()).unwrap();
+        assert_eq!(out.output.len(), 1);
+        // histogram total = number of pixels (16 × 12)
+        assert!(out.output[0].starts_with("192 "), "{}", out.output[0]);
+    }
+
+    #[test]
+    fn raytracer_has_paper_scale() {
+        let p = parse(RAYTRACER).unwrap();
+        assert_eq!(p.classes.len(), 13, "the paper's benchmark has 13 classes");
+        let loc = RAYTRACER
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .count();
+        assert!(
+            (150..=200).contains(&loc),
+            "paper reports 173 lines; ours has {loc}"
+        );
+    }
+
+    #[test]
+    fn render_loop_dominates_runtime() {
+        let p = parse(RAYTRACER).unwrap();
+        let out = run(&p, InterpOptions::default()).unwrap();
+        let model = patty_analysis::SemanticModel::build_static(&p).with_profile(out.profile);
+        let mut best = (0.0f64, 0u32);
+        for l in &model.loops {
+            if l.func != "main" {
+                continue;
+            }
+            let share = model.runtime_share(l.id);
+            if share > best.0 {
+                best = (share, l.span.line);
+            }
+        }
+        assert!(best.0 > 0.5, "render loop share {}", best.0);
+    }
+}

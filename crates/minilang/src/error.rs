@@ -1,0 +1,77 @@
+//! Error types shared by the lexer, parser and interpreter.
+
+use std::fmt;
+
+/// Which phase produced a [`LangError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Runtime,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Runtime => write!(f, "runtime"),
+        }
+    }
+}
+
+/// An error from processing a minilang program: lexing, parsing or
+/// interpretation. Carries the 1-based source line when known.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LangError {
+    pub phase: Phase,
+    /// 1-based source line, 0 when unknown.
+    pub line: u32,
+    pub message: String,
+}
+
+impl LangError {
+    /// A lexer error at `line`.
+    pub fn lex(line: u32, message: String) -> LangError {
+        LangError { phase: Phase::Lex, line, message }
+    }
+
+    /// A parser error at `line`.
+    pub fn parse(line: u32, message: String) -> LangError {
+        LangError { phase: Phase::Parse, line, message }
+    }
+
+    /// A runtime error at `line` (0 when unknown).
+    pub fn runtime(line: u32, message: impl Into<String>) -> LangError {
+        LangError { phase: Phase::Runtime, line, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} error (line {}): {}", self.phase, self.line, self.message)
+        } else {
+            write!(f, "{} error: {}", self.phase, self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = LangError::parse(7, "expected ';'".into());
+        assert_eq!(e.to_string(), "parse error (line 7): expected ';'");
+    }
+
+    #[test]
+    fn display_omits_unknown_line() {
+        let e = LangError::runtime(0, "division by zero");
+        assert_eq!(e.to_string(), "runtime error: division by zero");
+    }
+}

@@ -1,0 +1,743 @@
+//! Recursive-descent parser for minilang.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::span::{NodeIdGen, Span};
+use crate::token::{Lexer, Tok, Token};
+
+/// Parse a complete program from source text.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = Lexer::new(src).lex()?;
+    Parser::new(src, tokens).program()
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    tokens: Vec<Token>,
+    pos: usize,
+    ids: NodeIdGen,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str, tokens: Vec<Token>) -> Parser<'s> {
+        Parser { src, tokens, pos: 0, ids: NodeIdGen::new() }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].span.line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, LangError> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                self.line(),
+                format!("expected `{}`, found `{}`", tok, self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(LangError::parse(
+                self.line(),
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, LangError> {
+        let mut classes = Vec::new();
+        let mut funcs = Vec::new();
+        while self.peek() != &Tok::Eof {
+            match self.peek() {
+                Tok::Class => classes.push(self.class_decl()?),
+                Tok::Fn => funcs.push(self.func_decl()?),
+                other => {
+                    return Err(LangError::parse(
+                        self.line(),
+                        format!("expected `class` or `fn` at top level, found `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(Program {
+            classes,
+            funcs,
+            node_count: self.ids.count(),
+            source: self.src.to_string(),
+        })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, LangError> {
+        let id = self.ids.fresh();
+        let start = self.expect(Tok::Class)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            match self.peek() {
+                Tok::Var => {
+                    let fid = self.ids.fresh();
+                    let fstart = self.bump().span; // var
+                    let (fname, _) = self.expect_ident()?;
+                    let init = if self.eat(&Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    let end = self.expect(Tok::Semi)?.span;
+                    fields.push(FieldDecl {
+                        id: fid,
+                        span: fstart.to(end),
+                        name: fname,
+                        init,
+                    });
+                }
+                Tok::Fn => methods.push(self.func_decl()?),
+                other => {
+                    return Err(LangError::parse(
+                        self.line(),
+                        format!("expected field or method in class body, found `{other}`"),
+                    ))
+                }
+            }
+        }
+        let span = start.to(self.tokens[self.pos.saturating_sub(1)].span);
+        Ok(ClassDecl { id, span, name, fields, methods })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, LangError> {
+        let id = self.ids.fresh();
+        let start = self.expect(Tok::Fn)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        let span = start.to(body.span);
+        Ok(FuncDecl { id, span, name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        let id = self.ids.fresh();
+        let start = self.expect(Tok::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(LangError::parse(self.line(), "unclosed block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(Tok::RBrace)?.span;
+        Ok(Block { id, span: start.to(end), stmts })
+    }
+
+    /// A sequence of statements terminated by `#endregion` (exclusive).
+    fn region_body(&mut self, start: Span) -> Result<Block, LangError> {
+        let id = self.ids.fresh();
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::EndRegion {
+            if self.peek() == &Tok::Eof {
+                return Err(LangError::parse(self.line(), "unclosed #region".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(Tok::EndRegion)?.span;
+        Ok(Block { id, span: start.to(end), stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let id = self.ids.fresh();
+        let start = self.peek_span();
+        let kind = match self.peek().clone() {
+            Tok::Region(label) => {
+                let rstart = self.bump().span;
+                let body = self.region_body(rstart)?;
+                return Ok(Stmt { id, span: rstart.to(body.span), kind: StmtKind::Region { label, body } });
+            }
+            Tok::Var => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(Tok::Semi)?;
+                StmtKind::VarDecl { name, init }
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&Tok::Else) {
+                    if self.peek() == &Tok::If {
+                        // else-if: wrap in a synthetic block
+                        let inner = self.stmt()?;
+                        let span = inner.span;
+                        Some(Block { id: self.ids.fresh(), span, stmts: vec![inner] })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                StmtKind::If { cond, then_blk, else_blk }
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.peek() == &Tok::Semi {
+                    self.expect(Tok::Semi)?;
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(true)?))
+                };
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let update = if self.peek() == &Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(false)?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::For { init, cond, update, body }
+            }
+            Tok::Foreach => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let (var, _) = self.expect_ident()?;
+                self.expect(Tok::In)?;
+                let iter = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                StmtKind::Foreach { var, iter, body }
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                StmtKind::Break
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                StmtKind::Continue
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                StmtKind::Return(value)
+            }
+            Tok::LBrace => StmtKind::Block(self.block()?),
+            _ => {
+                let s = self.simple_stmt(false)?;
+                self.expect(Tok::Semi)?;
+                let span = start.to(self.tokens[self.pos - 1].span);
+                return Ok(Stmt { id, span, kind: s.kind });
+            }
+        };
+        let span = start.to(self.tokens[self.pos - 1].span);
+        Ok(Stmt { id, span, kind })
+    }
+
+    /// An assignment or expression statement *without* the trailing `;`
+    /// (used in `for` headers). When `consume_semi` is set the terminating
+    /// semicolon is consumed here (used for the `for` init clause).
+    fn simple_stmt(&mut self, consume_semi: bool) -> Result<Stmt, LangError> {
+        let id = self.ids.fresh();
+        let start = self.peek_span();
+        let kind = if self.peek() == &Tok::Var {
+            self.bump();
+            let (name, _) = self.expect_ident()?;
+            self.expect(Tok::Assign)?;
+            let init = self.expr()?;
+            StmtKind::VarDecl { name, init }
+        } else {
+            let e = self.expr()?;
+            match self.peek() {
+                Tok::Assign | Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign => {
+                    let op = match self.bump().tok {
+                        Tok::Assign => AssignOp::Set,
+                        Tok::PlusAssign => AssignOp::Add,
+                        Tok::MinusAssign => AssignOp::Sub,
+                        Tok::StarAssign => AssignOp::Mul,
+                        _ => unreachable!(),
+                    };
+                    let target = self.expr_to_lvalue(e)?;
+                    let value = self.expr()?;
+                    StmtKind::Assign { target, op, value }
+                }
+                _ => StmtKind::Expr(e),
+            }
+        };
+        if consume_semi {
+            self.expect(Tok::Semi)?;
+        }
+        let span = start.to(self.tokens[self.pos - 1].span);
+        Ok(Stmt { id, span, kind })
+    }
+
+    fn expr_to_lvalue(&mut self, e: Expr) -> Result<LValue, LangError> {
+        let span = e.span;
+        let kind = match e.kind {
+            ExprKind::Var(name) => LValueKind::Var(name),
+            ExprKind::Field { base, field } => LValueKind::Field { base: *base, field },
+            ExprKind::Index { base, index } => LValueKind::Index { base: *base, index: *index },
+            _ => {
+                return Err(LangError::parse(
+                    span.line,
+                    "invalid assignment target".into(),
+                ))
+            }
+        };
+        Ok(LValue { span, kind })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr, LangError>,
+        ops: &[(Tok, BinOp)],
+    ) -> Result<Expr, LangError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let id = self.ids.fresh();
+                    let span = lhs.span.to(rhs.span);
+                    lhs = Expr {
+                        id,
+                        span,
+                        kind: ExprKind::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::and_expr, &[(Tok::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(Self::cmp_expr, &[(Tok::AndAnd, BinOp::And)])
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::add_expr,
+            &[
+                (Tok::EqEq, BinOp::Eq),
+                (Tok::NotEq, BinOp::Ne),
+                (Tok::Le, BinOp::Le),
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Ge, BinOp::Ge),
+                (Tok::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::mul_expr,
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_level(
+            Self::unary_expr,
+            &[
+                (Tok::Star, BinOp::Mul),
+                (Tok::Slash, BinOp::Div),
+                (Tok::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let start = self.peek_span();
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Not => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr()?;
+            let id = self.ids.fresh();
+            let span = start.to(inner.span);
+            return Ok(Expr { id, span, kind: ExprKind::Unary { op, expr: Box::new(inner) } });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let (name, nspan) = self.expect_ident()?;
+                    if self.peek() == &Tok::LParen {
+                        let args = self.arg_list()?;
+                        let id = self.ids.fresh();
+                        let span = e.span.to(self.tokens[self.pos - 1].span);
+                        e = Expr {
+                            id,
+                            span,
+                            kind: ExprKind::MethodCall { base: Box::new(e), method: name, args },
+                        };
+                    } else {
+                        let id = self.ids.fresh();
+                        let span = e.span.to(nspan);
+                        e = Expr { id, span, kind: ExprKind::Field { base: Box::new(e), field: name } };
+                    }
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(Tok::RBracket)?.span;
+                    let id = self.ids.fresh();
+                    let span = e.span.to(end);
+                    e = Expr {
+                        id,
+                        span,
+                        kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, LangError> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let start = self.peek_span();
+        let id = self.ids.fresh();
+        let kind = match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                ExprKind::Int(v)
+            }
+            Tok::Float(v) => {
+                self.bump();
+                ExprKind::Float(v)
+            }
+            Tok::Str(s) => {
+                self.bump();
+                ExprKind::Str(s)
+            }
+            Tok::True => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            Tok::False => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            Tok::Null => {
+                self.bump();
+                ExprKind::Null
+            }
+            Tok::New => {
+                self.bump();
+                let (class, _) = self.expect_ident()?;
+                let args = self.arg_list()?;
+                ExprKind::New { class, args }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                ExprKind::ListLit(items)
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                // keep the inner node; parens are purely syntactic
+                return Ok(inner);
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    let args = self.arg_list()?;
+                    ExprKind::Call { callee: name, args }
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.line(),
+                    format!("expected expression, found `{other}`"),
+                ))
+            }
+        };
+        let span = start.to(self.tokens[self.pos - 1].span);
+        Ok(Expr { id, span, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_empty_function() {
+        let p = parse("fn main() { }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert!(p.funcs[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_class_with_fields_and_methods() {
+        let src = "class Image { var width = 0; var pixels = []; fn area() { return this.width; } }";
+        let p = parse(src).unwrap();
+        let c = &p.classes[0];
+        assert_eq!(c.name, "Image");
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.methods.len(), 1);
+        assert_eq!(c.methods[0].name, "area");
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let p = parse("fn f() { var x = 1 + 2 * 3; }").unwrap();
+        let StmtKind::VarDecl { init, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected var decl");
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &init.kind else {
+            panic!("expected + at top");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_foreach_and_method_calls() {
+        let src = "fn f(xs) { foreach (x in xs.items) { var y = filter.apply(x); out.add(y); } }";
+        let p = parse(src).unwrap();
+        let StmtKind::Foreach { var, body, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected foreach");
+        };
+        assert_eq!(var, "x");
+        assert_eq!(body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop_with_all_clauses() {
+        let p = parse("fn f() { for (var i = 0; i < 10; i = i + 1) { work(i); } }").unwrap();
+        let StmtKind::For { init, cond, update, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected for");
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(update.is_some());
+    }
+
+    #[test]
+    fn parses_for_loop_with_empty_clauses() {
+        let p = parse("fn f() { for (;;) { break; } }").unwrap();
+        let StmtKind::For { init, cond, update, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected for");
+        };
+        assert!(init.is_none() && cond.is_none() && update.is_none());
+    }
+
+    #[test]
+    fn parses_compound_assignment() {
+        let p = parse("fn f() { x += 1; a.b -= 2; c[0] *= 3; }").unwrap();
+        let kinds: Vec<AssignOp> = p.funcs[0]
+            .body
+            .stmts
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Assign { op, .. } => *op,
+                _ => panic!("expected assignment"),
+            })
+            .collect();
+        assert_eq!(kinds, vec![AssignOp::Add, AssignOp::Sub, AssignOp::Mul]);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse("fn f(x) { if (x < 0) { } else if (x == 0) { } else { } }").unwrap();
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected if");
+        };
+        let inner = &else_blk.as_ref().unwrap().stmts[0];
+        assert!(matches!(inner.kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_region_statement() {
+        let src = "fn f() {\n#region A:\nvar x = 1;\n#endregion\n}";
+        let p = parse(src).unwrap();
+        let StmtKind::Region { label, body } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected region");
+        };
+        assert_eq!(label, "A:");
+        assert_eq!(body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_nested_regions() {
+        let src = "fn f() {\n#region TADL: A => B\n#region A:\nvar x = 1;\n#endregion\n#region B:\nvar y = x;\n#endregion\n#endregion\n}";
+        let p = parse(src).unwrap();
+        let StmtKind::Region { label, body } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected region");
+        };
+        assert_eq!(label, "TADL: A => B");
+        assert_eq!(body.stmts.len(), 2);
+        assert!(matches!(&body.stmts[0].kind, StmtKind::Region { label, .. } if label == "A:"));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("fn f() { 1 + 2 = 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        assert!(parse("fn f() { var x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_region() {
+        assert!(parse("fn f() {\n#region A:\nvar x = 1;\n}").is_err());
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let src = "fn f() { var x = 1; if (x > 0) { x = x + 1; } while (x < 10) { x += 1; } }";
+        let p = parse(src).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        p.for_each_stmt(&mut |s| {
+            assert!(seen.insert(s.id), "duplicate stmt id {:?}", s.id);
+        });
+    }
+
+    #[test]
+    fn spans_cover_statement_text() {
+        let src = "fn f() { var x = 1; out.add(x); }";
+        let p = parse(src).unwrap();
+        let texts: Vec<&str> = p.funcs[0]
+            .body
+            .stmts
+            .iter()
+            .map(|s| s.span.text(src))
+            .collect();
+        assert_eq!(texts, vec!["var x = 1;", "out.add(x);"]);
+    }
+
+    #[test]
+    fn parses_new_and_list_literals() {
+        let p = parse("fn f() { var s = new Stream([1, 2, 3]); }").unwrap();
+        let StmtKind::VarDecl { init, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!();
+        };
+        let ExprKind::New { class, args } = &init.kind else { panic!() };
+        assert_eq!(class, "Stream");
+        assert!(matches!(&args[0].kind, ExprKind::ListLit(items) if items.len() == 3));
+    }
+
+    #[test]
+    fn parses_index_chains() {
+        let p = parse("fn f() { m[0][1] = m[1][0]; }").unwrap();
+        assert!(matches!(
+            &p.funcs[0].body.stmts[0].kind,
+            StmtKind::Assign { target: LValue { kind: LValueKind::Index { .. }, .. }, .. }
+        ));
+    }
+}

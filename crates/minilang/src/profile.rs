@@ -1,0 +1,364 @@
+//! Dynamic execution profiles.
+//!
+//! Patty's semantic model is "the cross product from the control flow
+//! graph, the data dependencies, the call graph, and runtime information"
+//! (Section 2.1). The [`Profile`] is that runtime information: per-statement
+//! hit counts, per-statement inclusive virtual cost (runtime shares drive
+//! the tuning parameters in rule PLTP), observed call edges, and — for each
+//! traced loop — exact per-iteration, per-statement memory access sets from
+//! which observed (loop-carried) dependencies are computed.
+
+use crate::span::NodeId;
+use crate::value::HeapId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Read or write, for memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// A dynamically observed memory location.
+///
+/// Locals are identified by the frame serial so recursion and re-entry
+/// produce distinct cells; heap locations carry the exact object identity
+/// and (for elements) the index — this is what makes the dynamic analysis
+/// precise where the static one must be optimistic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DynLoc {
+    /// A local variable cell in a specific activation frame.
+    Local(u32, String),
+    /// A field of a specific heap object.
+    Field(HeapId, String),
+    /// An element of a specific list at a specific index.
+    Elem(HeapId, i64),
+    /// The structure (length) of a specific list; `add`/`clear` write it,
+    /// `len`/iteration read it.
+    ListStruct(HeapId),
+}
+
+/// Accesses of one direct loop-body statement during one loop iteration.
+pub type AccessSet = BTreeSet<(DynLoc, AccessKind)>;
+
+/// Trace of one loop: the first `traced.len()` iterations, each mapping
+/// direct-body-statement id → access set.
+#[derive(Clone, Debug, Default)]
+pub struct LoopTrace {
+    /// Total iterations executed (can exceed `traced.len()`).
+    pub iterations: u64,
+    /// Per-iteration, per-direct-statement access sets (first K iterations).
+    pub traced: Vec<BTreeMap<NodeId, AccessSet>>,
+    /// Virtual cost attributed to each direct body statement, summed over
+    /// the whole run (inclusive of callees). Drives stage runtime shares.
+    pub stmt_cost: BTreeMap<NodeId, u64>,
+}
+
+/// An observed cross-iteration (loop-carried) dependency between two direct
+/// body statements of a traced loop.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CarriedDep {
+    /// Statement in the earlier iteration.
+    pub src: NodeId,
+    /// Statement in the later iteration.
+    pub dst: NodeId,
+    /// Flow (write→read), anti (read→write) or output (write→write).
+    pub kind: DepKind,
+    /// The location that carries the dependency.
+    pub loc: DynLoc,
+}
+
+/// Dependence kinds (true/anti/output in the classic terminology; the
+/// related-work section faults ParaGraph for *not* distinguishing these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    Flow,
+    Anti,
+    Output,
+}
+
+impl LoopTrace {
+    /// All observed loop-carried dependencies between direct body
+    /// statements, over the traced prefix of iterations.
+    ///
+    /// A carried dependency exists when statement `src` accesses a location
+    /// in iteration `i`, statement `dst` accesses the same location in a
+    /// later iteration `j > i`, and at least one access is a write.
+    pub fn carried_deps(&self) -> BTreeSet<CarriedDep> {
+        // Index each iteration by location first; pairs of iterations are
+        // then joined per location instead of per access pair, which keeps
+        // the extraction near-linear in trace size.
+        let indexed: Vec<BTreeMap<&DynLoc, Vec<(NodeId, AccessKind)>>> =
+            self.traced.iter().map(index_iteration).collect();
+        let mut out = BTreeSet::new();
+        for i in 0..indexed.len() {
+            for j in (i + 1)..indexed.len() {
+                join_conflicts(&indexed[i], &indexed[j], &mut |src, dst, kind, loc| {
+                    out.insert(CarriedDep { src, dst, kind, loc: loc.clone() });
+                });
+            }
+        }
+        out
+    }
+
+    /// Observed *intra-iteration* dependencies: (earlier stmt, later stmt,
+    /// kind, loc) within the same iteration, in direct-statement order.
+    /// These define the pipeline data stream (rule PLDS).
+    pub fn intra_deps(&self) -> BTreeSet<CarriedDep> {
+        let mut out = BTreeSet::new();
+        for iter in &self.traced {
+            let indexed = index_iteration(iter);
+            for (loc, accesses) in &indexed {
+                for (a_idx, (src, k1)) in accesses.iter().enumerate() {
+                    for (dst, k2) in accesses.iter().skip(a_idx + 1) {
+                        if src == dst {
+                            continue;
+                        }
+                        // Statement order within an iteration is body
+                        // order, which equals NodeId order.
+                        let (s, d, k1, k2) = if src < dst {
+                            (*src, *dst, *k1, *k2)
+                        } else {
+                            (*dst, *src, *k2, *k1)
+                        };
+                        let kind = match (k1, k2) {
+                            (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                            (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                            (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                            (AccessKind::Read, AccessKind::Read) => continue,
+                        };
+                        out.insert(CarriedDep { src: s, dst: d, kind, loc: (*loc).clone() });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of this loop's total direct-statement cost attributed to
+    /// `stmt` (0.0 when the loop has no recorded cost).
+    pub fn cost_share(&self, stmt: NodeId) -> f64 {
+        let total: u64 = self.stmt_cost.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.stmt_cost.get(&stmt).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Group one iteration's accesses by location.
+fn index_iteration(
+    iter: &BTreeMap<NodeId, AccessSet>,
+) -> BTreeMap<&DynLoc, Vec<(NodeId, AccessKind)>> {
+    let mut map: BTreeMap<&DynLoc, Vec<(NodeId, AccessKind)>> = BTreeMap::new();
+    for (stmt, set) in iter {
+        for (loc, kind) in set {
+            map.entry(loc).or_default().push((*stmt, *kind));
+        }
+    }
+    map
+}
+
+/// Join two iteration indexes on common locations, emitting every
+/// conflicting access pair (at least one write).
+fn join_conflicts(
+    earlier: &BTreeMap<&DynLoc, Vec<(NodeId, AccessKind)>>,
+    later: &BTreeMap<&DynLoc, Vec<(NodeId, AccessKind)>>,
+    emit: &mut impl FnMut(NodeId, NodeId, DepKind, &DynLoc),
+) {
+    for (loc, src_accesses) in earlier {
+        let Some(dst_accesses) = later.get(loc) else { continue };
+        // Skip read-only locations quickly.
+        let src_writes = src_accesses.iter().any(|(_, k)| *k == AccessKind::Write);
+        let dst_writes = dst_accesses.iter().any(|(_, k)| *k == AccessKind::Write);
+        if !src_writes && !dst_writes {
+            continue;
+        }
+        for (src, k1) in src_accesses {
+            for (dst, k2) in dst_accesses {
+                let kind = match (k1, k2) {
+                    (AccessKind::Write, AccessKind::Read) => DepKind::Flow,
+                    (AccessKind::Read, AccessKind::Write) => DepKind::Anti,
+                    (AccessKind::Write, AccessKind::Write) => DepKind::Output,
+                    (AccessKind::Read, AccessKind::Read) => continue,
+                };
+                emit(*src, *dst, kind, loc);
+            }
+        }
+    }
+}
+
+/// The complete dynamic profile of one program execution.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Executions per statement.
+    pub stmt_hits: BTreeMap<NodeId, u64>,
+    /// Inclusive virtual cost per statement (callees included).
+    pub stmt_cost: BTreeMap<NodeId, u64>,
+    /// Per-loop traces (keyed by the loop statement's id).
+    pub loop_traces: BTreeMap<NodeId, LoopTrace>,
+    /// Total virtual cost of the run.
+    pub total_cost: u64,
+    /// Dynamically observed call edges (caller function, callee function),
+    /// deduplicated.
+    pub call_edges: BTreeSet<(String, String)>,
+}
+
+/// Size statistics of a profile — the paper's future-work metric is "the
+/// runtime and memory increase" of the dynamic analysis, and this is the
+/// memory side: how much trace data one profiled execution retains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Loops that were traced.
+    pub loops: usize,
+    /// Total traced (loop, iteration) pairs.
+    pub traced_iterations: usize,
+    /// Total recorded (statement, location, kind) access entries.
+    pub recorded_accesses: usize,
+    /// Statements with cost/hit counters.
+    pub counted_statements: usize,
+}
+
+impl Profile {
+    /// Runtime share of a statement relative to the whole run.
+    pub fn share(&self, stmt: NodeId) -> f64 {
+        if self.total_cost == 0 {
+            return 0.0;
+        }
+        *self.stmt_cost.get(&stmt).unwrap_or(&0) as f64 / self.total_cost as f64
+    }
+
+    /// Size statistics of the retained trace data.
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            loops: self.loop_traces.len(),
+            traced_iterations: self.loop_traces.values().map(|t| t.traced.len()).sum(),
+            recorded_accesses: self
+                .loop_traces
+                .values()
+                .flat_map(|t| t.traced.iter())
+                .flat_map(|iter| iter.values())
+                .map(|set| set.len())
+                .sum(),
+            counted_statements: self.stmt_cost.len(),
+        }
+    }
+
+    /// Statements ranked by inclusive cost, hottest first. This is what a
+    /// plain runtime profiler (the manual control group's built-in VS
+    /// profiler, or VTune in Parallel Studio) surfaces.
+    pub fn hotspots(&self) -> Vec<(NodeId, u64)> {
+        let mut v: Vec<(NodeId, u64)> = self.stmt_cost.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(n: u32) -> NodeId {
+        NodeId(n)
+    }
+
+    fn set(items: &[(DynLoc, AccessKind)]) -> AccessSet {
+        items.iter().cloned().collect()
+    }
+
+    #[test]
+    fn carried_flow_dep_detected() {
+        let loc = DynLoc::Field(7, "acc".into());
+        let mut t = LoopTrace::default();
+        // iter 0: stmt 1 writes acc; iter 1: stmt 2 reads acc
+        t.traced.push(BTreeMap::from([(
+            nid(1),
+            set(&[(loc.clone(), AccessKind::Write)]),
+        )]));
+        t.traced.push(BTreeMap::from([(
+            nid(2),
+            set(&[(loc.clone(), AccessKind::Read)]),
+        )]));
+        let deps = t.carried_deps();
+        assert!(deps.contains(&CarriedDep {
+            src: nid(1),
+            dst: nid(2),
+            kind: DepKind::Flow,
+            loc
+        }));
+    }
+
+    #[test]
+    fn read_read_is_not_a_dependency() {
+        let loc = DynLoc::Elem(3, 0);
+        let mut t = LoopTrace::default();
+        t.traced.push(BTreeMap::from([(nid(1), set(&[(loc.clone(), AccessKind::Read)]))]));
+        t.traced.push(BTreeMap::from([(nid(1), set(&[(loc, AccessKind::Read)]))]));
+        assert!(t.carried_deps().is_empty());
+    }
+
+    #[test]
+    fn disjoint_indices_do_not_conflict() {
+        // a[i] = ...: each iteration writes a different element — the
+        // precise dynamic view shows no carried dependency (DOALL).
+        let mut t = LoopTrace::default();
+        for i in 0..4 {
+            t.traced.push(BTreeMap::from([(
+                nid(1),
+                set(&[(DynLoc::Elem(9, i), AccessKind::Write)]),
+            )]));
+        }
+        assert!(t.carried_deps().is_empty());
+    }
+
+    #[test]
+    fn anti_and_output_deps_classified() {
+        let loc = DynLoc::Local(0, "x".into());
+        let mut t = LoopTrace::default();
+        t.traced.push(BTreeMap::from([(
+            nid(1),
+            set(&[(loc.clone(), AccessKind::Read), (loc.clone(), AccessKind::Write)]),
+        )]));
+        t.traced.push(BTreeMap::from([(
+            nid(1),
+            set(&[(loc.clone(), AccessKind::Read), (loc.clone(), AccessKind::Write)]),
+        )]));
+        let kinds: BTreeSet<DepKind> = t.carried_deps().into_iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DepKind::Flow));
+        assert!(kinds.contains(&DepKind::Anti));
+        assert!(kinds.contains(&DepKind::Output));
+    }
+
+    #[test]
+    fn intra_deps_follow_statement_order() {
+        let loc = DynLoc::Local(0, "c".into());
+        let mut t = LoopTrace::default();
+        t.traced.push(BTreeMap::from([
+            (nid(1), set(&[(loc.clone(), AccessKind::Write)])),
+            (nid(2), set(&[(loc.clone(), AccessKind::Read)])),
+        ]));
+        let deps = t.intra_deps();
+        assert_eq!(deps.len(), 1);
+        let d = deps.iter().next().unwrap();
+        assert_eq!((d.src, d.dst, d.kind), (nid(1), nid(2), DepKind::Flow));
+    }
+
+    #[test]
+    fn cost_share_normalizes() {
+        let mut t = LoopTrace::default();
+        t.stmt_cost.insert(nid(1), 75);
+        t.stmt_cost.insert(nid(2), 25);
+        assert!((t.cost_share(nid(1)) - 0.75).abs() < 1e-9);
+        assert_eq!(t.cost_share(nid(3)), 0.0);
+    }
+
+    #[test]
+    fn hotspots_ranked_by_cost() {
+        let mut p = Profile::default();
+        p.stmt_cost.insert(nid(1), 10);
+        p.stmt_cost.insert(nid(2), 99);
+        p.stmt_cost.insert(nid(3), 50);
+        let ids: Vec<u32> = p.hotspots().iter().map(|(n, _)| n.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Runtime values of the minilang interpreter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A heap identity. Every object and list gets a unique id from the
+/// interpreter so the dynamic analysis can name memory precisely
+/// (the dynamic counterpart to the optimistic syntactic paths used by the
+/// static analysis).
+pub type HeapId = u64;
+
+/// A minilang runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(Rc<str>),
+    List(Rc<ListData>),
+    Object(Rc<ObjectData>),
+}
+
+/// Backing store of a list value.
+#[derive(Debug)]
+pub struct ListData {
+    pub id: HeapId,
+    pub items: RefCell<Vec<Value>>,
+}
+
+/// Backing store of an object value.
+#[derive(Debug)]
+pub struct ObjectData {
+    pub id: HeapId,
+    pub class: String,
+    pub fields: RefCell<HashMap<String, Value>>,
+}
+
+impl Value {
+    /// Make a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Truthiness: only `true` is true; anything else is a type error at
+    /// the use site, so this returns `None` for non-bools.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64 for mixed arithmetic.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Equality as the `==` operator sees it: structural for primitives,
+    /// reference identity for lists and objects.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a.id == b.id,
+            (Value::Object(a), Value::Object(b)) => a.id == b.id,
+            _ => false,
+        }
+    }
+
+    /// Heap identity if this value is heap-allocated.
+    pub fn heap_id(&self) -> Option<HeapId> {
+        match self {
+            Value::List(l) => Some(l.id),
+            Value::Object(o) => Some(o.id),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, item) in l.items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(o) => write!(f, "<{}#{}>", o.class, o.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(id: HeapId, items: Vec<Value>) -> Value {
+        Value::List(Rc::new(ListData { id, items: RefCell::new(items) }))
+    }
+
+    #[test]
+    fn loose_eq_mixes_int_and_float() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).loose_eq(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn loose_eq_lists_by_identity() {
+        let a = list(1, vec![Value::Int(1)]);
+        let b = list(2, vec![Value::Int(1)]);
+        assert!(!a.loose_eq(&b));
+        assert!(a.loose_eq(&a.clone()));
+    }
+
+    #[test]
+    fn display_formats_values() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(
+            list(1, vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(list(0, vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn as_bool_rejects_non_bools() {
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+}

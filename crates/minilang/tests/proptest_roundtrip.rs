@@ -1,0 +1,177 @@
+//! Property-based round-trip tests: randomly generated minilang programs
+//! must print → parse → print to a fixpoint, and both versions must
+//! behave identically under interpretation. The transformation pipeline
+//! rests on exactly this property (it rewrites ASTs and re-parses).
+
+use patty_minilang::ast::*;
+use patty_minilang::span::{NodeId, Span};
+use patty_minilang::{parse, print_program, run, InterpOptions};
+use proptest::prelude::*;
+
+fn lit(v: i64) -> Expr {
+    Expr { id: NodeId(0), span: Span::DUMMY, kind: ExprKind::Int(v) }
+}
+
+fn var(name: String) -> Expr {
+    Expr { id: NodeId(0), span: Span::DUMMY, kind: ExprKind::Var(name) }
+}
+
+/// Generator for expressions over a fixed set of in-scope variables.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(lit),
+        prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())]
+            .prop_map(var),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Lt),
+                Just(BinOp::Eq),
+            ],
+        )
+            .prop_map(|(lhs, rhs, op)| Expr {
+                id: NodeId(0),
+                span: Span::DUMMY,
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt { id: NodeId(0), span: Span::DUMMY, kind }
+}
+
+fn block(stmts: Vec<Stmt>) -> Block {
+    Block { id: NodeId(0), span: Span::DUMMY, stmts }
+}
+
+/// Generator for statements writing only to the pre-declared a/b/c.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (
+        prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())],
+        prop_oneof![Just(AssignOp::Set), Just(AssignOp::Add), Just(AssignOp::Mul)],
+        arb_expr(2),
+    )
+        .prop_map(|(name, op, value)| {
+            // comparisons produce booleans; arithmetic compound ops on
+            // booleans would fault — keep Set for comparison results
+            let op = if matches!(
+                value.kind,
+                ExprKind::Binary { op: BinOp::Lt | BinOp::Eq, .. }
+            ) {
+                AssignOp::Set
+            } else {
+                op
+            };
+            stmt(StmtKind::Assign {
+                target: LValue { span: Span::DUMMY, kind: LValueKind::Var(name) },
+                op,
+                value,
+            })
+        });
+    let print_stmt = arb_expr(1).prop_map(|e| {
+        stmt(StmtKind::Expr(Expr {
+            id: NodeId(0),
+            span: Span::DUMMY,
+            kind: ExprKind::Call { callee: "print".into(), args: vec![e] },
+        }))
+    });
+    let base = prop_oneof![3 => assign, 1 => print_stmt];
+    base.prop_recursive(depth, 16, 4, |inner| {
+        prop_oneof![
+            // if over a numeric comparison
+            (arb_expr(1), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(c, body)| {
+                    let cond = Expr {
+                        id: NodeId(0),
+                        span: Span::DUMMY,
+                        kind: ExprKind::Binary {
+                            op: BinOp::Lt,
+                            lhs: Box::new(c),
+                            rhs: Box::new(lit(10)),
+                        },
+                    };
+                    stmt(StmtKind::If { cond, then_blk: block(body), else_blk: None })
+                }),
+            // bounded foreach over a range
+            (1i64..5, proptest::collection::vec(inner, 1..3)).prop_map(|(n, body)| {
+                let range_call = Expr {
+                    id: NodeId(0),
+                    span: Span::DUMMY,
+                    kind: ExprKind::Call {
+                        callee: "range".into(),
+                        args: vec![lit(0), lit(n)],
+                    },
+                };
+                stmt(StmtKind::Foreach { var: "it".into(), iter: range_call, body: block(body) })
+            }),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(2), 1..7).prop_map(|mut stmts| {
+        let mut all = vec![
+            stmt(StmtKind::VarDecl { name: "a".into(), init: lit(1) }),
+            stmt(StmtKind::VarDecl { name: "b".into(), init: lit(2) }),
+            stmt(StmtKind::VarDecl { name: "c".into(), init: lit(3) }),
+        ];
+        all.append(&mut stmts);
+        all.push(stmt(StmtKind::Expr(Expr {
+            id: NodeId(0),
+            span: Span::DUMMY,
+            kind: ExprKind::Call {
+                callee: "print".into(),
+                args: vec![var("a".into()), var("b".into()), var("c".into())],
+            },
+        })));
+        Program {
+            classes: vec![],
+            funcs: vec![FuncDecl {
+                id: NodeId(0),
+                span: Span::DUMMY,
+                name: "main".into(),
+                params: vec![],
+                body: block(all),
+            }],
+            node_count: 0,
+            source: String::new(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_print_is_a_fixpoint(program in arb_program()) {
+        let s1 = print_program(&program);
+        let p2 = parse(&s1).expect("printed program parses");
+        let s2 = print_program(&p2);
+        prop_assert_eq!(&s1, &s2, "printer must be a fixpoint");
+    }
+
+    #[test]
+    fn printed_program_behaves_like_the_ast(program in arb_program()) {
+        let s1 = print_program(&program);
+        let p2 = parse(&s1).expect("printed program parses");
+        let opts = InterpOptions { step_limit: 2_000_000, ..InterpOptions::default() };
+        let r1 = run(&program, opts.clone());
+        let r2 = run(&p2, opts);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.output, b.output),
+            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
+            (a, b) => prop_assert!(false, "behaviour diverged: {:?} vs {:?}", a.map(|o| o.output), b.map(|o| o.output)),
+        }
+    }
+}

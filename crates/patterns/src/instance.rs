@@ -1,0 +1,157 @@
+//! Detected pattern instances: the output of the source-pattern-detection
+//! phase and the input of the transformation phase.
+
+use patty_minilang::span::NodeId;
+use patty_tadl::{ArchitectureDescription, PatternKind};
+use patty_tuning::TuningConfig;
+
+/// One pipeline stage (or master/worker item) after stage formation:
+/// a contiguous group of direct loop-body statements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stage {
+    /// TADL item name (`A`, `B`, ...).
+    pub name: String,
+    /// The statements merged into this stage, in body order.
+    pub stmts: Vec<NodeId>,
+    /// Fraction of the loop body's runtime spent in this stage.
+    pub cost_share: f64,
+    /// May this stage run replicated (no side effects on other stages,
+    /// no carried self-dependence, no I/O)? Rule PLTP, StageReplication.
+    pub replicable: bool,
+    /// Does the stage carry a self-dependence across iterations (it must
+    /// then see elements in order even though it can still be a stage)?
+    pub order_sensitive: bool,
+}
+
+/// Why a loop was rejected as a pipeline candidate, for diagnostics and
+/// the Patty tool's artifact views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// Rule PLCD: a body statement can affect cross-element control flow.
+    ControlDependence(String),
+    /// After PLDD merging only one stage remained and iterations are not
+    /// independent — nothing to overlap.
+    SingleStage,
+    /// The loop body is empty or was never observed.
+    Empty,
+    /// Rule PLPL: the loop condition reads state the body computes in a
+    /// way that cannot be folded into the StreamGenerator, so no
+    /// continuous element stream exists (e.g. a search loop whose trip
+    /// count depends on processed values).
+    HeaderDependence(String),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::ControlDependence(what) => {
+                write!(f, "control dependence violates PLCD: {what}")
+            }
+            Rejection::SingleStage => write!(f, "single stage after dependence merging"),
+            Rejection::Empty => write!(f, "empty or unobserved loop body"),
+            Rejection::HeaderDependence(what) => {
+                write!(f, "loop condition depends on body computation (PLPL): {what}")
+            }
+        }
+    }
+}
+
+/// A detected source-pattern instance mapped to its target pattern.
+#[derive(Clone, Debug)]
+pub struct PatternInstance {
+    /// The tunable architecture description (the TADL-facing artifact).
+    pub arch: ArchitectureDescription,
+    /// The loop this instance was detected at.
+    pub loop_id: NodeId,
+    /// Stage grouping (for `DataParallelLoop` a single stage holding the
+    /// whole body).
+    pub stages: Vec<Stage>,
+    /// The derived tuning parameters with their default values (Fig. 3c).
+    pub tuning: TuningConfig,
+    /// Estimated speedup on `max_workers` cores, used for ranking
+    /// candidates in the tool (Prism-style "speedup potential").
+    pub est_speedup: f64,
+    /// For `DataParallelLoop`: reduction variables recognized in the body
+    /// (accumulators that commute and are privatizable).
+    pub reductions: Vec<String>,
+}
+
+impl PatternInstance {
+    /// The pattern family.
+    pub fn kind(&self) -> PatternKind {
+        self.arch.kind
+    }
+
+    /// Stage by TADL item name.
+    pub fn stage(&self, name: &str) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Short human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} at {}:{} — {} ({} stage(s), est. speedup {:.1}x)",
+            self.arch.kind,
+            self.arch.func,
+            self.arch.line,
+            self.arch.expr,
+            self.stages.len(),
+            self.est_speedup
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patty_tadl::TadlExpr;
+
+    #[test]
+    fn summary_mentions_kind_and_location() {
+        let inst = PatternInstance {
+            arch: ArchitectureDescription {
+                name: "pipeline_main_l4".into(),
+                kind: PatternKind::Pipeline,
+                expr: TadlExpr::pipeline(vec![TadlExpr::item("A"), TadlExpr::item("B")]),
+                items: vec![],
+                func: "main".into(),
+                line: 4,
+                stream_length: 10,
+            },
+            loop_id: patty_minilang::span::NodeId(7),
+            stages: vec![
+                Stage {
+                    name: "A".into(),
+                    stmts: vec![],
+                    cost_share: 0.5,
+                    replicable: true,
+                    order_sensitive: false,
+                },
+                Stage {
+                    name: "B".into(),
+                    stmts: vec![],
+                    cost_share: 0.5,
+                    replicable: false,
+                    order_sensitive: true,
+                },
+            ],
+            tuning: TuningConfig::new("pipeline_main_l4"),
+            est_speedup: 2.0,
+            reductions: vec![],
+        };
+        let s = inst.summary();
+        assert!(s.contains("Pipeline"));
+        assert!(s.contains("main:4"));
+        assert!(s.contains("2 stage(s)"));
+        assert!(inst.stage("B").unwrap().order_sensitive);
+        assert!(inst.stage("Z").is_none());
+    }
+
+    #[test]
+    fn rejection_messages() {
+        assert!(Rejection::ControlDependence("break".into())
+            .to_string()
+            .contains("PLCD"));
+        assert!(Rejection::SingleStage.to_string().contains("single stage"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # patty-patterns
+//!
+//! Source pattern detection for Patty (PMAM'15, Section 2): maps
+//! sequential source patterns onto parallel target patterns using the
+//! semantic model, and derives the tuning parameters that make the target
+//! patterns *tunable*.
+//!
+//! The catalog currently covers the paper's three patterns —
+//! master/worker, data-parallel loops and pipelines — detected from loops
+//! via the rule families PLPL, PLDD, PLCD, PLDS and PLTP of Section 2.2.
+//!
+//! ```
+//! use patty_minilang::{parse, InterpOptions};
+//! use patty_analysis::SemanticModel;
+//! use patty_patterns::{detect_patterns, DetectOptions};
+//!
+//! let src = r#"
+//!     class F { var g = 2; fn apply(x) { work(100); return x * this.g; } }
+//!     fn main() {
+//!         var f = new F();
+//!         var out = [];
+//!         foreach (x in range(0, 10)) {
+//!             var a = f.apply(x);
+//!             out.add(a);
+//!         }
+//!         print(len(out));
+//!     }
+//! "#;
+//! let program = parse(src).unwrap();
+//! let model = SemanticModel::build(&program, InterpOptions::default()).unwrap();
+//! let found = detect_patterns(&model, &DetectOptions::default());
+//! assert_eq!(found.len(), 1);
+//! assert_eq!(found[0].arch.expr.to_string(), "A+ => B");
+//! ```
+
+pub mod detect;
+pub mod instance;
+
+pub use detect::{detect_loop, detect_patterns, DetectOptions};
+pub use instance::{PatternInstance, Rejection, Stage};

@@ -1,0 +1,156 @@
+//! The `patty` command-line tool.
+//!
+//! The paper's Patty is a Visual Studio plugin; the CLI exposes the same
+//! process model and operation modes on the terminal:
+//!
+//! ```text
+//! patty analyze  <file.mini>    # phases 1–2: candidates + overlay
+//! patty annotate <file.mini>    # phase 3: print TADL-annotated source
+//! patty transform <file.mini>   # phase 4: plan + tuning config + Fig.3d code
+//! patty validate <file.mini>    # mode 4: CHESS on generated unit tests
+//! patty tune     <file.mini>    # mode 4: auto-tuning cycle (linear search)
+//! patty profile  <file.mini>    # plain hotspot view (what a profiler shows)
+//! patty modes                   # describe the four operation modes
+//! ```
+//!
+//! Files with TADL `#region` annotations are processed in mode 2
+//! (annotations drive the transformation); plain files run mode 1
+//! (fully automatic).
+
+use patty_tool::{render_candidates, render_overlay, Patty, PattyRun};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&args);
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> i32 {
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|modes> [file.mini]";
+    let Some(cmd) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if cmd == "modes" {
+        print!("{}", patty_tool::describe_modes());
+        return 0;
+    }
+    let Some(path) = args.get(1) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let patty = Patty::new();
+    let annotated_input = source.contains("#region TADL:");
+    let run = if annotated_input {
+        patty.run_annotated(&source)
+    } else {
+        patty.run_automatic(&source)
+    };
+    let run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("patty: {e}");
+            return 1;
+        }
+    };
+    match cmd.as_str() {
+        "analyze" => analyze(&run),
+        "annotate" => annotate(&run),
+        "transform" => transform(&run),
+        "validate" => validate(&patty, &run),
+        "tune" => tune(&patty, &run),
+        "profile" => {
+            println!("— runtime profile (hottest loops) —");
+            print!("{}", patty_tool::render_hotspots(&run.model, 8));
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{usage}");
+            return 2;
+        }
+    }
+    0
+}
+
+fn analyze(run: &PattyRun) {
+    println!("— process (Fig. 4a) —");
+    print!(
+        "{}",
+        patty_tool::render_process_chart(patty_tool::Phase::PatternAnalysis)
+    );
+    let instances: Vec<_> = run.artifacts.iter().map(|a| a.instance.clone()).collect();
+    println!("\n— detected candidates —");
+    print!("{}", render_candidates(&instances));
+    for a in &run.artifacts {
+        println!("\n— overlay: {} —", a.arch.name);
+        print!("{}", render_overlay(&run.model.program, &a.instance));
+    }
+}
+
+fn annotate(run: &PattyRun) {
+    for a in &run.artifacts {
+        println!("// —— annotated source for {} ——", a.arch.name);
+        println!("{}", a.annotated_source);
+    }
+}
+
+fn transform(run: &PattyRun) {
+    for a in &run.artifacts {
+        println!("— {} —", a.arch.name);
+        println!("architecture: {}", a.arch.expr);
+        println!("\n[tuning configuration]\n{}", a.tuning_json);
+        println!("\n[parallel source]\n{}", a.plan.code);
+    }
+}
+
+fn validate(patty: &Patty, run: &PattyRun) {
+    if !run.test_inputs.is_empty() {
+        println!("— path-coverage inputs for unit tests —");
+        for (func, report) in &run.test_inputs {
+            println!(
+                "  {func}: {} input set(s), {}/{} branch goals covered",
+                report.inputs.len(),
+                report.covered,
+                report.total
+            );
+        }
+    }
+    for (name, report) in patty.validate_correctness(run) {
+        println!(
+            "{name}: {} schedule(s), {}",
+            report.schedules,
+            if report.failures.is_empty() {
+                "no parallel errors found".to_string()
+            } else {
+                format!(
+                    "{} failure(s): {}",
+                    report.failures.len(),
+                    report
+                        .failures
+                        .iter()
+                        .map(|f| f.kind.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )
+            }
+        );
+    }
+}
+
+fn tune(patty: &Patty, run: &PattyRun) {
+    for (name, result) in patty.tune_performance(run) {
+        println!("{name}: {} evaluations", result.evaluations);
+        let first = result.history.first().map(|h| h.1).unwrap_or(f64::NAN);
+        println!("  initial cost: {first:.0}");
+        println!("  best cost:    {:.0}", result.best_score);
+        for p in &result.best.params {
+            println!("    {} = {} ({})", p.name, p.value, p.location);
+        }
+    }
+}

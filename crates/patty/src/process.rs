@@ -1,0 +1,359 @@
+//! The four-phase process model (Fig. 1) and the four operation modes
+//! (Section 3, R3).
+//!
+//! Phases: **1. Model Creation** (semantic model from static + dynamic
+//! analyses) → **2. Pattern Analysis** (source pattern detection, tuning
+//! parameter derivation) → **3. Tunable Architecture** (TADL annotations
+//! and architecture descriptions) → **4. Code Transform** (parallel plan,
+//! tuning configuration file, parallel unit tests).
+//!
+//! Every phase's artifacts are kept and exposed (requirement R2: "the
+//! necessity to visualize the phase artifacts after each step").
+
+use patty_analysis::SemanticModel;
+use patty_chess::{ChessOptions, Report};
+use patty_minilang::{parse, InterpOptions, LangError};
+use patty_patterns::{detect_patterns, DetectOptions, PatternInstance};
+use patty_tadl::ArchitectureDescription;
+use patty_testgen::{generate_unit_test, run_unit_test, ParallelUnitTest};
+use patty_transform::{
+    annotate_source, extract_annotations, generate_plan, instance_from_annotation,
+    ParallelPlan, PipelineSimEvaluator, SimParams,
+};
+use patty_tuning::{LinearSearch, Tuner, TuningConfig, TuningResult};
+
+/// Configuration of a Patty run.
+#[derive(Clone, Debug)]
+pub struct PattyOptions {
+    pub interp: InterpOptions,
+    pub detect: DetectOptions,
+    pub sim: SimParams,
+    /// Elements modeled per generated parallel unit test.
+    pub unit_test_elements: usize,
+    pub chess: ChessOptions,
+    /// Evaluation budget of the auto-tuning cycle.
+    pub tuning_budget: u32,
+}
+
+impl Default for PattyOptions {
+    fn default() -> PattyOptions {
+        PattyOptions {
+            interp: InterpOptions::default(),
+            detect: DetectOptions::default(),
+            sim: SimParams::default(),
+            unit_test_elements: 2,
+            chess: ChessOptions { max_schedules: 2_000, ..ChessOptions::default() },
+            tuning_budget: 60,
+        }
+    }
+}
+
+/// Everything one detected instance produced in phases 3–4.
+#[derive(Clone, Debug)]
+pub struct InstanceArtifacts {
+    pub instance: PatternInstance,
+    /// Phase-3 artifact: the architecture description (TADL interface).
+    pub arch: ArchitectureDescription,
+    /// Phase-3 artifact: the source with TADL annotations (Fig. 3b).
+    pub annotated_source: String,
+    /// Phase-4 artifact: the parallel plan and source rendering (Fig. 3d).
+    pub plan: ParallelPlan,
+    /// Phase-4 artifact: the tuning configuration file (Fig. 3c).
+    pub tuning_json: String,
+    /// Phase-4 artifact: the generated parallel unit test.
+    pub unit_test: Option<ParallelUnitTest>,
+}
+
+/// The result of running the Patty process on a program.
+#[derive(Debug)]
+pub struct PattyRun {
+    /// Phase-1 artifact: the semantic model.
+    pub model: SemanticModel,
+    /// Per-instance artifacts, best candidate first.
+    pub artifacts: Vec<InstanceArtifacts>,
+    /// Phase-4 artifact: path-coverage input sets for every parameterized
+    /// free function ("we perform a path coverage analysis to generate a
+    /// set of input data for each unit test", Section 2.1).
+    pub test_inputs: Vec<(String, patty_testgen::CoverageReport)>,
+}
+
+/// Errors of the Patty process.
+#[derive(Debug)]
+pub enum PattyError {
+    Lang(LangError),
+    Annotation(String),
+}
+
+impl std::fmt::Display for PattyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PattyError::Lang(e) => write!(f, "{e}"),
+            PattyError::Annotation(e) => write!(f, "annotation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PattyError {}
+
+impl From<LangError> for PattyError {
+    fn from(e: LangError) -> PattyError {
+        PattyError::Lang(e)
+    }
+}
+
+/// The Patty tool.
+#[derive(Clone, Debug, Default)]
+pub struct Patty {
+    pub options: PattyOptions,
+}
+
+impl Patty {
+    /// A tool instance with default options.
+    pub fn new() -> Patty {
+        Patty::default()
+    }
+
+    /// **Operation mode 1 — automatic parallelization**: all four phases,
+    /// no user action required.
+    pub fn run_automatic(&self, source: &str) -> Result<PattyRun, PattyError> {
+        let program = parse(source)?;
+        let model = SemanticModel::build(&program, self.options.interp.clone())?;
+        let instances = detect_patterns(&model, &self.options.detect);
+        let artifacts = instances
+            .into_iter()
+            .map(|inst| self.transform_instance(&model, inst))
+            .collect::<Result<Vec<_>, _>>()?;
+        let test_inputs = generate_test_inputs(&model.program);
+        Ok(PattyRun { model, artifacts, test_inputs })
+    }
+
+    /// **Operation mode 2 — architecture-based parallel programming**:
+    /// the engineer wrote TADL annotations; detection is bypassed and the
+    /// annotations drive transformation (tuning and correctness artifacts
+    /// are still generated automatically).
+    pub fn run_annotated(&self, source: &str) -> Result<PattyRun, PattyError> {
+        let program = parse(source)?;
+        let model = SemanticModel::build(&program, self.options.interp.clone())?;
+        let annotations =
+            extract_annotations(&program).map_err(PattyError::Annotation)?;
+        let artifacts = annotations
+            .iter()
+            .map(|ann| {
+                let inst = instance_from_annotation(&model, ann)
+                    .map_err(PattyError::Annotation)?;
+                self.transform_instance(&model, inst)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let test_inputs = generate_test_inputs(&model.program);
+        Ok(PattyRun { model, artifacts, test_inputs })
+    }
+
+    /// Phases 3–4 for one instance.
+    fn transform_instance(
+        &self,
+        model: &SemanticModel,
+        instance: PatternInstance,
+    ) -> Result<InstanceArtifacts, PattyError> {
+        let annotated_source = annotate_source(&model.program, &instance)?;
+        let body_cost = loop_body_cost(model, &instance);
+        let plan = generate_plan(&instance, body_cost);
+        let tuning_json = instance.tuning.to_json();
+        let unit_test = generate_unit_test(model, &instance, self.options.unit_test_elements);
+        Ok(InstanceArtifacts {
+            arch: instance.arch.clone(),
+            annotated_source,
+            plan,
+            tuning_json,
+            unit_test,
+            instance,
+        })
+    }
+
+    /// **Operation mode 4 — program validation**, correctness half:
+    /// run the generated parallel unit tests on the CHESS explorer.
+    pub fn validate_correctness(&self, run: &PattyRun) -> Vec<(String, Report)> {
+        run.artifacts
+            .iter()
+            .filter_map(|a| {
+                let t = a.unit_test.as_ref()?;
+                Some((a.arch.name.clone(), run_unit_test(t, self.options.chess.clone())))
+            })
+            .collect()
+    }
+
+    /// **Operation mode 4 — program validation**, performance half:
+    /// the auto-tuning cycle (Fig. 4c) over the performance model, using
+    /// the paper's linear per-dimension search.
+    pub fn tune_performance(&self, run: &PattyRun) -> Vec<(String, TuningResult)> {
+        run.artifacts
+            .iter()
+            .filter(|a| a.arch.kind != patty_tadl::PatternKind::DataParallelLoop)
+            .map(|a| {
+                let mut evaluator = PipelineSimEvaluator {
+                    plan: a.plan.clone(),
+                    params: self.options.sim.clone(),
+                };
+                let mut tuner = LinearSearch::default();
+                let result = tuner.tune(
+                    a.instance.tuning.clone(),
+                    &mut evaluator,
+                    self.options.tuning_budget,
+                );
+                (a.arch.name.clone(), result)
+            })
+            .collect()
+    }
+}
+
+/// Path-coverage input generation for every parameterized free function
+/// (the inputs the generated unit tests run on).
+fn generate_test_inputs(
+    program: &patty_minilang::Program,
+) -> Vec<(String, patty_testgen::CoverageReport)> {
+    program
+        .funcs
+        .iter()
+        .filter(|f| !f.params.is_empty() && f.name != "main")
+        .map(|f| {
+            let report = patty_testgen::path_coverage_inputs(
+                program,
+                &f.name,
+                &[-3, -1, 0, 1, 2, 7],
+                4,
+                512,
+            );
+            (f.name.clone(), report)
+        })
+        .collect()
+}
+
+/// Per-element virtual cost of the instance's loop body.
+fn loop_body_cost(model: &SemanticModel, instance: &PatternInstance) -> u64 {
+    let Some(profile) = &model.profile else { return 1 };
+    let Some(trace) = profile.loop_traces.get(&instance.loop_id) else { return 1 };
+    let total: u64 = trace.stmt_cost.values().sum();
+    (total / trace.iterations.max(1)).max(1)
+}
+
+/// Load a tuning configuration back from its JSON artifact (the
+/// "no recompilation" loop of Section 2.1).
+pub fn load_tuning(json: &str) -> Result<TuningConfig, String> {
+    TuningConfig::from_json(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patty_corpus::{avistream_program, raytracer_program};
+    use patty_tadl::PatternKind;
+
+    #[test]
+    fn automatic_mode_produces_all_artifacts_for_avistream() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(avistream_program().source).unwrap();
+        assert_eq!(run.artifacts.len(), 1);
+        let a = &run.artifacts[0];
+        assert_eq!(a.arch.kind, PatternKind::Pipeline);
+        assert!(a.annotated_source.contains("#region TADL:"));
+        assert!(a.tuning_json.contains("StageReplication"));
+        assert!(a.plan.code.contains("build_pipeline"));
+        assert!(a.unit_test.is_some());
+    }
+
+    #[test]
+    fn raytracer_automatic_finds_three_locations() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(raytracer_program().source).unwrap();
+        assert_eq!(run.artifacts.len(), 3, "Section 4.2: Patty finds 3.0 of 3 locations");
+    }
+
+    #[test]
+    fn validation_passes_for_correct_detection() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(avistream_program().source).unwrap();
+        let reports = patty.validate_correctness(&run);
+        assert_eq!(reports.len(), 1);
+        let (_, report) = &reports[0];
+        assert!(
+            !report
+                .failures
+                .iter()
+                .any(|f| matches!(f.kind, patty_chess::FailureKind::Race { .. })),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn tuning_cycle_improves_the_pipeline() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(avistream_program().source).unwrap();
+        let results = patty.tune_performance(&run);
+        assert_eq!(results.len(), 1);
+        let (_, r) = &results[0];
+        // the tuned configuration must beat the untuned default
+        let first = r.history.first().unwrap().1;
+        assert!(r.best_score < first, "tuning must improve: {} -> {}", first, r.best_score);
+        assert!(r.evaluations > 5);
+    }
+
+    #[test]
+    fn mode2_annotated_source_runs_end_to_end() {
+        let src = r#"
+            class F { var g = 2; fn apply(x) { work(120); return x * this.g; } }
+            fn main() {
+                var f = new F();
+                var out = [];
+                #region TADL: A+ => B
+                foreach (x in range(0, 6)) {
+                    #region A:
+                    var v = f.apply(x);
+                    #endregion
+                    #region B:
+                    out.add(v);
+                    #endregion
+                }
+                #endregion
+                print(len(out));
+            }
+        "#;
+        let patty = Patty::new();
+        let run = patty.run_annotated(src).unwrap();
+        assert_eq!(run.artifacts.len(), 1);
+        assert_eq!(run.artifacts[0].arch.expr.to_string(), "A+ => B");
+        assert!(run.artifacts[0].unit_test.is_some());
+    }
+
+    #[test]
+    fn coverage_inputs_generated_for_parameterized_functions() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(raytracer_program().source).unwrap();
+        // the ray tracer has the free function pickBetter(best, t, color)
+        let (name, report) = run
+            .test_inputs
+            .iter()
+            .find(|(n, _)| n == "pickBetter")
+            .expect("inputs for pickBetter");
+        assert_eq!(name, "pickBetter");
+        assert!(!report.inputs.is_empty());
+        assert!(report.covered > 0);
+        assert!(report.covered <= report.total);
+    }
+
+    #[test]
+    fn tuning_json_round_trips() {
+        let patty = Patty::new();
+        let run = patty.run_automatic(avistream_program().source).unwrap();
+        let cfg = load_tuning(&run.artifacts[0].tuning_json).unwrap();
+        assert_eq!(cfg, run.artifacts[0].instance.tuning);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let patty = Patty::new();
+        assert!(matches!(
+            patty.run_automatic("fn main() { let oops"),
+            Err(PattyError::Lang(_))
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `patty` binary: the CLI is the substitute for
+//! the paper's IDE integration, so its commands must work on real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn patty_bin() -> PathBuf {
+    // target/debug/patty, next to the test binary's directory.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push(format!("patty{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("patty-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp source");
+    path
+}
+
+const PIPELINE_SRC: &str = r#"
+class F { var g = 2; fn apply(x) { work(150); return x * this.g; } }
+fn main() {
+    var f = new F();
+    var out = [];
+    foreach (x in range(0, 8)) {
+        var a = f.apply(x);
+        out.add(a);
+    }
+    print(len(out));
+}
+"#;
+
+fn run_patty(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(patty_bin())
+        .args(args)
+        .output()
+        .expect("patty binary runs (build with `cargo build -p patty-tool` first)");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_prints_candidates_and_overlay() {
+    let file = write_temp("pipeline.mini", PIPELINE_SRC);
+    let (stdout, stderr, ok) = run_patty(&["analyze", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Pipeline"), "{stdout}");
+    assert!(stdout.contains("A+ => B"), "{stdout}");
+    assert!(stdout.contains("var a = f.apply(x);"), "overlay shows source: {stdout}");
+}
+
+#[test]
+fn annotate_emits_reparseable_tadl_source() {
+    let file = write_temp("annotate.mini", PIPELINE_SRC);
+    let (stdout, _, ok) = run_patty(&["annotate", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("#region TADL: A+ => B"), "{stdout}");
+    assert!(stdout.contains("#endregion"));
+}
+
+#[test]
+fn transform_prints_tuning_config_and_parallel_code() {
+    let file = write_temp("transform.mini", PIPELINE_SRC);
+    let (stdout, _, ok) = run_patty(&["transform", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("StageReplication"), "{stdout}");
+    assert!(stdout.contains("SequentialExecution"));
+    assert!(stdout.contains("build_pipeline"), "{stdout}");
+}
+
+#[test]
+fn validate_reports_clean_for_correct_detection() {
+    let file = write_temp("validate.mini", PIPELINE_SRC);
+    let (stdout, _, ok) = run_patty(&["validate", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("no parallel errors found"), "{stdout}");
+}
+
+#[test]
+fn tune_reports_improvement() {
+    let file = write_temp("tune.mini", PIPELINE_SRC);
+    let (stdout, _, ok) = run_patty(&["tune", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("initial cost"), "{stdout}");
+    assert!(stdout.contains("best cost"));
+    assert!(stdout.contains("replication"));
+}
+
+#[test]
+fn annotated_file_runs_in_mode_2() {
+    let src = r#"
+class F { var g = 2; fn apply(x) { work(100); return x * this.g; } }
+fn main() {
+    var f = new F();
+    var out = [];
+    #region TADL: A+ => B
+    foreach (x in range(0, 6)) {
+        #region A:
+        var v = f.apply(x);
+        #endregion
+        #region B:
+        out.add(v);
+        #endregion
+    }
+    #endregion
+    print(len(out));
+}
+"#;
+    let file = write_temp("mode2.mini", src);
+    let (stdout, _, ok) = run_patty(&["analyze", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("A+ => B"), "{stdout}");
+}
+
+#[test]
+fn modes_command_describes_all_four() {
+    let (stdout, _, ok) = run_patty(&["modes"]);
+    assert!(ok);
+    for needle in [
+        "Automatic parallelization",
+        "Architecture-based",
+        "Library-based",
+        "Program validation",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_usage_and_bad_files_fail_cleanly() {
+    let (_, stderr, ok) = run_patty(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (_, stderr2, ok2) = run_patty(&["analyze", "/nonexistent/x.mini"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("cannot read"));
+    let bad = write_temp("bad.mini", "fn main() { var x = ; }");
+    let (_, stderr3, ok3) = run_patty(&["analyze", bad.to_str().unwrap()]);
+    assert!(!ok3);
+    assert!(stderr3.contains("parse error"), "{stderr3}");
+}
+
+#[test]
+fn profile_shows_hotspot_loops() {
+    let file = write_temp("profile.mini", PIPELINE_SRC);
+    let (stdout, _, ok) = run_patty(&["profile", file.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("runtime share"), "{stdout}");
+    assert!(stdout.contains("foreach"), "{stdout}");
+}

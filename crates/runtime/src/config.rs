@@ -1,0 +1,201 @@
+//! Initializing runtime patterns from a tuning configuration file.
+//!
+//! "Whenever the parallel application is executed, it initializes the
+//! parallel patterns with the specified values and executes as expected"
+//! (Section 2.1). This module decodes the parameter-naming conventions the
+//! detector emits (`<arch>.<stage>.replication`, `<arch>.fuse.<A>_<B>`,
+//! `<arch>.sequential`, `<arch>.workers`, `<arch>.chunk`) into the
+//! pattern executors' knobs.
+
+use crate::parfor::ParallelFor;
+use crate::pipeline::{Pipeline, Stage};
+use patty_tuning::{ParamKind, TuningConfig};
+use std::collections::BTreeMap;
+
+/// Decoded pipeline tuning values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineTuning {
+    /// Replication per stage name.
+    pub replication: BTreeMap<String, usize>,
+    /// Order preservation per stage name.
+    pub preserve_order: BTreeMap<String, bool>,
+    /// Fusion per adjacent pair `(left stage, right stage)`.
+    pub fusion: BTreeMap<(String, String), bool>,
+    /// Sequential fallback.
+    pub sequential: bool,
+}
+
+impl PipelineTuning {
+    /// Decode from a tuning configuration.
+    pub fn from_config(config: &TuningConfig) -> PipelineTuning {
+        let mut t = PipelineTuning::default();
+        for p in &config.params {
+            let segments: Vec<&str> = p.name.split('.').collect();
+            match p.kind {
+                ParamKind::StageReplication => {
+                    if segments.len() >= 3 {
+                        let stage = segments[segments.len() - 2].to_string();
+                        t.replication.insert(stage, p.value.as_i64().max(1) as usize);
+                    }
+                }
+                ParamKind::OrderPreservation => {
+                    if segments.len() >= 3 {
+                        let stage = segments[segments.len() - 2].to_string();
+                        t.preserve_order.insert(stage, p.value.as_bool());
+                    }
+                }
+                ParamKind::StageFusion => {
+                    // <arch>.fuse.<A>_<B>
+                    if let Some(pair) = segments.last().and_then(|s| s.split_once('_')) {
+                        t.fusion
+                            .insert((pair.0.to_string(), pair.1.to_string()), p.value.as_bool());
+                    }
+                }
+                ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Apply the decoded values to a stage list, producing a configured
+    /// [`Pipeline`].
+    pub fn build_pipeline<T: Send + 'static>(&self, stages: Vec<Stage<T>>) -> Pipeline<T> {
+        let names: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
+        let stages: Vec<Stage<T>> = stages
+            .into_iter()
+            .map(|mut s| {
+                if let Some(r) = self.replication.get(&s.name) {
+                    s.replication = (*r).max(1);
+                }
+                if let Some(o) = self.preserve_order.get(&s.name) {
+                    s.preserve_order = *o;
+                }
+                s
+            })
+            .collect();
+        let fusion: Vec<bool> = names
+            .windows(2)
+            .map(|w| {
+                self.fusion
+                    .get(&(w[0].clone(), w[1].clone()))
+                    .copied()
+                    .unwrap_or(false)
+            })
+            .collect();
+        Pipeline::new(stages)
+            .with_fusion(fusion)
+            .sequential(self.sequential)
+    }
+}
+
+/// Decoded data-parallel-loop tuning values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopTuning {
+    pub workers: usize,
+    pub chunk: usize,
+    pub sequential: bool,
+}
+
+impl Default for LoopTuning {
+    fn default() -> LoopTuning {
+        LoopTuning { workers: 1, chunk: 1, sequential: false }
+    }
+}
+
+impl LoopTuning {
+    /// Decode from a tuning configuration. The `ChunkSize` parameter is
+    /// stored as a power-of-two exponent.
+    pub fn from_config(config: &TuningConfig) -> LoopTuning {
+        let mut t = LoopTuning::default();
+        for p in &config.params {
+            match p.kind {
+                ParamKind::WorkerCount => t.workers = p.value.as_i64().max(1) as usize,
+                ParamKind::ChunkSize => {
+                    t.chunk = 1usize << p.value.as_i64().clamp(0, 20) as usize
+                }
+                ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Build the configured executor.
+    pub fn build(&self) -> ParallelFor {
+        ParallelFor {
+            workers: self.workers,
+            chunk: self.chunk,
+            sequential: self.sequential,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patty_tuning::{ParamValue, TuningParam};
+
+    fn pipeline_config() -> TuningConfig {
+        let mut c = TuningConfig::new("pipe");
+        c.push(TuningParam::replication("pipe.C.replication", "main:8", 8));
+        c.push(TuningParam::order_preservation("pipe.C.order", "main:8"));
+        c.push(TuningParam::stage_fusion("pipe.fuse.D_E", "main:10"));
+        c.push(TuningParam::sequential_execution("pipe.sequential", "main:4"));
+        c
+    }
+
+    #[test]
+    fn decodes_pipeline_parameters() {
+        let mut cfg = pipeline_config();
+        cfg.set("pipe.C.replication", ParamValue::Int(4)).unwrap();
+        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
+        let t = PipelineTuning::from_config(&cfg);
+        assert_eq!(t.replication.get("C"), Some(&4));
+        assert_eq!(t.preserve_order.get("C"), Some(&true));
+        assert_eq!(t.fusion.get(&("D".into(), "E".into())), Some(&true));
+        assert!(!t.sequential);
+    }
+
+    #[test]
+    fn builds_configured_pipeline() {
+        let mut cfg = pipeline_config();
+        cfg.set("pipe.C.replication", ParamValue::Int(3)).unwrap();
+        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
+        let t = PipelineTuning::from_config(&cfg);
+        let stages = vec![
+            Stage::new("C", |x: i64| x * 2),
+            Stage::new("D", |x: i64| x + 1),
+            Stage::new("E", |x: i64| x - 3),
+        ];
+        let p = t.build_pipeline(stages);
+        assert_eq!(p.fusion, vec![false, true]);
+        let out = p.run((0..10).collect());
+        let expected: Vec<i64> = (0..10).map(|x| x * 2 + 1 - 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_flag_propagates() {
+        let mut cfg = pipeline_config();
+        cfg.set("pipe.sequential", ParamValue::Bool(true)).unwrap();
+        let t = PipelineTuning::from_config(&cfg);
+        let p = t.build_pipeline(vec![Stage::new("C", |x: i64| x)]);
+        assert!(p.sequential);
+    }
+
+    #[test]
+    fn decodes_loop_parameters() {
+        let mut c = TuningConfig::new("doall");
+        c.push(TuningParam::worker_count("doall.workers", "main:3", 8));
+        c.push(TuningParam::chunk_size("doall.chunk", "main:3", 256));
+        c.push(TuningParam::sequential_execution("doall.sequential", "main:3"));
+        c.set("doall.workers", ParamValue::Int(6)).unwrap();
+        c.set("doall.chunk", ParamValue::Int(5)).unwrap();
+        let t = LoopTuning::from_config(&c);
+        assert_eq!(t.workers, 6);
+        assert_eq!(t.chunk, 32, "chunk is a power-of-two exponent");
+        let pf = t.build();
+        assert_eq!(pf.map(10, |i| i * 3), (0..10).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

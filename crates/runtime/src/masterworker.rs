@@ -1,0 +1,211 @@
+//! The master/worker pattern.
+//!
+//! The master distributes work items to a pool of workers and collects
+//! results in submission order. In Patty's generated code a master/worker
+//! appears both standalone and nested inside a pipeline stage (the
+//! `(A || B || C+)` group of Fig. 3d, where independent items of one
+//! stream element run in parallel).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A master/worker executor with a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct MasterWorker {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+    /// SequentialExecution fallback.
+    pub sequential: bool,
+}
+
+impl Default for MasterWorker {
+    fn default() -> MasterWorker {
+        MasterWorker { workers: 4, sequential: false }
+    }
+}
+
+impl MasterWorker {
+    /// Create a master/worker with `workers` threads.
+    pub fn new(workers: usize) -> MasterWorker {
+        MasterWorker { workers: workers.max(1), sequential: false }
+    }
+
+    /// Apply `task` to every item; results come back in item order.
+    pub fn run<I, O, F>(&self, items: Vec<I>, task: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Send + Sync,
+    {
+        if self.sequential || self.workers <= 1 || items.len() <= 1 {
+            return items.into_iter().map(task).collect();
+        }
+        let n = items.len();
+        let task = &task;
+        // Item slots: each worker claims the next index atomically.
+        let slots: Vec<parking_lot::Mutex<Option<I>>> =
+            items.into_iter().map(|i| parking_lot::Mutex::new(Some(i))).collect();
+        let results: Vec<parking_lot::Mutex<Option<O>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        return;
+                    }
+                    let item = slots[idx].lock().take().expect("each slot claimed once");
+                    let out = task(item);
+                    *results[idx].lock() = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Run `k` heterogeneous closures concurrently and collect their
+    /// results in declaration order — the `(A || B || C)` group applied to
+    /// one stream element.
+    pub fn join_all<O, F>(&self, tasks: Vec<F>) -> Vec<O>
+    where
+        O: Send,
+        F: FnOnce() -> O + Send,
+    {
+        if self.sequential || self.workers <= 1 || tasks.len() <= 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("task panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A replicable work item, mirroring the paper's runtime-library surface
+/// (`mw.Item(p3).replicable = true`, Fig. 3d).
+pub struct Item<I, O> {
+    pub name: String,
+    pub func: Arc<dyn Fn(I) -> O + Send + Sync>,
+    pub replicable: bool,
+}
+
+impl<I, O> Item<I, O> {
+    /// A new item around a function.
+    pub fn new(name: impl Into<String>, func: impl Fn(I) -> O + Send + Sync + 'static) -> Self {
+        Item { name: name.into(), func: Arc::new(func), replicable: false }
+    }
+
+    /// Mark the item replicable.
+    pub fn replicable(mut self, yes: bool) -> Self {
+        self.replicable = yes;
+        self
+    }
+}
+
+impl<I, O> Clone for Item<I, O> {
+    fn clone(&self) -> Self {
+        Item { name: self.name.clone(), func: self.func.clone(), replicable: self.replicable }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_item_order() {
+        let mw = MasterWorker::new(4);
+        let out = mw.run((0..100).collect::<Vec<i64>>(), |x| x * x);
+        let expected: Vec<i64> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_fallback_identical() {
+        let mw_par = MasterWorker::new(4);
+        let mw_seq = MasterWorker { workers: 4, sequential: true };
+        let a = mw_par.run((0..40).collect::<Vec<i64>>(), |x| x + 7);
+        let b = mw_seq.run((0..40).collect::<Vec<i64>>(), |x| x + 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mw = MasterWorker::new(4);
+        let (l, p) = (live.clone(), peak.clone());
+        mw.run((0..16).collect::<Vec<i64>>(), move |x| {
+            let now = l.fetch_add(1, Ordering::SeqCst) + 1;
+            p.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            l.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert!(peak.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn join_all_collects_heterogeneous_work_in_order() {
+        let mw = MasterWorker::new(3);
+        let out = mw.join_all(vec![
+            Box::new(|| 1i64) as Box<dyn FnOnce() -> i64 + Send>,
+            Box::new(|| 2),
+            Box::new(|| 3),
+        ]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_item_avoids_threads() {
+        let mw = MasterWorker::new(8);
+        assert_eq!(mw.run(vec![42i64], |x| x), vec![42]);
+        assert_eq!(mw.run(Vec::<i64>::new(), |x| x), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn item_builder() {
+        let item = Item::new("crop", |x: i64| x * 2).replicable(true);
+        assert!(item.replicable);
+        assert_eq!((item.func)(21), 42);
+        let c = item.clone();
+        assert_eq!(c.name, "crop");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn join_all_empty_and_single() {
+        let mw = MasterWorker::new(4);
+        let empty: Vec<Box<dyn FnOnce() -> i64 + Send>> = vec![];
+        assert!(mw.join_all(empty).is_empty());
+        let one = mw.join_all(vec![Box::new(|| 9i64) as Box<dyn FnOnce() -> i64 + Send>]);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let mw = MasterWorker::new(16);
+        let out = mw.run(vec![1i64, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn heavy_item_count() {
+        let mw = MasterWorker::new(4);
+        let out = mw.run((0..5_000i64).collect::<Vec<_>>(), |x| x ^ 0xFF);
+        assert_eq!(out.len(), 5_000);
+        assert!(out.iter().enumerate().all(|(i, v)| *v == (i as i64) ^ 0xFF));
+    }
+}

@@ -1,0 +1,202 @@
+//! The data-parallel loop pattern.
+//!
+//! Chunked index-space execution with tunable worker count and chunk size,
+//! plus a privatized reduction variant (the detector recognizes
+//! accumulator statements; the runtime gives each worker a private
+//! accumulator and combines them at the end).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A tunable data-parallel loop executor.
+#[derive(Clone, Debug)]
+pub struct ParallelFor {
+    /// Worker threads (WorkerCount), ≥ 1.
+    pub workers: usize,
+    /// Indices claimed per grab (ChunkSize), ≥ 1.
+    pub chunk: usize,
+    /// SequentialExecution fallback.
+    pub sequential: bool,
+}
+
+impl Default for ParallelFor {
+    fn default() -> ParallelFor {
+        ParallelFor { workers: 4, chunk: 16, sequential: false }
+    }
+}
+
+impl ParallelFor {
+    /// Create an executor with the given worker count.
+    pub fn new(workers: usize) -> ParallelFor {
+        ParallelFor { workers: workers.max(1), chunk: 16, sequential: false }
+    }
+
+    /// Set the chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> ParallelFor {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Map the index space `0..n` through `f`, returning results in index
+    /// order.
+    pub fn map<O, F>(&self, n: usize, f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        if self.sequential || self.workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let results: Vec<parking_lot::Mutex<Option<O>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let end = (start + self.chunk).min(n);
+                    for i in start..end {
+                        *results[i].lock() = Some(f(i));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every index computed"))
+            .collect()
+    }
+
+    /// Run `f` for side effects over the index space (e.g. writing
+    /// disjoint slices the caller owns).
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.sequential || self.workers <= 1 || n <= 1 {
+            (0..n).for_each(f);
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let end = (start + self.chunk).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Privatized reduction over `0..n`: each worker folds into a private
+    /// accumulator seeded with `identity`; accumulators are combined with
+    /// `combine`. Requires `combine` to be associative-commutative, which
+    /// is what the detector's reduction recognition guarantees.
+    pub fn reduce<A, F, C>(&self, n: usize, identity: A, fold: F, combine: C) -> A
+    where
+        A: Send + Clone,
+        F: Fn(A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        if self.sequential || self.workers <= 1 || n <= 1 {
+            return (0..n).fold(identity, fold);
+        }
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let fold = &fold;
+        let partials: Vec<A> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers.min(n.max(1)))
+                .map(|_| {
+                    let seed = identity.clone();
+                    scope.spawn(move || {
+                        let mut acc = seed;
+                        loop {
+                            let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                            if start >= n {
+                                return acc;
+                            }
+                            let end = (start + self.chunk).min(n);
+                            for i in start..end {
+                                acc = fold(acc, i);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reduction worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(identity, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_returns_index_order() {
+        let pf = ParallelFor::new(4).with_chunk(3);
+        let out = pf.map(100, |i| i * i);
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_fallback_identical() {
+        let par = ParallelFor::new(4);
+        let seq = ParallelFor { sequential: true, ..ParallelFor::new(4) };
+        assert_eq!(par.map(50, |i| i + 1), seq.map(50, |i| i + 1));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        let pf = ParallelFor::new(8).with_chunk(7);
+        let sum = pf.reduce(1000, 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(sum, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_product() {
+        let pf = ParallelFor::new(3).with_chunk(2);
+        let prod = pf.reduce(10, 1u64, |a, i| a * (i as u64 + 1), |a, b| a * b);
+        assert_eq!(prod, (1..=10u64).product::<u64>());
+    }
+
+    #[test]
+    fn for_each_covers_every_index_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..200).map(|_| AtomicU64::new(0)).collect();
+        let pf = ParallelFor::new(4).with_chunk(5);
+        pf.for_each(200, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chunk_larger_than_n_is_fine() {
+        let pf = ParallelFor::new(4).with_chunk(1000);
+        assert_eq!(pf.map(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_and_one_sized_spaces() {
+        let pf = ParallelFor::new(4);
+        assert_eq!(pf.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pf.map(1, |i| i), vec![0]);
+        assert_eq!(pf.reduce(0, 7i64, |a, _| a + 1, |a, b| a + b), 7);
+    }
+}

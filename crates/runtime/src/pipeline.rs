@@ -1,0 +1,473 @@
+//! The tunable pipeline pattern (Section 2.2).
+//!
+//! Stage-binding implementation: each stage owns one or more threads
+//! ("We implement stage binding and use buffers to connect predecessor and
+//! successor stages"), with bounded channels as the buffers. The four
+//! tuning parameters of rule PLTP are first-class:
+//!
+//! * **StageReplication** — a stage may run `replication` workers that
+//!   consume consecutive stream elements concurrently,
+//! * **OrderPreservation** — a reorder buffer behind a replicated stage
+//!   restores stream order before the successor sees the elements,
+//! * **StageFusion** — adjacent stages can be composed into one thread,
+//!   saving the buffer and thread overhead,
+//! * **SequentialExecution** — the whole pipeline can run in-place, so a
+//!   short stream never pays the threading overhead.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A pipeline stage function over stream elements of type `T`.
+pub type StageFunc<T> = Arc<dyn Fn(T) -> T + Send + Sync>;
+
+/// One pipeline stage definition.
+pub struct Stage<T> {
+    /// Stage name (TADL item), for diagnostics.
+    pub name: String,
+    /// The stage body.
+    pub func: StageFunc<T>,
+    /// Number of concurrent workers (StageReplication); clamped to ≥ 1.
+    pub replication: usize,
+    /// Restore element order after this stage when replicated
+    /// (OrderPreservation).
+    pub preserve_order: bool,
+}
+
+// Manual impl: `T: Clone` is not required because the function is shared
+// behind an `Arc`.
+impl<T> Clone for Stage<T> {
+    fn clone(&self) -> Stage<T> {
+        Stage {
+            name: self.name.clone(),
+            func: self.func.clone(),
+            replication: self.replication,
+            preserve_order: self.preserve_order,
+        }
+    }
+}
+
+impl<T> Stage<T> {
+    /// A plain single-worker stage.
+    pub fn new(name: impl Into<String>, func: impl Fn(T) -> T + Send + Sync + 'static) -> Stage<T> {
+        Stage {
+            name: name.into(),
+            func: Arc::new(func),
+            replication: 1,
+            preserve_order: true,
+        }
+    }
+
+    /// Set the replication degree.
+    pub fn replicated(mut self, replication: usize) -> Stage<T> {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Set the order-preservation flag.
+    pub fn ordered(mut self, preserve: bool) -> Stage<T> {
+        self.preserve_order = preserve;
+        self
+    }
+}
+
+/// A tunable software pipeline over elements of type `T`.
+pub struct Pipeline<T> {
+    stages: Vec<Stage<T>>,
+    /// Capacity of each inter-stage buffer.
+    pub buffer_capacity: usize,
+    /// Fuse stage `i` with stage `i+1` into one thread (StageFusion);
+    /// `fusion.len() == stages.len() - 1` (shorter vectors are treated as
+    /// padded with `false`).
+    pub fusion: Vec<bool>,
+    /// Run everything in-place on the calling thread
+    /// (SequentialExecution).
+    pub sequential: bool,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// A pipeline from stages with default tuning (no fusion, threaded).
+    pub fn new(stages: Vec<Stage<T>>) -> Pipeline<T> {
+        Pipeline { stages, buffer_capacity: 32, fusion: Vec::new(), sequential: false }
+    }
+
+    /// Number of (unfused) stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Set the SequentialExecution flag.
+    pub fn sequential(mut self, sequential: bool) -> Pipeline<T> {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Set the fusion flags.
+    pub fn with_fusion(mut self, fusion: Vec<bool>) -> Pipeline<T> {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Set the inter-stage buffer capacity.
+    pub fn with_buffer(mut self, capacity: usize) -> Pipeline<T> {
+        self.buffer_capacity = capacity.max(1);
+        self
+    }
+
+    /// Compose fused neighbors into effective stages. A fused group runs
+    /// in one thread; its replication is the minimum of its members'
+    /// replications (a non-replicable member pins the group), and it
+    /// preserves order if any member requires it.
+    fn effective_stages(&self) -> Vec<Stage<T>> {
+        let mut out: Vec<Stage<T>> = Vec::with_capacity(self.stages.len());
+        for (i, s) in self.stages.iter().enumerate() {
+            let fuse_with_prev = i > 0 && self.fusion.get(i - 1).copied().unwrap_or(false);
+            if fuse_with_prev {
+                let prev = out.last_mut().expect("fusion always has a previous stage");
+                let f = prev.func.clone();
+                let g = s.func.clone();
+                prev.name = format!("{}+{}", prev.name, s.name);
+                prev.func = Arc::new(move |x| g(f(x)));
+                prev.replication = prev.replication.min(s.replication).max(1);
+                prev.preserve_order |= s.preserve_order;
+            } else {
+                out.push(s.clone());
+            }
+        }
+        out
+    }
+
+    /// Run the pipeline over an input stream, returning the elements that
+    /// leave the last stage. With every replicated stage either
+    /// order-preserving or absent, the output order equals the input
+    /// order; otherwise elements may be reordered (and that is exactly
+    /// what the OrderPreservation tuning parameter controls).
+    pub fn run(&self, input: Vec<T>) -> Vec<T> {
+        if self.sequential || self.stages.is_empty() || input.is_empty() {
+            return self.run_sequential(input);
+        }
+        let stages = self.effective_stages();
+        let cap = self.buffer_capacity.max(1);
+        let n_input = input.len();
+
+        std::thread::scope(|scope| {
+            // StreamGenerator: the loop header becomes the implicit first
+            // stage feeding the first buffer (rule PLPL).
+            let (feed_tx, mut prev_rx): (Sender<(u64, T)>, Receiver<(u64, T)>) = bounded(cap);
+            scope.spawn(move || {
+                for (seq, item) in input.into_iter().enumerate() {
+                    if feed_tx.send((seq as u64, item)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            for stage in &stages {
+                let (tx, rx) = bounded::<(u64, T)>(cap);
+                for _ in 0..stage.replication {
+                    let func = stage.func.clone();
+                    let stage_rx = prev_rx.clone();
+                    let stage_tx = tx.clone();
+                    scope.spawn(move || {
+                        while let Ok((seq, item)) = stage_rx.recv() {
+                            if stage_tx.send((seq, func(item))).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                prev_rx = if stage.replication > 1 && stage.preserve_order {
+                    // Reorder buffer: release elements in sequence order.
+                    let (ord_tx, ord_rx) = bounded::<(u64, T)>(cap);
+                    scope.spawn(move || reorder(rx, ord_tx));
+                    ord_rx
+                } else {
+                    rx
+                };
+            }
+
+            let mut out = Vec::with_capacity(n_input);
+            while let Ok((_, item)) = prev_rx.recv() {
+                out.push(item);
+            }
+            out
+        })
+    }
+
+    /// The sequential fallback: identical semantics, no threads.
+    pub fn run_sequential(&self, input: Vec<T>) -> Vec<T> {
+        input
+            .into_iter()
+            .map(|mut item| {
+                for s in &self.stages {
+                    item = (s.func)(item);
+                }
+                item
+            })
+            .collect()
+    }
+}
+
+/// Entry in the reorder heap, ordered by sequence number only.
+struct Pending<T>(u64, T);
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// Drain `rx`, releasing elements to `tx` in strict sequence order.
+fn reorder<T>(rx: Receiver<(u64, T)>, tx: Sender<(u64, T)>) {
+    let mut next: u64 = 0;
+    let mut heap: BinaryHeap<Reverse<Pending<T>>> = BinaryHeap::new();
+    while let Ok((seq, item)) = rx.recv() {
+        heap.push(Reverse(Pending(seq, item)));
+        while heap.peek().map(|Reverse(p)| p.0 == next).unwrap_or(false) {
+            let Reverse(Pending(seq, item)) = heap.pop().expect("peeked");
+            if tx.send((seq, item)).is_err() {
+                return;
+            }
+            next += 1;
+        }
+    }
+    // Input exhausted: flush whatever remains (holes can only happen if a
+    // producer died, which does not occur in normal operation).
+    while let Some(Reverse(Pending(seq, item))) = heap.pop() {
+        if tx.send((seq, item)).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn double_stage(name: &str) -> Stage<i64> {
+        Stage::new(name, |x: i64| x * 2)
+    }
+
+    #[test]
+    fn two_stage_pipeline_preserves_order_and_values() {
+        let p = Pipeline::new(vec![double_stage("A"), Stage::new("B", |x: i64| x + 1)]);
+        let out = p.run((0..100).collect());
+        let expected: Vec<i64> = (0..100).map(|x| x * 2 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_flag_gives_identical_results() {
+        let p = Pipeline::new(vec![double_stage("A"), double_stage("B")]);
+        let threaded = p.run((0..50).collect());
+        let seq = p.sequential(true).run((0..50).collect());
+        assert_eq!(threaded, seq);
+    }
+
+    #[test]
+    fn empty_input_and_empty_pipeline() {
+        let p: Pipeline<i64> = Pipeline::new(vec![]);
+        assert_eq!(p.run(vec![1, 2, 3]), vec![1, 2, 3]);
+        let p2 = Pipeline::new(vec![double_stage("A")]);
+        assert_eq!(p2.run(vec![]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn replicated_stage_with_order_preservation_keeps_order() {
+        // Make later elements finish faster to force reordering pressure.
+        let stage = Stage::new("A", |x: i64| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+            x * 10
+        })
+        .replicated(4)
+        .ordered(true);
+        let p = Pipeline::new(vec![stage, Stage::new("B", |x: i64| x + 1)]);
+        let out = p.run((0..200).collect());
+        let expected: Vec<i64> = (0..200).map(|x| x * 10 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn replicated_stage_without_order_preservation_keeps_multiset() {
+        let stage = Stage::new("A", |x: i64| {
+            if x % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x
+        })
+        .replicated(4)
+        .ordered(false);
+        let p = Pipeline::new(vec![stage]);
+        let mut out = p.run((0..100).collect());
+        out.sort();
+        assert_eq!(out, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn replication_actually_runs_concurrently() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (l, pk) = (live.clone(), peak.clone());
+        let stage = Stage::new("A", move |x: i64| {
+            let now = l.fetch_add(1, Ordering::SeqCst) + 1;
+            pk.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            l.fetch_sub(1, Ordering::SeqCst);
+            x
+        })
+        .replicated(4);
+        let p = Pipeline::new(vec![stage]).with_buffer(16);
+        p.run((0..32).collect());
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "replicated stage never overlapped (peak {})",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn fusion_composes_stages_in_one_thread() {
+        let p = Pipeline::new(vec![
+            double_stage("A"),
+            Stage::new("B", |x: i64| x + 3),
+            Stage::new("C", |x: i64| x * 5),
+        ])
+        .with_fusion(vec![true, false]);
+        let stages = p.effective_stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "A+B");
+        let out = p.run((0..10).collect());
+        let expected: Vec<i64> = (0..10).map(|x| (x * 2 + 3) * 5).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn fusing_all_stages_still_correct() {
+        let p = Pipeline::new(vec![
+            double_stage("A"),
+            Stage::new("B", |x: i64| x - 1),
+            Stage::new("C", |x: i64| x * x),
+        ])
+        .with_fusion(vec![true, true]);
+        let out = p.run((0..20).collect());
+        let expected: Vec<i64> = (0..20).map(|x| {
+            let y = x * 2 - 1;
+            y * y
+        }).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn fusion_pins_replication_to_minimum() {
+        let p = Pipeline::new(vec![
+            double_stage("A").replicated(4),
+            Stage::new("B", |x: i64| x + 1), // replication 1
+        ])
+        .with_fusion(vec![true]);
+        let stages = p.effective_stages();
+        assert_eq!(stages[0].replication, 1);
+    }
+
+    #[test]
+    fn pipeline_with_heavy_stage_is_faster_threaded_than_sequential() {
+        // Coarse smoke check (not a benchmark): two stages of real work
+        // should overlap.
+        let mk = || {
+            Pipeline::new(vec![
+                Stage::new("A", |x: u64| {
+                    (0..40_000u64).fold(x, |a, b| a.wrapping_add(b ^ a))
+                }),
+                Stage::new("B", |x: u64| {
+                    (0..40_000u64).fold(x, |a, b| a.wrapping_mul(b | 1))
+                }),
+            ])
+        };
+        let input: Vec<u64> = (0..400).collect();
+        let t0 = std::time::Instant::now();
+        let seq = mk().sequential(true).run(input.clone());
+        let t_seq = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let par = mk().run(input);
+        let t_par = t1.elapsed();
+        assert_eq!(seq, par);
+        // Generous bound to avoid flakiness on loaded machines.
+        assert!(
+            t_par < t_seq * 2,
+            "parallel run pathologically slow: {t_par:?} vs {t_seq:?}"
+        );
+    }
+
+    #[test]
+    fn string_elements_work() {
+        let p = Pipeline::new(vec![
+            Stage::new("up", |s: String| s.to_uppercase()),
+            Stage::new("bang", |s: String| format!("{s}!")),
+        ]);
+        let out = p.run(vec!["a".into(), "b".into()]);
+        assert_eq!(out, vec!["A!".to_string(), "B!".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+
+    #[test]
+    fn buffer_capacity_one_still_correct() {
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("b", |x: i64| x * 2),
+            Stage::new("c", |x: i64| x - 3),
+        ])
+        .with_buffer(1);
+        let out = p.run((0..300).collect());
+        let expected: Vec<i64> = (0..300).map(|x| (x + 1) * 2 - 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn large_replication_on_short_stream() {
+        // more workers than elements: must neither deadlock nor drop
+        let p = Pipeline::new(vec![Stage::new("a", |x: i64| x * 7).replicated(8)]);
+        let out = p.run(vec![1, 2, 3]);
+        assert_eq!(out, vec![7, 14, 21]);
+    }
+
+    #[test]
+    fn single_element_through_deep_pipeline() {
+        let stages: Vec<Stage<i64>> = (0..10)
+            .map(|i| Stage::new(format!("s{i}"), move |x: i64| x + 1))
+            .collect();
+        let out = Pipeline::new(stages).run(vec![0]);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn fusion_vector_shorter_than_stages_is_padded() {
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("b", |x: i64| x + 10),
+            Stage::new("c", |x: i64| x + 100),
+        ])
+        .with_fusion(vec![true]); // only one flag for two boundaries
+        let out = p.run(vec![0]);
+        assert_eq!(out, vec![111]);
+        assert_eq!(p.effective_stages().len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Tunable architecture descriptions.
+//!
+//! TADL draws "a sharp boundary between the distinct tasks detection and
+//! transformation" (Section 2.1): the detector emits an
+//! [`ArchitectureDescription`] per found pattern, and the transformation
+//! phase consumes only these descriptions. They are serializable so the
+//! Patty tool can show them as phase artifacts (requirement R2).
+
+use crate::expr::{TadlError, TadlExpr};
+use serde::{Deserialize, Serialize};
+
+/// The target pattern family an architecture instantiates. The process
+/// model currently covers master/worker, data-parallel loops and pipelines
+/// (Section 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternKind {
+    Pipeline,
+    MasterWorker,
+    DataParallelLoop,
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternKind::Pipeline => write!(f, "Pipeline"),
+            PatternKind::MasterWorker => write!(f, "MasterWorker"),
+            PatternKind::DataParallelLoop => write!(f, "DataParallelLoop"),
+        }
+    }
+}
+
+/// One item of the architecture: a named source region with metadata the
+/// transformation and tuning phases need.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchItem {
+    /// TADL item name (`A`, `B`, ...).
+    pub name: String,
+    /// 1-based source line of the region this item labels.
+    pub line: u32,
+    /// One-line source excerpt, for artifact display.
+    pub source: String,
+    /// Fraction of the loop's runtime this item accounts for (from the
+    /// dynamic analysis; drives StageReplication / StageFusion).
+    pub cost_share: f64,
+    /// Whether the item was found to be side-effect free (replicable).
+    pub pure_stage: bool,
+}
+
+/// A complete tunable architecture description: the interface artifact
+/// between detection and transformation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureDescription {
+    /// Unique name, e.g. `pipeline_main_l4`.
+    pub name: String,
+    /// The pattern family.
+    pub kind: PatternKind,
+    /// The TADL expression over the items.
+    pub expr: TadlExpr,
+    /// The items referenced by `expr`, in item order.
+    pub items: Vec<ArchItem>,
+    /// Function containing the annotated region.
+    pub func: String,
+    /// 1-based source line of the annotated loop/region.
+    pub line: u32,
+    /// Observed stream length (loop iterations) from the dynamic analysis,
+    /// 0 if never observed.
+    pub stream_length: u64,
+}
+
+impl ArchitectureDescription {
+    /// Check internal consistency: every TADL item has metadata and vice
+    /// versa.
+    pub fn validate(&self) -> Result<(), TadlError> {
+        self.expr.validate()?;
+        let expr_items = self.expr.items();
+        if expr_items.len() != self.items.len() {
+            return Err(TadlError::new(format!(
+                "expression has {} item(s) but {} are described",
+                expr_items.len(),
+                self.items.len()
+            )));
+        }
+        for (e, i) in expr_items.iter().zip(&self.items) {
+            if *e != i.name {
+                return Err(TadlError::new(format!(
+                    "item order mismatch: expression says `{e}`, metadata says `{}`",
+                    i.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The item metadata for a TADL item name.
+    pub fn item(&self, name: &str) -> Option<&ArchItem> {
+        self.items.iter().find(|i| i.name == name)
+    }
+
+    /// The annotation label to inject at the region site, e.g.
+    /// `TADL: (A || B || C+) => D => E`.
+    pub fn annotation_label(&self) -> String {
+        format!("TADL: {}", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ArchitectureDescription {
+        ArchitectureDescription {
+            name: "pipeline_main_l4".into(),
+            kind: PatternKind::Pipeline,
+            expr: TadlExpr::pipeline(vec![
+                TadlExpr::replicable("A"),
+                TadlExpr::item("B"),
+            ]),
+            items: vec![
+                ArchItem {
+                    name: "A".into(),
+                    line: 5,
+                    source: "var c = crop.apply(i);".into(),
+                    cost_share: 0.8,
+                    pure_stage: true,
+                },
+                ArchItem {
+                    name: "B".into(),
+                    line: 6,
+                    source: "out.add(c);".into(),
+                    cost_share: 0.2,
+                    pure_stage: false,
+                },
+            ],
+            func: "main".into(),
+            line: 4,
+            stream_length: 100,
+        }
+    }
+
+    #[test]
+    fn validates_consistent_description() {
+        assert!(demo().validate().is_ok());
+    }
+
+    #[test]
+    fn detects_item_mismatch() {
+        let mut d = demo();
+        d.items.pop();
+        assert!(d.validate().is_err());
+        let mut d2 = demo();
+        d2.items.swap(0, 1);
+        assert!(d2.validate().is_err());
+    }
+
+    #[test]
+    fn annotation_label_format() {
+        assert_eq!(demo().annotation_label(), "TADL: A+ => B");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = demo();
+        let json = serde_json::to_string_pretty(&d).unwrap();
+        let back: ArchitectureDescription = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn item_lookup() {
+        let d = demo();
+        assert_eq!(d.item("B").unwrap().line, 6);
+        assert!(d.item("Z").is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! # patty-tadl
+//!
+//! The Tunable Architecture Description Language (TADL) as adapted by the
+//! Patty paper (PMAM'15, Section 2.1): an expression language over named
+//! source regions that describes detected parallel architectures —
+//! `(A || B || C+) => D => E` — plus the architecture-description artifact
+//! that forms the interface between pattern *detection* and pattern
+//! *transformation*.
+//!
+//! ```
+//! use patty_tadl::{parse_tadl, TadlExpr};
+//!
+//! let expr = parse_tadl("(A || B || C+) => D => E").unwrap();
+//! assert_eq!(expr.replicable_items(), vec!["C"]);
+//! assert_eq!(expr.to_string(), "(A || B || C+) => D => E");
+//! ```
+
+pub mod arch;
+pub mod expr;
+pub mod parse;
+
+pub use arch::{ArchItem, ArchitectureDescription, PatternKind};
+pub use expr::{TadlError, TadlExpr};
+pub use parse::{parse_region_label, parse_tadl, RegionLabel};

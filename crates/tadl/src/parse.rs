@@ -1,0 +1,237 @@
+//! Parser for TADL expressions and region labels.
+
+use crate::expr::{TadlError, TadlExpr};
+
+/// Parse a TADL expression like `(A || B || C+) => D => E`.
+pub fn parse_tadl(input: &str) -> Result<TadlExpr, TadlError> {
+    let tokens = lex(input)?;
+    let mut p = P { tokens, pos: 0 };
+    let expr = p.pipeline()?;
+    if p.pos != p.tokens.len() {
+        return Err(TadlError::new(format!(
+            "unexpected trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    expr.validate()?;
+    Ok(expr)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum T {
+    Ident(String),
+    Plus,
+    Arrow,
+    Par,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<T>, TadlError> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'(' => {
+                out.push(T::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(T::RParen);
+                i += 1;
+            }
+            b'+' => {
+                out.push(T::Plus);
+                i += 1;
+            }
+            b'=' if b.get(i + 1) == Some(&b'>') => {
+                out.push(T::Arrow);
+                i += 2;
+            }
+            b'|' if b.get(i + 1) == Some(&b'|') => {
+                out.push(T::Par);
+                i += 2;
+            }
+            c if c == b'_' || c.is_ascii_alphanumeric() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(T::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(TadlError::new(format!(
+                    "unexpected character {:?} in TADL expression",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    tokens: Vec<T>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&T> {
+        self.tokens.get(self.pos)
+    }
+
+    fn pipeline(&mut self) -> Result<TadlExpr, TadlError> {
+        let mut parts = vec![self.parallel()?];
+        while self.peek() == Some(&T::Arrow) {
+            self.pos += 1;
+            parts.push(self.parallel()?);
+        }
+        Ok(TadlExpr::pipeline(parts))
+    }
+
+    fn parallel(&mut self) -> Result<TadlExpr, TadlError> {
+        let mut parts = vec![self.primary()?];
+        while self.peek() == Some(&T::Par) {
+            self.pos += 1;
+            parts.push(self.primary()?);
+        }
+        Ok(TadlExpr::parallel(parts))
+    }
+
+    fn primary(&mut self) -> Result<TadlExpr, TadlError> {
+        match self.peek().cloned() {
+            Some(T::Ident(name)) => {
+                self.pos += 1;
+                let replicable = if self.peek() == Some(&T::Plus) {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                };
+                Ok(TadlExpr::Item { name, replicable })
+            }
+            Some(T::LParen) => {
+                self.pos += 1;
+                let inner = self.pipeline()?;
+                if self.peek() != Some(&T::RParen) {
+                    return Err(TadlError::new("expected `)`"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            other => Err(TadlError::new(format!(
+                "expected item or `(`, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A parsed `#region` label: either a TADL architecture annotation or a
+/// plain item label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionLabel {
+    /// `#region TADL: <expr>` — an architecture annotation covering the
+    /// statements inside the region.
+    Tadl(TadlExpr),
+    /// `#region <Name>:` — an item definition the TADL expression refers to.
+    Item(String),
+    /// Any other label (documentation regions etc.).
+    Other(String),
+}
+
+/// Classify a region label.
+pub fn parse_region_label(label: &str) -> Result<RegionLabel, TadlError> {
+    let trimmed = label.trim();
+    if let Some(rest) = trimmed.strip_prefix("TADL:") {
+        return Ok(RegionLabel::Tadl(parse_tadl(rest)?));
+    }
+    if let Some(name) = trimmed.strip_suffix(':') {
+        let name = name.trim();
+        if !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c == '_' || c.is_ascii_alphanumeric())
+        {
+            return Ok(RegionLabel::Item(name.to_string()));
+        }
+    }
+    Ok(RegionLabel::Other(trimmed.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let e = parse_tadl("(A || B || C+) => D => E").unwrap();
+        assert_eq!(e.to_string(), "(A || B || C+) => D => E");
+        assert_eq!(e.items(), vec!["A", "B", "C", "D", "E"]);
+        assert_eq!(e.replicable_items(), vec!["C"]);
+    }
+
+    #[test]
+    fn round_trips_via_display() {
+        for src in [
+            "A => B",
+            "A || B",
+            "A+ => B+ => C",
+            "(A => B) || C",
+            "A => (B || C) => D",
+            "(A || B || C+) => D => E",
+        ] {
+            let e = parse_tadl(src).unwrap();
+            let printed = e.to_string();
+            let e2 = parse_tadl(&printed).unwrap();
+            assert_eq!(e, e2, "round trip failed for {src}: printed {printed}");
+        }
+    }
+
+    #[test]
+    fn precedence_parallel_binds_tighter() {
+        let e = parse_tadl("A || B => C").unwrap();
+        // (A || B) => C
+        assert_eq!(e, TadlExpr::Pipeline(vec![
+            TadlExpr::Parallel(vec![TadlExpr::item("A"), TadlExpr::item("B")]),
+            TadlExpr::item("C"),
+        ]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_tadl("").is_err());
+        assert!(parse_tadl("A =>").is_err());
+        assert!(parse_tadl("(A || B").is_err());
+        assert!(parse_tadl("A ! B").is_err());
+        assert!(parse_tadl("A => A").is_err(), "duplicate items must fail validation");
+    }
+
+    #[test]
+    fn plus_on_group_is_rejected() {
+        // `+` is an item suffix, not a group operator.
+        assert!(parse_tadl("(A || B)+").is_err());
+    }
+
+    #[test]
+    fn region_labels_classified() {
+        assert!(matches!(
+            parse_region_label("TADL: A => B").unwrap(),
+            RegionLabel::Tadl(_)
+        ));
+        assert_eq!(
+            parse_region_label("  Stage1: ").unwrap(),
+            RegionLabel::Item("Stage1".into())
+        );
+        assert_eq!(
+            parse_region_label("helper code").unwrap(),
+            RegionLabel::Other("helper code".into())
+        );
+    }
+
+    #[test]
+    fn bad_tadl_label_is_error_not_other() {
+        assert!(parse_region_label("TADL: A => =>").is_err());
+    }
+}

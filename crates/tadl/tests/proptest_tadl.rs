@@ -1,0 +1,67 @@
+//! Property tests for the TADL expression language: display/parse round
+//! trip over randomly generated architectures.
+
+use patty_tadl::{parse_tadl, TadlExpr};
+use proptest::prelude::*;
+
+/// Generate unique item names A, B, C, … as the tree is built.
+fn arb_expr() -> impl Strategy<Value = TadlExpr> {
+    // Build a shape first, then assign unique names left-to-right.
+    #[derive(Clone, Debug)]
+    enum Shape {
+        Item(bool),
+        Pipe(Vec<Shape>),
+        Par(Vec<Shape>),
+    }
+    let leaf = any::<bool>().prop_map(Shape::Item);
+    let shape = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Shape::Pipe),
+            proptest::collection::vec(inner, 2..4).prop_map(Shape::Par),
+        ]
+    });
+    shape.prop_map(|s| {
+        fn build(s: &Shape, next: &mut usize) -> TadlExpr {
+            match s {
+                Shape::Item(rep) => {
+                    let name = if *next < 26 {
+                        ((b'A' + *next as u8) as char).to_string()
+                    } else {
+                        format!("S{next}")
+                    };
+                    *next += 1;
+                    TadlExpr::Item { name, replicable: *rep }
+                }
+                Shape::Pipe(parts) => {
+                    TadlExpr::pipeline(parts.iter().map(|p| build(p, next)).collect())
+                }
+                Shape::Par(parts) => {
+                    TadlExpr::parallel(parts.iter().map(|p| build(p, next)).collect())
+                }
+            }
+        }
+        let mut next = 0;
+        build(&s, &mut next)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn display_parse_round_trip(expr in arb_expr()) {
+        prop_assert!(expr.validate().is_ok());
+        let printed = expr.to_string();
+        let reparsed = parse_tadl(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        prop_assert_eq!(&expr, &reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn items_are_preserved_in_order(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = parse_tadl(&printed).unwrap();
+        prop_assert_eq!(expr.items(), reparsed.items());
+        prop_assert_eq!(expr.replicable_items(), reparsed.replicable_items());
+    }
+}

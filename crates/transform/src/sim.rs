@@ -1,0 +1,356 @@
+//! Performance model of the generated parallel code.
+//!
+//! A deterministic discrete-event simulation of the stage-binding pipeline
+//! (and of the data-parallel loop), parameterized by the same tuning
+//! values the real runtime takes. Patty's auto-tuning cycle (Fig. 4c)
+//! executes the program repeatedly; for minilang programs — whose "time"
+//! is the interpreter's virtual cost — this simulator is that execution,
+//! which keeps the whole tuning loop deterministic and fast.
+//!
+//! The model captures exactly the phenomena the paper's tuning parameters
+//! exist for: an imbalanced stage bounds throughput until it is
+//! replicated; cheap stages cost more in handoff overhead than they save
+//! (fusion); short streams never amortize thread startup (sequential
+//! execution).
+//!
+//! Approximation note: `||` master/worker groups inside a pipeline are
+//! modeled as consecutive chain stages. For steady-state throughput this
+//! is exact (every element passes through every member either way and the
+//! bottleneck member dominates); only the per-element *latency* differs,
+//! which none of the tuning decisions depend on.
+
+use crate::codegen::ParallelPlan;
+use patty_runtime::PipelineTuning;
+use patty_tuning::{Evaluator, TuningConfig};
+
+/// Cost-model constants (virtual cost units).
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    /// Per-element cost of crossing one stage boundary (buffer put/get).
+    pub handoff_overhead: u64,
+    /// One-time cost of starting one worker thread.
+    pub spawn_overhead: u64,
+    /// Cores of the simulated target platform; total workers above this
+    /// get proportionally slower.
+    pub cores: usize,
+}
+
+impl Default for SimParams {
+    fn default() -> SimParams {
+        SimParams { handoff_overhead: 40, spawn_overhead: 400, cores: 8 }
+    }
+}
+
+/// Result of one simulated execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Simulated parallel makespan (virtual cost units).
+    pub parallel_time: u64,
+    /// Simulated sequential time of the same work.
+    pub sequential_time: u64,
+}
+
+impl SimOutcome {
+    /// Speedup of the simulated configuration.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_time == 0 {
+            return 1.0;
+        }
+        self.sequential_time as f64 / self.parallel_time as f64
+    }
+}
+
+/// Simulate a pipeline plan under specific tuning values.
+pub fn simulate_pipeline(
+    plan: &ParallelPlan,
+    tuning: &PipelineTuning,
+    params: &SimParams,
+) -> SimOutcome {
+    let n = plan.stream_length.max(1);
+    let sequential_time = plan.element_cost * n;
+    if tuning.sequential || plan.stages.is_empty() {
+        return SimOutcome { parallel_time: sequential_time, sequential_time };
+    }
+
+    // Effective stages after fusion: fused neighbors share one thread
+    // (costs add, handoff between them disappears, replication pinned to
+    // the minimum).
+    struct Eff {
+        cost: u64,
+        replication: usize,
+        preserve_order: bool,
+    }
+    let mut eff: Vec<Eff> = Vec::new();
+    for (i, s) in plan.stages.iter().enumerate() {
+        let rep = tuning
+            .replication
+            .get(&s.name)
+            .copied()
+            .unwrap_or(1)
+            .max(1);
+        let preserve = tuning.preserve_order.get(&s.name).copied().unwrap_or(true);
+        let fuse_with_prev = i > 0
+            && tuning
+                .fusion
+                .get(&(plan.stages[i - 1].name.clone(), s.name.clone()))
+                .copied()
+                .unwrap_or(false);
+        if fuse_with_prev {
+            let prev = eff.last_mut().expect("fusion has predecessor");
+            prev.cost += s.cost_per_element;
+            prev.replication = prev.replication.min(rep);
+            prev.preserve_order |= preserve;
+        } else {
+            eff.push(Eff { cost: s.cost_per_element, replication: rep, preserve_order: preserve });
+        }
+    }
+
+    // Oversubscription: more workers than cores slows every worker down.
+    let total_workers: usize = eff.iter().map(|e| e.replication).sum::<usize>() + 1;
+    let slowdown_num = total_workers.max(params.cores) as u64;
+    let slowdown_den = params.cores as u64;
+
+    // Event simulation: finish[s] keeps the last `replication` finish
+    // times of stage s (its servers). Element e at stage s starts when
+    // (a) its predecessor handed it over and (b) a server is free.
+    let n_usize = n as usize;
+    let mut ready_from_prev: Vec<u64> = vec![0; n_usize]; // feed times
+    let mut parallel_time = 0u64;
+    for stage in &eff {
+        let cost = stage.cost * slowdown_num / slowdown_den + params.handoff_overhead;
+        let r = stage.replication;
+        let mut servers: Vec<u64> = vec![0; r];
+        let mut finish: Vec<u64> = vec![0; n_usize];
+        for e in 0..n_usize {
+            let server = e % r;
+            let start = ready_from_prev[e].max(servers[server]);
+            let end = start + cost;
+            servers[server] = end;
+            finish[e] = end;
+        }
+        // Order preservation after a replicated stage: an element is not
+        // handed over before all its predecessors are (reorder buffer).
+        if stage.preserve_order && r > 1 {
+            let mut running_max = 0u64;
+            for f in finish.iter_mut() {
+                running_max = running_max.max(*f);
+                *f = running_max;
+            }
+        }
+        parallel_time = finish.last().copied().unwrap_or(0);
+        ready_from_prev = finish;
+    }
+    parallel_time += params.spawn_overhead * total_workers as u64;
+    SimOutcome { parallel_time, sequential_time }
+}
+
+/// Simulate a data-parallel loop.
+pub fn simulate_doall(
+    cost_per_iteration: u64,
+    iterations: u64,
+    tuning: &patty_runtime::LoopTuning,
+    params: &SimParams,
+) -> SimOutcome {
+    let sequential_time = cost_per_iteration * iterations;
+    if tuning.sequential || iterations == 0 {
+        return SimOutcome { parallel_time: sequential_time, sequential_time };
+    }
+    let w = tuning.workers.clamp(1, params.cores.max(1)) as u64;
+    let chunk = tuning.chunk.max(1) as u64;
+    let chunks = iterations.div_ceil(chunk);
+    let chunks_per_worker = chunks.div_ceil(w);
+    let chunk_cost = chunk * cost_per_iteration + params.handoff_overhead;
+    let parallel_time =
+        chunks_per_worker * chunk_cost + params.spawn_overhead * tuning.workers as u64;
+    SimOutcome { parallel_time, sequential_time }
+}
+
+/// A [`patty_tuning::Evaluator`] over the pipeline simulator: the bridge
+/// that lets any auto-tuner from `patty-tuning` tune a generated plan.
+pub struct PipelineSimEvaluator {
+    pub plan: ParallelPlan,
+    pub params: SimParams,
+}
+
+impl Evaluator for PipelineSimEvaluator {
+    fn measure(&mut self, config: &TuningConfig) -> f64 {
+        let tuning = PipelineTuning::from_config(config);
+        simulate_pipeline(&self.plan, &tuning, &self.params).parallel_time as f64
+    }
+}
+
+/// Evaluator over the data-parallel-loop simulator.
+pub struct DoallSimEvaluator {
+    pub cost_per_iteration: u64,
+    pub iterations: u64,
+    pub params: SimParams,
+}
+
+impl Evaluator for DoallSimEvaluator {
+    fn measure(&mut self, config: &TuningConfig) -> f64 {
+        let tuning = patty_runtime::LoopTuning::from_config(config);
+        simulate_doall(self.cost_per_iteration, self.iterations, &tuning, &self.params)
+            .parallel_time as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::PlanStage;
+    use patty_tadl::PatternKind;
+
+    fn plan(costs: &[(&str, u64, bool)], n: u64) -> ParallelPlan {
+        ParallelPlan {
+            arch_name: "test".into(),
+            kind: PatternKind::Pipeline,
+            expr: String::new(),
+            stages: costs
+                .iter()
+                .map(|(name, c, rep)| PlanStage {
+                    name: name.to_string(),
+                    sources: vec![],
+                    cost_per_element: *c,
+                    replication_param: rep.then(|| format!("test.{name}.replication")),
+                    order_param: rep.then(|| format!("test.{name}.order")),
+                    parallel_with_prev: false,
+                })
+                .collect(),
+            stream_length: n,
+            element_cost: costs.iter().map(|(_, c, _)| c).sum(),
+            code: String::new(),
+        }
+    }
+
+    fn default_tuning() -> PipelineTuning {
+        PipelineTuning::default()
+    }
+
+    #[test]
+    fn balanced_pipeline_speeds_up_long_streams() {
+        let p = plan(&[("A", 1000, true), ("B", 1000, false), ("C", 1000, false)], 500);
+        let out = simulate_pipeline(&p, &default_tuning(), &SimParams::default());
+        assert!(
+            out.speedup() > 2.0,
+            "3 balanced stages should approach 3x: {}",
+            out.speedup()
+        );
+    }
+
+    #[test]
+    fn short_stream_is_slower_parallel_than_sequential() {
+        let p = plan(&[("A", 100, true), ("B", 100, false)], 2);
+        let params = SimParams { spawn_overhead: 5_000, ..SimParams::default() };
+        let out = simulate_pipeline(&p, &default_tuning(), &params);
+        assert!(out.parallel_time > out.sequential_time);
+        // …which is exactly why SequentialExecution exists:
+        let mut seq = default_tuning();
+        seq.sequential = true;
+        let out2 = simulate_pipeline(&p, &seq, &params);
+        assert_eq!(out2.parallel_time, out2.sequential_time);
+    }
+
+    #[test]
+    fn replicating_the_bottleneck_raises_throughput() {
+        let p = plan(&[("A", 4000, true), ("B", 500, false)], 400);
+        let base = simulate_pipeline(&p, &default_tuning(), &SimParams::default());
+        let mut t = default_tuning();
+        t.replication.insert("A".into(), 4);
+        let replicated = simulate_pipeline(&p, &t, &SimParams::default());
+        assert!(
+            replicated.parallel_time * 2 < base.parallel_time,
+            "4x replication of a dominant stage must at least halve time: {} vs {}",
+            replicated.parallel_time,
+            base.parallel_time
+        );
+    }
+
+    #[test]
+    fn fusing_cheap_stages_beats_paying_handoffs() {
+        // Stages whose runtime share is low: "the thread and buffer
+        // management overhead will outweigh the advantage of parallel
+        // processing" (Section 2.2) — on a short stream, fusing saves the
+        // extra threads' startup cost and wins.
+        let p = plan(&[("A", 10, false), ("B", 10, false), ("C", 10, false)], 50);
+        let params = SimParams {
+            handoff_overhead: 100,
+            spawn_overhead: 2_000,
+            ..SimParams::default()
+        };
+        let unfused = simulate_pipeline(&p, &default_tuning(), &params);
+        let mut t = default_tuning();
+        t.fusion.insert(("A".into(), "B".into()), true);
+        t.fusion.insert(("B".into(), "C".into()), true);
+        let fused = simulate_pipeline(&p, &t, &params);
+        assert!(
+            fused.parallel_time < unfused.parallel_time,
+            "fused {} vs unfused {}",
+            fused.parallel_time,
+            unfused.parallel_time
+        );
+    }
+
+    #[test]
+    fn order_preservation_costs_but_not_more_than_serialization() {
+        let p = plan(&[("A", 1000, true), ("B", 100, false)], 300);
+        let mut ordered = default_tuning();
+        ordered.replication.insert("A".into(), 4);
+        ordered.preserve_order.insert("A".into(), true);
+        let mut unordered = ordered.clone();
+        unordered.preserve_order.insert("A".into(), false);
+        let o = simulate_pipeline(&p, &ordered, &SimParams::default());
+        let u = simulate_pipeline(&p, &unordered, &SimParams::default());
+        assert!(o.parallel_time >= u.parallel_time);
+        // but still far better than unreplicated
+        let base = simulate_pipeline(&p, &default_tuning(), &SimParams::default());
+        assert!(o.parallel_time < base.parallel_time);
+    }
+
+    #[test]
+    fn doall_scales_with_workers_until_cores() {
+        let t1 = patty_runtime::LoopTuning { workers: 1, chunk: 8, sequential: false };
+        let t4 = patty_runtime::LoopTuning { workers: 4, chunk: 8, sequential: false };
+        let t64 = patty_runtime::LoopTuning { workers: 64, chunk: 8, sequential: false };
+        let p = SimParams::default();
+        let s1 = simulate_doall(500, 4000, &t1, &p);
+        let s4 = simulate_doall(500, 4000, &t4, &p);
+        let s64 = simulate_doall(500, 4000, &t64, &p);
+        assert!(s4.parallel_time * 3 < s1.parallel_time);
+        // beyond core count there is no further gain
+        assert!(s64.parallel_time >= s4.parallel_time / 4);
+    }
+
+    #[test]
+    fn autotuner_finds_replication_through_the_simulator() {
+        use patty_tuning::{LinearSearch, Tuner, TuningConfig, TuningParam};
+        let p = plan(&[("A", 4000, true), ("B", 500, false)], 400);
+        let mut cfg = TuningConfig::new("test");
+        cfg.push(TuningParam::replication("test.A.replication", "main:1", 8));
+        cfg.push(TuningParam::sequential_execution("test.sequential", "main:1"));
+        let mut eval = PipelineSimEvaluator { plan: p, params: SimParams::default() };
+        let mut tuner = LinearSearch::default();
+        let result = tuner.tune(cfg, &mut eval, 100);
+        let rep = result.best.get("test.A.replication").unwrap().as_i64();
+        assert!(rep >= 4, "tuner should replicate the bottleneck, got {rep}");
+        assert!(!result.best.get("test.sequential").unwrap().as_bool());
+    }
+
+    #[test]
+    fn autotuner_picks_sequential_for_tiny_streams() {
+        use patty_tuning::{LinearSearch, Tuner, TuningConfig, TuningParam};
+        let p = plan(&[("A", 50, true), ("B", 50, false)], 2);
+        let mut cfg = TuningConfig::new("test");
+        cfg.push(TuningParam::replication("test.A.replication", "main:1", 8));
+        cfg.push(TuningParam::sequential_execution("test.sequential", "main:1"));
+        let mut eval = PipelineSimEvaluator {
+            plan: p,
+            params: SimParams { spawn_overhead: 5_000, ..SimParams::default() },
+        };
+        let mut tuner = LinearSearch::default();
+        let result = tuner.tune(cfg, &mut eval, 100);
+        assert!(
+            result.best.get("test.sequential").unwrap().as_bool(),
+            "short stream must fall back to sequential execution"
+        );
+    }
+}

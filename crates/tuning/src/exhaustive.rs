@@ -1,0 +1,121 @@
+//! Exhaustive search over the full cross product of parameter domains.
+//!
+//! Only feasible for small spaces (the paper's pipeline spaces are a few
+//! dozen to a few thousand points), but it provides the ground-truth
+//! optimum against which the heuristic tuners are evaluated in the
+//! ablation benches.
+
+use crate::param::TuningConfig;
+use crate::tuner::{Evaluator, Tracker, Tuner, TuningResult};
+
+/// Enumerate every configuration (within the evaluation budget).
+#[derive(Clone, Debug, Default)]
+pub struct ExhaustiveSearch;
+
+impl Tuner for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult {
+        let mut tracker = Tracker::new(evaluator, budget);
+        let domains: Vec<Vec<crate::param::ParamValue>> = initial
+            .params
+            .iter()
+            .map(|p| p.domain.values())
+            .collect();
+        let mut indices = vec![0usize; domains.len()];
+        'outer: loop {
+            let mut candidate = initial.clone();
+            for (dim, &idx) in indices.iter().enumerate() {
+                candidate.params[dim].value = domains[dim][idx];
+            }
+            if tracker.measure(&candidate).is_none() {
+                break;
+            }
+            // odometer increment
+            for dim in 0..domains.len() {
+                indices[dim] += 1;
+                if indices[dim] < domains[dim].len() {
+                    continue 'outer;
+                }
+                indices[dim] = 0;
+            }
+            break; // wrapped all dimensions: done
+        }
+        tracker.finish(initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamValue, TuningConfig, TuningParam};
+    use crate::tuner::FnEvaluator;
+    use crate::{HillClimbing, LinearSearch, NelderMead, TabuSearch};
+
+    fn config() -> TuningConfig {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::replication("rep", "f:1", 6));
+        c.push(TuningParam::stage_fusion("fuse", "f:2"));
+        c.push(TuningParam::sequential_execution("seq", "f:3"));
+        c
+    }
+
+    fn objective(c: &TuningConfig) -> f64 {
+        let rep = c.get("rep").unwrap().as_i64() as f64;
+        let fuse = c.get("fuse").unwrap().as_bool();
+        let seq = c.get("seq").unwrap().as_bool();
+        if seq {
+            100.0
+        } else {
+            (rep - 5.0).powi(2) + if fuse { 3.0 } else { 0.0 }
+        }
+    }
+
+    #[test]
+    fn visits_the_entire_space() {
+        let mut tuner = ExhaustiveSearch;
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 1000);
+        // 6 × 2 × 2
+        assert_eq!(r.evaluations, 24);
+        assert_eq!(r.best_score, 0.0);
+        assert_eq!(r.best.get("rep"), Some(ParamValue::Int(5)));
+        assert!(!r.best.get("fuse").unwrap().as_bool());
+        assert!(!r.best.get("seq").unwrap().as_bool());
+    }
+
+    #[test]
+    fn budget_truncates_enumeration() {
+        let mut tuner = ExhaustiveSearch;
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 5);
+        assert_eq!(r.evaluations, 5);
+    }
+
+    #[test]
+    fn heuristics_match_the_exhaustive_optimum_on_this_space() {
+        let oracle = ExhaustiveSearch
+            .tune(config(), &mut FnEvaluator(objective), 1000)
+            .best_score;
+        let mut linear = LinearSearch { passes: 2 };
+        let mut hill = HillClimbing::default();
+        let mut nm = NelderMead::default();
+        let mut tabu = TabuSearch::default();
+        for (name, score) in [
+            ("linear", linear.tune(config(), &mut FnEvaluator(objective), 400).best_score),
+            ("hill", hill.tune(config(), &mut FnEvaluator(objective), 400).best_score),
+            ("nelder-mead", nm.tune(config(), &mut FnEvaluator(objective), 400).best_score),
+            ("tabu", tabu.tune(config(), &mut FnEvaluator(objective), 400).best_score),
+        ] {
+            assert!(
+                score <= oracle + 3.0,
+                "{name} ended {score} vs oracle {oracle}"
+            );
+        }
+    }
+}

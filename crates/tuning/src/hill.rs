@@ -1,0 +1,162 @@
+//! Random-restart hill climbing, the style of online tuner evaluated by
+//! Karcher & Pankratius \[29\] that the paper names as a smarter follow-up
+//! to its linear search.
+
+use crate::param::{ParamValue, TuningConfig};
+use crate::tuner::{values_of, with_values, Evaluator, Tracker, Tuner, TuningResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Steepest-ascent hill climbing over the ±1-step neighborhood, with
+/// random restarts when stuck.
+#[derive(Clone, Debug)]
+pub struct HillClimbing {
+    pub seed: u64,
+}
+
+impl Default for HillClimbing {
+    fn default() -> HillClimbing {
+        HillClimbing { seed: 0xC11B }
+    }
+}
+
+/// All single-dimension neighbor assignments of `values`.
+pub(crate) fn neighbors(config: &TuningConfig, values: &[ParamValue]) -> Vec<Vec<ParamValue>> {
+    let mut out = Vec::new();
+    for (dim, p) in config.params.iter().enumerate() {
+        let domain = p.domain.values();
+        let idx = domain.iter().position(|v| *v == values[dim]).unwrap_or(0);
+        for next in [idx.wrapping_sub(1), idx + 1] {
+            if let Some(v) = domain.get(next) {
+                let mut n = values.to_vec();
+                n[dim] = *v;
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// A uniformly random assignment.
+pub(crate) fn random_assignment(config: &TuningConfig, rng: &mut StdRng) -> Vec<ParamValue> {
+    config
+        .params
+        .iter()
+        .map(|p| {
+            let vals = p.domain.values();
+            vals[rng.gen_range(0..vals.len())]
+        })
+        .collect()
+}
+
+impl Tuner for HillClimbing {
+    fn name(&self) -> &'static str {
+        "hill-climbing"
+    }
+
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = Tracker::new(evaluator, budget);
+        let mut current = values_of(&initial);
+        let Some(mut current_score) = tracker.measure(&initial) else {
+            return tracker.finish(initial);
+        };
+        while !tracker.exhausted() {
+            let mut best_neighbor: Option<(Vec<ParamValue>, f64)> = None;
+            for n in neighbors(&initial, &current) {
+                let candidate = with_values(initial.clone(), &n);
+                match tracker.measure(&candidate) {
+                    Some(score) => {
+                        if best_neighbor.as_ref().map(|(_, s)| score < *s).unwrap_or(true) {
+                            best_neighbor = Some((n, score));
+                        }
+                    }
+                    None => return tracker.finish(initial),
+                }
+            }
+            match best_neighbor {
+                Some((n, score)) if score < current_score => {
+                    current = n;
+                    current_score = score;
+                }
+                _ => {
+                    // Local optimum: random restart.
+                    current = random_assignment(&initial, &mut rng);
+                    let candidate = with_values(initial.clone(), &current);
+                    match tracker.measure(&candidate) {
+                        Some(score) => current_score = score,
+                        None => break,
+                    }
+                }
+            }
+        }
+        tracker.finish(initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TuningParam;
+    use crate::tuner::FnEvaluator;
+
+    fn config() -> TuningConfig {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::replication("rep", "f:1", 16));
+        c.push(TuningParam::worker_count("w", "f:2", 16));
+        c
+    }
+
+    #[test]
+    fn climbs_to_global_optimum_on_convex_surface() {
+        let objective = |c: &TuningConfig| {
+            let r = c.get("rep").unwrap().as_i64() as f64;
+            let w = c.get("w").unwrap().as_i64() as f64;
+            (r - 10.0).powi(2) + (w - 5.0).powi(2)
+        };
+        let mut tuner = HillClimbing::default();
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 400);
+        assert_eq!(r.best.get("rep").unwrap().as_i64(), 10);
+        assert_eq!(r.best.get("w").unwrap().as_i64(), 5);
+    }
+
+    #[test]
+    fn restarts_escape_local_optima() {
+        // Two basins: a shallow one around rep=2 and the global one at
+        // rep=14. Starting at rep=1 the climber falls into the shallow
+        // basin; restarts must still find the global one.
+        let objective = |c: &TuningConfig| {
+            let r = c.get("rep").unwrap().as_i64() as f64;
+            let local = (r - 2.0).powi(2) + 2.0;
+            let global = (r - 14.0).powi(2) * 4.0;
+            local.min(global)
+        };
+        let mut tuner = HillClimbing::default();
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 600);
+        assert_eq!(r.best.get("rep").unwrap().as_i64(), 14, "score {}", r.best_score);
+    }
+
+    #[test]
+    fn neighbor_generation_stays_in_domain() {
+        let c = config();
+        let vals = values_of_first(&c);
+        let ns = neighbors(&c, &vals);
+        // at the low edge each dim has exactly one neighbor
+        assert_eq!(ns.len(), 2);
+        for n in ns {
+            let cand = with_values(c.clone(), &n);
+            for p in &cand.params {
+                assert!(p.domain.contains(p.value));
+            }
+        }
+    }
+
+    fn values_of_first(c: &TuningConfig) -> Vec<ParamValue> {
+        c.params.iter().map(|p| p.value).collect()
+    }
+}

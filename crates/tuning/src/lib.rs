@@ -1,0 +1,47 @@
+//! # patty-tuning
+//!
+//! Tuning configurations and auto-tuners for Patty's *tunable parallel
+//! patterns* (PMAM'15, Sections 2.1–2.2 and 3/R1).
+//!
+//! Detection derives runtime-relevant parameters — `StageReplication`,
+//! `OrderPreservation`, `StageFusion`, `SequentialExecution`, worker
+//! counts, chunk sizes — and writes them into a JSON
+//! [`TuningConfig`] file (Fig. 3c). The parallel runtime initializes its
+//! patterns from the file; an auto-tuner then iterates
+//! execute → measure → update (Fig. 4c). The paper's shipped algorithm is
+//! the per-dimension [`LinearSearch`]; [`HillClimbing`] (Karcher &
+//! Pankratius \[29\]), [`NelderMead`] \[30\] and [`TabuSearch`] \[31\] are the
+//! "smarter algorithms" it names as future work.
+//!
+//! ```
+//! use patty_tuning::{FnEvaluator, LinearSearch, Tuner, TuningConfig, TuningParam};
+//!
+//! let mut config = TuningConfig::new("pipeline_main_l4");
+//! config.push(TuningParam::replication("C.replication", "main:8", 8));
+//! let mut tuner = LinearSearch::default();
+//! let result = tuner.tune(
+//!     config,
+//!     &mut FnEvaluator(|c: &TuningConfig| {
+//!         let r = c.get("C.replication").unwrap().as_i64() as f64;
+//!         (r - 4.0).abs() // pretend 4 workers is fastest
+//!     }),
+//!     100,
+//! );
+//! assert_eq!(result.best.get("C.replication").unwrap().as_i64(), 4);
+//! ```
+
+pub mod exhaustive;
+pub mod hill;
+pub mod linear;
+pub mod neldermead;
+pub mod param;
+pub mod tabu;
+pub mod tuner;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use hill::HillClimbing;
+pub use linear::LinearSearch;
+pub use neldermead::NelderMead;
+pub use param::{ParamDomain, ParamKind, ParamValue, TuningConfig, TuningParam};
+pub use tabu::TabuSearch;
+pub use tuner::{Evaluator, FnEvaluator, Tuner, TuningResult};

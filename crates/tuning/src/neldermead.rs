@@ -1,0 +1,222 @@
+//! Nelder–Mead simplex search \[30\], one of the "smarter algorithms" the
+//! paper plans to evaluate (Section 3, R1).
+//!
+//! The discrete tuning space is relaxed to a continuous one (booleans as
+//! 0/1, integer ranges as reals); every probe is snapped back into the
+//! domain before measuring, so the evaluator only ever sees legal
+//! configurations.
+
+use crate::param::TuningConfig;
+use crate::tuner::{Evaluator, Tracker, Tuner, TuningResult};
+
+/// Classic Nelder–Mead with standard coefficients (reflection 1,
+/// expansion 2, contraction 0.5, shrink 0.5).
+#[derive(Clone, Debug)]
+pub struct NelderMead {
+    /// Initial simplex spread as a fraction of each dimension's extent.
+    pub spread: f64,
+    /// Convergence threshold on simplex score spread.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> NelderMead {
+        NelderMead { spread: 0.35, tolerance: 1e-6 }
+    }
+}
+
+fn bounds(config: &TuningConfig) -> Vec<(f64, f64)> {
+    config
+        .params
+        .iter()
+        .map(|p| match &p.domain {
+            crate::param::ParamDomain::Bool => (0.0, 1.0),
+            crate::param::ParamDomain::IntRange { lo, hi, .. } => (*lo as f64, *hi as f64),
+        })
+        .collect()
+}
+
+fn snap(config: &TuningConfig, point: &[f64]) -> TuningConfig {
+    let mut c = config.clone();
+    for (p, raw) in c.params.iter_mut().zip(point) {
+        p.value = p.domain.snap(*raw);
+    }
+    c
+}
+
+impl Tuner for NelderMead {
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult {
+        let dims = initial.params.len();
+        if dims == 0 {
+            let mut tracker = Tracker::new(evaluator, budget);
+            tracker.measure(&initial);
+            return tracker.finish(initial);
+        }
+        let bs = bounds(&initial);
+        let mut tracker = Tracker::new(evaluator, budget);
+
+        // Initial simplex: current point plus one vertex displaced per
+        // dimension.
+        let start: Vec<f64> = initial.params.iter().map(|p| p.value.as_i64() as f64).collect();
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dims + 1);
+        let eval_point = |point: &[f64], tracker: &mut Tracker| -> Option<f64> {
+            tracker.measure(&snap(&initial, point))
+        };
+        match eval_point(&start, &mut tracker) {
+            Some(s) => simplex.push((start.clone(), s)),
+            None => return tracker.finish(initial),
+        }
+        for d in 0..dims {
+            let (lo, hi) = bs[d];
+            let mut v = start.clone();
+            let delta = ((hi - lo) * self.spread).max(1.0);
+            v[d] = if v[d] + delta <= hi { v[d] + delta } else { (v[d] - delta).max(lo) };
+            match eval_point(&v, &mut tracker) {
+                Some(s) => simplex.push((v, s)),
+                None => return tracker.finish(initial),
+            }
+        }
+
+        while !tracker.exhausted() {
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let spread = simplex.last().expect("nonempty").1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                break;
+            }
+            let worst = simplex.len() - 1;
+            // centroid of all but worst
+            let mut centroid = vec![0.0; dims];
+            for (v, _) in &simplex[..worst] {
+                for d in 0..dims {
+                    centroid[d] += v[d] / worst as f64;
+                }
+            }
+            let reflect: Vec<f64> = (0..dims)
+                .map(|d| centroid[d] + (centroid[d] - simplex[worst].0[d]))
+                .collect();
+            let Some(r_score) = eval_point(&reflect, &mut tracker) else { break };
+            if r_score < simplex[0].1 {
+                // try expansion
+                let expand: Vec<f64> = (0..dims)
+                    .map(|d| centroid[d] + 2.0 * (centroid[d] - simplex[worst].0[d]))
+                    .collect();
+                match eval_point(&expand, &mut tracker) {
+                    Some(e_score) if e_score < r_score => simplex[worst] = (expand, e_score),
+                    Some(_) => simplex[worst] = (reflect, r_score),
+                    None => break,
+                }
+            } else if r_score < simplex[worst - 1].1 {
+                simplex[worst] = (reflect, r_score);
+            } else {
+                // contraction toward the better of worst/reflected
+                let toward = if r_score < simplex[worst].1 { &reflect } else { &simplex[worst].0 };
+                let contract: Vec<f64> = (0..dims)
+                    .map(|d| centroid[d] + 0.5 * (toward[d] - centroid[d]))
+                    .collect();
+                match eval_point(&contract, &mut tracker) {
+                    Some(c_score)
+                        if c_score < r_score.min(simplex[worst].1) =>
+                    {
+                        simplex[worst] = (contract, c_score)
+                    }
+                    Some(_) => {
+                        // shrink toward the best vertex
+                        let best = simplex[0].0.clone();
+                        for i in 1..simplex.len() {
+                            let shrunk: Vec<f64> = (0..dims)
+                                .map(|d| best[d] + 0.5 * (simplex[i].0[d] - best[d]))
+                                .collect();
+                            match eval_point(&shrunk, &mut tracker) {
+                                Some(s) => simplex[i] = (shrunk, s),
+                                None => return tracker.finish(initial),
+                            }
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        tracker.finish(initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{TuningConfig, TuningParam};
+    use crate::tuner::FnEvaluator;
+
+    fn config() -> TuningConfig {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::replication("rep", "f:1", 32));
+        c.push(TuningParam::worker_count("w", "f:2", 32));
+        c
+    }
+
+    #[test]
+    fn converges_on_quadratic_bowl() {
+        let objective = |c: &TuningConfig| {
+            let r = c.get("rep").unwrap().as_i64() as f64;
+            let w = c.get("w").unwrap().as_i64() as f64;
+            (r - 20.0).powi(2) + 2.0 * (w - 7.0).powi(2)
+        };
+        let mut tuner = NelderMead::default();
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 300);
+        assert!(
+            (r.best.get("rep").unwrap().as_i64() - 20).abs() <= 2,
+            "rep = {:?}",
+            r.best.get("rep")
+        );
+        assert!((r.best.get("w").unwrap().as_i64() - 7).abs() <= 2);
+    }
+
+    #[test]
+    fn all_probes_are_legal_configurations() {
+        let mut seen_illegal = false;
+        {
+            let mut tuner = NelderMead::default();
+            let mut eval = FnEvaluator(|c: &TuningConfig| {
+                for p in &c.params {
+                    if !p.domain.contains(p.value) {
+                        seen_illegal = true;
+                    }
+                }
+                1.0
+            });
+            tuner.tune(config(), &mut eval, 50);
+        }
+        assert!(!seen_illegal);
+    }
+
+    #[test]
+    fn handles_boolean_dimensions() {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::replication("rep", "f:1", 8));
+        c.push(TuningParam::stage_fusion("fuse", "f:2"));
+        let objective = |c: &TuningConfig| {
+            let r = c.get("rep").unwrap().as_i64() as f64;
+            let f = c.get("fuse").unwrap().as_bool();
+            (r - 6.0).powi(2) + if f { 0.0 } else { 10.0 }
+        };
+        let mut tuner = NelderMead::default();
+        let r = tuner.tune(c, &mut FnEvaluator(objective), 200);
+        assert!(r.best.get("fuse").unwrap().as_bool());
+    }
+
+    #[test]
+    fn empty_config_degenerates_gracefully() {
+        let mut tuner = NelderMead::default();
+        let r = tuner.tune(TuningConfig::new("t"), &mut FnEvaluator(|_| 3.0), 10);
+        assert_eq!(r.best_score, 3.0);
+        assert_eq!(r.evaluations, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Tabu search (Glover \[31\]), the second "smarter algorithm" named by the
+//! paper as future work for the tuning cycle.
+
+use crate::hill::{neighbors, random_assignment};
+use crate::param::{ParamValue, TuningConfig};
+use crate::tuner::{values_of, with_values, Evaluator, Tracker, Tuner, TuningResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Neighborhood search that always moves to the best non-tabu neighbor —
+/// even uphill — while keeping recently visited assignments on a tabu
+/// list, which lets it walk out of local optima without restarts.
+#[derive(Clone, Debug)]
+pub struct TabuSearch {
+    /// Length of the tabu list.
+    pub tenure: usize,
+    /// Consecutive non-improving moves before a random diversification.
+    pub patience: u32,
+    pub seed: u64,
+}
+
+impl Default for TabuSearch {
+    fn default() -> TabuSearch {
+        TabuSearch { tenure: 16, patience: 12, seed: 0x7AB0 }
+    }
+}
+
+impl Tuner for TabuSearch {
+    fn name(&self) -> &'static str {
+        "tabu-search"
+    }
+
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = Tracker::new(evaluator, budget);
+        let mut current = values_of(&initial);
+        if tracker.measure(&initial).is_none() {
+            return tracker.finish(initial);
+        }
+        let mut tabu: VecDeque<Vec<ParamValue>> = VecDeque::with_capacity(self.tenure + 1);
+        tabu.push_back(current.clone());
+        let mut stale = 0u32;
+        let mut best_so_far = tracker.best.as_ref().map(|(_, s)| *s).unwrap_or(f64::INFINITY);
+
+        while !tracker.exhausted() {
+            let mut best_move: Option<(Vec<ParamValue>, f64)> = None;
+            for n in neighbors(&initial, &current) {
+                if tabu.contains(&n) {
+                    continue;
+                }
+                let candidate = with_values(initial.clone(), &n);
+                match tracker.measure(&candidate) {
+                    Some(score) => {
+                        if best_move.as_ref().map(|(_, s)| score < *s).unwrap_or(true) {
+                            best_move = Some((n, score));
+                        }
+                    }
+                    None => return tracker.finish(initial),
+                }
+            }
+            let (next, score) = match best_move {
+                Some(m) => m,
+                None => {
+                    // whole neighborhood tabu: diversify
+                    let n = random_assignment(&initial, &mut rng);
+                    let candidate = with_values(initial.clone(), &n);
+                    match tracker.measure(&candidate) {
+                        Some(s) => (n, s),
+                        None => break,
+                    }
+                }
+            };
+            current = next.clone();
+            tabu.push_back(next);
+            while tabu.len() > self.tenure {
+                tabu.pop_front();
+            }
+            if score < best_so_far {
+                best_so_far = score;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.patience {
+                    current = random_assignment(&initial, &mut rng);
+                    let candidate = with_values(initial.clone(), &current);
+                    if tracker.measure(&candidate).is_none() {
+                        break;
+                    }
+                    stale = 0;
+                }
+            }
+        }
+        tracker.finish(initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TuningParam;
+    use crate::tuner::FnEvaluator;
+
+    fn config() -> TuningConfig {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::replication("rep", "f:1", 16));
+        c.push(TuningParam::stage_fusion("fuse", "f:2"));
+        c
+    }
+
+    #[test]
+    fn finds_optimum_through_a_ridge() {
+        // A ridge objective: moving rep up from 1 first gets worse before
+        // it gets better; plain greedy descent would stop immediately.
+        let objective = |c: &TuningConfig| {
+            let r = c.get("rep").unwrap().as_i64();
+            match r {
+                1 => 5.0,
+                2..=4 => 8.0,  // the ridge
+                _ => (r as f64 - 12.0).powi(2), // global optimum at 12 → 0
+            }
+        };
+        let mut tuner = TabuSearch::default();
+        let r = tuner.tune(config(), &mut FnEvaluator(objective), 500);
+        assert_eq!(r.best.get("rep").unwrap().as_i64(), 12, "score {}", r.best_score);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let objective = |c: &TuningConfig| {
+            (c.get("rep").unwrap().as_i64() as f64 - 9.0).abs()
+        };
+        let run = |seed| {
+            let mut tuner = TabuSearch { seed, ..TabuSearch::default() };
+            let r = tuner.tune(config(), &mut FnEvaluator(objective), 120);
+            (r.best_score.to_bits(), r.evaluations)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let mut tuner = TabuSearch::default();
+        let r = tuner.tune(config(), &mut FnEvaluator(|_| 1.0), 37);
+        assert_eq!(r.evaluations, 37);
+    }
+}

@@ -1,0 +1,143 @@
+//! The auto-tuning cycle: "The auto tuner initializes the program with
+//! parameter values, executes it, measures and visualizes the runtime, and
+//! computes new parameter values." (Section 3, Fig. 4c)
+
+use crate::param::{ParamValue, TuningConfig};
+
+/// Measures one configuration; lower scores are better (runtime).
+pub trait Evaluator {
+    /// Execute the application under `config` and return its measured cost.
+    fn measure(&mut self, config: &TuningConfig) -> f64;
+}
+
+/// An [`Evaluator`] from a closure.
+pub struct FnEvaluator<F: FnMut(&TuningConfig) -> f64>(pub F);
+
+impl<F: FnMut(&TuningConfig) -> f64> Evaluator for FnEvaluator<F> {
+    fn measure(&mut self, config: &TuningConfig) -> f64 {
+        (self.0)(config)
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// Best configuration found.
+    pub best: TuningConfig,
+    /// Its measured score.
+    pub best_score: f64,
+    /// How many configurations were measured.
+    pub evaluations: u32,
+    /// (evaluation index, best-so-far score) — the tuning curve Patty
+    /// plots in the runtime-tuning view.
+    pub history: Vec<(u32, f64)>,
+}
+
+/// A search strategy over tuning configurations.
+pub trait Tuner {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Search for the best configuration within an evaluation budget.
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult;
+}
+
+/// Bookkeeping shared by all tuners: measure, count, track the best.
+pub(crate) struct Tracker<'e> {
+    pub evaluator: &'e mut dyn Evaluator,
+    pub budget: u32,
+    pub evaluations: u32,
+    pub best: Option<(TuningConfig, f64)>,
+    pub history: Vec<(u32, f64)>,
+}
+
+impl<'e> Tracker<'e> {
+    pub fn new(evaluator: &'e mut dyn Evaluator, budget: u32) -> Tracker<'e> {
+        Tracker { evaluator, budget, evaluations: 0, best: None, history: Vec::new() }
+    }
+
+    /// Measure a configuration (if budget remains) and update the best.
+    pub fn measure(&mut self, config: &TuningConfig) -> Option<f64> {
+        if self.evaluations >= self.budget {
+            return None;
+        }
+        let score = self.evaluator.measure(config);
+        self.evaluations += 1;
+        let improved = self.best.as_ref().map(|(_, s)| score < *s).unwrap_or(true);
+        if improved {
+            self.best = Some((config.clone(), score));
+        }
+        let best_score = self.best.as_ref().map(|(_, s)| *s).unwrap_or(score);
+        self.history.push((self.evaluations, best_score));
+        Some(score)
+    }
+
+    pub fn exhausted(&self) -> bool {
+        self.evaluations >= self.budget
+    }
+
+    pub fn finish(self, fallback: TuningConfig) -> TuningResult {
+        match self.best {
+            Some((best, best_score)) => TuningResult {
+                best,
+                best_score,
+                evaluations: self.evaluations,
+                history: self.history,
+            },
+            None => TuningResult {
+                best: fallback,
+                best_score: f64::INFINITY,
+                evaluations: 0,
+                history: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Encode a configuration as the vector of current values (dimension order
+/// = parameter order), used by neighborhood-based tuners.
+pub(crate) fn values_of(config: &TuningConfig) -> Vec<ParamValue> {
+    config.params.iter().map(|p| p.value).collect()
+}
+
+/// Build a configuration from a value vector.
+pub(crate) fn with_values(mut config: TuningConfig, values: &[ParamValue]) -> TuningConfig {
+    for (p, v) in config.params.iter_mut().zip(values) {
+        p.value = *v;
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{TuningConfig, TuningParam};
+
+    #[test]
+    fn tracker_tracks_best_and_budget() {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::worker_count("w", "f:1", 4));
+        let scores = std::cell::Cell::new(10.0);
+        let mut eval = FnEvaluator(|_: &TuningConfig| {
+            let s = scores.get();
+            scores.set(s - 1.0);
+            s
+        });
+        let mut t = Tracker::new(&mut eval, 3);
+        assert_eq!(t.measure(&c), Some(10.0));
+        assert_eq!(t.measure(&c), Some(9.0));
+        assert_eq!(t.measure(&c), Some(8.0));
+        assert!(t.exhausted());
+        assert_eq!(t.measure(&c), None);
+        let r = t.finish(c);
+        assert_eq!(r.best_score, 8.0);
+        assert_eq!(r.evaluations, 3);
+        // history is monotone non-increasing
+        assert!(r.history.windows(2).all(|w| w[1].1 <= w[0].1));
+    }
+}

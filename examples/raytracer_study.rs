@@ -1,0 +1,41 @@
+//! The user-study pipeline end to end (Section 4): run Patty on the
+//! RayTracing benchmark, show the three detected locations with overlays,
+//! then replay the whole simulated study and print its headline numbers.
+//!
+//! Run with: `cargo run --example raytracer_study`
+
+use patty_workspace::patty::{render_candidates, Patty};
+use patty_workspace::userstudy::{run_study, StudyConfig};
+
+fn main() {
+    // What the Patty group's tool actually did during the study.
+    let run = Patty::new()
+        .run_automatic(patty_workspace::corpus::raytracer_program().source)
+        .expect("raytracer analyses cleanly");
+    println!("— Patty on the study benchmark (13 classes) —");
+    let instances: Vec<_> = run.artifacts.iter().map(|a| a.instance.clone()).collect();
+    print!("{}", render_candidates(&instances));
+
+    // The full study.
+    let results = run_study(&StudyConfig::default());
+    println!("\n— study headline numbers —");
+    for e in results.effectivity() {
+        println!(
+            "  {:<16} found {:.2}/3 ({:>3.0}%), {:.2} false positive(s), {:.1} min",
+            e.group.to_string(),
+            e.avg_found,
+            e.accuracy * 100.0,
+            e.avg_false_positives,
+            e.avg_total_min
+        );
+    }
+    let (_, patty_total, studio_total) = results.table1();
+    println!(
+        "\n  comprehensibility: Patty {patty_total:.2} vs Parallel Studio {studio_total:.2} (paper: 2.17 vs 1.00)"
+    );
+    let (_, p_overall, s_overall) = results.table2();
+    println!(
+        "  overall assessment: Patty {p_overall:.2} vs Parallel Studio {s_overall:.2} (paper: 2.25 vs 1.40)"
+    );
+    println!("\n(the Patty group's findings above come from the real detector run)");
+}

@@ -1,0 +1,19 @@
+//! Umbrella package for the Patty workspace.
+//!
+//! This crate only re-exports the workspace members so the cross-crate
+//! integration tests in `tests/` and the runnable examples in `examples/`
+//! have a single dependency root. The actual library lives in the
+//! `patty-*` crates.
+
+pub use patty_analysis as analysis;
+pub use patty_chess as chess;
+pub use patty_corpus as corpus;
+pub use patty_minilang as minilang;
+pub use patty_patterns as patterns;
+pub use patty_runtime as runtime;
+pub use patty_tadl as tadl;
+pub use patty_testgen as testgen;
+pub use patty_tool as patty;
+pub use patty_transform as transform;
+pub use patty_tuning as tuning;
+pub use patty_userstudy as userstudy;

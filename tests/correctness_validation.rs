@@ -1,0 +1,118 @@
+//! Cross-crate integration: the correctness-validation half of the
+//! process — every pattern the detector emits on the corpus yields a
+//! parallel unit test that is race-free under systematic exploration
+//! (the optimistic analysis' debt is paid by CHESS), except where the
+//! corpus deliberately plants prefix-blind conflicts.
+
+use patty_workspace::chess::{ChessOptions, FailureKind};
+use patty_workspace::corpus::all_programs;
+use patty_workspace::patty::Patty;
+
+#[test]
+fn detected_patterns_unit_tests_and_verdicts() {
+    let patty = Patty::new();
+    // ringbuffer is the deliberate blind spot: its detected "DOALLs" are
+    // wrong (conflicts beyond the traced prefix). Its per-element unit
+    // tests replay only the clean prefix, so CHESS cannot see those
+    // conflicts either — that is the documented residual risk of dynamic
+    // analysis (Section 6), not a bug in the tester.
+    for prog in all_programs() {
+        let run = patty.run_automatic(prog.source).unwrap();
+        for a in &run.artifacts {
+            let Some(test) = &a.unit_test else {
+                panic!("{}: profiled instance without unit test", prog.name);
+            };
+            let report = patty_workspace::testgen::run_unit_test(
+                test,
+                ChessOptions { max_schedules: 700, ..ChessOptions::default() },
+            );
+            let raced = report
+                .failures
+                .iter()
+                .any(|f| matches!(f.kind, FailureKind::Race { .. }));
+            assert!(
+                !raced,
+                "{}/{}: unit test raced: {:?}",
+                prog.name, a.arch.name, report.failures
+            );
+            assert!(
+                !report.failures.iter().any(|f| f.kind == FailureKind::Deadlock),
+                "{}/{}: generated test deadlocked",
+                prog.name,
+                a.arch.name
+            );
+        }
+    }
+}
+
+#[test]
+fn over_parallelized_annotation_is_caught() {
+    // An engineer wrongly marks a stateful stage replicable; validation
+    // must catch it (this is the safety net that makes optimistic
+    // detection acceptable).
+    let source = r#"
+        class Rng { var state = 1; fn next() { this.state = this.state * 75 % 65537; return this.state; } }
+        fn main() {
+            var rng = new Rng();
+            var out = [];
+            #region TADL: A+ => B
+            foreach (i in range(0, 4)) {
+                #region A:
+                var v = rng.next();
+                #endregion
+                #region B:
+                out.add(v);
+                #endregion
+            }
+            #endregion
+            print(len(out));
+        }
+    "#;
+    let patty = Patty::new();
+    let run = patty.run_annotated(source).unwrap();
+    let reports = patty.validate_correctness(&run);
+    assert_eq!(reports.len(), 1);
+    assert!(
+        reports[0]
+            .1
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Race { .. })),
+        "replicating the RNG stage must be flagged: {:?}",
+        reports[0].1.failures
+    );
+}
+
+#[test]
+fn failure_comes_with_reproducing_schedule() {
+    let source = r#"
+        class C { var n = 0; fn add(x) { this.n = this.n + x; return this.n; } }
+        fn main() {
+            var c = new C();
+            var log = [];
+            #region TADL: A+ => B
+            foreach (i in range(0, 3)) {
+                #region A:
+                var v = c.add(i);
+                #endregion
+                #region B:
+                log.add(v);
+                #endregion
+            }
+            #endregion
+            print(len(log));
+        }
+    "#;
+    let patty = Patty::new();
+    let run = patty.run_annotated(source).unwrap();
+    let (_, report) = &patty.validate_correctness(&run)[0];
+    let race = report
+        .failures
+        .iter()
+        .find(|f| matches!(f.kind, FailureKind::Race { .. }))
+        .expect("race found");
+    assert!(
+        !race.schedule.is_empty(),
+        "every failure carries its reproducing schedule"
+    );
+}

@@ -1,0 +1,94 @@
+//! Property-based semantics of the parallel runtime library: whatever the
+//! tuning values, the patterns must compute exactly what the sequential
+//! loop computes — that is the contract that makes the tuning
+//! configuration "changeable without recompilation" safe.
+
+use patty_workspace::runtime::{MasterWorker, ParallelFor, Pipeline, Stage};
+use proptest::prelude::*;
+
+fn stage_fn(kind: u8) -> impl Fn(i64) -> i64 + Send + Sync + Clone + 'static {
+    move |x: i64| match kind % 4 {
+        0 => x.wrapping_add(13),
+        1 => x.wrapping_mul(3),
+        2 => x ^ 0x5f5f,
+        _ => x.wrapping_sub(7).rotate_left(3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_equals_sequential_composition(
+        input in proptest::collection::vec(-1000i64..1000, 0..60),
+        kinds in proptest::collection::vec(0u8..4, 1..5),
+        replication in 1usize..4,
+        preserve in any::<bool>(),
+        fusion_bits in proptest::collection::vec(any::<bool>(), 0..4),
+        sequential in any::<bool>(),
+        buffer in 1usize..9,
+    ) {
+        let stages: Vec<Stage<i64>> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let s = Stage::new(format!("s{i}"), stage_fn(k));
+                if i == 0 { s.replicated(replication).ordered(preserve) } else { s }
+            })
+            .collect();
+        let mut fusion = fusion_bits.clone();
+        fusion.truncate(kinds.len().saturating_sub(1));
+        let pipeline = Pipeline::new(stages)
+            .with_fusion(fusion)
+            .with_buffer(buffer)
+            .sequential(sequential);
+        let mut out = pipeline.run(input.clone());
+        let mut expected: Vec<i64> = input
+            .iter()
+            .map(|&x| kinds.iter().fold(x, |v, &k| stage_fn(k)(v)))
+            .collect();
+        // Without order preservation on the replicated stage the order may
+        // differ — compare multisets then; otherwise exact order.
+        if replication > 1 && !preserve && !sequential {
+            out.sort();
+            expected.sort();
+        }
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parfor_map_equals_serial_map(
+        n in 0usize..200,
+        workers in 1usize..6,
+        chunk in 1usize..40,
+        sequential in any::<bool>(),
+    ) {
+        let pf = ParallelFor { workers, chunk, sequential };
+        let out = pf.map(n, |i| (i as i64).wrapping_mul(31) ^ 7);
+        let expected: Vec<i64> = (0..n).map(|i| (i as i64).wrapping_mul(31) ^ 7).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parfor_reduce_equals_serial_fold(
+        n in 0usize..300,
+        workers in 1usize..6,
+        chunk in 1usize..50,
+    ) {
+        let pf = ParallelFor { workers, chunk, sequential: false };
+        let sum = pf.reduce(n, 0i64, |a, i| a.wrapping_add(i as i64 * 3), |a, b| a.wrapping_add(b));
+        let expected: i64 = (0..n).fold(0i64, |a, i| a.wrapping_add(i as i64 * 3));
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn masterworker_preserves_item_order(
+        items in proptest::collection::vec(-500i64..500, 0..80),
+        workers in 1usize..6,
+    ) {
+        let mw = MasterWorker::new(workers);
+        let out = mw.run(items.clone(), |x| x.wrapping_mul(x));
+        let expected: Vec<i64> = items.iter().map(|x| x.wrapping_mul(*x)).collect();
+        prop_assert_eq!(out, expected);
+    }
+}
