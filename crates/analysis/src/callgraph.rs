@@ -35,11 +35,10 @@ impl CallGraph {
             expr: &Expr,
         ) {
             patty_minilang::ast::visit_expr(expr, &mut |e| match &e.kind {
-                ExprKind::Call { callee, .. } => {
-                    if program.func(callee).is_some() {
+                ExprKind::Call { callee, .. }
+                    if program.func(callee).is_some() => {
                         edges.entry(caller.to_string()).or_default().insert(callee.clone());
                     }
-                }
                 ExprKind::MethodCall { method, .. } => {
                     for owner in method_owners.get(method.as_str()).into_iter().flatten() {
                         edges
@@ -48,14 +47,13 @@ impl CallGraph {
                             .insert(format!("{owner}.{method}"));
                     }
                 }
-                ExprKind::New { class, .. } => {
-                    if program.method(class, "init").is_some() {
+                ExprKind::New { class, .. }
+                    if program.method(class, "init").is_some() => {
                         edges
                             .entry(caller.to_string())
                             .or_default()
                             .insert(format!("{class}.init"));
                     }
-                }
                 _ => {}
             });
         }

@@ -279,13 +279,10 @@ mod tests {
         let mut for_id = None;
         let mut init_id = None;
         let mut update_id = None;
-        p.for_each_stmt(&mut |s| match &s.kind {
-            StmtKind::For { init, update, .. } => {
-                for_id = Some(s.id);
-                init_id = init.as_ref().map(|i| i.id);
-                update_id = update.as_ref().map(|u| u.id);
-            }
-            _ => {}
+        p.for_each_stmt(&mut |s| if let StmtKind::For { init, update, .. } = &s.kind {
+            for_id = Some(s.id);
+            init_id = init.as_ref().map(|i| i.id);
+            update_id = update.as_ref().map(|u| u.id);
         });
         let (f, i, u) = (for_id.unwrap(), init_id.unwrap(), update_id.unwrap());
         assert!(cfg.succs(CfgNode::Stmt(i)).any(|n| n == CfgNode::Stmt(f)));

@@ -109,7 +109,7 @@ impl LoopDeps {
                         }
                     }
                     for w2 in &eb.writes {
-                        if w.conflicts(w2) && !(a == b && w == w2 && false) {
+                        if w.conflicts(w2) {
                             push(a, b, DepKind::Output, w, &mut deps, &out.iteration_locals);
                         }
                     }

@@ -131,16 +131,14 @@ pub fn jump_effects(stmt: &Stmt) -> JumpEffects {
 
     fn walk(stmt: &Stmt, loop_depth: usize, e: &mut JumpEffects) {
         match &stmt.kind {
-            StmtKind::Break => {
-                if loop_depth == 0 {
+            StmtKind::Break
+                if loop_depth == 0 => {
                     e.breaks = true;
                 }
-            }
-            StmtKind::Continue => {
-                if loop_depth == 0 {
+            StmtKind::Continue
+                if loop_depth == 0 => {
                     e.continues = true;
                 }
-            }
             StmtKind::Return(_) => e.returns = true,
             StmtKind::If { then_blk, else_blk, .. } => {
                 for s in &then_blk.stmts {

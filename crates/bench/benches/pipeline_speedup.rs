@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patty_bench::busy_work;
 use patty_runtime::{MasterWorker, ParallelFor, Pipeline, Stage};
+use patty_telemetry::Telemetry;
 
 const FILTER_COST: u64 = 120;
 
@@ -50,6 +51,35 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("manual_parfor", frames), &frames, |b, &n| {
             b.iter(|| ParallelFor::new(8).with_chunk(4).map(n, |i| frame_work(i as u64)));
         });
+        // The no-op telemetry path (explicitly attached disabled handle —
+        // identical to the default): must stay within noise of
+        // manual_parfor, the <2% overhead budget of the disabled handle.
+        group.bench_with_input(
+            BenchmarkId::new("parfor_telemetry_disabled", frames),
+            &frames,
+            |b, &n| {
+                b.iter(|| {
+                    ParallelFor::new(8)
+                        .with_chunk(4)
+                        .with_telemetry(Telemetry::disabled())
+                        .map(n, |i| frame_work(i as u64))
+                });
+            },
+        );
+        // A live sink, for reference: what recording actually costs.
+        group.bench_with_input(
+            BenchmarkId::new("parfor_telemetry_enabled", frames),
+            &frames,
+            |b, &n| {
+                let telemetry = Telemetry::enabled();
+                b.iter(|| {
+                    ParallelFor::new(8)
+                        .with_chunk(4)
+                        .with_telemetry(telemetry.clone())
+                        .map(n, |i| frame_work(i as u64))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -153,8 +153,10 @@ fn main() {
         let mut eval =
             PipelineSimEvaluator { plan: a.plan.clone(), params: SimParams::default() };
         let tuned = LinearSearch::default().tune(a.instance.tuning.clone(), &mut eval, 80);
-        let tuned_values = patty_runtime::PipelineTuning::from_config(&tuned.best);
-        let default_values = patty_runtime::PipelineTuning::from_config(&a.instance.tuning);
+        let tuned_values = patty_runtime::PipelineTuning::from_config(&tuned.best)
+            .expect("tuned config decodes");
+        let default_values = patty_runtime::PipelineTuning::from_config(&a.instance.tuning)
+            .expect("detector config decodes");
         let params = SimParams::default();
         let untuned = simulate_pipeline(&a.plan, &default_values, &params);
         let tuned_sim = simulate_pipeline(&a.plan, &tuned_values, &params);

@@ -63,7 +63,7 @@ fn random_case(rng: &mut StdRng) -> (ParallelPlan, TuningConfig) {
         kind: PatternKind::Pipeline,
         expr: String::new(),
         stages,
-        stream_length: 1 << rng.gen_range(2..10), // 4 .. 512
+        stream_length: 1u64 << rng.gen_range(2..10), // 4 .. 512
         element_cost,
         code: String::new(),
     };

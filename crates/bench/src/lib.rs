@@ -66,6 +66,25 @@ pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Number of cores available to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A caveat printed by the wall-clock benches when real parallelism is
+/// physically unobservable on the host.
+pub fn core_caveat() -> Option<String> {
+    let cores = host_cores();
+    (cores < 2).then(|| {
+        format!(
+            "NOTE: this host exposes {cores} core(s); wall-clock parallel speedup is \
+             physically unobservable here. The speedup *shape* claims are carried by \
+             the deterministic multi-core performance model (patty-transform::sim); \
+             the wall-clock numbers below measure semantics and overhead only."
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,23 +109,4 @@ mod tests {
         });
         assert!(d.as_nanos() > 0);
     }
-}
-
-/// Number of cores available to this process.
-pub fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// A caveat printed by the wall-clock benches when real parallelism is
-/// physically unobservable on the host.
-pub fn core_caveat() -> Option<String> {
-    let cores = host_cores();
-    (cores < 2).then(|| {
-        format!(
-            "NOTE: this host exposes {cores} core(s); wall-clock parallel speedup is \
-             physically unobservable here. The speedup *shape* claims are carried by \
-             the deterministic multi-core performance model (patty-transform::sim); \
-             the wall-clock numbers below measure semantics and overhead only."
-        )
-    })
 }

@@ -1,0 +1,644 @@
+//! # patty-json
+//!
+//! A small, zero-dependency JSON library used for every JSON artifact in
+//! the workspace: tuning configuration files (Fig. 3c), architecture
+//! descriptions, and telemetry reports. Objects preserve insertion
+//! order so serialized artifacts are stable and diffable.
+//!
+//! The parser reports descriptive errors with line/column positions —
+//! tuning files are edited by hand between runs ("all values in the
+//! configuration file can be changed", Section 2.1), so malformed input
+//! is an expected condition, not a programming error.
+
+use std::fmt;
+
+/// A JSON value. Numbers distinguish integers from floats so tuning
+/// values (`Int`) round-trip exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Add a field to an object (no-op with a debug assertion otherwise).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Json>) -> Json {
+        if let Json::Obj(fields) = &mut self {
+            fields.push((key.into(), value.into()));
+        } else {
+            debug_assert!(false, "Json::with on a non-object");
+        }
+        self
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// One-line name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Keep a trailing `.0` so floats re-parse as floats.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, depth + 1)
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        if v <= i64::MAX as u64 {
+            Json::Int(v as i64)
+        } else {
+            Json::Float(v as f64)
+        }
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Compact rendering; `to_string()` comes with it.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub message: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based.
+    pub column: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error(format!(
+            "unexpected trailing content starting with `{}`",
+            p.peek_char()
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        let (mut line, mut col) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError { message: message.into(), line, column: col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_char(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => (b as char).to_string(),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`, found `{}`", b as char, self.peek_char())))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error(format!("expected a JSON value, found `{}`", self.peek_char()))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error(format!(
+                    "expected a quoted object key, found `{}`",
+                    self.peek_char()
+                )));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => {
+                    return Err(self.error(format!(
+                        "expected `,` or `}}` in object, found `{}`",
+                        self.peek_char()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(self.error(format!(
+                        "expected `,` or `]` in array, found `{}`",
+                        self.peek_char()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error(format!("invalid \\u escape `{hex}`")))?;
+                            // Surrogate pairs are not reconstructed; lone
+                            // surrogates map to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "invalid escape `\\{}`",
+                                other.map(|b| b as char).unwrap_or('?')
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8 by
+                    // construction from &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("peeked nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if text.is_empty() || text == "-" {
+            return Err(self.error("expected a number"));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.error(format!("invalid number `{text}`")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Json::Int(v)),
+                // Overflowing integers degrade to float like serde_json's
+                // arbitrary_precision-off behavior.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| self.error(format!("invalid number `{text}`"))),
+            }
+        }
+    }
+}
+
+/// Helpers for decoding objects with descriptive errors, used by the
+/// artifact deserializers.
+pub mod de {
+    use super::Json;
+
+    /// Fetch a required field.
+    pub fn field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+        obj.get(key)
+            .ok_or_else(|| format!("{what}: missing required field `{key}`"))
+    }
+
+    pub fn str_field(obj: &Json, key: &str, what: &str) -> Result<String, String> {
+        let v = field(obj, key, what)?;
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{what}: field `{key}` must be a string, got {}", v.type_name()))
+    }
+
+    pub fn i64_field(obj: &Json, key: &str, what: &str) -> Result<i64, String> {
+        let v = field(obj, key, what)?;
+        v.as_i64()
+            .ok_or_else(|| format!("{what}: field `{key}` must be an integer, got {}", v.type_name()))
+    }
+
+    pub fn f64_field(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+        let v = field(obj, key, what)?;
+        v.as_f64()
+            .ok_or_else(|| format!("{what}: field `{key}` must be a number, got {}", v.type_name()))
+    }
+
+    pub fn bool_field(obj: &Json, key: &str, what: &str) -> Result<bool, String> {
+        let v = field(obj, key, what)?;
+        v.as_bool()
+            .ok_or_else(|| format!("{what}: field `{key}` must be a boolean, got {}", v.type_name()))
+    }
+
+    pub fn arr_field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a [Json], String> {
+        let v = field(obj, key, what)?;
+        v.as_arr()
+            .ok_or_else(|| format!("{what}: field `{key}` must be an array, got {}", v.type_name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Json::obj()
+            .with("app", "pipeline_main_l4")
+            .with("n", 42i64)
+            .with("ratio", 0.25)
+            .with("on", true)
+            .with("tags", vec!["a", "b"])
+            .with("nested", Json::obj().with("x", Json::Null));
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn preserves_field_order() {
+        let v = Json::obj().with("z", 1i64).with("a", 2i64);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn int_float_distinction_survives() {
+        assert_eq!(parse("3").unwrap(), Json::Int(3));
+        assert_eq!(parse("3.0").unwrap(), Json::Float(3.0));
+        assert_eq!(Json::Float(3.0).to_string(), "3.0");
+        assert_eq!(parse(&Json::Float(3.0).to_string()).unwrap(), Json::Float(3.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1F600}";
+        let text = Json::Str(s.into()).to_string();
+        assert_eq!(parse(&text).unwrap(), Json::Str(s.into()));
+        assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn errors_carry_position_and_context() {
+        let err = parse("{\n  \"a\": }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expected a JSON value"), "{err}");
+
+        let err = parse("[1, 2").unwrap_err();
+        assert!(err.message.contains("expected `,` or `]`"), "{err}");
+
+        let err = parse("{\"a\": 1} trailing").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+
+        let err = parse("{broken: 1}").unwrap_err();
+        assert!(err.message.contains("quoted object key"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_large_numbers() {
+        assert_eq!(parse("-17").unwrap(), Json::Int(-17));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert!(matches!(parse("99999999999999999999").unwrap(), Json::Float(_)));
+    }
+
+    #[test]
+    fn de_helpers_report_descriptive_errors() {
+        let obj = parse(r#"{"name": 7}"#).unwrap();
+        let err = de::str_field(&obj, "name", "tuning parameter").unwrap_err();
+        assert!(err.contains("`name` must be a string"), "{err}");
+        assert!(err.contains("integer"), "{err}");
+        let err = de::field(&obj, "kind", "tuning parameter").unwrap_err();
+        assert!(err.contains("missing required field `kind`"), "{err}");
+    }
+}

@@ -372,11 +372,7 @@ pub fn visit_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
         StmtKind::Expr(e) => visit_expr(e, f),
         StmtKind::If { cond, .. } => visit_expr(cond, f),
         StmtKind::While { cond, .. } => visit_expr(cond, f),
-        StmtKind::For { cond, .. } => {
-            if let Some(c) = cond {
-                visit_expr(c, f);
-            }
-        }
+        StmtKind::For { cond: Some(c), .. } => visit_expr(c, f),
         StmtKind::Foreach { iter, .. } => visit_expr(iter, f),
         StmtKind::Return(Some(e)) => visit_expr(e, f),
         _ => {}

@@ -9,7 +9,9 @@
 //! patty transform <file.mini>   # phase 4: plan + tuning config + Fig.3d code
 //! patty validate <file.mini>    # mode 4: CHESS on generated unit tests
 //! patty tune     <file.mini>    # mode 4: auto-tuning cycle (linear search)
-//! patty profile  <file.mini>    # plain hotspot view (what a profiler shows)
+//! patty profile  <file.mini>    # run with telemetry: JSON report of
+//!                               # per-stage item counts, per-phase span
+//!                               # timings and tuner iteration logs
 //! patty modes                   # describe the four operation modes
 //! ```
 //!
@@ -47,6 +49,20 @@ fn run(args: &[String]) -> i32 {
         }
     };
     let patty = Patty::new();
+    if cmd == "profile" {
+        // Telemetry profile: the process runs inside `Patty::profile` with
+        // an enabled sink, so skip the plain run below.
+        return match patty.profile(&source) {
+            Ok(report) => {
+                println!("{}", report.to_json());
+                0
+            }
+            Err(e) => {
+                eprintln!("patty: {e}");
+                1
+            }
+        };
+    }
     let annotated_input = source.contains("#region TADL:");
     let run = if annotated_input {
         patty.run_annotated(&source)
@@ -66,10 +82,6 @@ fn run(args: &[String]) -> i32 {
         "transform" => transform(&run),
         "validate" => validate(&patty, &run),
         "tune" => tune(&patty, &run),
-        "profile" => {
-            println!("— runtime profile (hottest loops) —");
-            print!("{}", patty_tool::render_hotspots(&run.model, 8));
-        }
         other => {
             eprintln!("unknown command `{other}`\n{usage}");
             return 2;

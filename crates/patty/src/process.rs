@@ -20,7 +20,8 @@ use patty_transform::{
     annotate_source, extract_annotations, generate_plan, instance_from_annotation,
     ParallelPlan, PipelineSimEvaluator, SimParams,
 };
-use patty_tuning::{LinearSearch, Tuner, TuningConfig, TuningResult};
+use patty_telemetry::Telemetry;
+use patty_tuning::{LinearSearch, TelemetryEvaluator, Tuner, TuningConfig, TuningResult};
 
 /// Configuration of a Patty run.
 #[derive(Clone, Debug)]
@@ -105,6 +106,10 @@ impl From<LangError> for PattyError {
 #[derive(Clone, Debug, Default)]
 pub struct Patty {
     pub options: PattyOptions,
+    /// Telemetry sink; disabled by default. When enabled, every process
+    /// phase emits a `phase.*` span and the auto-tuning cycle logs each
+    /// evaluated configuration.
+    pub telemetry: Telemetry,
 }
 
 impl Patty {
@@ -113,12 +118,21 @@ impl Patty {
         Patty::default()
     }
 
+    /// Attach a telemetry sink (see [`patty_telemetry::Telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Patty {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// **Operation mode 1 — automatic parallelization**: all four phases,
     /// no user action required.
     pub fn run_automatic(&self, source: &str) -> Result<PattyRun, PattyError> {
-        let program = parse(source)?;
-        let model = SemanticModel::build(&program, self.options.interp.clone())?;
-        let instances = detect_patterns(&model, &self.options.detect);
+        let (model, instances) = self.telemetry.timed("phase.detect", || {
+            let program = parse(source)?;
+            let model = SemanticModel::build(&program, self.options.interp.clone())?;
+            let instances = detect_patterns(&model, &self.options.detect);
+            Ok::<_, PattyError>((model, instances))
+        })?;
         let artifacts = instances
             .into_iter()
             .map(|inst| self.transform_instance(&model, inst))
@@ -132,10 +146,13 @@ impl Patty {
     /// annotations drive transformation (tuning and correctness artifacts
     /// are still generated automatically).
     pub fn run_annotated(&self, source: &str) -> Result<PattyRun, PattyError> {
-        let program = parse(source)?;
-        let model = SemanticModel::build(&program, self.options.interp.clone())?;
-        let annotations =
-            extract_annotations(&program).map_err(PattyError::Annotation)?;
+        let (model, annotations) = self.telemetry.timed("phase.detect", || {
+            let program = parse(source)?;
+            let model = SemanticModel::build(&program, self.options.interp.clone())?;
+            let annotations =
+                extract_annotations(&program).map_err(PattyError::Annotation)?;
+            Ok::<_, PattyError>((model, annotations))
+        })?;
         let artifacts = annotations
             .iter()
             .map(|ann| {
@@ -154,7 +171,10 @@ impl Patty {
         model: &SemanticModel,
         instance: PatternInstance,
     ) -> Result<InstanceArtifacts, PattyError> {
-        let annotated_source = annotate_source(&model.program, &instance)?;
+        let annotated_source = self
+            .telemetry
+            .timed("phase.annotate", || annotate_source(&model.program, &instance))?;
+        let _span = self.telemetry.span("phase.transform");
         let body_cost = loop_body_cost(model, &instance);
         let plan = generate_plan(&instance, body_cost);
         let tuning_json = instance.tuning.to_json();
@@ -169,9 +189,30 @@ impl Patty {
         })
     }
 
+    /// **`patty profile`** — run the full process with telemetry enabled,
+    /// execute every generated plan on the runtime library over its
+    /// observed stream, and return the aggregated report: per-stage item
+    /// counts, per-phase span timings and the auto-tuner's iteration log.
+    pub fn profile(&self, source: &str) -> Result<patty_telemetry::TelemetryReport, PattyError> {
+        let telemetry = Telemetry::enabled();
+        let patty = self.clone().with_telemetry(telemetry.clone());
+        let run = if source.contains("#region TADL:") {
+            patty.run_annotated(source)?
+        } else {
+            patty.run_automatic(source)?
+        };
+        for a in &run.artifacts {
+            execute_plan(a, &telemetry);
+        }
+        patty.validate_correctness(&run);
+        patty.tune_performance(&run);
+        Ok(telemetry.report())
+    }
+
     /// **Operation mode 4 — program validation**, correctness half:
     /// run the generated parallel unit tests on the CHESS explorer.
     pub fn validate_correctness(&self, run: &PattyRun) -> Vec<(String, Report)> {
+        let _span = self.telemetry.span("phase.validate");
         run.artifacts
             .iter()
             .filter_map(|a| {
@@ -185,6 +226,7 @@ impl Patty {
     /// the auto-tuning cycle (Fig. 4c) over the performance model, using
     /// the paper's linear per-dimension search.
     pub fn tune_performance(&self, run: &PattyRun) -> Vec<(String, TuningResult)> {
+        let _span = self.telemetry.span("phase.tune");
         run.artifacts
             .iter()
             .filter(|a| a.arch.kind != patty_tadl::PatternKind::DataParallelLoop)
@@ -193,6 +235,8 @@ impl Patty {
                     plan: a.plan.clone(),
                     params: self.options.sim.clone(),
                 };
+                let mut evaluator =
+                    TelemetryEvaluator::new(&mut evaluator, self.telemetry.clone());
                 let mut tuner = LinearSearch::default();
                 let result = tuner.tune(
                     a.instance.tuning.clone(),
@@ -202,6 +246,63 @@ impl Patty {
                 (a.arch.name.clone(), result)
             })
             .collect()
+    }
+}
+
+/// Items profiled per plan: enough for stable per-stage counts, bounded
+/// so `patty profile` stays interactive on long observed streams.
+const PROFILE_STREAM_CAP: u64 = 256;
+
+/// Execute one generated plan on the real runtime library with telemetry
+/// attached, so the profile reports measured per-stage item counts rather
+/// than model predictions. Stage bodies replay the profiled per-element
+/// cost as busy work.
+fn execute_plan(artifacts: &InstanceArtifacts, telemetry: &patty_telemetry::Telemetry) {
+    use patty_runtime::{LoopTuning, MasterWorker, PipelineTuning, Stage};
+    let plan = &artifacts.plan;
+    let n = plan.stream_length.clamp(1, PROFILE_STREAM_CAP);
+    let busy = |cost: u64, x: u64| -> u64 {
+        let mut acc = x;
+        for i in 0..cost.min(512) {
+            acc = std::hint::black_box(acc.wrapping_mul(31).wrapping_add(i));
+        }
+        acc
+    };
+    match plan.kind {
+        patty_tadl::PatternKind::DataParallelLoop => {
+            let tuning = LoopTuning::from_config(&artifacts.instance.tuning)
+                .expect("detector-emitted config decodes");
+            let cost = plan.element_cost;
+            let pf = tuning.build().with_telemetry(telemetry.clone());
+            pf.for_each(n as usize, |i| {
+                std::hint::black_box(busy(cost, i as u64));
+            });
+        }
+        patty_tadl::PatternKind::MasterWorker => {
+            let tuning = LoopTuning::from_config(&artifacts.instance.tuning)
+                .expect("detector-emitted config decodes");
+            let cost = plan.element_cost;
+            let mw = MasterWorker::new(tuning.workers)
+                .sequential(tuning.sequential)
+                .with_telemetry(telemetry.clone());
+            mw.run((0..n).collect(), |x| busy(cost, x));
+        }
+        patty_tadl::PatternKind::Pipeline => {
+            let stages: Vec<Stage<u64>> = plan
+                .stages
+                .iter()
+                .map(|ps| {
+                    let cost = ps.cost_per_element;
+                    Stage::new(ps.name.clone(), move |x: u64| busy(cost, x))
+                })
+                .collect();
+            let tuning = PipelineTuning::from_config(&artifacts.instance.tuning)
+                .expect("detector-emitted config decodes");
+            let pipeline = tuning
+                .build_pipeline(stages)
+                .with_telemetry(telemetry.clone());
+            pipeline.run((0..n).collect());
+        }
     }
 }
 

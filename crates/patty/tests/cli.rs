@@ -148,10 +148,40 @@ fn bad_usage_and_bad_files_fail_cleanly() {
 }
 
 #[test]
-fn profile_shows_hotspot_loops() {
+fn profile_emits_json_telemetry_report() {
     let file = write_temp("profile.mini", PIPELINE_SRC);
-    let (stdout, _, ok) = run_patty(&["profile", file.to_str().unwrap()]);
-    assert!(ok);
-    assert!(stdout.contains("runtime share"), "{stdout}");
-    assert!(stdout.contains("foreach"), "{stdout}");
+    let (stdout, stderr, ok) = run_patty(&["profile", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    let report = patty_json::parse(&stdout).expect("profile output is valid JSON");
+    let counters = report.get("counters").and_then(|c| c.as_arr()).expect("counters array");
+    // The detected A+ => B pipeline runs over 8 elements per stage.
+    let stage_items: Vec<_> = counters
+        .iter()
+        .filter(|c| {
+            c.get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| n.starts_with("pipeline.stage.") && n.ends_with(".items"))
+        })
+        .collect();
+    assert!(!stage_items.is_empty(), "{stdout}");
+    for c in &stage_items {
+        assert_eq!(c.get("value").and_then(|v| v.as_i64()), Some(8), "{stdout}");
+    }
+    let spans: Vec<String> = report
+        .get("spans")
+        .and_then(|s| s.as_arr())
+        .expect("spans array")
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()).map(str::to_string))
+        .collect();
+    for phase in ["phase.detect", "phase.annotate", "phase.transform", "phase.validate", "phase.tune"] {
+        assert!(spans.iter().any(|s| s == phase), "missing {phase} in {spans:?}");
+    }
+    let iterations = report
+        .get("tuner_iterations")
+        .and_then(|t| t.as_arr())
+        .expect("tuner_iterations array");
+    assert!(!iterations.is_empty(), "{stdout}");
+    assert!(iterations[0].get("objective").is_some());
+    assert!(iterations[0].get("params").is_some());
 }

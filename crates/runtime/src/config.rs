@@ -27,35 +27,54 @@ pub struct PipelineTuning {
 
 impl PipelineTuning {
     /// Decode from a tuning configuration.
-    pub fn from_config(config: &TuningConfig) -> PipelineTuning {
+    ///
+    /// Parameters whose names do not follow the detector's conventions are
+    /// an error: a silently-skipped knob would leave the pattern running
+    /// with defaults while the config claims otherwise.
+    pub fn from_config(config: &TuningConfig) -> Result<PipelineTuning, String> {
         let mut t = PipelineTuning::default();
         for p in &config.params {
             let segments: Vec<&str> = p.name.split('.').collect();
             match p.kind {
                 ParamKind::StageReplication => {
-                    if segments.len() >= 3 {
-                        let stage = segments[segments.len() - 2].to_string();
-                        t.replication.insert(stage, p.value.as_i64().max(1) as usize);
+                    if segments.len() < 3 {
+                        return Err(format!(
+                            "pipeline parameter `{}`: {} names must look like \
+                             `<arch>.<stage>.replication`",
+                            p.name, p.kind
+                        ));
                     }
+                    let stage = segments[segments.len() - 2].to_string();
+                    t.replication.insert(stage, p.value.as_i64().max(1) as usize);
                 }
                 ParamKind::OrderPreservation => {
-                    if segments.len() >= 3 {
-                        let stage = segments[segments.len() - 2].to_string();
-                        t.preserve_order.insert(stage, p.value.as_bool());
+                    if segments.len() < 3 {
+                        return Err(format!(
+                            "pipeline parameter `{}`: {} names must look like \
+                             `<arch>.<stage>.order`",
+                            p.name, p.kind
+                        ));
                     }
+                    let stage = segments[segments.len() - 2].to_string();
+                    t.preserve_order.insert(stage, p.value.as_bool());
                 }
                 ParamKind::StageFusion => {
                     // <arch>.fuse.<A>_<B>
-                    if let Some(pair) = segments.last().and_then(|s| s.split_once('_')) {
-                        t.fusion
-                            .insert((pair.0.to_string(), pair.1.to_string()), p.value.as_bool());
-                    }
+                    let Some(pair) = segments.last().and_then(|s| s.split_once('_')) else {
+                        return Err(format!(
+                            "pipeline parameter `{}`: {} names must end in `<A>_<B>` \
+                             naming the fused stage pair",
+                            p.name, p.kind
+                        ));
+                    };
+                    t.fusion
+                        .insert((pair.0.to_string(), pair.1.to_string()), p.value.as_bool());
                 }
                 ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
                 _ => {}
             }
         }
-        t
+        Ok(t)
     }
 
     /// Apply the decoded values to a stage list, producing a configured
@@ -106,28 +125,34 @@ impl Default for LoopTuning {
 impl LoopTuning {
     /// Decode from a tuning configuration. The `ChunkSize` parameter is
     /// stored as a power-of-two exponent.
-    pub fn from_config(config: &TuningConfig) -> LoopTuning {
+    pub fn from_config(config: &TuningConfig) -> Result<LoopTuning, String> {
         let mut t = LoopTuning::default();
         for p in &config.params {
             match p.kind {
                 ParamKind::WorkerCount => t.workers = p.value.as_i64().max(1) as usize,
                 ParamKind::ChunkSize => {
-                    t.chunk = 1usize << p.value.as_i64().clamp(0, 20) as usize
+                    let exp = p.value.as_i64();
+                    if !(0..=20).contains(&exp) {
+                        return Err(format!(
+                            "loop parameter `{}`: ChunkSize exponent must be in 0..=20, \
+                             got {exp}",
+                            p.name
+                        ));
+                    }
+                    t.chunk = 1usize << exp as usize;
                 }
                 ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
                 _ => {}
             }
         }
-        t
+        Ok(t)
     }
 
     /// Build the configured executor.
     pub fn build(&self) -> ParallelFor {
-        ParallelFor {
-            workers: self.workers,
-            chunk: self.chunk,
-            sequential: self.sequential,
-        }
+        ParallelFor::new(self.workers)
+            .with_chunk(self.chunk)
+            .sequential(self.sequential)
     }
 }
 
@@ -150,7 +175,7 @@ mod tests {
         let mut cfg = pipeline_config();
         cfg.set("pipe.C.replication", ParamValue::Int(4)).unwrap();
         cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg);
+        let t = PipelineTuning::from_config(&cfg).unwrap();
         assert_eq!(t.replication.get("C"), Some(&4));
         assert_eq!(t.preserve_order.get("C"), Some(&true));
         assert_eq!(t.fusion.get(&("D".into(), "E".into())), Some(&true));
@@ -162,7 +187,7 @@ mod tests {
         let mut cfg = pipeline_config();
         cfg.set("pipe.C.replication", ParamValue::Int(3)).unwrap();
         cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg);
+        let t = PipelineTuning::from_config(&cfg).unwrap();
         let stages = vec![
             Stage::new("C", |x: i64| x * 2),
             Stage::new("D", |x: i64| x + 1),
@@ -179,9 +204,37 @@ mod tests {
     fn sequential_flag_propagates() {
         let mut cfg = pipeline_config();
         cfg.set("pipe.sequential", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg);
+        let t = PipelineTuning::from_config(&cfg).unwrap();
         let p = t.build_pipeline(vec![Stage::new("C", |x: i64| x)]);
         assert!(p.sequential);
+    }
+
+    #[test]
+    fn malformed_parameter_names_are_rejected_with_context() {
+        // A replication knob without a stage segment: silently skipping it
+        // would run the pipeline with default replication.
+        let mut c = TuningConfig::new("pipe");
+        c.push(TuningParam::replication("replication", "main:8", 8));
+        let err = PipelineTuning::from_config(&c).unwrap_err();
+        assert!(err.contains("`replication`"), "{err}");
+        assert!(err.contains("<arch>.<stage>.replication"), "{err}");
+
+        // A fusion knob that does not name a stage pair.
+        let mut c = TuningConfig::new("pipe");
+        c.push(TuningParam::stage_fusion("pipe.fuse.DE", "main:10"));
+        let err = PipelineTuning::from_config(&c).unwrap_err();
+        assert!(err.contains("`pipe.fuse.DE`"), "{err}");
+        assert!(err.contains("<A>_<B>"), "{err}");
+
+        // A chunk exponent outside the representable range (bypasses
+        // `TuningConfig::set`'s domain check, as a hand-edited JSON file
+        // decoded before domain validation existed would).
+        let mut c = TuningConfig::new("doall");
+        c.push(TuningParam::chunk_size("doall.chunk", "main:3", 256));
+        c.params[0].value = ParamValue::Int(40);
+        let err = LoopTuning::from_config(&c).unwrap_err();
+        assert!(err.contains("0..=20"), "{err}");
+        assert!(err.contains("got 40"), "{err}");
     }
 
     #[test]
@@ -192,7 +245,7 @@ mod tests {
         c.push(TuningParam::sequential_execution("doall.sequential", "main:3"));
         c.set("doall.workers", ParamValue::Int(6)).unwrap();
         c.set("doall.chunk", ParamValue::Int(5)).unwrap();
-        let t = LoopTuning::from_config(&c);
+        let t = LoopTuning::from_config(&c).unwrap();
         assert_eq!(t.workers, 6);
         assert_eq!(t.chunk, 32, "chunk is a power-of-two exponent");
         let pf = t.build();

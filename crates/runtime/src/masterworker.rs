@@ -6,6 +6,7 @@
 //! `(A || B || C+)` group of Fig. 3d, where independent items of one
 //! stream element run in parallel).
 
+use patty_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -16,18 +17,33 @@ pub struct MasterWorker {
     pub workers: usize,
     /// SequentialExecution fallback.
     pub sequential: bool,
+    /// Telemetry sink; disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Default for MasterWorker {
     fn default() -> MasterWorker {
-        MasterWorker { workers: 4, sequential: false }
+        MasterWorker::new(4)
     }
 }
 
 impl MasterWorker {
     /// Create a master/worker with `workers` threads.
     pub fn new(workers: usize) -> MasterWorker {
-        MasterWorker { workers: workers.max(1), sequential: false }
+        MasterWorker { workers: workers.max(1), sequential: false, telemetry: Telemetry::disabled() }
+    }
+
+    /// Set the SequentialExecution flag.
+    pub fn sequential(mut self, sequential: bool) -> MasterWorker {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Attach a telemetry sink. Runs then record `masterworker.items`
+    /// and `masterworker.tasks` counters and a per-run wall-time span.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> MasterWorker {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Apply `task` to every item; results come back in item order.
@@ -37,11 +53,15 @@ impl MasterWorker {
         O: Send,
         F: Fn(I) -> O + Send + Sync,
     {
+        let counter = self.telemetry.counter("masterworker.items");
+        let _wall = self.telemetry.span("masterworker.run");
         if self.sequential || self.workers <= 1 || items.len() <= 1 {
+            counter.add(items.len() as u64);
             return items.into_iter().map(task).collect();
         }
         let n = items.len();
         let task = &task;
+        let counter = &counter;
         // Item slots: each worker claims the next index atomically.
         let slots: Vec<parking_lot::Mutex<Option<I>>> =
             items.into_iter().map(|i| parking_lot::Mutex::new(Some(i))).collect();
@@ -57,6 +77,7 @@ impl MasterWorker {
                     }
                     let item = slots[idx].lock().take().expect("each slot claimed once");
                     let out = task(item);
+                    counter.incr();
                     *results[idx].lock() = Some(out);
                 });
             }
@@ -75,6 +96,7 @@ impl MasterWorker {
         O: Send,
         F: FnOnce() -> O + Send,
     {
+        self.telemetry.add("masterworker.tasks", tasks.len() as u64);
         if self.sequential || self.workers <= 1 || tasks.len() <= 1 {
             return tasks.into_iter().map(|t| t()).collect();
         }
@@ -131,7 +153,7 @@ mod tests {
     #[test]
     fn sequential_fallback_identical() {
         let mw_par = MasterWorker::new(4);
-        let mw_seq = MasterWorker { workers: 4, sequential: true };
+        let mw_seq = MasterWorker::new(4).sequential(true);
         let a = mw_par.run((0..40).collect::<Vec<i64>>(), |x| x + 7);
         let b = mw_seq.run((0..40).collect::<Vec<i64>>(), |x| x + 7);
         assert_eq!(a, b);

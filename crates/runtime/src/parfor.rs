@@ -5,6 +5,7 @@
 //! accumulator statements; the runtime gives each worker a private
 //! accumulator and combines them at the end).
 
+use patty_telemetry::{Counter, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A tunable data-parallel loop executor.
@@ -16,24 +17,60 @@ pub struct ParallelFor {
     pub chunk: usize,
     /// SequentialExecution fallback.
     pub sequential: bool,
+    /// Telemetry sink; disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Default for ParallelFor {
     fn default() -> ParallelFor {
-        ParallelFor { workers: 4, chunk: 16, sequential: false }
+        ParallelFor::new(4)
     }
 }
 
 impl ParallelFor {
     /// Create an executor with the given worker count.
     pub fn new(workers: usize) -> ParallelFor {
-        ParallelFor { workers: workers.max(1), chunk: 16, sequential: false }
+        ParallelFor {
+            workers: workers.max(1),
+            chunk: 16,
+            sequential: false,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Set the chunk size.
     pub fn with_chunk(mut self, chunk: usize) -> ParallelFor {
         self.chunk = chunk.max(1);
         self
+    }
+
+    /// Set the SequentialExecution flag.
+    pub fn sequential(mut self, sequential: bool) -> ParallelFor {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Attach a telemetry sink. Runs then record `parfor.items` and
+    /// `parfor.chunks` counters and a `parfor.chunk_size` histogram.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ParallelFor {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Counter handles for one run (inert when telemetry is disabled).
+    fn counters(&self) -> (Counter, Counter) {
+        if self.telemetry.is_enabled() {
+            (self.telemetry.counter("parfor.items"), self.telemetry.counter("parfor.chunks"))
+        } else {
+            (Counter::disabled(), Counter::disabled())
+        }
+    }
+
+    /// Record one claimed chunk.
+    fn record_chunk(&self, items: &Counter, chunks: &Counter, len: usize) {
+        chunks.incr();
+        items.add(len as u64);
+        self.telemetry.record("parfor.chunk_size", len as u64);
     }
 
     /// Map the index space `0..n` through `f`, returning results in index
@@ -43,7 +80,11 @@ impl ParallelFor {
         O: Send,
         F: Fn(usize) -> O + Sync,
     {
+        let (items, chunks) = self.counters();
         if self.sequential || self.workers <= 1 || n <= 1 {
+            if n > 0 {
+                self.record_chunk(&items, &chunks, n);
+            }
             return (0..n).map(f).collect();
         }
         let results: Vec<parking_lot::Mutex<Option<O>>> =
@@ -58,8 +99,9 @@ impl ParallelFor {
                         return;
                     }
                     let end = (start + self.chunk).min(n);
-                    for i in start..end {
-                        *results[i].lock() = Some(f(i));
+                    self.record_chunk(&items, &chunks, end - start);
+                    for (slot, i) in results[start..end].iter().zip(start..end) {
+                        *slot.lock() = Some(f(i));
                     }
                 });
             }
@@ -76,7 +118,11 @@ impl ParallelFor {
     where
         F: Fn(usize) + Sync,
     {
+        let (items, chunks) = self.counters();
         if self.sequential || self.workers <= 1 || n <= 1 {
+            if n > 0 {
+                self.record_chunk(&items, &chunks, n);
+            }
             (0..n).for_each(f);
             return;
         }
@@ -90,6 +136,7 @@ impl ParallelFor {
                         return;
                     }
                     let end = (start + self.chunk).min(n);
+                    self.record_chunk(&items, &chunks, end - start);
                     for i in start..end {
                         f(i);
                     }
@@ -108,12 +155,17 @@ impl ParallelFor {
         F: Fn(A, usize) -> A + Sync,
         C: Fn(A, A) -> A,
     {
+        let (items, chunks) = self.counters();
         if self.sequential || self.workers <= 1 || n <= 1 {
+            if n > 0 {
+                self.record_chunk(&items, &chunks, n);
+            }
             return (0..n).fold(identity, fold);
         }
         let next = AtomicUsize::new(0);
         let next = &next;
         let fold = &fold;
+        let counters = &(items, chunks);
         let partials: Vec<A> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers.min(n.max(1)))
                 .map(|_| {
@@ -126,6 +178,7 @@ impl ParallelFor {
                                 return acc;
                             }
                             let end = (start + self.chunk).min(n);
+                            self.record_chunk(&counters.0, &counters.1, end - start);
                             for i in start..end {
                                 acc = fold(acc, i);
                             }

@@ -15,12 +15,17 @@
 //!   short stream never pays the threading overhead.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use patty_telemetry::Telemetry;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// A pipeline stage function over stream elements of type `T`.
 pub type StageFunc<T> = Arc<dyn Fn(T) -> T + Send + Sync>;
+
+/// A buffer endpoint carrying `(sequence number, element)` pairs.
+type SeqSender<T> = Sender<(u64, T)>;
+type SeqReceiver<T> = Receiver<(u64, T)>;
 
 /// One pipeline stage definition.
 pub struct Stage<T> {
@@ -84,12 +89,20 @@ pub struct Pipeline<T> {
     /// Run everything in-place on the calling thread
     /// (SequentialExecution).
     pub sequential: bool,
+    /// Telemetry sink; disabled by default (a dead branch per item).
+    telemetry: Telemetry,
 }
 
 impl<T: Send + 'static> Pipeline<T> {
     /// A pipeline from stages with default tuning (no fusion, threaded).
     pub fn new(stages: Vec<Stage<T>>) -> Pipeline<T> {
-        Pipeline { stages, buffer_capacity: 32, fusion: Vec::new(), sequential: false }
+        Pipeline {
+            stages,
+            buffer_capacity: 32,
+            fusion: Vec::new(),
+            sequential: false,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Number of (unfused) stages.
@@ -112,6 +125,14 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Set the inter-stage buffer capacity.
     pub fn with_buffer(mut self, capacity: usize) -> Pipeline<T> {
         self.buffer_capacity = capacity.max(1);
+        self
+    }
+
+    /// Attach a telemetry sink. Each run then records, per effective
+    /// stage: an `items` counter, a `queue_depth` histogram (buffer
+    /// occupancy seen at receive) and a `wall_per_worker` span.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Pipeline<T> {
+        self.telemetry = telemetry;
         self
     }
 
@@ -154,7 +175,7 @@ impl<T: Send + 'static> Pipeline<T> {
         std::thread::scope(|scope| {
             // StreamGenerator: the loop header becomes the implicit first
             // stage feeding the first buffer (rule PLPL).
-            let (feed_tx, mut prev_rx): (Sender<(u64, T)>, Receiver<(u64, T)>) = bounded(cap);
+            let (feed_tx, mut prev_rx): (SeqSender<T>, SeqReceiver<T>) = bounded(cap);
             scope.spawn(move || {
                 for (seq, item) in input.into_iter().enumerate() {
                     if feed_tx.send((seq as u64, item)).is_err() {
@@ -165,13 +186,30 @@ impl<T: Send + 'static> Pipeline<T> {
 
             for stage in &stages {
                 let (tx, rx) = bounded::<(u64, T)>(cap);
+                let items = self.telemetry.counter(&format!("pipeline.stage.{}.items", stage.name));
+                let queue_metric = format!("pipeline.stage.{}.queue_depth", stage.name);
+                let span_name = format!("pipeline.stage.{}.wall_per_worker", stage.name);
                 for _ in 0..stage.replication {
                     let func = stage.func.clone();
                     let stage_rx = prev_rx.clone();
                     let stage_tx = tx.clone();
+                    let items = items.clone();
+                    let telemetry = self.telemetry.clone();
+                    let queue_metric = queue_metric.clone();
+                    let span_name = span_name.clone();
                     scope.spawn(move || {
+                        let _wall = telemetry.span(&span_name);
+                        let record_depth = telemetry.is_enabled();
                         while let Ok((seq, item)) = stage_rx.recv() {
-                            if stage_tx.send((seq, func(item))).is_err() {
+                            if record_depth {
+                                // Occupancy left behind in the input buffer —
+                                // a persistently full buffer marks this stage
+                                // as the bottleneck, an empty one as starved.
+                                telemetry.record(&queue_metric, stage_rx.len() as u64);
+                            }
+                            let out = func(item);
+                            items.incr();
+                            if stage_tx.send((seq, out)).is_err() {
                                 return;
                             }
                         }
@@ -196,13 +234,26 @@ impl<T: Send + 'static> Pipeline<T> {
         })
     }
 
-    /// The sequential fallback: identical semantics, no threads.
+    /// The sequential fallback: identical semantics, no threads. Item
+    /// counters are still recorded so a profile of a sequential run
+    /// reports the same per-stage totals as a threaded one.
     pub fn run_sequential(&self, input: Vec<T>) -> Vec<T> {
+        let counters: Vec<_> = if self.telemetry.is_enabled() {
+            self.stages
+                .iter()
+                .map(|s| self.telemetry.counter(&format!("pipeline.stage.{}.items", s.name)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         input
             .into_iter()
             .map(|mut item| {
-                for s in &self.stages {
+                for (i, s) in self.stages.iter().enumerate() {
                     item = (s.func)(item);
+                    if let Some(c) = counters.get(i) {
+                        c.incr();
+                    }
                 }
                 item
             })
@@ -231,7 +282,7 @@ impl<T> Ord for Pending<T> {
 }
 
 /// Drain `rx`, releasing elements to `tx` in strict sequence order.
-fn reorder<T>(rx: Receiver<(u64, T)>, tx: Sender<(u64, T)>) {
+fn reorder<T>(rx: SeqReceiver<T>, tx: SeqSender<T>) {
     let mut next: u64 = 0;
     let mut heap: BinaryHeap<Reverse<Pending<T>>> = BinaryHeap::new();
     while let Ok((seq, item)) = rx.recv() {

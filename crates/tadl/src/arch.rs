@@ -7,12 +7,12 @@
 //! Patty tool can show them as phase artifacts (requirement R2).
 
 use crate::expr::{TadlError, TadlExpr};
-use serde::{Deserialize, Serialize};
+use patty_json::{de, Json};
 
 /// The target pattern family an architecture instantiates. The process
 /// model currently covers master/worker, data-parallel loops and pipelines
 /// (Section 2.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PatternKind {
     Pipeline,
     MasterWorker,
@@ -29,9 +29,25 @@ impl std::fmt::Display for PatternKind {
     }
 }
 
+impl std::str::FromStr for PatternKind {
+    type Err = TadlError;
+
+    fn from_str(s: &str) -> Result<PatternKind, TadlError> {
+        match s {
+            "Pipeline" => Ok(PatternKind::Pipeline),
+            "MasterWorker" => Ok(PatternKind::MasterWorker),
+            "DataParallelLoop" => Ok(PatternKind::DataParallelLoop),
+            other => Err(TadlError::new(format!(
+                "unknown pattern kind `{other}` (expected Pipeline, MasterWorker or \
+                 DataParallelLoop)"
+            ))),
+        }
+    }
+}
+
 /// One item of the architecture: a named source region with metadata the
 /// transformation and tuning phases need.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArchItem {
     /// TADL item name (`A`, `B`, ...).
     pub name: String,
@@ -46,9 +62,34 @@ pub struct ArchItem {
     pub pure_stage: bool,
 }
 
+impl ArchItem {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("line", u64::from(self.line))
+            .with("source", self.source.as_str())
+            .with("cost_share", self.cost_share)
+            .with("pure_stage", self.pure_stage)
+    }
+
+    fn from_json_value(v: &Json) -> Result<ArchItem, TadlError> {
+        let what = "architecture item";
+        let line = de::i64_field(v, "line", what).map_err(TadlError::new)?;
+        let line = u32::try_from(line)
+            .map_err(|_| TadlError::new(format!("{what}: line {line} out of range")))?;
+        Ok(ArchItem {
+            name: de::str_field(v, "name", what).map_err(TadlError::new)?,
+            line,
+            source: de::str_field(v, "source", what).map_err(TadlError::new)?,
+            cost_share: de::f64_field(v, "cost_share", what).map_err(TadlError::new)?,
+            pure_stage: de::bool_field(v, "pure_stage", what).map_err(TadlError::new)?,
+        })
+    }
+}
+
 /// A complete tunable architecture description: the interface artifact
 /// between detection and transformation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArchitectureDescription {
     /// Unique name, e.g. `pipeline_main_l4`.
     pub name: String,
@@ -100,6 +141,50 @@ impl ArchitectureDescription {
     /// `TADL: (A || B || C+) => D => E`.
     pub fn annotation_label(&self) -> String {
         format!("TADL: {}", self.expr)
+    }
+
+    /// Serialize to the JSON artifact format (requirement R2: phase
+    /// artifacts are inspectable).
+    pub fn to_json(&self) -> String {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("kind", self.kind.to_string())
+            .with("expr", self.expr.to_json_value())
+            .with("items", Json::Arr(self.items.iter().map(ArchItem::to_json_value).collect()))
+            .with("func", self.func.as_str())
+            .with("line", u64::from(self.line))
+            .with("stream_length", self.stream_length)
+            .to_string_pretty()
+    }
+
+    /// Parse the JSON artifact format produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<ArchitectureDescription, TadlError> {
+        let doc = patty_json::parse(json).map_err(|e| TadlError::new(e.to_string()))?;
+        let what = "architecture description";
+        let kind: PatternKind = de::str_field(&doc, "kind", what)
+            .map_err(TadlError::new)?
+            .parse()?;
+        let line = de::i64_field(&doc, "line", what).map_err(TadlError::new)?;
+        let line = u32::try_from(line)
+            .map_err(|_| TadlError::new(format!("{what}: line {line} out of range")))?;
+        let stream_length = de::i64_field(&doc, "stream_length", what)
+            .map_err(TadlError::new)?;
+        let stream_length = u64::try_from(stream_length).map_err(|_| {
+            TadlError::new(format!("{what}: stream_length {stream_length} must be >= 0"))
+        })?;
+        Ok(ArchitectureDescription {
+            name: de::str_field(&doc, "name", what).map_err(TadlError::new)?,
+            kind,
+            expr: TadlExpr::from_json_value(de::field(&doc, "expr", what).map_err(TadlError::new)?)?,
+            items: de::arr_field(&doc, "items", what)
+                .map_err(TadlError::new)?
+                .iter()
+                .map(ArchItem::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            func: de::str_field(&doc, "func", what).map_err(TadlError::new)?,
+            line,
+            stream_length,
+        })
     }
 }
 
@@ -158,11 +243,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let d = demo();
-        let json = serde_json::to_string_pretty(&d).unwrap();
-        let back: ArchitectureDescription = serde_json::from_str(&json).unwrap();
+        let json = d.to_json();
+        let back = ArchitectureDescription::from_json(&json).unwrap();
         assert_eq!(d, back);
+        assert!(json.contains("pipeline_main_l4"));
+    }
+
+    #[test]
+    fn json_decode_reports_descriptive_errors() {
+        let err = ArchitectureDescription::from_json("not json").unwrap_err();
+        assert!(err.message.contains("line 1"), "{err}");
+        let err = ArchitectureDescription::from_json(r#"{"name": "x"}"#).unwrap_err();
+        assert!(err.message.contains("missing required field `kind`"), "{err}");
+        let good = demo().to_json();
+        let bad = good.replace("\"Pipeline\"", "\"Ring\"");
+        let err = ArchitectureDescription::from_json(&bad).unwrap_err();
+        assert!(err.message.contains("unknown pattern kind `Ring`"), "{err}");
     }
 
     #[test]

@@ -15,11 +15,11 @@
 //! * `X+` — the item is *replicable* (may run concurrently with itself on
 //!   consecutive stream elements; the `StageReplication` tuning parameter).
 
-use serde::{Deserialize, Serialize};
+use patty_json::{de, Json};
 use std::fmt;
 
 /// A TADL architecture expression.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TadlExpr {
     /// A named item referring to a labeled source region.
     Item {
@@ -142,6 +142,64 @@ impl TadlExpr {
     /// Number of items.
     pub fn item_count(&self) -> usize {
         self.items().len()
+    }
+
+    /// JSON form, one variant key per node:
+    /// `{"item": {"name": "...", "replicable": bool}}`,
+    /// `{"pipeline": [...]}` or `{"parallel": [...]}`.
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            TadlExpr::Item { name, replicable } => Json::obj().with(
+                "item",
+                Json::obj().with("name", name.as_str()).with("replicable", *replicable),
+            ),
+            TadlExpr::Pipeline(parts) => Json::obj().with(
+                "pipeline",
+                Json::Arr(parts.iter().map(TadlExpr::to_json_value).collect()),
+            ),
+            TadlExpr::Parallel(parts) => Json::obj().with(
+                "parallel",
+                Json::Arr(parts.iter().map(TadlExpr::to_json_value).collect()),
+            ),
+        }
+    }
+
+    /// Decode the JSON form produced by [`TadlExpr::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<TadlExpr, TadlError> {
+        let fields = v.as_obj().ok_or_else(|| {
+            TadlError::new(format!("expression node must be an object, got {}", v.type_name()))
+        })?;
+        let [(key, body)] = fields else {
+            return Err(TadlError::new(
+                "expression node must have exactly one key (item, pipeline or parallel)",
+            ));
+        };
+        match key.as_str() {
+            "item" => {
+                let name = de::str_field(body, "name", "TADL item")
+                    .map_err(TadlError::new)?;
+                let replicable = de::bool_field(body, "replicable", "TADL item")
+                    .map_err(TadlError::new)?;
+                Ok(TadlExpr::Item { name, replicable })
+            }
+            "pipeline" | "parallel" => {
+                let parts = body.as_arr().ok_or_else(|| {
+                    TadlError::new(format!("`{key}` must hold an array, got {}", body.type_name()))
+                })?;
+                let children = parts
+                    .iter()
+                    .map(TadlExpr::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(if key == "pipeline" {
+                    TadlExpr::Pipeline(children)
+                } else {
+                    TadlExpr::Parallel(children)
+                })
+            }
+            other => Err(TadlError::new(format!(
+                "unknown expression node `{other}` (expected item, pipeline or parallel)"
+            ))),
+        }
     }
 }
 
@@ -280,10 +338,27 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let e = TadlExpr::pipeline(vec![TadlExpr::item("A"), TadlExpr::replicable("B")]);
-        let json = serde_json::to_string(&e).unwrap();
-        let back: TadlExpr = serde_json::from_str(&json).unwrap();
+    fn json_round_trip() {
+        let e = TadlExpr::pipeline(vec![
+            TadlExpr::parallel(vec![TadlExpr::item("A"), TadlExpr::item("B")]),
+            TadlExpr::replicable("C"),
+        ]);
+        let json = e.to_json_value().to_string();
+        let back = TadlExpr::from_json_value(&patty_json::parse(&json).unwrap()).unwrap();
         assert_eq!(e, back);
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed_nodes() {
+        for bad in [
+            r#"{"item": {"name": "A"}}"#,
+            r#"{"loop": []}"#,
+            r#"{"pipeline": 3}"#,
+            r#"{"item": {"name": "A", "replicable": false}, "extra": 1}"#,
+            "[]",
+        ] {
+            let v = patty_json::parse(bad).unwrap();
+            assert!(TadlExpr::from_json_value(&v).is_err(), "{bad}");
+        }
     }
 }

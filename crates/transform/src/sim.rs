@@ -174,7 +174,8 @@ pub struct PipelineSimEvaluator {
 
 impl Evaluator for PipelineSimEvaluator {
     fn measure(&mut self, config: &TuningConfig) -> f64 {
-        let tuning = PipelineTuning::from_config(config);
+        let tuning = PipelineTuning::from_config(config)
+            .expect("detector-emitted parameter names decode");
         simulate_pipeline(&self.plan, &tuning, &self.params).parallel_time as f64
     }
 }
@@ -188,7 +189,8 @@ pub struct DoallSimEvaluator {
 
 impl Evaluator for DoallSimEvaluator {
     fn measure(&mut self, config: &TuningConfig) -> f64 {
-        let tuning = patty_runtime::LoopTuning::from_config(config);
+        let tuning = patty_runtime::LoopTuning::from_config(config)
+            .expect("detector-emitted parameter names decode");
         simulate_doall(self.cost_per_iteration, self.iterations, &tuning, &self.params)
             .parallel_time as f64
     }

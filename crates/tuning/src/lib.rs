@@ -44,4 +44,4 @@ pub use linear::LinearSearch;
 pub use neldermead::NelderMead;
 pub use param::{ParamDomain, ParamKind, ParamValue, TuningConfig, TuningParam};
 pub use tabu::TabuSearch;
-pub use tuner::{Evaluator, FnEvaluator, Tuner, TuningResult};
+pub use tuner::{Evaluator, FnEvaluator, TelemetryEvaluator, Tuner, TuningResult};

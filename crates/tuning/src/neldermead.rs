@@ -131,12 +131,12 @@ impl Tuner for NelderMead {
                     Some(_) => {
                         // shrink toward the best vertex
                         let best = simplex[0].0.clone();
-                        for i in 1..simplex.len() {
+                        for vertex in simplex.iter_mut().skip(1) {
                             let shrunk: Vec<f64> = (0..dims)
-                                .map(|d| best[d] + 0.5 * (simplex[i].0[d] - best[d]))
+                                .map(|d| best[d] + 0.5 * (vertex.0[d] - best[d]))
                                 .collect();
                             match eval_point(&shrunk, &mut tracker) {
-                                Some(s) => simplex[i] = (shrunk, s),
+                                Some(s) => *vertex = (shrunk, s),
                                 None => return tracker.finish(initial),
                             }
                         }

@@ -8,13 +8,13 @@
 //! applications automatically tunable on the target hardware without the
 //! need to recompile." (Section 2.1, Fig. 3c)
 
-use serde::{Deserialize, Serialize};
+use patty_json::{de, Json};
 use std::fmt;
 
 /// The tuning-parameter families Patty derives (Section 2.2, rule PLTP,
 /// plus the parameters of the data-parallel-loop and master/worker
 /// patterns).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ParamKind {
     /// Degree of parallelism of a replicable pipeline stage.
     StageReplication,
@@ -44,9 +44,30 @@ impl fmt::Display for ParamKind {
     }
 }
 
+impl std::str::FromStr for ParamKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ParamKind, String> {
+        Ok(match s {
+            "StageReplication" => ParamKind::StageReplication,
+            "OrderPreservation" => ParamKind::OrderPreservation,
+            "StageFusion" => ParamKind::StageFusion,
+            "SequentialExecution" => ParamKind::SequentialExecution,
+            "WorkerCount" => ParamKind::WorkerCount,
+            "ChunkSize" => ParamKind::ChunkSize,
+            other => {
+                return Err(format!(
+                    "unknown parameter kind `{other}` (expected StageReplication, \
+                     OrderPreservation, StageFusion, SequentialExecution, WorkerCount \
+                     or ChunkSize)"
+                ))
+            }
+        })
+    }
+}
+
 /// A tuning parameter value.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ParamValue {
     Bool(bool),
     Int(i64),
@@ -79,8 +100,30 @@ impl fmt::Display for ParamValue {
     }
 }
 
+impl ParamValue {
+    /// JSON form: untagged — booleans as JSON booleans, integers as
+    /// JSON integers (the configuration file stays human-editable).
+    fn to_json(self) -> Json {
+        match self {
+            ParamValue::Bool(b) => Json::Bool(b),
+            ParamValue::Int(v) => Json::Int(v),
+        }
+    }
+
+    fn from_json(v: &Json, what: &str) -> Result<ParamValue, String> {
+        match v {
+            Json::Bool(b) => Ok(ParamValue::Bool(*b)),
+            Json::Int(i) => Ok(ParamValue::Int(*i)),
+            other => Err(format!(
+                "{what}: value must be a boolean or integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
 /// The legal values of a parameter.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ParamDomain {
     Bool,
     /// Inclusive integer range with a step.
@@ -132,9 +175,48 @@ impl ParamDomain {
     }
 }
 
+impl ParamDomain {
+    /// JSON form: the string `"bool"` or `{ "lo", "hi", "step" }`.
+    fn to_json(&self) -> Json {
+        match self {
+            ParamDomain::Bool => Json::Str("bool".into()),
+            ParamDomain::IntRange { lo, hi, step } => {
+                Json::obj().with("lo", *lo).with("hi", *hi).with("step", *step)
+            }
+        }
+    }
+
+    fn from_json(v: &Json, what: &str) -> Result<ParamDomain, String> {
+        match v {
+            Json::Str(s) if s == "bool" => Ok(ParamDomain::Bool),
+            Json::Str(s) => Err(format!(
+                "{what}: unknown domain `{s}` (expected \"bool\" or an integer range object)"
+            )),
+            Json::Obj(_) => {
+                let lo = de::i64_field(v, "lo", what)?;
+                let hi = de::i64_field(v, "hi", what)?;
+                let step = de::i64_field(v, "step", what)?;
+                if step < 1 {
+                    return Err(format!("{what}: domain step must be >= 1, got {step}"));
+                }
+                if hi < lo {
+                    return Err(format!(
+                        "{what}: domain is empty (lo {lo} > hi {hi})"
+                    ));
+                }
+                Ok(ParamDomain::IntRange { lo, hi, step })
+            }
+            other => Err(format!(
+                "{what}: domain must be \"bool\" or an object, got {}",
+                other.type_name()
+            )),
+        }
+    }
+}
+
 /// One tuning parameter: name, family, code location, domain and current
 /// value — one line of the paper's tuning configuration file.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TuningParam {
     /// Unique name, e.g. `pipeline_main_l4.C.replication`.
     pub name: String,
@@ -145,9 +227,40 @@ pub struct TuningParam {
     pub value: ParamValue,
 }
 
+impl TuningParam {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("kind", self.kind.to_string())
+            .with("location", self.location.as_str())
+            .with("domain", self.domain.to_json())
+            .with("value", self.value.to_json())
+    }
+
+    fn from_json_value(v: &Json, index: usize) -> Result<TuningParam, String> {
+        let what = format!("tuning parameter #{index}");
+        if v.as_obj().is_none() {
+            return Err(format!("{what}: expected an object, got {}", v.type_name()));
+        }
+        let name = de::str_field(v, "name", &what)?;
+        // Error messages name the parameter once we know it.
+        let what = format!("tuning parameter `{name}`");
+        let kind: ParamKind = de::str_field(v, "kind", &what)?
+            .parse()
+            .map_err(|e| format!("{what}: {e}"))?;
+        let location = de::str_field(v, "location", &what)?;
+        let domain = ParamDomain::from_json(de::field(v, "domain", &what)?, &what)?;
+        let value = ParamValue::from_json(de::field(v, "value", &what)?, &what)?;
+        if !domain.contains(value) {
+            return Err(format!("{what}: value {value} is outside its domain"));
+        }
+        Ok(TuningParam { name, kind, location, domain, value })
+    }
+}
+
 /// The tuning configuration file (Fig. 3c): all parameters of one
 /// application, serializable to JSON and editable between runs.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct TuningConfig {
     /// Application / architecture name.
     pub app: String,
@@ -186,12 +299,45 @@ impl TuningConfig {
 
     /// Serialize to the JSON configuration-file format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        Json::obj()
+            .with("app", self.app.as_str())
+            .with(
+                "params",
+                Json::Arr(self.params.iter().map(TuningParam::to_json_value).collect()),
+            )
+            .to_string_pretty()
     }
 
     /// Parse from the JSON configuration-file format.
+    ///
+    /// The configuration file is edited by hand between runs (Section
+    /// 2.1), so malformed input is reported with a descriptive error —
+    /// position information for syntax errors, field/parameter names
+    /// for structural ones — never a panic.
     pub fn from_json(json: &str) -> Result<TuningConfig, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let doc = patty_json::parse(json).map_err(|e| e.to_string())?;
+        if doc.as_obj().is_none() {
+            return Err(format!(
+                "tuning configuration: expected a top-level object, got {}",
+                doc.type_name()
+            ));
+        }
+        let app = de::str_field(&doc, "app", "tuning configuration")?;
+        let raw = de::arr_field(&doc, "params", "tuning configuration")?;
+        let mut params = Vec::with_capacity(raw.len());
+        for (i, p) in raw.iter().enumerate() {
+            params.push(TuningParam::from_json_value(p, i)?);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &params {
+            if !seen.insert(p.name.as_str()) {
+                return Err(format!(
+                    "tuning configuration: duplicate parameter name `{}`",
+                    p.name
+                ));
+            }
+        }
+        Ok(TuningConfig { app, params })
     }
 
     /// Total size of the search space (product of domain sizes).
@@ -295,6 +441,53 @@ mod tests {
         assert_eq!(c, back);
         assert!(json.contains("p3.replication"));
         assert!(json.contains("main:8"));
+        assert!(json.contains("StageReplication"));
+    }
+
+    #[test]
+    fn malformed_config_reports_descriptive_errors() {
+        // Syntax error: position, not a panic.
+        let err = TuningConfig::from_json("{\n  \"app\": \"x\",").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+
+        // Wrong top-level shape.
+        let err = TuningConfig::from_json("[1, 2]").unwrap_err();
+        assert!(err.contains("top-level object"), "{err}");
+
+        // Missing required field.
+        let err = TuningConfig::from_json(r#"{"app": "x"}"#).unwrap_err();
+        assert!(err.contains("missing required field `params`"), "{err}");
+
+        // Unknown parameter kind names the parameter and the kind.
+        let err = TuningConfig::from_json(
+            r#"{"app":"x","params":[{"name":"p","kind":"Bogus","location":"main:1",
+                "domain":"bool","value":true}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("`p`") && err.contains("Bogus"), "{err}");
+
+        // Value outside its declared domain is rejected at parse time.
+        let err = TuningConfig::from_json(
+            r#"{"app":"x","params":[{"name":"p","kind":"StageReplication",
+                "location":"main:1","domain":{"lo":1,"hi":4,"step":1},"value":9}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("outside its domain"), "{err}");
+
+        // Degenerate domains are rejected.
+        let err = TuningConfig::from_json(
+            r#"{"app":"x","params":[{"name":"p","kind":"ChunkSize",
+                "location":"main:1","domain":{"lo":1,"hi":4,"step":0},"value":1}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("step must be >= 1"), "{err}");
+
+        // Duplicate parameter names are rejected.
+        let dup = r#"{"app":"x","params":[
+            {"name":"p","kind":"StageFusion","location":"main:1","domain":"bool","value":false},
+            {"name":"p","kind":"StageFusion","location":"main:2","domain":"bool","value":false}]}"#;
+        let err = TuningConfig::from_json(dup).unwrap_err();
+        assert!(err.contains("duplicate parameter name `p`"), "{err}");
     }
 
     #[test]

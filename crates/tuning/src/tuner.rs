@@ -3,6 +3,7 @@
 //! computes new parameter values." (Section 3, Fig. 4c)
 
 use crate::param::{ParamValue, TuningConfig};
+use patty_telemetry::{Telemetry, TunerIteration};
 
 /// Measures one configuration; lower scores are better (runtime).
 pub trait Evaluator {
@@ -16,6 +17,47 @@ pub struct FnEvaluator<F: FnMut(&TuningConfig) -> f64>(pub F);
 impl<F: FnMut(&TuningConfig) -> f64> Evaluator for FnEvaluator<F> {
     fn measure(&mut self, config: &TuningConfig) -> f64 {
         (self.0)(config)
+    }
+}
+
+/// Wraps an evaluator so every measured configuration is logged to a
+/// telemetry sink — iteration index, parameter vector, measured objective
+/// and whether it improved on the best seen so far (the "measures and
+/// visualizes the runtime" half of the Fig. 4c cycle). Works with every
+/// [`Tuner`] because the logging rides on [`Evaluator::measure`].
+pub struct TelemetryEvaluator<'e> {
+    inner: &'e mut dyn Evaluator,
+    telemetry: Telemetry,
+    iteration: u64,
+    best: f64,
+}
+
+impl<'e> TelemetryEvaluator<'e> {
+    /// Wrap `inner`, logging each measurement to `telemetry`.
+    pub fn new(inner: &'e mut dyn Evaluator, telemetry: Telemetry) -> TelemetryEvaluator<'e> {
+        TelemetryEvaluator { inner, telemetry, iteration: 0, best: f64::INFINITY }
+    }
+}
+
+impl Evaluator for TelemetryEvaluator<'_> {
+    fn measure(&mut self, config: &TuningConfig) -> f64 {
+        let objective = self.inner.measure(config);
+        self.iteration += 1;
+        let improved = objective < self.best;
+        if improved {
+            self.best = objective;
+        }
+        self.telemetry.log_tuner_iteration(TunerIteration {
+            iteration: self.iteration,
+            params: config
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), p.value.as_i64()))
+                .collect(),
+            objective,
+            improved,
+        });
+        objective
     }
 }
 
@@ -139,5 +181,28 @@ mod tests {
         assert_eq!(r.evaluations, 3);
         // history is monotone non-increasing
         assert!(r.history.windows(2).all(|w| w[1].1 <= w[0].1));
+    }
+
+    #[test]
+    fn telemetry_evaluator_logs_every_measurement() {
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::worker_count("w", "f:1", 4));
+        let scores = std::cell::Cell::new(3.0);
+        let mut eval = FnEvaluator(|_: &TuningConfig| {
+            let s = scores.get();
+            scores.set(s + 1.0);
+            s
+        });
+        let telemetry = Telemetry::enabled();
+        let mut logged = TelemetryEvaluator::new(&mut eval, telemetry.clone());
+        assert_eq!(logged.measure(&c), 3.0);
+        assert_eq!(logged.measure(&c), 4.0);
+        let report = telemetry.report();
+        assert_eq!(report.tuner_iterations.len(), 2);
+        assert_eq!(report.tuner_iterations[0].iteration, 1);
+        assert!(report.tuner_iterations[0].improved, "first score is the best so far");
+        assert!(!report.tuner_iterations[1].improved, "worse score is not an improvement");
+        assert_eq!(report.tuner_iterations[0].params, vec![("w".to_string(), 1)]);
+        assert_eq!(report.tuner_iterations[1].objective, 4.0);
     }
 }

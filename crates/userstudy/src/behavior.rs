@@ -164,7 +164,7 @@ pub fn simulate_participant(p: &Participant, bench: &Benchmark, seed: u64) -> Ou
                 if t > TIME_LIMIT_MIN {
                     break;
                 }
-                let p_find = 0.32 + 0.45 * p.mc_skill;
+                let p_find = 0.42 + 0.45 * p.mc_skill;
                 if rng.gen_bool(p_find.clamp(0.0, 1.0)) {
                     found.insert(*loc);
                     first_id.get_or_insert(t);

@@ -60,7 +60,10 @@ pub fn rate_features(manual: &[&Participant], seed: u64) -> Vec<FeatureRow> {
                     // Struggling participants (low multicore skill) want
                     // dependence views and strategies even more.
                     let want = f.base + (0.5 - p.mc_skill) * 0.8;
-                    (want + rng.gen_range(-0.9..0.9)).clamp(-3.0, 3.0)
+                    // Noise stays small relative to the base-attitude
+                    // gaps: with only three manual raters, a wider
+                    // spread would let sampling luck reorder Fig. 5a.
+                    (want + rng.gen_range(-0.45..0.45)).clamp(-3.0, 3.0)
                 })
                 .collect();
             ratings.sort_by(f64::total_cmp);

@@ -65,7 +65,7 @@ pub fn answer(p: &Participant, outcome: &Outcome, seed: u64) -> Option<Answers> 
             // deviations make the result more reliable).
             for (ind, base, spread) in [
                 ("Clarity", 5.9, 0.55),
-                ("Complexity", 5.9, 0.9),
+                ("Complexity", 5.9, 0.6),
                 ("Perceivability", 6.2, 0.6),
                 ("Learnability", 6.2, 0.45),
             ] {
@@ -89,7 +89,7 @@ pub fn answer(p: &Participant, outcome: &Outcome, seed: u64) -> Option<Answers> 
             let expert_bonus = 2.8 * (p.mc_skill - 0.4).max(0.0);
             for (ind, base, spread) in [
                 ("Clarity", 4.6, 1.2),
-                ("Complexity", 4.3, 0.8),
+                ("Complexity", 4.3, 1.0),
                 ("Perceivability", 4.6, 0.9),
                 ("Learnability", 4.8, 1.1),
             ] {

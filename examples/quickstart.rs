@@ -8,7 +8,7 @@ use patty_workspace::patty::{Patty, PattyOptions};
 
 fn main() {
     let source = patty_workspace::corpus::avistream_program().source;
-    let patty = Patty { options: PattyOptions::default() };
+    let patty = Patty { options: PattyOptions::default(), ..Patty::default() };
 
     // Phases 1–4, fully automatic (operation mode 1).
     let run = patty.run_automatic(source).expect("avistream analyses cleanly");

@@ -39,7 +39,7 @@ fn main() {
 
     // 2. First execution: load the file, configure the pipeline, run.
     let config1 = load_tuning(&std::fs::read_to_string(&path).expect("read")).expect("parse");
-    let values1 = PipelineTuning::from_config(&config1);
+    let values1 = PipelineTuning::from_config(&config1).expect("config decodes");
     let out1 = values1.build_pipeline(build_stages()).run((0..200).collect());
     let sim1 = simulate_pipeline(&artifact.plan, &values1, &SimParams::default());
     println!(
@@ -60,7 +60,7 @@ fn main() {
 
     // 4. Second execution: same binary, new behaviour.
     let config2 = load_tuning(&std::fs::read_to_string(&path).expect("read")).expect("parse");
-    let values2 = PipelineTuning::from_config(&config2);
+    let values2 = PipelineTuning::from_config(&config2).expect("config decodes");
     let out2 = values2.build_pipeline(build_stages()).run((0..200).collect());
     let sim2 = simulate_pipeline(&artifact.plan, &values2, &SimParams::default());
     println!(

@@ -1,0 +1,268 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! bounded MPMC channel. Built over `std::sync` (Mutex + Condvar); both
+//! `Sender` and `Receiver` are cloneable, sends block when the buffer is
+//! full (that backpressure is what makes the pipeline's bounded
+//! inter-stage buffers meaningful), and disconnection is reported the
+//! crossbeam way: `send` fails once all receivers are gone, `recv` fails
+//! once the buffer is drained and all senders are gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        capacity: usize,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Create a bounded MPMC channel with the given buffer capacity.
+    /// Capacity 0 (crossbeam's rendezvous channel) is modeled as
+    /// capacity 1 — no caller in this workspace uses rendezvous
+    /// semantics.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Create an effectively unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(usize::MAX)
+    }
+
+    impl<T> Sender<T> {
+        /// Block until buffer space is available, then enqueue `value`.
+        /// Fails (returning the value) once every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.chan.capacity {
+                    st.queue.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .chan
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an element is available. Fails once the buffer is
+        /// empty and every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            match st.queue.pop_front() {
+                Some(v) => {
+                    self.chan.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of elements currently buffered.
+        pub fn len(&self) -> usize {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they can observe disconnection.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they can observe disconnection.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_consumer() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(
+                std::iter::from_fn(|| rx.recv().ok()).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3]
+            );
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = bounded::<i32>(2);
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = bounded::<i32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn mpmc_consumes_every_item_once() {
+            let (tx, rx) = bounded::<usize>(8);
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|t| t.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! `patty-*` crates.
 
 pub use patty_analysis as analysis;
+pub use patty_json as json;
+pub use patty_telemetry as telemetry;
 pub use patty_chess as chess;
 pub use patty_corpus as corpus;
 pub use patty_minilang as minilang;

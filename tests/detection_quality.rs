@@ -62,7 +62,7 @@ fn detector_f_score_lands_in_the_paper_band() {
     // Section 5 reports "a balanced F-score of approximately 70%"; our
     // corpus is constructed so the same optimistic detector lands in that
     // band — neither perfect nor unusable.
-    assert!(f >= 0.60 && f <= 0.92, "F-score {f:.3} outside the expected band");
+    assert!((0.60..=0.92).contains(&f), "F-score {f:.3} outside the expected band");
     assert!(c.fp >= 1, "the traced-prefix blind spot must produce false positives");
     assert!(c.fn_ >= 2, "restructuring-required loops must be missed");
 }

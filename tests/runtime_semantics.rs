@@ -63,7 +63,7 @@ proptest! {
         chunk in 1usize..40,
         sequential in any::<bool>(),
     ) {
-        let pf = ParallelFor { workers, chunk, sequential };
+        let pf = ParallelFor::new(workers).with_chunk(chunk).sequential(sequential);
         let out = pf.map(n, |i| (i as i64).wrapping_mul(31) ^ 7);
         let expected: Vec<i64> = (0..n).map(|i| (i as i64).wrapping_mul(31) ^ 7).collect();
         prop_assert_eq!(out, expected);
@@ -75,7 +75,7 @@ proptest! {
         workers in 1usize..6,
         chunk in 1usize..50,
     ) {
-        let pf = ParallelFor { workers, chunk, sequential: false };
+        let pf = ParallelFor::new(workers).with_chunk(chunk);
         let sum = pf.reduce(n, 0i64, |a, i| a.wrapping_add(i as i64 * 3), |a, b| a.wrapping_add(b));
         let expected: i64 = (0..n).fold(0i64, |a, i| a.wrapping_add(i as i64 * 3));
         prop_assert_eq!(sum, expected);

@@ -1,0 +1,106 @@
+//! Regression tests pinning the telemetry layer's observable contract:
+//! the counters a profiled run reports are exact, not sampled, and the
+//! disabled handle reports nothing at all.
+
+use patty_workspace::runtime::{MasterWorker, ParallelFor, Pipeline, Stage};
+use patty_workspace::telemetry::Telemetry;
+
+#[test]
+fn two_stage_pipeline_reports_exactly_n_items_per_stage() {
+    const N: u64 = 137;
+    let telemetry = Telemetry::enabled();
+    let pipeline = Pipeline::new(vec![
+        Stage::new("decode", |x: u64| x.wrapping_mul(3)),
+        Stage::new("encode", |x: u64| x ^ 0xAB),
+    ])
+    .with_telemetry(telemetry.clone());
+    let out = pipeline.run((0..N).collect());
+    assert_eq!(out.len(), N as usize);
+
+    let report = telemetry.report();
+    assert_eq!(report.counter("pipeline.stage.decode.items"), Some(N));
+    assert_eq!(report.counter("pipeline.stage.encode.items"), Some(N));
+    // Each threaded stage also times its workers.
+    assert!(report.span("pipeline.stage.decode.wall_per_worker").is_some());
+    assert!(report.span("pipeline.stage.encode.wall_per_worker").is_some());
+}
+
+#[test]
+fn sequential_pipeline_reports_the_same_per_stage_totals() {
+    const N: u64 = 64;
+    let telemetry = Telemetry::enabled();
+    let pipeline = Pipeline::new(vec![
+        Stage::new("decode", |x: u64| x + 1),
+        Stage::new("encode", |x: u64| x * 2),
+    ])
+    .sequential(true)
+    .with_telemetry(telemetry.clone());
+    pipeline.run((0..N).collect());
+    let report = telemetry.report();
+    assert_eq!(report.counter("pipeline.stage.decode.items"), Some(N));
+    assert_eq!(report.counter("pipeline.stage.encode.items"), Some(N));
+}
+
+#[test]
+fn parfor_reports_every_index_and_chunk() {
+    let telemetry = Telemetry::enabled();
+    let pf = ParallelFor::new(4)
+        .with_chunk(16)
+        .with_telemetry(telemetry.clone());
+    pf.for_each(200, |_| {});
+    let report = telemetry.report();
+    assert_eq!(report.counter("parfor.items"), Some(200));
+    // 200 indices in chunks of 16 → at least ceil(200/16) grabs.
+    assert!(report.counter("parfor.chunks").unwrap() >= 13);
+    let chunk_hist = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "parfor.chunk_size")
+        .expect("chunk-size histogram recorded");
+    assert_eq!(chunk_hist.sum, 200);
+    assert!(chunk_hist.max <= 16);
+}
+
+#[test]
+fn masterworker_reports_item_count() {
+    let telemetry = Telemetry::enabled();
+    let mw = MasterWorker::new(4).with_telemetry(telemetry.clone());
+    mw.run((0..50i64).collect(), |x| x * x);
+    let report = telemetry.report();
+    assert_eq!(report.counter("masterworker.items"), Some(50));
+    assert!(report.span("masterworker.run").is_some());
+}
+
+#[test]
+fn disabled_telemetry_reports_nothing() {
+    let telemetry = Telemetry::disabled();
+    let pipeline = Pipeline::new(vec![
+        Stage::new("decode", |x: u64| x + 1),
+        Stage::new("encode", |x: u64| x * 2),
+    ])
+    .with_telemetry(telemetry.clone());
+    pipeline.run((0..100).collect());
+    ParallelFor::new(4)
+        .with_telemetry(telemetry.clone())
+        .for_each(100, |_| {});
+    MasterWorker::new(4)
+        .with_telemetry(telemetry.clone())
+        .run((0..10i64).collect(), |x| x);
+
+    let report = telemetry.report();
+    assert!(report.is_empty(), "disabled handle must report nothing: {report:?}");
+}
+
+#[test]
+fn report_json_is_deterministic_and_parseable() {
+    let telemetry = Telemetry::enabled();
+    Pipeline::new(vec![Stage::new("s", |x: u64| x)])
+        .with_telemetry(telemetry.clone())
+        .run((0..10).collect());
+    let a = telemetry.report().to_json();
+    let b = telemetry.report().to_json();
+    assert_eq!(a, b, "snapshots of an idle sink are stable");
+    let parsed = patty_workspace::json::parse(&a).expect("report JSON parses");
+    assert!(parsed.get("counters").is_some());
+    assert!(parsed.get("spans").is_some());
+}
