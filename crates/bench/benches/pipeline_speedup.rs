@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patty_bench::busy_work;
-use patty_runtime::{MasterWorker, ParallelFor, Pipeline, Stage};
+use patty_runtime::{MasterWorker, ParallelFor, Pipeline, RunOptions, Stage};
 use patty_telemetry::Telemetry;
 
 const FILTER_COST: u64 = 120;
@@ -48,6 +48,21 @@ fn bench_pipeline(c: &mut Criterion) {
                 });
             },
         );
+        // The fault-tolerant entry point with no faults and default
+        // options: same stream, panics caught per item, Result plumbing.
+        // Must stay within the <2% overhead budget of plain `run`
+        // (asserted by `guard_checked_overhead` below).
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_run_checked", frames),
+            &frames,
+            |b, &n| {
+                b.iter(|| {
+                    checked_pipeline()
+                        .run_checked((0..n as u64).collect(), &RunOptions::default())
+                        .expect("no faults injected")
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("manual_parfor", frames), &frames, |b, &n| {
             b.iter(|| ParallelFor::new(8).with_chunk(4).map(n, |i| frame_work(i as u64)));
         });
@@ -84,5 +99,55 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The fault-tolerance bench pipeline: plain replicated stages (the
+/// nested MasterWorker variant above measures the paper comparison;
+/// this one isolates the `run` vs `run_checked` delta).
+fn checked_pipeline() -> Pipeline<u64> {
+    Pipeline::new(vec![
+        Stage::new("filters", |i: u64| {
+            let a = busy_work(FILTER_COST, i);
+            let b = busy_work(FILTER_COST, i ^ 7);
+            let c = busy_work(FILTER_COST * 2, i ^ 99);
+            a ^ b ^ c
+        })
+        .replicated(3),
+        Stage::new("convert", |x: u64| busy_work(30, x)),
+    ])
+}
+
+/// Regression guard: `run_checked` with default options and no faults
+/// must cost within 2% of the infallible `run` on the same pipeline.
+/// Interleaved min-of-N keeps scheduler noise out of the comparison.
+fn guard_checked_overhead(_c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+    const FRAMES: u64 = 256;
+    const SAMPLES: usize = 25;
+    let pipeline = checked_pipeline();
+    // Warm both paths.
+    pipeline.run((0..FRAMES).collect());
+    pipeline.run_checked((0..FRAMES).collect(), &RunOptions::default()).unwrap();
+    let mut plain = Duration::MAX;
+    let mut checked = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        criterion::black_box(pipeline.run((0..FRAMES).collect()));
+        plain = plain.min(t0.elapsed());
+        let t1 = Instant::now();
+        criterion::black_box(
+            pipeline.run_checked((0..FRAMES).collect(), &RunOptions::default()).unwrap(),
+        );
+        checked = checked.min(t1.elapsed());
+    }
+    let budget = plain.mul_f64(1.02) + Duration::from_micros(200);
+    println!(
+        "\n== guard: run_checked overhead ==\n  run {plain:?}  run_checked {checked:?}  \
+         budget {budget:?}"
+    );
+    assert!(
+        checked <= budget,
+        "run_checked overhead exceeds 2%: run {plain:?}, run_checked {checked:?}"
+    );
+}
+
+criterion_group!(benches, bench_pipeline, guard_checked_overhead);
 criterion_main!(benches);

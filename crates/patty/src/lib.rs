@@ -27,9 +27,11 @@
 //! assert!(run.artifacts[0].annotated_source.contains("#region TADL:"));
 //! ```
 
+pub mod faultcheck;
 pub mod overlay;
 pub mod process;
 
+pub use faultcheck::{faultcheck, FaultcheckReport, Outcome, Scenario};
 pub use overlay::{render_candidates, render_hotspots, render_overlay, render_process_chart, Phase};
 pub use process::{
     load_tuning, InstanceArtifacts, Patty, PattyError, PattyOptions, PattyRun,

@@ -12,8 +12,16 @@
 //! patty profile  <file.mini>    # run with telemetry: JSON report of
 //!                               # per-stage item counts, per-phase span
 //!                               # timings and tuner iteration logs
+//! patty faultcheck <file.mini>  # run the generated plan under a matrix
+//!                               # of injected faults; every scenario must
+//!                               # recover to the sequential oracle or
+//!                               # fail with a structured error
 //! patty modes                   # describe the four operation modes
 //! ```
+//!
+//! Exit codes: 0 success, 1 processing/runtime failure, 2 usage error,
+//! 3 internal error (a panic that escaped — reported as one line on
+//! stderr, never a backtrace).
 //!
 //! Files with TADL `#region` annotations are processed in mode 2
 //! (annotations drive the transformation); plain files run mode 1
@@ -23,12 +31,22 @@ use patty_tool::{render_candidates, render_overlay, Patty, PattyRun};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = run(&args);
+    // A panic that escapes the fault-tolerant runtime is an internal
+    // error: report it as a single stderr line, never a backtrace.
+    // Panics on worker threads are caught and structured by the runtime,
+    // so the hook only speaks for the main thread.
+    std::panic::set_hook(Box::new(|info| {
+        if std::thread::current().name() == Some("main") {
+            let msg = patty_runtime::fault::panic_payload(info.payload());
+            eprintln!("patty: internal error: {msg}");
+        }
+    }));
+    let code = std::panic::catch_unwind(|| run(&args)).unwrap_or(3);
     std::process::exit(code);
 }
 
 fn run(args: &[String]) -> i32 {
-    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|modes> [file.mini]";
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|modes> [file.mini]";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -36,6 +54,11 @@ fn run(args: &[String]) -> i32 {
     if cmd == "modes" {
         print!("{}", patty_tool::describe_modes());
         return 0;
+    }
+    let known = ["analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck"];
+    if !known.contains(&cmd.as_str()) {
+        eprintln!("unknown command `{cmd}`\n{usage}");
+        return 2;
     }
     let Some(path) = args.get(1) else {
         eprintln!("{usage}");
@@ -49,6 +72,26 @@ fn run(args: &[String]) -> i32 {
         }
     };
     let patty = Patty::new();
+    if cmd == "faultcheck" {
+        return match patty_tool::faultcheck(&patty, &source) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.passed() {
+                    0
+                } else if report.scenarios.is_empty() {
+                    eprintln!("patty: faultcheck: no parallel architectures detected");
+                    1
+                } else {
+                    eprintln!("patty: faultcheck failed: output diverged from sequential oracle");
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("patty: {e}");
+                1
+            }
+        };
+    }
     if cmd == "profile" {
         // Telemetry profile: the process runs inside `Patty::profile` with
         // an enabled sink, so skip the plain run below.
@@ -82,10 +125,7 @@ fn run(args: &[String]) -> i32 {
         "transform" => transform(&run),
         "validate" => validate(&patty, &run),
         "tune" => tune(&patty, &run),
-        other => {
-            eprintln!("unknown command `{other}`\n{usage}");
-            return 2;
-        }
+        other => unreachable!("command `{other}` validated above"),
     }
     0
 }

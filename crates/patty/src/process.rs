@@ -83,6 +83,9 @@ pub struct PattyRun {
 pub enum PattyError {
     Lang(LangError),
     Annotation(String),
+    /// A generated plan failed while executing on the runtime library
+    /// (config decode failure, worker panic, deadline, …).
+    Runtime(String),
 }
 
 impl std::fmt::Display for PattyError {
@@ -90,6 +93,7 @@ impl std::fmt::Display for PattyError {
         match self {
             PattyError::Lang(e) => write!(f, "{e}"),
             PattyError::Annotation(e) => write!(f, "annotation error: {e}"),
+            PattyError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -202,7 +206,7 @@ impl Patty {
             patty.run_automatic(source)?
         };
         for a in &run.artifacts {
-            execute_plan(a, &telemetry);
+            execute_plan(a, &telemetry)?;
         }
         patty.validate_correctness(&run);
         patty.tune_performance(&run);
@@ -257,10 +261,24 @@ const PROFILE_STREAM_CAP: u64 = 256;
 /// attached, so the profile reports measured per-stage item counts rather
 /// than model predictions. Stage bodies replay the profiled per-element
 /// cost as busy work.
-fn execute_plan(artifacts: &InstanceArtifacts, telemetry: &patty_telemetry::Telemetry) {
-    use patty_runtime::{LoopTuning, MasterWorker, PipelineTuning, Stage};
+///
+/// Runs through the checked entry points under
+/// [`FailurePolicy::FallbackSequential`](patty_runtime::FailurePolicy)
+/// with a guard deadline, so a faulty plan degrades or reports a
+/// [`PattyError::Runtime`] instead of unwinding through the CLI — and so
+/// the profile report always carries the `fault.*` counter family.
+pub(crate) fn execute_plan(
+    artifacts: &InstanceArtifacts,
+    telemetry: &patty_telemetry::Telemetry,
+) -> Result<(), PattyError> {
+    use patty_runtime::{
+        FailurePolicy, LoopTuning, MasterWorker, PipelineTuning, RunOptions, Stage,
+    };
     let plan = &artifacts.plan;
     let n = plan.stream_length.clamp(1, PROFILE_STREAM_CAP);
+    let opts = RunOptions::new()
+        .on_failure(FailurePolicy::FallbackSequential)
+        .with_deadline(std::time::Duration::from_secs(30));
     let busy = |cost: u64, x: u64| -> u64 {
         let mut acc = x;
         for i in 0..cost.min(512) {
@@ -271,21 +289,27 @@ fn execute_plan(artifacts: &InstanceArtifacts, telemetry: &patty_telemetry::Tele
     match plan.kind {
         patty_tadl::PatternKind::DataParallelLoop => {
             let tuning = LoopTuning::from_config(&artifacts.instance.tuning)
-                .expect("detector-emitted config decodes");
+                .map_err(PattyError::Runtime)?;
             let cost = plan.element_cost;
             let pf = tuning.build().with_telemetry(telemetry.clone());
-            pf.for_each(n as usize, |i| {
-                std::hint::black_box(busy(cost, i as u64));
-            });
+            pf.for_each_checked(
+                n as usize,
+                |i| {
+                    std::hint::black_box(busy(cost, i as u64));
+                },
+                &opts,
+            )
+            .map_err(|e| PattyError::Runtime(e.to_string()))?;
         }
         patty_tadl::PatternKind::MasterWorker => {
             let tuning = LoopTuning::from_config(&artifacts.instance.tuning)
-                .expect("detector-emitted config decodes");
+                .map_err(PattyError::Runtime)?;
             let cost = plan.element_cost;
             let mw = MasterWorker::new(tuning.workers)
                 .sequential(tuning.sequential)
                 .with_telemetry(telemetry.clone());
-            mw.run((0..n).collect(), |x| busy(cost, x));
+            mw.run_checked((0..n).collect(), |x| busy(cost, x), &opts)
+                .map_err(|e| PattyError::Runtime(e.to_string()))?;
         }
         patty_tadl::PatternKind::Pipeline => {
             let stages: Vec<Stage<u64>> = plan
@@ -297,13 +321,16 @@ fn execute_plan(artifacts: &InstanceArtifacts, telemetry: &patty_telemetry::Tele
                 })
                 .collect();
             let tuning = PipelineTuning::from_config(&artifacts.instance.tuning)
-                .expect("detector-emitted config decodes");
+                .map_err(PattyError::Runtime)?;
             let pipeline = tuning
                 .build_pipeline(stages)
                 .with_telemetry(telemetry.clone());
-            pipeline.run((0..n).collect());
+            pipeline
+                .run_checked((0..n).collect(), &opts)
+                .map_err(|e| PattyError::Runtime(e.to_string()))?;
         }
     }
+    Ok(())
 }
 
 /// Path-coverage input generation for every parameterized free function

@@ -147,6 +147,42 @@ fn bad_usage_and_bad_files_fail_cleanly() {
     assert!(stderr3.contains("parse error"), "{stderr3}");
 }
 
+/// Exit codes are part of the CLI contract: 2 for usage errors, 1 for
+/// processing failures, and every diagnostic is a line on stderr — no
+/// panic backtraces.
+#[test]
+fn failures_use_distinct_exit_codes_without_backtraces() {
+    let run_with_code = |args: &[&str]| {
+        let out = Command::new(patty_bin()).args(args).output().expect("patty runs");
+        (out.status.code(), String::from_utf8_lossy(&out.stderr).to_string())
+    };
+    let (code, stderr) = run_with_code(&[]);
+    assert_eq!(code, Some(2), "usage error: {stderr}");
+    let (code, stderr) = run_with_code(&["frobnicate", "x.mini"]);
+    assert_eq!(code, Some(2), "unknown command: {stderr}");
+    let (code, stderr) = run_with_code(&["analyze", "/nonexistent/x.mini"]);
+    assert_eq!(code, Some(1), "unreadable file: {stderr}");
+    let bad = write_temp("bad_exit.mini", "fn main() { var x = ; }");
+    let (code, stderr) = run_with_code(&["analyze", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "parse error: {stderr}");
+    assert!(
+        !stderr.contains("stack backtrace") && !stderr.contains("thread 'main' panicked"),
+        "diagnostics must be one-line, not a panic dump: {stderr}"
+    );
+}
+
+#[test]
+fn faultcheck_passes_on_detected_pipeline_and_reports_fault_counters() {
+    let file = write_temp("faultcheck.mini", PIPELINE_SRC);
+    let (stdout, stderr, ok) = run_patty(&["faultcheck", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("recovered via sequential fallback"), "{stdout}");
+    assert!(stdout.contains("failures: 0"), "{stdout}");
+    for counter in ["fault.panics_caught", "fault.fallbacks", "fault.items_retried"] {
+        assert!(stdout.contains(counter), "missing {counter}: {stdout}");
+    }
+}
+
 #[test]
 fn profile_emits_json_telemetry_report() {
     let file = write_temp("profile.mini", PIPELINE_SRC);
@@ -184,4 +220,16 @@ fn profile_emits_json_telemetry_report() {
     assert!(!iterations.is_empty(), "{stdout}");
     assert!(iterations[0].get("objective").is_some());
     assert!(iterations[0].get("params").is_some());
+    // The plan executes through the checked runtime entry points, so the
+    // fault counter family is present (all zero on a healthy run).
+    let fault_counters: Vec<_> = counters
+        .iter()
+        .filter(|c| {
+            c.get("name").and_then(|n| n.as_str()).is_some_and(|n| n.starts_with("fault."))
+        })
+        .collect();
+    assert!(fault_counters.len() >= 5, "{stdout}");
+    for c in &fault_counters {
+        assert_eq!(c.get("value").and_then(|v| v.as_i64()), Some(0), "{stdout}");
+    }
 }

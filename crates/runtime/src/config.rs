@@ -12,6 +12,22 @@ use crate::pipeline::{Pipeline, Stage};
 use patty_tuning::{ParamKind, TuningConfig};
 use std::collections::BTreeMap;
 
+/// Upper bound on decoded thread counts (per-stage replication, loop
+/// workers). A hand-edited configuration asking for millions of threads
+/// is a mistake, not a tuning choice; decoding rejects it instead of
+/// letting the executor try to spawn them.
+const MAX_THREADS: i64 = 4096;
+
+/// Decode a thread-count knob: `1..=MAX_THREADS` or an error naming the
+/// parameter.
+fn decode_threads(name: &str, what: &str, raw: i64) -> Result<usize, String> {
+    if (1..=MAX_THREADS).contains(&raw) {
+        Ok(raw as usize)
+    } else {
+        Err(format!("{what} parameter `{name}`: thread count must be in 1..={MAX_THREADS}, got {raw}"))
+    }
+}
+
 /// Decoded pipeline tuning values.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineTuning {
@@ -45,7 +61,8 @@ impl PipelineTuning {
                         ));
                     }
                     let stage = segments[segments.len() - 2].to_string();
-                    t.replication.insert(stage, p.value.as_i64().max(1) as usize);
+                    let replication = decode_threads(&p.name, "pipeline", p.value.as_i64())?;
+                    t.replication.insert(stage, replication);
                 }
                 ParamKind::OrderPreservation => {
                     if segments.len() < 3 {
@@ -129,7 +146,9 @@ impl LoopTuning {
         let mut t = LoopTuning::default();
         for p in &config.params {
             match p.kind {
-                ParamKind::WorkerCount => t.workers = p.value.as_i64().max(1) as usize,
+                ParamKind::WorkerCount => {
+                    t.workers = decode_threads(&p.name, "loop", p.value.as_i64())?;
+                }
                 ParamKind::ChunkSize => {
                     let exp = p.value.as_i64();
                     if !(0..=20).contains(&exp) {
@@ -171,23 +190,24 @@ mod tests {
     }
 
     #[test]
-    fn decodes_pipeline_parameters() {
+    fn decodes_pipeline_parameters() -> Result<(), String> {
         let mut cfg = pipeline_config();
-        cfg.set("pipe.C.replication", ParamValue::Int(4)).unwrap();
-        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg).unwrap();
+        cfg.set("pipe.C.replication", ParamValue::Int(4))?;
+        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true))?;
+        let t = PipelineTuning::from_config(&cfg)?;
         assert_eq!(t.replication.get("C"), Some(&4));
         assert_eq!(t.preserve_order.get("C"), Some(&true));
         assert_eq!(t.fusion.get(&("D".into(), "E".into())), Some(&true));
         assert!(!t.sequential);
+        Ok(())
     }
 
     #[test]
-    fn builds_configured_pipeline() {
+    fn builds_configured_pipeline() -> Result<(), String> {
         let mut cfg = pipeline_config();
-        cfg.set("pipe.C.replication", ParamValue::Int(3)).unwrap();
-        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg).unwrap();
+        cfg.set("pipe.C.replication", ParamValue::Int(3))?;
+        cfg.set("pipe.fuse.D_E", ParamValue::Bool(true))?;
+        let t = PipelineTuning::from_config(&cfg)?;
         let stages = vec![
             Stage::new("C", |x: i64| x * 2),
             Stage::new("D", |x: i64| x + 1),
@@ -198,15 +218,17 @@ mod tests {
         let out = p.run((0..10).collect());
         let expected: Vec<i64> = (0..10).map(|x| x * 2 + 1 - 3).collect();
         assert_eq!(out, expected);
+        Ok(())
     }
 
     #[test]
-    fn sequential_flag_propagates() {
+    fn sequential_flag_propagates() -> Result<(), String> {
         let mut cfg = pipeline_config();
-        cfg.set("pipe.sequential", ParamValue::Bool(true)).unwrap();
-        let t = PipelineTuning::from_config(&cfg).unwrap();
+        cfg.set("pipe.sequential", ParamValue::Bool(true))?;
+        let t = PipelineTuning::from_config(&cfg)?;
         let p = t.build_pipeline(vec![Stage::new("C", |x: i64| x)]);
         assert!(p.sequential);
+        Ok(())
     }
 
     #[test]
@@ -238,17 +260,37 @@ mod tests {
     }
 
     #[test]
-    fn decodes_loop_parameters() {
+    fn adversarial_thread_counts_are_rejected() {
+        // Zero, negative and absurd thread counts come from hand-edited
+        // JSON, not the tuner; the decoder refuses to spawn them.
+        for bad in [0, -3, MAX_THREADS + 1, i64::MAX] {
+            let mut c = TuningConfig::new("doall");
+            c.push(TuningParam::worker_count("doall.workers", "main:3", 8));
+            c.params[0].value = ParamValue::Int(bad);
+            let err = LoopTuning::from_config(&c).unwrap_err();
+            assert!(err.contains("doall.workers"), "{err}");
+            assert!(err.contains(&format!("got {bad}")), "{err}");
+        }
+        let mut c = TuningConfig::new("pipe");
+        c.push(TuningParam::replication("pipe.C.replication", "main:8", 8));
+        c.params[0].value = ParamValue::Int(-1);
+        let err = PipelineTuning::from_config(&c).unwrap_err();
+        assert!(err.contains("pipe.C.replication"), "{err}");
+    }
+
+    #[test]
+    fn decodes_loop_parameters() -> Result<(), String> {
         let mut c = TuningConfig::new("doall");
         c.push(TuningParam::worker_count("doall.workers", "main:3", 8));
         c.push(TuningParam::chunk_size("doall.chunk", "main:3", 256));
         c.push(TuningParam::sequential_execution("doall.sequential", "main:3"));
-        c.set("doall.workers", ParamValue::Int(6)).unwrap();
-        c.set("doall.chunk", ParamValue::Int(5)).unwrap();
-        let t = LoopTuning::from_config(&c).unwrap();
+        c.set("doall.workers", ParamValue::Int(6))?;
+        c.set("doall.chunk", ParamValue::Int(5))?;
+        let t = LoopTuning::from_config(&c)?;
         assert_eq!(t.workers, 6);
         assert_eq!(t.chunk, 32, "chunk is a power-of-two exponent");
         let pf = t.build();
         assert_eq!(pf.map(10, |i| i * 3), (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        Ok(())
     }
 }

@@ -1,0 +1,320 @@
+//! Fault-tolerance primitives shared by the three pattern executors.
+//!
+//! The paper pairs transformation with validation because an unsafe
+//! parallel plan is worthless (Sections 3.4–4); this module extends that
+//! stance to *runtime* failures. Every worker body runs under
+//! `catch_unwind`, a panic becomes a structured [`RuntimeError`] instead
+//! of a poisoned channel, and a shared [`CancelToken`] tells sibling
+//! workers to drain and exit rather than deadlock on full or closed
+//! buffers. [`RunOptions`] adds per-run and per-stage-invocation
+//! deadlines and selects the [`FailurePolicy`]: fail fast with the
+//! structured error, or degrade gracefully by re-executing the missing
+//! part of the stream sequentially.
+//!
+//! Cancellation is cooperative: a stage body that never returns cannot
+//! be killed (Rust threads are not cancellable), but every point where
+//! the runtime itself blocks — channel sends, receives, work-item
+//! claims — observes the token, so a failed run converges as soon as
+//! in-flight stage invocations finish.
+
+use patty_telemetry::{Counter, Telemetry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cheaply cloneable cancellation flag shared by every worker of a run
+/// (and, if the caller wishes, by several runs). Once cancelled it stays
+/// cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// What a `run_checked` entry point does when a worker fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Cancel siblings, drain, and return the structured error.
+    #[default]
+    FailFast,
+    /// Cancel siblings, then re-execute the items that never produced an
+    /// output sequentially on the calling thread and return a complete —
+    /// degraded but correct — result. Requires the fault to be transient
+    /// (a persistent panic fails the sequential pass too and is reported
+    /// as [`RuntimeError::StagePanicked`]).
+    FallbackSequential,
+}
+
+/// Per-run execution limits and failure policy for the `*_checked`
+/// entry points of [`Pipeline`](crate::Pipeline),
+/// [`MasterWorker`](crate::MasterWorker) and
+/// [`ParallelFor`](crate::ParallelFor).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Wall-clock budget for the whole run. Exceeding it cancels the run
+    /// and returns [`RuntimeError::DeadlineExceeded`]; the deadline is
+    /// never recovered by sequential fallback (re-running would only take
+    /// longer).
+    pub deadline: Option<Duration>,
+    /// Budget for a single stage invocation on a single item. Detected
+    /// cooperatively after the invocation returns — a stage body stuck
+    /// forever cannot be killed, only observed late.
+    pub stage_deadline: Option<Duration>,
+    /// What to do when a worker panics or a stage deadline is missed.
+    pub on_failure: FailurePolicy,
+    /// Cancellation token observed by all workers. Cancel it from another
+    /// thread to stop the run early with [`RuntimeError::Cancelled`].
+    pub cancel: CancelToken,
+}
+
+impl RunOptions {
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Set the whole-run deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> RunOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the per-stage-invocation deadline.
+    pub fn with_stage_deadline(mut self, deadline: Duration) -> RunOptions {
+        self.stage_deadline = Some(deadline);
+        self
+    }
+
+    /// Set the failure policy.
+    pub fn on_failure(mut self, policy: FailurePolicy) -> RunOptions {
+        self.on_failure = policy;
+        self
+    }
+
+    /// Share an external cancellation token with this run.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> RunOptions {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// A structured runtime failure. `run_checked` returns these instead of
+/// unwinding; the infallible legacy entry points re-panic on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A worker body panicked. `item_seq` is the stream sequence number
+    /// (or item/loop index) being processed, when known; `payload` is the
+    /// stringified panic payload.
+    StagePanicked {
+        stage: String,
+        item_seq: Option<u64>,
+        payload: String,
+    },
+    /// The whole-run deadline elapsed before the run completed.
+    DeadlineExceeded { budget: Duration },
+    /// One stage invocation overran the per-stage deadline.
+    StageDeadlineExceeded {
+        stage: String,
+        item_seq: Option<u64>,
+        elapsed: Duration,
+        budget: Duration,
+    },
+    /// The run's [`CancelToken`] was cancelled externally.
+    Cancelled,
+}
+
+impl RuntimeError {
+    /// Whether [`FailurePolicy::FallbackSequential`] applies: panics and
+    /// per-stage overruns are worth retrying sequentially, whole-run
+    /// deadline misses and external cancellation are not.
+    pub fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::StagePanicked { .. } | RuntimeError::StageDeadlineExceeded { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::StagePanicked { stage, item_seq, payload } => match item_seq {
+                Some(seq) => {
+                    write!(f, "stage `{stage}` panicked on item {seq}: {payload}")
+                }
+                None => write!(f, "stage `{stage}` panicked: {payload}"),
+            },
+            RuntimeError::DeadlineExceeded { budget } => {
+                write!(f, "run exceeded its deadline of {budget:?}")
+            }
+            RuntimeError::StageDeadlineExceeded { stage, item_seq, elapsed, budget } => {
+                write!(
+                    f,
+                    "stage `{stage}` took {elapsed:?} (budget {budget:?})",
+                )?;
+                if let Some(seq) = item_seq {
+                    write!(f, " on item {seq}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::Cancelled => write!(f, "run was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Stringify a `catch_unwind` payload the way panic messages usually
+/// arrive (`&str` from `panic!("literal")`, `String` from formatting).
+pub fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The `fault.*` counter family every `run_checked` registers, so a
+/// profiled run's report enumerates the recovery surface even when no
+/// fault fired. Inert (no allocation) on a disabled telemetry handle.
+#[derive(Clone)]
+pub(crate) struct FaultCounters {
+    /// Worker panics converted into structured errors.
+    pub panics_caught: Counter,
+    /// Runs that completed via the sequential fallback.
+    pub fallbacks: Counter,
+    /// Items re-executed sequentially by a fallback.
+    pub items_retried: Counter,
+    /// Runs aborted by a whole-run or per-stage deadline.
+    pub deadline_aborts: Counter,
+    /// Runs stopped by external cancellation.
+    pub cancellations: Counter,
+}
+
+impl FaultCounters {
+    pub(crate) fn register(telemetry: &Telemetry) -> FaultCounters {
+        FaultCounters {
+            panics_caught: telemetry.counter("fault.panics_caught"),
+            fallbacks: telemetry.counter("fault.fallbacks"),
+            items_retried: telemetry.counter("fault.items_retried"),
+            deadline_aborts: telemetry.counter("fault.deadline_aborts"),
+            cancellations: telemetry.counter("fault.cancellations"),
+        }
+    }
+
+    /// Bump the counter matching a terminal error.
+    pub(crate) fn observe(&self, err: &RuntimeError) {
+        match err {
+            RuntimeError::StagePanicked { .. } => {} // counted at catch site
+            RuntimeError::DeadlineExceeded { .. }
+            | RuntimeError::StageDeadlineExceeded { .. } => self.deadline_aborts.incr(),
+            RuntimeError::Cancelled => self.cancellations.incr(),
+        }
+    }
+}
+
+/// First-error-wins slot shared by the workers of one run.
+pub(crate) struct ErrorSlot {
+    slot: parking_lot::Mutex<Option<RuntimeError>>,
+}
+
+impl ErrorSlot {
+    pub(crate) fn new() -> ErrorSlot {
+        ErrorSlot { slot: parking_lot::Mutex::new(None) }
+    }
+
+    /// Record `err` if no earlier error exists; returns whether it won.
+    pub(crate) fn set(&self, err: RuntimeError) -> bool {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn take(&self) -> Option<RuntimeError> {
+        self.slot.lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        clone.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn error_slot_first_wins() {
+        let slot = ErrorSlot::new();
+        assert!(slot.set(RuntimeError::Cancelled));
+        assert!(!slot.set(RuntimeError::DeadlineExceeded { budget: Duration::from_secs(1) }));
+        assert_eq!(slot.take(), Some(RuntimeError::Cancelled));
+        assert_eq!(slot.take(), None);
+    }
+
+    #[test]
+    fn error_display_and_recoverability() {
+        let p = RuntimeError::StagePanicked {
+            stage: "crop".into(),
+            item_seq: Some(3),
+            payload: "boom".into(),
+        };
+        assert!(p.recoverable());
+        assert_eq!(p.to_string(), "stage `crop` panicked on item 3: boom");
+        let d = RuntimeError::DeadlineExceeded { budget: Duration::from_millis(5) };
+        assert!(!d.recoverable());
+        assert!(d.to_string().contains("deadline"));
+        assert!(!RuntimeError::Cancelled.recoverable());
+    }
+
+    #[test]
+    fn panic_payload_extraction() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("literal message")).unwrap_err();
+        assert_eq!(panic_payload(caught.as_ref()), "literal message");
+        let caught =
+            std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_payload(caught.as_ref()), "formatted 42");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_payload(caught.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn run_options_builder() {
+        let opts = RunOptions::new()
+            .with_deadline(Duration::from_secs(2))
+            .with_stage_deadline(Duration::from_millis(100))
+            .on_failure(FailurePolicy::FallbackSequential);
+        assert_eq!(opts.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(opts.stage_deadline, Some(Duration::from_millis(100)));
+        assert_eq!(opts.on_failure, FailurePolicy::FallbackSequential);
+        assert!(!opts.cancel.is_cancelled());
+    }
+}

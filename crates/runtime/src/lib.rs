@@ -15,7 +15,11 @@
 //!   reductions,
 //! * [`PipelineTuning`] / [`LoopTuning`] — initialization from the JSON
 //!   tuning configuration file, so applications re-tune without
-//!   recompilation.
+//!   recompilation,
+//! * [`fault`] — panic isolation, cooperative cancellation, deadlines and
+//!   sequential fallback for all three patterns: the `run_checked` entry
+//!   points return structured [`RuntimeError`]s instead of poisoning
+//!   channels or unwinding through the caller.
 //!
 //! ```
 //! use patty_runtime::{Pipeline, Stage};
@@ -29,11 +33,13 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod masterworker;
 pub mod parfor;
 pub mod pipeline;
 
 pub use config::{LoopTuning, PipelineTuning};
+pub use fault::{CancelToken, FailurePolicy, RunOptions, RuntimeError};
 pub use masterworker::{Item, MasterWorker};
 pub use parfor::ParallelFor;
 pub use pipeline::{Pipeline, Stage, StageFunc};

@@ -6,9 +6,14 @@
 //! `(A || B || C+)` group of Fig. 3d, where independent items of one
 //! stream element run in parallel).
 
+use crate::fault::{
+    panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
+};
 use patty_telemetry::Telemetry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A master/worker executor with a fixed worker count.
 #[derive(Clone, Debug)]
@@ -47,21 +52,130 @@ impl MasterWorker {
     }
 
     /// Apply `task` to every item; results come back in item order.
+    ///
+    /// Infallible legacy entry point: a panicking task re-panics on the
+    /// calling thread after every worker has joined (no leaked threads).
+    /// Use [`MasterWorker::run_checked`] for structured errors.
     pub fn run<I, O, F>(&self, items: Vec<I>, task: F) -> Vec<O>
     where
         I: Send,
         O: Send,
         F: Fn(I) -> O + Send + Sync,
     {
-        let counter = self.telemetry.counter("masterworker.items");
-        let _wall = self.telemetry.span("masterworker.run");
-        if self.sequential || self.workers <= 1 || items.len() <= 1 {
-            counter.add(items.len() as u64);
-            return items.into_iter().map(task).collect();
+        let counters = FaultCounters::register(&self.telemetry);
+        let (results, error) = self.attempt(items, &task, &RunOptions::default(), &counters);
+        if let Some(error) = error {
+            panic!("{error}");
         }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Apply `task` to every item under a failure policy: panics become
+    /// [`RuntimeError::StagePanicked`], workers observe the deadline and
+    /// cancellation token of `opts`, and with
+    /// [`FailurePolicy::FallbackSequential`] the items that never produced
+    /// a result are re-executed sequentially on the calling thread.
+    pub fn run_checked<I, O, F>(
+        &self,
+        items: Vec<I>,
+        task: F,
+        opts: &RunOptions,
+    ) -> Result<Vec<O>, RuntimeError>
+    where
+        I: Send + Clone,
+        O: Send,
+        F: Fn(I) -> O + Send + Sync,
+    {
+        let counters = FaultCounters::register(&self.telemetry);
+        let backup = (opts.on_failure == FailurePolicy::FallbackSequential)
+            .then(|| items.clone());
+        let (results, error) = self.attempt(items, &task, opts, &counters);
+        let Some(error) = error else {
+            return Ok(results
+                .into_iter()
+                .map(|slot| slot.expect("worker filled every slot"))
+                .collect());
+        };
+        counters.observe(&error);
+        let Some(orig) = backup.filter(|_| error.recoverable()) else {
+            return Err(error);
+        };
+        // Graceful degradation: recompute only the missing slots.
+        counters.fallbacks.incr();
+        let item_counter = self.telemetry.counter("masterworker.items");
+        let mut out = Vec::with_capacity(results.len());
+        for (idx, (slot, item)) in results.into_iter().zip(orig).enumerate() {
+            match slot {
+                Some(v) => out.push(v),
+                None => {
+                    counters.items_retried.incr();
+                    let task = &task;
+                    match catch_unwind(AssertUnwindSafe(move || task(item))) {
+                        Ok(v) => {
+                            item_counter.incr();
+                            out.push(v);
+                        }
+                        Err(payload) => {
+                            counters.panics_caught.incr();
+                            return Err(RuntimeError::StagePanicked {
+                                stage: "masterworker".to_string(),
+                                item_seq: Some(idx as u64),
+                                payload: panic_payload(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One execution attempt: per-index results (`None` where no output
+    /// was produced) plus the first error, if any.
+    fn attempt<I, O, F>(
+        &self,
+        items: Vec<I>,
+        task: &F,
+        opts: &RunOptions,
+        counters: &FaultCounters,
+    ) -> (Vec<Option<O>>, Option<RuntimeError>)
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Send + Sync,
+    {
+        let item_counter = self.telemetry.counter("masterworker.items");
+        let _wall = self.telemetry.span("masterworker.run");
         let n = items.len();
+        let started = Instant::now();
+        if self.sequential || self.workers <= 1 || n <= 1 {
+            let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+            for (idx, item) in items.into_iter().enumerate() {
+                if opts.cancel.is_cancelled() {
+                    return (results, Some(RuntimeError::Cancelled));
+                }
+                if let Some(budget) = opts.deadline {
+                    if started.elapsed() > budget {
+                        return (results, Some(RuntimeError::DeadlineExceeded { budget }));
+                    }
+                }
+                match run_one_item(task, item, idx, opts, counters, "masterworker") {
+                    Ok(out) => {
+                        item_counter.incr();
+                        results[idx] = Some(out);
+                    }
+                    Err(err) => return (results, Some(err)),
+                }
+            }
+            return (results, None);
+        }
+        let errors = ErrorSlot::new();
+        let cancel = opts.cancel.clone();
         let task = &task;
-        let counter = &counter;
+        let item_counter = &item_counter;
         // Item slots: each worker claims the next index atomically.
         let slots: Vec<parking_lot::Mutex<Option<I>>> =
             items.into_iter().map(|i| parking_lot::Mutex::new(Some(i))).collect();
@@ -69,28 +183,54 @@ impl MasterWorker {
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
+            let slots = &slots;
+            let results = &results;
+            let next = &next;
+            let errors = &errors;
             for _ in 0..self.workers.min(n) {
-                scope.spawn(|| loop {
+                let cancel = cancel.clone();
+                scope.spawn(move || loop {
+                    if cancel.is_cancelled() {
+                        return;
+                    }
+                    if let Some(budget) = opts.deadline {
+                        if started.elapsed() > budget {
+                            errors.set(RuntimeError::DeadlineExceeded { budget });
+                            cancel.cancel();
+                            return;
+                        }
+                    }
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
                         return;
                     }
                     let item = slots[idx].lock().take().expect("each slot claimed once");
-                    let out = task(item);
-                    counter.incr();
-                    *results[idx].lock() = Some(out);
+                    match run_one_item(task, item, idx, opts, counters, "masterworker") {
+                        Ok(out) => {
+                            item_counter.incr();
+                            *results[idx].lock() = Some(out);
+                        }
+                        Err(err) => {
+                            errors.set(err);
+                            cancel.cancel();
+                            return;
+                        }
+                    }
                 });
             }
         });
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("worker filled every slot"))
-            .collect()
+        let error = errors
+            .take()
+            .or_else(|| cancel.is_cancelled().then_some(RuntimeError::Cancelled));
+        (results.into_iter().map(|m| m.into_inner()).collect(), error)
     }
 
     /// Run `k` heterogeneous closures concurrently and collect their
     /// results in declaration order — the `(A || B || C)` group applied to
     /// one stream element.
+    ///
+    /// Infallible legacy entry point: a panicking task re-raises its
+    /// original payload on the calling thread after every sibling joined.
     pub fn join_all<O, F>(&self, tasks: Vec<F>) -> Vec<O>
     where
         O: Send,
@@ -104,10 +244,123 @@ impl MasterWorker {
             let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("task panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }
+
+    /// [`MasterWorker::join_all`] with panic isolation: every task runs to
+    /// completion (an `FnOnce` already started cannot be cancelled or
+    /// retried, so deadlines and fallback do not apply here); the first
+    /// panic, in declaration order, is returned as
+    /// [`RuntimeError::StagePanicked`] with `item_seq` naming the task.
+    pub fn join_all_checked<O, F>(
+        &self,
+        tasks: Vec<F>,
+        opts: &RunOptions,
+    ) -> Result<Vec<O>, RuntimeError>
+    where
+        O: Send,
+        F: FnOnce() -> O + Send,
+    {
+        let counters = FaultCounters::register(&self.telemetry);
+        self.telemetry.add("masterworker.tasks", tasks.len() as u64);
+        if opts.cancel.is_cancelled() {
+            counters.cancellations.incr();
+            return Err(RuntimeError::Cancelled);
+        }
+        let raw: Vec<Result<O, RuntimeError>> =
+            if self.sequential || self.workers <= 1 || tasks.len() <= 1 {
+                tasks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| join_one_task(t, i, &counters))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = tasks
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            let counters = counters.clone();
+                            scope.spawn(move || join_one_task(t, i, &counters))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            // join_one_task already caught the task's
+                            // panic; a panic here is the runtime's own.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                })
+            };
+        raw.into_iter().collect()
+    }
+}
+
+/// One `catch_unwind`-guarded task invocation shared by the sequential
+/// and parallel paths, including per-invocation deadline enforcement.
+fn run_one_item<I, O, F>(
+    task: &F,
+    item: I,
+    idx: usize,
+    opts: &RunOptions,
+    counters: &FaultCounters,
+    stage: &str,
+) -> Result<O, RuntimeError>
+where
+    F: Fn(I) -> O,
+{
+    let invoked = opts.stage_deadline.map(|_| Instant::now());
+    match catch_unwind(AssertUnwindSafe(move || task(item))) {
+        Ok(out) => {
+            if let (Some(budget), Some(t0)) = (opts.stage_deadline, invoked) {
+                let elapsed = t0.elapsed();
+                if elapsed > budget {
+                    return Err(RuntimeError::StageDeadlineExceeded {
+                        stage: stage.to_string(),
+                        item_seq: Some(idx as u64),
+                        elapsed,
+                        budget,
+                    });
+                }
+            }
+            Ok(out)
+        }
+        Err(payload) => {
+            counters.panics_caught.incr();
+            Err(RuntimeError::StagePanicked {
+                stage: stage.to_string(),
+                item_seq: Some(idx as u64),
+                payload: panic_payload(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// One guarded heterogeneous task for `join_all_checked`.
+fn join_one_task<O, F>(
+    task: F,
+    idx: usize,
+    counters: &FaultCounters,
+) -> Result<O, RuntimeError>
+where
+    F: FnOnce() -> O,
+{
+    catch_unwind(AssertUnwindSafe(task)).map_err(|payload| {
+        counters.panics_caught.incr();
+        RuntimeError::StagePanicked {
+            stage: format!("task{idx}"),
+            item_seq: Some(idx as u64),
+            payload: panic_payload(payload.as_ref()),
+        }
+    })
 }
 
 /// A replicable work item, mirroring the paper's runtime-library surface
@@ -200,6 +453,160 @@ mod tests {
         assert_eq!((item.func)(21), 42);
         let c = item.clone();
         assert_eq!(c.name, "crop");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FailurePolicy, RunOptions, RuntimeError};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn checked_run_without_faults_matches_run() {
+        let mw = MasterWorker::new(4);
+        let plain = mw.run((0..64).collect::<Vec<i64>>(), |x| x * 3);
+        let checked = mw
+            .run_checked((0..64).collect::<Vec<i64>>(), |x| x * 3, &RunOptions::default())
+            .unwrap();
+        assert_eq!(plain, checked);
+    }
+
+    /// Satellite requirement: a panicking worker returns `StagePanicked`
+    /// without leaking threads. The guard counts workers that entered and
+    /// left the task body; `std::thread::scope` joins everything before
+    /// `run_checked` returns, so any live worker after return would leave
+    /// the counter nonzero.
+    #[test]
+    fn worker_panic_returns_structured_error_without_leaking_threads() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let mw = MasterWorker::new(4);
+        let (l, e) = (live.clone(), entered.clone());
+        let err = mw
+            .run_checked(
+                (0..100).collect::<Vec<i64>>(),
+                move |x| {
+                    l.fetch_add(1, Ordering::SeqCst);
+                    e.fetch_add(1, Ordering::SeqCst);
+                    let guard = scopeguard(&l);
+                    if x == 17 {
+                        panic!("worker died");
+                    }
+                    // Slow enough that cancellation measurably cuts the
+                    // remaining stream short.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    drop(guard);
+                    x
+                },
+                &RunOptions::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::StagePanicked { item_seq: Some(17), .. }),
+            "{err:?}"
+        );
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "all workers joined before run_checked returned"
+        );
+        assert!(
+            entered.load(Ordering::SeqCst) < 100,
+            "cancellation stopped remaining items from running"
+        );
+    }
+
+    /// Decrements the live counter even when the task body unwinds.
+    fn scopeguard(counter: &Arc<AtomicUsize>) -> impl Drop + '_ {
+        struct Guard<'a>(&'a AtomicUsize);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        Guard(counter)
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_fallback() {
+        use std::sync::atomic::AtomicBool;
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let mw = MasterWorker::new(4);
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let out = mw
+            .run_checked(
+                (0..50).collect::<Vec<i64>>(),
+                move |x| {
+                    if x == 23 && !f.swap(true, Ordering::SeqCst) {
+                        panic!("transient");
+                    }
+                    x + 1
+                },
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(out, (1..=50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn deadline_aborts_a_slow_run() {
+        let mw = MasterWorker::new(2);
+        let opts = RunOptions::new().with_deadline(std::time::Duration::from_millis(40));
+        let err = mw
+            .run_checked(
+                (0..1000).collect::<Vec<i64>>(),
+                |x| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    x
+                },
+                &opts,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn join_all_checked_reports_first_failing_task() {
+        let mw = MasterWorker::new(3);
+        let err = mw
+            .join_all_checked(
+                vec![
+                    Box::new(|| 1i64) as Box<dyn FnOnce() -> i64 + Send>,
+                    Box::new(|| panic!("task 1 failed")),
+                    Box::new(|| 3),
+                ],
+                &RunOptions::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::StagePanicked { item_seq: Some(1), .. }),
+            "{err:?}"
+        );
+        let ok = mw
+            .join_all_checked(
+                vec![
+                    Box::new(|| 1i64) as Box<dyn FnOnce() -> i64 + Send>,
+                    Box::new(|| 2),
+                ],
+                &RunOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(ok, vec![1, 2]);
+    }
+
+    #[test]
+    fn sequential_path_is_checked_too() {
+        let mw = MasterWorker::new(1);
+        let err = mw
+            .run_checked(
+                (0..10).collect::<Vec<i64>>(),
+                |x| if x == 4 { panic!("seq") } else { x },
+                &RunOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::StagePanicked { item_seq: Some(4), .. }));
     }
 }
 

@@ -5,8 +5,13 @@
 //! accumulator statements; the runtime gives each worker a private
 //! accumulator and combines them at the end).
 
+use crate::fault::{
+    panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
+};
 use patty_telemetry::{Counter, Telemetry};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A tunable data-parallel loop executor.
 #[derive(Clone, Debug)]
@@ -145,6 +150,269 @@ impl ParallelFor {
         });
     }
 
+    /// [`ParallelFor::map`] under a failure policy: a panicking index
+    /// becomes [`RuntimeError::StagePanicked`] (with `item_seq` the loop
+    /// index), workers observe the deadline and cancellation token of
+    /// `opts`, and with [`FailurePolicy::FallbackSequential`] every index
+    /// that never produced a value is recomputed sequentially.
+    pub fn map_checked<O, F>(
+        &self,
+        n: usize,
+        f: F,
+        opts: &RunOptions,
+    ) -> Result<Vec<O>, RuntimeError>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        let fault = FaultCounters::register(&self.telemetry);
+        let results: Vec<parking_lot::Mutex<Option<O>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let error = self.drive(n, opts, &fault, |_, i| {
+            *results[i].lock() = Some(f(i));
+        });
+        let Some(error) = error else {
+            return Ok(results
+                .into_iter()
+                .map(|m| m.into_inner().expect("every index computed"))
+                .collect());
+        };
+        fault.observe(&error);
+        if opts.on_failure != FailurePolicy::FallbackSequential || !error.recoverable() {
+            return Err(error);
+        }
+        // Graceful degradation: recompute only the missing indices.
+        fault.fallbacks.incr();
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(v) => out.push(v),
+                None => {
+                    fault.items_retried.incr();
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(v) => out.push(v),
+                        Err(payload) => {
+                            fault.panics_caught.incr();
+                            return Err(RuntimeError::StagePanicked {
+                                stage: "parfor".to_string(),
+                                item_seq: Some(i as u64),
+                                payload: panic_payload(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`ParallelFor::for_each`] under a failure policy. The fallback
+    /// re-runs only indices whose invocation never *completed*; an
+    /// invocation that panicked halfway leaves whatever side effects it
+    /// already made and runs again, so `f` must be idempotent per index
+    /// (true for the disjoint-slice writes the detector generates).
+    pub fn for_each_checked<F>(&self, n: usize, f: F, opts: &RunOptions) -> Result<(), RuntimeError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        let fault = FaultCounters::register(&self.telemetry);
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let error = self.drive(n, opts, &fault, |_, i| {
+            f(i);
+            done[i].store(true, Ordering::Release);
+        });
+        let Some(error) = error else {
+            return Ok(());
+        };
+        fault.observe(&error);
+        if opts.on_failure != FailurePolicy::FallbackSequential || !error.recoverable() {
+            return Err(error);
+        }
+        fault.fallbacks.incr();
+        for (i, flag) in done.iter().enumerate() {
+            if flag.load(Ordering::Acquire) {
+                continue;
+            }
+            fault.items_retried.incr();
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(()) => {}
+                Err(payload) => {
+                    fault.panics_caught.incr();
+                    return Err(RuntimeError::StagePanicked {
+                        stage: "parfor".to_string(),
+                        item_seq: Some(i as u64),
+                        payload: panic_payload(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ParallelFor::reduce`] under a failure policy. Each worker folds
+    /// into the private accumulator slot indexed by its worker id; a
+    /// worker that fails mid-fold loses that partial accumulator, so the
+    /// fallback cannot merge surviving work and re-runs the whole
+    /// reduction sequentially instead.
+    pub fn reduce_checked<A, F, C>(
+        &self,
+        n: usize,
+        identity: A,
+        fold: F,
+        combine: C,
+        opts: &RunOptions,
+    ) -> Result<A, RuntimeError>
+    where
+        A: Send + Clone,
+        F: Fn(A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        let fault = FaultCounters::register(&self.telemetry);
+        // Seeded up front so the worker body never touches `identity`
+        // (which would require `A: Sync`). Slots of idle workers combine
+        // away because `identity` is a neutral element.
+        let partials: Vec<parking_lot::Mutex<Option<A>>> =
+            (0..self.workers).map(|_| parking_lot::Mutex::new(Some(identity.clone()))).collect();
+        let error = self.drive(n, opts, &fault, |worker, i| {
+            // drive hands every index to exactly one worker, so the slot
+            // is uncontended; the Mutex only satisfies Sync. A panic in
+            // `fold` leaves the slot empty — that partial is lost, which
+            // is fine because the fallback restarts from scratch.
+            let mut guard = partials[worker].lock();
+            if let Some(acc) = guard.take() {
+                *guard = Some(fold(acc, i));
+            }
+        });
+        if let Some(error) = error {
+            fault.observe(&error);
+            if opts.on_failure != FailurePolicy::FallbackSequential || !error.recoverable() {
+                return Err(error);
+            }
+            fault.fallbacks.incr();
+            fault.items_retried.add(n as u64);
+            let mut acc = identity;
+            for i in 0..n {
+                let folded = catch_unwind(AssertUnwindSafe(|| fold(acc.clone(), i)));
+                match folded {
+                    Ok(v) => acc = v,
+                    Err(payload) => {
+                        fault.panics_caught.incr();
+                        return Err(RuntimeError::StagePanicked {
+                            stage: "parfor".to_string(),
+                            item_seq: Some(i as u64),
+                            payload: panic_payload(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+            return Ok(acc);
+        }
+        Ok(partials
+            .into_iter()
+            .filter_map(|m| m.into_inner())
+            .fold(identity, combine))
+    }
+
+    /// Shared checked driver: chunked index claiming with `catch_unwind`
+    /// around every invocation, cancellation and whole-run deadline checks
+    /// between indices, and the same per-claim telemetry as the unchecked
+    /// paths. `body` receives `(worker, index)`; the worker id is stable
+    /// for the run and below `self.workers`. Returns the first error.
+    fn drive<G>(
+        &self,
+        n: usize,
+        opts: &RunOptions,
+        fault: &FaultCounters,
+        body: G,
+    ) -> Option<RuntimeError>
+    where
+        G: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return opts.cancel.is_cancelled().then_some(RuntimeError::Cancelled);
+        }
+        let (items, chunks) = self.counters();
+        let started = Instant::now();
+        let errors = ErrorSlot::new();
+        let cancel = opts.cancel.clone();
+        // Runs `body` over a chunk on one worker; true means "stop".
+        let run_indices = |worker: usize, range: std::ops::Range<usize>| {
+            for i in range {
+                if cancel.is_cancelled() {
+                    return true;
+                }
+                if let Some(budget) = opts.deadline {
+                    if started.elapsed() > budget {
+                        errors.set(RuntimeError::DeadlineExceeded { budget });
+                        cancel.cancel();
+                        return true;
+                    }
+                }
+                let invoked = opts.stage_deadline.map(|_| Instant::now());
+                match catch_unwind(AssertUnwindSafe(|| body(worker, i))) {
+                    Ok(()) => {
+                        if let (Some(budget), Some(t0)) = (opts.stage_deadline, invoked) {
+                            let elapsed = t0.elapsed();
+                            if elapsed > budget {
+                                errors.set(RuntimeError::StageDeadlineExceeded {
+                                    stage: "parfor".to_string(),
+                                    item_seq: Some(i as u64),
+                                    elapsed,
+                                    budget,
+                                });
+                                cancel.cancel();
+                                return true;
+                            }
+                        }
+                    }
+                    Err(payload) => {
+                        fault.panics_caught.incr();
+                        errors.set(RuntimeError::StagePanicked {
+                            stage: "parfor".to_string(),
+                            item_seq: Some(i as u64),
+                            payload: panic_payload(payload.as_ref()),
+                        });
+                        cancel.cancel();
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+        if self.sequential || self.workers <= 1 || n <= 1 {
+            self.record_chunk(&items, &chunks, n);
+            run_indices(0, 0..n);
+        } else {
+            let next = AtomicUsize::new(0);
+            let counters = (items, chunks);
+            std::thread::scope(|scope| {
+                let next = &next;
+                let run_indices = &run_indices;
+                let counters = &counters;
+                for worker in 0..self.workers.min(n) {
+                    let cancel = cancel.clone();
+                    scope.spawn(move || loop {
+                        if cancel.is_cancelled() {
+                            return;
+                        }
+                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            return;
+                        }
+                        let end = (start + self.chunk).min(n);
+                        self.record_chunk(&counters.0, &counters.1, end - start);
+                        if run_indices(worker, start..end) {
+                            return;
+                        }
+                    });
+                }
+            });
+        }
+        errors
+            .take()
+            .or_else(|| cancel.is_cancelled().then_some(RuntimeError::Cancelled))
+    }
+
     /// Privatized reduction over `0..n`: each worker folds into a private
     /// accumulator seeded with `identity`; accumulators are combined with
     /// `combine`. Requires `combine` to be associative-commutative, which
@@ -251,5 +519,184 @@ mod tests {
         assert_eq!(pf.map(0, |i| i), Vec::<usize>::new());
         assert_eq!(pf.map(1, |i| i), vec![0]);
         assert_eq!(pf.reduce(0, 7i64, |a, _| a + 1, |a, b| a + b), 7);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::CancelToken;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn fallback_opts() -> RunOptions {
+        RunOptions::new().on_failure(FailurePolicy::FallbackSequential)
+    }
+
+    #[test]
+    fn map_checked_without_faults_matches_map() {
+        let pf = ParallelFor::new(4).with_chunk(3);
+        let checked = pf.map_checked(100, |i| i * 3, &RunOptions::default()).unwrap();
+        assert_eq!(checked, pf.map(100, |i| i * 3));
+    }
+
+    #[test]
+    fn map_checked_panic_fails_fast_with_index() {
+        let pf = ParallelFor::new(4).with_chunk(5);
+        let err = pf
+            .map_checked(
+                64,
+                |i| {
+                    if i == 23 {
+                        panic!("index blew up");
+                    }
+                    i
+                },
+                &RunOptions::default(),
+            )
+            .unwrap_err();
+        match err {
+            RuntimeError::StagePanicked { stage, item_seq, payload } => {
+                assert_eq!(stage, "parfor");
+                assert_eq!(item_seq, Some(23));
+                assert_eq!(payload, "index blew up");
+            }
+            other => panic!("expected StagePanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_checked_transient_panic_recovers_via_fallback() {
+        let armed = AtomicBool::new(true);
+        let pf = ParallelFor::new(4).with_chunk(4);
+        let out = pf
+            .map_checked(
+                200,
+                |i| {
+                    if i == 77 && armed.swap(false, Ordering::SeqCst) {
+                        panic!("transient");
+                    }
+                    i * i
+                },
+                &fallback_opts(),
+            )
+            .unwrap();
+        let oracle: Vec<usize> = (0..200).map(|i| i * i).collect();
+        assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn map_checked_persistent_panic_fails_even_with_fallback() {
+        let pf = ParallelFor::new(4);
+        let err = pf
+            .map_checked(
+                32,
+                |i| {
+                    if i == 9 {
+                        panic!("always");
+                    }
+                    i
+                },
+                &fallback_opts(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::StagePanicked { item_seq: Some(9), .. }));
+    }
+
+    #[test]
+    fn for_each_checked_fallback_covers_every_index_once_or_more() {
+        // The index where the fault fires is retried, so "exactly once"
+        // holds for all indices except possibly in-flight ones at cancel
+        // time; completion (>= 1) is the contract.
+        let counters: Vec<AtomicU64> = (0..150).map(|_| AtomicU64::new(0)).collect();
+        let armed = AtomicBool::new(true);
+        let pf = ParallelFor::new(4).with_chunk(8);
+        pf.for_each_checked(
+            150,
+            |i| {
+                if i == 50 && armed.swap(false, Ordering::SeqCst) {
+                    panic!("transient");
+                }
+                counters[i].fetch_add(1, Ordering::SeqCst);
+            },
+            &fallback_opts(),
+        )
+        .unwrap();
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) >= 1));
+    }
+
+    #[test]
+    fn reduce_checked_without_faults_matches_reduce() {
+        let pf = ParallelFor::new(8).with_chunk(7);
+        let sum = pf
+            .reduce_checked(1000, 0u64, |a, i| a + i as u64, |a, b| a + b, &RunOptions::default())
+            .unwrap();
+        assert_eq!(sum, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn reduce_checked_transient_panic_falls_back_to_sequential() {
+        let armed = AtomicBool::new(true);
+        let pf = ParallelFor::new(4).with_chunk(16);
+        let sum = pf
+            .reduce_checked(
+                500,
+                0u64,
+                |a, i| {
+                    if i == 250 && armed.swap(false, Ordering::SeqCst) {
+                        panic!("transient");
+                    }
+                    a + i as u64
+                },
+                |a, b| a + b,
+                &fallback_opts(),
+            )
+            .unwrap();
+        assert_eq!(sum, (0..500u64).sum::<u64>());
+    }
+
+    #[test]
+    fn deadline_aborts_a_slow_loop() {
+        let pf = ParallelFor::new(2).with_chunk(1);
+        let opts = RunOptions::new().with_deadline(Duration::from_millis(5));
+        let err = pf
+            .map_checked(
+                10_000,
+                |i| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    i
+                },
+                &opts,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn external_cancellation_stops_the_loop() {
+        let token = CancelToken::new();
+        token.cancel();
+        let pf = ParallelFor::new(4);
+        let opts = RunOptions::new().with_cancel(token);
+        let err = pf.map_checked(100, |i| i, &opts).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled);
+    }
+
+    #[test]
+    fn sequential_mode_is_checked_too() {
+        let pf = ParallelFor::new(4).sequential(true);
+        let err = pf
+            .map_checked(
+                16,
+                |i| {
+                    if i == 3 {
+                        panic!("seq boom");
+                    }
+                    i
+                },
+                &RunOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::StagePanicked { item_seq: Some(3), .. }));
     }
 }

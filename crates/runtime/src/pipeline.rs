@@ -14,11 +14,20 @@
 //! * **SequentialExecution** — the whole pipeline can run in-place, so a
 //!   short stream never pays the threading overhead.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::fault::{
+    panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
+};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use patty_telemetry::Telemetry;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval of the result collector: how often a blocked run checks
+/// its deadline and cancellation token.
+const CANCEL_POLL: Duration = Duration::from_millis(10);
 
 /// A pipeline stage function over stream elements of type `T`.
 pub type StageFunc<T> = Arc<dyn Fn(T) -> T + Send + Sync>;
@@ -164,20 +173,82 @@ impl<T: Send + 'static> Pipeline<T> {
     /// order-preserving or absent, the output order equals the input
     /// order; otherwise elements may be reordered (and that is exactly
     /// what the OrderPreservation tuning parameter controls).
+    ///
+    /// Infallible legacy entry point: a panicking stage body re-panics on
+    /// the calling thread (after sibling workers have drained and joined,
+    /// so no thread or channel leaks). Use [`Pipeline::run_checked`] to
+    /// get a structured [`RuntimeError`] instead.
     pub fn run(&self, input: Vec<T>) -> Vec<T> {
+        let counters = FaultCounters::register(&self.telemetry);
+        match self.run_attempt(input, &RunOptions::default(), &counters) {
+            Attempt::Complete(out) => out,
+            Attempt::Failed { error, .. } => panic!("{error}"),
+        }
+    }
+
+    /// Run the pipeline under a failure policy: worker panics become
+    /// [`RuntimeError::StagePanicked`], the run observes the deadline and
+    /// cancellation token of `opts`, and with
+    /// [`FailurePolicy::FallbackSequential`] the items that never produced
+    /// an output are re-executed sequentially — the result is then
+    /// complete and in input order (the sequential oracle's order).
+    ///
+    /// `T: Clone` keeps a pristine copy of the input so a fallback can
+    /// re-feed items whose in-flight values died with a worker.
+    pub fn run_checked(&self, input: Vec<T>, opts: &RunOptions) -> Result<Vec<T>, RuntimeError>
+    where
+        T: Clone,
+    {
+        let counters = FaultCounters::register(&self.telemetry);
+        let backup = (opts.on_failure == FailurePolicy::FallbackSequential)
+            .then(|| input.clone());
+        match self.run_attempt(input, opts, &counters) {
+            Attempt::Complete(out) => Ok(out),
+            Attempt::Failed { error, partial } => {
+                counters.observe(&error);
+                match backup {
+                    Some(orig) if error.recoverable() => {
+                        self.fallback_sequential(orig, partial, &counters)
+                    }
+                    _ => Err(error),
+                }
+            }
+        }
+    }
+
+    /// One execution attempt. On failure the attempt reports the outputs
+    /// that did complete (indexed by stream sequence number) so a
+    /// fallback only re-executes the missing items.
+    fn run_attempt(
+        &self,
+        input: Vec<T>,
+        opts: &RunOptions,
+        counters: &FaultCounters,
+    ) -> Attempt<T> {
         if self.sequential || self.stages.is_empty() || input.is_empty() {
-            return self.run_sequential(input);
+            return self.sequential_attempt(input, opts, counters);
         }
         let stages = self.effective_stages();
         let cap = self.buffer_capacity.max(1);
         let n_input = input.len();
+        let errors = ErrorSlot::new();
+        let cancel = opts.cancel.clone();
+        let started = Instant::now();
+        let mut collected: Vec<Option<T>> = (0..n_input).map(|_| None).collect();
+        let mut arrival: Vec<u64> = Vec::with_capacity(n_input);
 
         std::thread::scope(|scope| {
             // StreamGenerator: the loop header becomes the implicit first
-            // stage feeding the first buffer (rule PLPL).
+            // stage feeding the first buffer (rule PLPL). It observes the
+            // cancellation token between sends so a failed run stops
+            // feeding instead of filling buffers nobody drains.
             let (feed_tx, mut prev_rx): (SeqSender<T>, SeqReceiver<T>) = bounded(cap);
+            let feed_cancel = cancel.clone();
             scope.spawn(move || {
                 for (seq, item) in input.into_iter().enumerate() {
+                    if feed_cancel.is_cancelled() {
+                        return;
+                    }
                     if feed_tx.send((seq as u64, item)).is_err() {
                         return;
                     }
@@ -197,20 +268,58 @@ impl<T: Send + 'static> Pipeline<T> {
                     let telemetry = self.telemetry.clone();
                     let queue_metric = queue_metric.clone();
                     let span_name = span_name.clone();
+                    let stage_name = stage.name.clone();
+                    let cancel = cancel.clone();
+                    let errors = &errors;
+                    let counters = counters.clone();
+                    let stage_deadline = opts.stage_deadline;
                     scope.spawn(move || {
                         let _wall = telemetry.span(&span_name);
                         let record_depth = telemetry.is_enabled();
                         while let Ok((seq, item)) = stage_rx.recv() {
+                            // Drain-and-exit: a cancelled run discards
+                            // in-flight items so blocked upstream senders
+                            // disconnect instead of deadlocking.
+                            if cancel.is_cancelled() {
+                                return;
+                            }
                             if record_depth {
                                 // Occupancy left behind in the input buffer —
                                 // a persistently full buffer marks this stage
                                 // as the bottleneck, an empty one as starved.
                                 telemetry.record(&queue_metric, stage_rx.len() as u64);
                             }
-                            let out = func(item);
-                            items.incr();
-                            if stage_tx.send((seq, out)).is_err() {
-                                return;
+                            let invoked = stage_deadline.map(|_| Instant::now());
+                            match catch_unwind(AssertUnwindSafe(|| func(item))) {
+                                Ok(out) => {
+                                    if let (Some(budget), Some(t0)) = (stage_deadline, invoked) {
+                                        let elapsed = t0.elapsed();
+                                        if elapsed > budget {
+                                            errors.set(RuntimeError::StageDeadlineExceeded {
+                                                stage: stage_name.clone(),
+                                                item_seq: Some(seq),
+                                                elapsed,
+                                                budget,
+                                            });
+                                            cancel.cancel();
+                                            return;
+                                        }
+                                    }
+                                    items.incr();
+                                    if stage_tx.send((seq, out)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(payload) => {
+                                    counters.panics_caught.incr();
+                                    errors.set(RuntimeError::StagePanicked {
+                                        stage: stage_name.clone(),
+                                        item_seq: Some(seq),
+                                        payload: panic_payload(payload.as_ref()),
+                                    });
+                                    cancel.cancel();
+                                    return;
+                                }
                             }
                         }
                     });
@@ -226,26 +335,171 @@ impl<T: Send + 'static> Pipeline<T> {
                 };
             }
 
-            let mut out = Vec::with_capacity(n_input);
-            while let Ok((_, item)) = prev_rx.recv() {
-                out.push(item);
+            // Collector: polls so a blocked run still observes its
+            // deadline and cancellation token. Items completed after a
+            // cancellation are kept — they are valid partial results the
+            // fallback will not have to recompute.
+            loop {
+                match prev_rx.recv_timeout(CANCEL_POLL) {
+                    Ok((seq, item)) => {
+                        collected[seq as usize] = Some(item);
+                        arrival.push(seq);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+                if let Some(budget) = opts.deadline {
+                    if started.elapsed() > budget && !cancel.is_cancelled() {
+                        errors.set(RuntimeError::DeadlineExceeded { budget });
+                        cancel.cancel();
+                    }
+                }
             }
-            out
-        })
+        });
+
+        if let Some(error) = errors.take() {
+            Attempt::Failed { error, partial: collected }
+        } else if cancel.is_cancelled() {
+            Attempt::Failed { error: RuntimeError::Cancelled, partial: collected }
+        } else {
+            Attempt::Complete(
+                arrival
+                    .into_iter()
+                    .map(|seq| collected[seq as usize].take().expect("collected once"))
+                    .collect(),
+            )
+        }
     }
 
-    /// The sequential fallback: identical semantics, no threads. Item
-    /// counters are still recorded so a profile of a sequential run
-    /// reports the same per-stage totals as a threaded one.
-    pub fn run_sequential(&self, input: Vec<T>) -> Vec<T> {
-        let counters: Vec<_> = if self.telemetry.is_enabled() {
+    /// Sequential attempt with panic isolation: identical semantics to
+    /// [`Pipeline::run_sequential`], plus structured errors and deadline
+    /// observation.
+    fn sequential_attempt(
+        &self,
+        input: Vec<T>,
+        opts: &RunOptions,
+        counters: &FaultCounters,
+    ) -> Attempt<T> {
+        let item_counters = self.stage_item_counters();
+        let started = Instant::now();
+        let n = input.len();
+        let mut collected: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (seq, mut item) in input.into_iter().enumerate() {
+            if opts.cancel.is_cancelled() {
+                return Attempt::Failed { error: RuntimeError::Cancelled, partial: collected };
+            }
+            if let Some(budget) = opts.deadline {
+                if started.elapsed() > budget {
+                    return Attempt::Failed {
+                        error: RuntimeError::DeadlineExceeded { budget },
+                        partial: collected,
+                    };
+                }
+            }
+            for (i, s) in self.stages.iter().enumerate() {
+                let func = &s.func;
+                let invoked = opts.stage_deadline.map(|_| Instant::now());
+                match catch_unwind(AssertUnwindSafe(move || func(item))) {
+                    Ok(out) => {
+                        if let (Some(budget), Some(t0)) = (opts.stage_deadline, invoked) {
+                            let elapsed = t0.elapsed();
+                            if elapsed > budget {
+                                return Attempt::Failed {
+                                    error: RuntimeError::StageDeadlineExceeded {
+                                        stage: s.name.clone(),
+                                        item_seq: Some(seq as u64),
+                                        elapsed,
+                                        budget,
+                                    },
+                                    partial: collected,
+                                };
+                            }
+                        }
+                        item = out;
+                        if let Some(c) = item_counters.get(i) {
+                            c.incr();
+                        }
+                    }
+                    Err(payload) => {
+                        counters.panics_caught.incr();
+                        return Attempt::Failed {
+                            error: RuntimeError::StagePanicked {
+                                stage: s.name.clone(),
+                                item_seq: Some(seq as u64),
+                                payload: panic_payload(payload.as_ref()),
+                            },
+                            partial: collected,
+                        };
+                    }
+                }
+            }
+            collected[seq] = Some(item);
+        }
+        Attempt::Complete(collected.into_iter().map(|v| v.expect("all computed")).collect())
+    }
+
+    /// Graceful degradation: re-execute only the items whose outputs are
+    /// missing, sequentially on the calling thread, and merge with the
+    /// partial results by sequence number. A second panic on the same
+    /// item means the fault is persistent and is reported as an error.
+    fn fallback_sequential(
+        &self,
+        input: Vec<T>,
+        mut partial: Vec<Option<T>>,
+        counters: &FaultCounters,
+    ) -> Result<Vec<T>, RuntimeError> {
+        counters.fallbacks.incr();
+        let item_counters = self.stage_item_counters();
+        partial.resize_with(input.len(), || None);
+        let mut out = Vec::with_capacity(input.len());
+        for (seq, item) in input.into_iter().enumerate() {
+            if let Some(done) = partial[seq].take() {
+                out.push(done);
+                continue;
+            }
+            counters.items_retried.incr();
+            let mut item = item;
+            for (i, s) in self.stages.iter().enumerate() {
+                let func = &s.func;
+                match catch_unwind(AssertUnwindSafe(move || func(item))) {
+                    Ok(v) => {
+                        item = v;
+                        if let Some(c) = item_counters.get(i) {
+                            c.incr();
+                        }
+                    }
+                    Err(payload) => {
+                        counters.panics_caught.incr();
+                        return Err(RuntimeError::StagePanicked {
+                            stage: s.name.clone(),
+                            item_seq: Some(seq as u64),
+                            payload: panic_payload(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+            out.push(item);
+        }
+        Ok(out)
+    }
+
+    /// Per-stage item counters (empty when telemetry is disabled).
+    fn stage_item_counters(&self) -> Vec<patty_telemetry::Counter> {
+        if self.telemetry.is_enabled() {
             self.stages
                 .iter()
                 .map(|s| self.telemetry.counter(&format!("pipeline.stage.{}.items", s.name)))
                 .collect()
         } else {
             Vec::new()
-        };
+        }
+    }
+
+    /// The sequential fallback: identical semantics, no threads. Item
+    /// counters are still recorded so a profile of a sequential run
+    /// reports the same per-stage totals as a threaded one.
+    pub fn run_sequential(&self, input: Vec<T>) -> Vec<T> {
+        let counters = self.stage_item_counters();
         input
             .into_iter()
             .map(|mut item| {
@@ -259,6 +513,14 @@ impl<T: Send + 'static> Pipeline<T> {
             })
             .collect()
     }
+}
+
+/// Outcome of one execution attempt: either every item made it through,
+/// or a structured error plus whatever outputs completed (by sequence
+/// number) for the fallback to build on.
+enum Attempt<T> {
+    Complete(Vec<T>),
+    Failed { error: RuntimeError, partial: Vec<Option<T>> },
 }
 
 /// Entry in the reorder heap, ordered by sequence number only.
@@ -478,6 +740,7 @@ mod tests {
 #[cfg(test)]
 mod stress_tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn buffer_capacity_one_still_correct() {
@@ -507,6 +770,153 @@ mod stress_tests {
             .collect();
         let out = Pipeline::new(stages).run(vec![0]);
         assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn checked_run_without_faults_matches_run() {
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1).replicated(3),
+            Stage::new("b", |x: i64| x * 2),
+        ]);
+        let plain = p.run((0..100).collect());
+        let checked = p.run_checked((0..100).collect(), &RunOptions::default()).unwrap();
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    fn panic_fails_fast_with_structured_error() {
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("boom", |x: i64| {
+                if x == 8 {
+                    panic!("injected failure");
+                }
+                x
+            }),
+            Stage::new("c", |x: i64| x * 2),
+        ]);
+        let err = p
+            .run_checked((0..50).collect(), &RunOptions::default())
+            .unwrap_err();
+        match err {
+            RuntimeError::StagePanicked { stage, item_seq, payload } => {
+                assert_eq!(stage, "boom");
+                assert_eq!(item_seq, Some(7), "item 7 becomes 8 after stage a");
+                assert!(payload.contains("injected failure"), "{payload}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_sequential_fallback() {
+        use std::sync::atomic::AtomicBool;
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1).replicated(2),
+            Stage::new("flaky", move |x: i64| {
+                if x == 21 && !f.swap(true, Ordering::SeqCst) {
+                    panic!("transient fault");
+                }
+                x * 10
+            }),
+            Stage::new("c", |x: i64| x - 3),
+        ]);
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let out = p.run_checked((0..200).collect(), &opts).unwrap();
+        let expected: Vec<i64> = (0..200).map(|x| (x + 1) * 10 - 3).collect();
+        assert_eq!(out, expected, "fallback result equals the sequential oracle");
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn persistent_panic_fails_even_with_fallback() {
+        let p = Pipeline::new(vec![Stage::new("always", |x: i64| {
+            if x == 3 {
+                panic!("persistent fault");
+            }
+            x
+        })]);
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let err = p.run_checked((0..10).collect(), &opts).unwrap_err();
+        assert!(matches!(err, RuntimeError::StagePanicked { ref stage, .. } if stage == "always"));
+    }
+
+    #[test]
+    fn run_deadline_aborts_slow_stream() {
+        let p = Pipeline::new(vec![Stage::new("slow", |x: i64| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            x
+        })]);
+        let opts = RunOptions::new().with_deadline(std::time::Duration::from_millis(60));
+        let err = p.run_checked((0..500).collect(), &opts).unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn stage_deadline_flags_the_slow_stage() {
+        let p = Pipeline::new(vec![
+            Stage::new("fast", |x: i64| x),
+            Stage::new("laggard", |x: i64| {
+                if x == 5 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                x
+            }),
+        ]);
+        let opts = RunOptions::new().with_stage_deadline(std::time::Duration::from_millis(10));
+        let err = p.run_checked((0..20).collect(), &opts).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::StageDeadlineExceeded { ref stage, .. } if stage == "laggard"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn external_cancellation_stops_the_run() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let p = Pipeline::new(vec![Stage::new("a", |x: i64| x)]);
+        let opts = RunOptions::new().with_cancel(token);
+        let err = p.run_checked((0..100).collect(), &opts).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled);
+    }
+
+    #[test]
+    fn sequential_mode_panics_are_structured_too() {
+        let p = Pipeline::new(vec![Stage::new("boom", |x: i64| {
+            if x == 2 {
+                panic!("seq fault");
+            }
+            x
+        })])
+        .sequential(true);
+        let err = p.run_checked((0..5).collect(), &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, RuntimeError::StagePanicked { item_seq: Some(2), .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_counters_recorded_when_telemetry_enabled() {
+        use std::sync::atomic::AtomicBool;
+        let telemetry = Telemetry::enabled();
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let p = Pipeline::new(vec![Stage::new("flaky", move |x: i64| {
+            if x == 4 && !f.swap(true, Ordering::SeqCst) {
+                panic!("transient");
+            }
+            x
+        })])
+        .with_telemetry(telemetry.clone());
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let out = p.run_checked((0..10).collect(), &opts).unwrap();
+        assert_eq!(out, (0..10).collect::<Vec<i64>>());
+        let report = telemetry.report();
+        assert_eq!(report.counter("fault.panics_caught"), Some(1));
+        assert_eq!(report.counter("fault.fallbacks"), Some(1));
+        assert!(report.counter("fault.items_retried").unwrap() >= 1);
+        assert_eq!(report.counter("fault.deadline_aborts"), Some(0));
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
     /// Create a bounded MPMC channel with the given buffer capacity.
     /// Capacity 0 (crossbeam's rendezvous channel) is modeled as
     /// capacity 1 — no caller in this workspace uses rendezvous
@@ -116,6 +123,34 @@ pub mod channel {
                     .not_empty
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block for at most `timeout` waiting for an element. Returns
+        /// `Disconnected` once the buffer is empty and every sender is
+        /// dropped, `Timeout` if the duration elapses first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
             }
         }
 
@@ -235,6 +270,22 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(1));
             t.join().unwrap().unwrap();
             assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_succeeds() {
+            let (tx, rx) = bounded::<i32>(2);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
