@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patty_bench::busy_work;
 use patty_runtime::{MasterWorker, ParallelFor, Pipeline, RunOptions, Stage};
 use patty_telemetry::Telemetry;
+use patty_trace::Tracer;
 
 const FILTER_COST: u64 = 120;
 
@@ -95,6 +96,31 @@ fn bench_pipeline(c: &mut Criterion) {
                 });
             },
         );
+        // Structured tracing on the pipeline: the disabled handle must
+        // be free, a live ring cheap (asserted by
+        // `guard_tracing_overhead` below).
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_trace_disabled", frames),
+            &frames,
+            |b, &n| {
+                b.iter(|| {
+                    checked_pipeline()
+                        .with_tracer(Tracer::disabled())
+                        .run((0..n as u64).collect())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_trace_enabled", frames),
+            &frames,
+            |b, &n| {
+                b.iter(|| {
+                    checked_pipeline()
+                        .with_tracer(Tracer::enabled())
+                        .run((0..n as u64).collect())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -149,5 +175,50 @@ fn guard_checked_overhead(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_pipeline, guard_checked_overhead);
+/// Regression guard (observability): structured tracing must stay
+/// within 2% of the plain pipeline when the handle is disabled (the
+/// default — a single branch per would-be event) and within 5% when a
+/// live ring is recording. Interleaved min-of-N as above.
+fn guard_tracing_overhead(_c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+    const FRAMES: u64 = 256;
+    const SAMPLES: usize = 25;
+    let plain_p = checked_pipeline();
+    let disabled_p = checked_pipeline().with_tracer(Tracer::disabled());
+    let enabled_p = checked_pipeline().with_tracer(Tracer::enabled());
+    // Warm all three paths.
+    plain_p.run((0..FRAMES).collect());
+    disabled_p.run((0..FRAMES).collect());
+    enabled_p.run((0..FRAMES).collect());
+    let mut plain = Duration::MAX;
+    let mut disabled = Duration::MAX;
+    let mut enabled = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        criterion::black_box(plain_p.run((0..FRAMES).collect()));
+        plain = plain.min(t0.elapsed());
+        let t1 = Instant::now();
+        criterion::black_box(disabled_p.run((0..FRAMES).collect()));
+        disabled = disabled.min(t1.elapsed());
+        let t2 = Instant::now();
+        criterion::black_box(enabled_p.run((0..FRAMES).collect()));
+        enabled = enabled.min(t2.elapsed());
+    }
+    let disabled_budget = plain.mul_f64(1.02) + Duration::from_micros(200);
+    let enabled_budget = plain.mul_f64(1.05) + Duration::from_micros(200);
+    println!(
+        "\n== guard: tracing overhead ==\n  plain {plain:?}  disabled {disabled:?} \
+         (budget {disabled_budget:?})  enabled {enabled:?} (budget {enabled_budget:?})"
+    );
+    assert!(
+        disabled <= disabled_budget,
+        "disabled tracing exceeds 2%: plain {plain:?}, disabled {disabled:?}"
+    );
+    assert!(
+        enabled <= enabled_budget,
+        "enabled tracing exceeds 5%: plain {plain:?}, enabled {enabled:?}"
+    );
+}
+
+criterion_group!(benches, bench_pipeline, guard_checked_overhead, guard_tracing_overhead);
 criterion_main!(benches);

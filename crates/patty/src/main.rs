@@ -16,6 +16,11 @@
 //!                               # of injected faults; every scenario must
 //!                               # recover to the sequential oracle or
 //!                               # fail with a structured error
+//! patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]
+//!                               # run with structured tracing: Chrome
+//!                               # trace_event JSON (load in Perfetto),
+//!                               # plain-text flame summary, or the
+//!                               # stable per-stage summary JSON
 //! patty modes                   # describe the four operation modes
 //! ```
 //!
@@ -46,7 +51,7 @@ fn main() {
 }
 
 fn run(args: &[String]) -> i32 {
-    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|modes> [file.mini]";
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|trace|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -55,7 +60,8 @@ fn run(args: &[String]) -> i32 {
         print!("{}", patty_tool::describe_modes());
         return 0;
     }
-    let known = ["analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck"];
+    let known =
+        ["analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck", "trace"];
     if !known.contains(&cmd.as_str()) {
         eprintln!("unknown command `{cmd}`\n{usage}");
         return 2;
@@ -72,6 +78,9 @@ fn run(args: &[String]) -> i32 {
         }
     };
     let patty = Patty::new();
+    if cmd == "trace" {
+        return trace(&patty, &source, &args[2..]);
+    }
     if cmd == "faultcheck" {
         return match patty_tool::faultcheck(&patty, &source) {
             Ok(report) => {
@@ -126,6 +135,56 @@ fn run(args: &[String]) -> i32 {
         "validate" => validate(&patty, &run),
         "tune" => tune(&patty, &run),
         other => unreachable!("command `{other}` validated above"),
+    }
+    0
+}
+
+/// `patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]`.
+fn trace(patty: &Patty, source: &str, flags: &[String]) -> i32 {
+    let mut out: Option<&str> = None;
+    let mut format = "chrome";
+    let mut i = 0;
+    while i < flags.len() {
+        let value = flags.get(i + 1).map(String::as_str);
+        match (flags[i].as_str(), value) {
+            ("--out", Some(path)) => out = Some(path),
+            ("--format", Some(f)) => format = f,
+            (flag @ ("--out" | "--format"), None) => {
+                eprintln!("patty trace: `{flag}` needs a value");
+                return 2;
+            }
+            (other, _) => {
+                eprintln!("patty trace: unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    if !["chrome", "flame", "summary"].contains(&format) {
+        eprintln!("patty trace: unknown format `{format}` (expected chrome, flame or summary)");
+        return 2;
+    }
+    let (trace, report) = match patty.trace(source) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("patty: {e}");
+            return 1;
+        }
+    };
+    let rendered = match format {
+        "chrome" => patty_trace::chrome_trace(&trace).to_string_pretty(),
+        "flame" => patty_trace::flame_summary(&report),
+        _ => report.to_json(),
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
     }
     0
 }

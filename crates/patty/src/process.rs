@@ -21,6 +21,7 @@ use patty_transform::{
     ParallelPlan, PipelineSimEvaluator, SimParams,
 };
 use patty_telemetry::Telemetry;
+use patty_trace::{Trace, TraceReport, Tracer};
 use patty_tuning::{LinearSearch, TelemetryEvaluator, Tuner, TuningConfig, TuningResult};
 
 /// Configuration of a Patty run.
@@ -199,6 +200,11 @@ impl Patty {
     /// counts, per-phase span timings and the auto-tuner's iteration log.
     pub fn profile(&self, source: &str) -> Result<patty_telemetry::TelemetryReport, PattyError> {
         let telemetry = Telemetry::enabled();
+        // Pre-register the fault.* counter family: the report's schema
+        // must not depend on whether any plan actually executed (a
+        // program with no detected architectures still reports
+        // `fault.panics_caught: 0`).
+        patty_runtime::register_fault_counters(&telemetry);
         let patty = self.clone().with_telemetry(telemetry.clone());
         let run = if source.contains("#region TADL:") {
             patty.run_annotated(source)?
@@ -206,11 +212,30 @@ impl Patty {
             patty.run_automatic(source)?
         };
         for a in &run.artifacts {
-            execute_plan(a, &telemetry)?;
+            execute_plan(a, &telemetry, &Tracer::disabled())?;
         }
         patty.validate_correctness(&run);
         patty.tune_performance(&run);
         Ok(telemetry.report())
+    }
+
+    /// **`patty trace`** — run the full process, execute every generated
+    /// plan on the runtime library with structured tracing attached, and
+    /// return the raw [`Trace`] (for the Chrome exporter) plus its
+    /// aggregated [`TraceReport`] (for the summary/flame views).
+    pub fn trace(&self, source: &str) -> Result<(Trace, TraceReport), PattyError> {
+        let tracer = Tracer::enabled();
+        let run = if source.contains("#region TADL:") {
+            self.run_annotated(source)?
+        } else {
+            self.run_automatic(source)?
+        };
+        for a in &run.artifacts {
+            execute_plan(a, &self.telemetry, &tracer)?;
+        }
+        let trace = tracer.snapshot();
+        let report = TraceReport::from_trace(&trace);
+        Ok((trace, report))
     }
 
     /// **Operation mode 4 — program validation**, correctness half:
@@ -270,6 +295,7 @@ const PROFILE_STREAM_CAP: u64 = 256;
 pub(crate) fn execute_plan(
     artifacts: &InstanceArtifacts,
     telemetry: &patty_telemetry::Telemetry,
+    tracer: &Tracer,
 ) -> Result<(), PattyError> {
     use patty_runtime::{
         FailurePolicy, LoopTuning, MasterWorker, PipelineTuning, RunOptions, Stage,
@@ -291,7 +317,10 @@ pub(crate) fn execute_plan(
             let tuning = LoopTuning::from_config(&artifacts.instance.tuning)
                 .map_err(PattyError::Runtime)?;
             let cost = plan.element_cost;
-            let pf = tuning.build().with_telemetry(telemetry.clone());
+            let pf = tuning
+                .build()
+                .with_telemetry(telemetry.clone())
+                .with_tracer(tracer.clone());
             pf.for_each_checked(
                 n as usize,
                 |i| {
@@ -307,7 +336,8 @@ pub(crate) fn execute_plan(
             let cost = plan.element_cost;
             let mw = MasterWorker::new(tuning.workers)
                 .sequential(tuning.sequential)
-                .with_telemetry(telemetry.clone());
+                .with_telemetry(telemetry.clone())
+                .with_tracer(tracer.clone());
             mw.run_checked((0..n).collect(), |x| busy(cost, x), &opts)
                 .map_err(|e| PattyError::Runtime(e.to_string()))?;
         }
@@ -324,7 +354,8 @@ pub(crate) fn execute_plan(
                 .map_err(PattyError::Runtime)?;
             let pipeline = tuning
                 .build_pipeline(stages)
-                .with_telemetry(telemetry.clone());
+                .with_telemetry(telemetry.clone())
+                .with_tracer(tracer.clone());
             pipeline
                 .run_checked((0..n).collect(), &opts)
                 .map_err(|e| PattyError::Runtime(e.to_string()))?;

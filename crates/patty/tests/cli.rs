@@ -183,6 +183,100 @@ fn faultcheck_passes_on_detected_pipeline_and_reports_fault_counters() {
     }
 }
 
+/// Schema-stability pinning: `patty profile` must emit the whole
+/// `fault.*` counter family (value 0) even when the program has no
+/// detectable parallel architecture, so downstream consumers never see
+/// the keys appear and disappear between runs.
+#[test]
+fn profile_reports_fault_counters_without_parallel_architectures() {
+    let src = "fn main() { var x = 1; print(x); }";
+    let file = write_temp("profile_no_patterns.mini", src);
+    let (stdout, stderr, ok) = run_patty(&["profile", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    let report = patty_json::parse(&stdout).expect("profile output is valid JSON");
+    let counters = report.get("counters").and_then(|c| c.as_arr()).expect("counters array");
+    for name in [
+        "fault.panics_caught",
+        "fault.fallbacks",
+        "fault.items_retried",
+        "fault.deadline_aborts",
+        "fault.cancellations",
+    ] {
+        let counter = counters
+            .iter()
+            .find(|c| c.get("name").and_then(|n| n.as_str()) == Some(name))
+            .unwrap_or_else(|| panic!("missing {name} in {stdout}"));
+        assert_eq!(counter.get("value").and_then(|v| v.as_i64()), Some(0), "{stdout}");
+    }
+}
+
+#[test]
+fn trace_emits_chrome_json_with_events_per_stage() {
+    let file = write_temp("trace.mini", PIPELINE_SRC);
+    let (stdout, stderr, ok) = run_patty(&["trace", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    let doc = patty_json::parse(&stdout).expect("chrome trace is valid JSON");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+    // Thread metadata names every (stage, worker) lane; the detected
+    // A+ => B pipeline must produce at least one slice per stage.
+    let mut tid_names = std::collections::BTreeMap::new();
+    for e in events {
+        if e.get("name").and_then(|n| n.as_str()) == Some("thread_name") {
+            let tid = e.get("tid").and_then(|t| t.as_i64()).unwrap();
+            let name =
+                e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()).unwrap();
+            tid_names.insert(tid, name.to_string());
+        }
+    }
+    for stage in ["A", "B"] {
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter(|e| {
+                let tid = e.get("tid").and_then(|t| t.as_i64()).unwrap_or(-1);
+                tid_names.get(&tid).is_some_and(|n| n.starts_with(&format!("{stage} ")))
+            })
+            .count();
+        assert!(slices > 0, "no slices for stage {stage}: {stdout}");
+    }
+}
+
+#[test]
+fn trace_formats_and_flags() {
+    let file = write_temp("trace_fmt.mini", PIPELINE_SRC);
+    let path = file.to_str().unwrap();
+
+    let (stdout, _, ok) = run_patty(&["trace", path, "--format", "summary"]);
+    assert!(ok);
+    let doc = patty_json::parse(&stdout).expect("summary is valid JSON");
+    for key in ["wall_ns", "total_items", "dropped_events", "bottleneck", "stages"] {
+        assert!(doc.get(key).is_some(), "missing {key}: {stdout}");
+    }
+
+    let (stdout, _, ok) = run_patty(&["trace", path, "--format", "flame"]);
+    assert!(ok);
+    assert!(stdout.contains("critical path:"), "{stdout}");
+
+    let out_file = std::env::temp_dir().join("patty-cli-tests").join("trace_out.json");
+    let out_path = out_file.to_str().unwrap().to_string();
+    let (_, stderr, ok) = run_patty(&["trace", path, "--out", &out_path]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("wrote"), "{stderr}");
+    let written = std::fs::read_to_string(&out_file).expect("trace file written");
+    assert!(patty_json::parse(&written).is_ok());
+
+    let out = Command::new(patty_bin())
+        .args(["trace", path, "--format", "bogus"])
+        .output()
+        .expect("patty runs");
+    assert_eq!(out.status.code(), Some(2), "unknown format is a usage error");
+    let out = Command::new(patty_bin())
+        .args(["trace", path, "--out"])
+        .output()
+        .expect("patty runs");
+    assert_eq!(out.status.code(), Some(2), "missing flag value is a usage error");
+}
+
 #[test]
 fn profile_emits_json_telemetry_report() {
     let file = write_temp("profile.mini", PIPELINE_SRC);

@@ -207,6 +207,15 @@ pub(crate) struct FaultCounters {
     pub cancellations: Counter,
 }
 
+/// Pre-register the `fault.*` counter family on a telemetry sink
+/// without running anything. Registered counters are always present in
+/// the sink's report (with value 0 when nothing fired), so callers that
+/// want a schema-stable report — `patty profile` — can call this before
+/// a run that may not reach any checked pattern entry point.
+pub fn register_fault_counters(telemetry: &Telemetry) {
+    let _ = FaultCounters::register(telemetry);
+}
+
 impl FaultCounters {
     pub(crate) fn register(telemetry: &Telemetry) -> FaultCounters {
         FaultCounters {

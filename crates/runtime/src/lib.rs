@@ -39,7 +39,7 @@ pub mod parfor;
 pub mod pipeline;
 
 pub use config::{LoopTuning, PipelineTuning};
-pub use fault::{CancelToken, FailurePolicy, RunOptions, RuntimeError};
+pub use fault::{register_fault_counters, CancelToken, FailurePolicy, RunOptions, RuntimeError};
 pub use masterworker::{Item, MasterWorker};
 pub use parfor::ParallelFor;
 pub use pipeline::{Pipeline, Stage, StageFunc};

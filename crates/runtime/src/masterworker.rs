@@ -10,6 +10,7 @@ use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
 use patty_telemetry::Telemetry;
+use patty_trace::{Tracer, WorkerTracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,6 +25,8 @@ pub struct MasterWorker {
     pub sequential: bool,
     /// Telemetry sink; disabled by default.
     telemetry: Telemetry,
+    /// Structured event tracer; disabled by default.
+    tracer: Tracer,
 }
 
 impl Default for MasterWorker {
@@ -35,7 +38,12 @@ impl Default for MasterWorker {
 impl MasterWorker {
     /// Create a master/worker with `workers` threads.
     pub fn new(workers: usize) -> MasterWorker {
-        MasterWorker { workers: workers.max(1), sequential: false, telemetry: Telemetry::disabled() }
+        MasterWorker {
+            workers: workers.max(1),
+            sequential: false,
+            telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Set the SequentialExecution flag.
@@ -48,6 +56,13 @@ impl MasterWorker {
     /// and `masterworker.tasks` counters and a per-run wall-time span.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> MasterWorker {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach an event tracer: per-worker `ItemStart`/`ItemEnd` events
+    /// under the `"masterworker"` stage, idle tails and caught faults.
+    pub fn with_tracer(mut self, tracer: Tracer) -> MasterWorker {
+        self.tracer = tracer;
         self
     }
 
@@ -106,6 +121,7 @@ impl MasterWorker {
         // Graceful degradation: recompute only the missing slots.
         counters.fallbacks.incr();
         let item_counter = self.telemetry.counter("masterworker.items");
+        let wt = self.tracer.worker(self.tracer.stage("masterworker"), 0);
         let mut out = Vec::with_capacity(results.len());
         for (idx, (slot, item)) in results.into_iter().zip(orig).enumerate() {
             match slot {
@@ -113,12 +129,15 @@ impl MasterWorker {
                 None => {
                     counters.items_retried.incr();
                     let task = &task;
+                    let trace_start = wt.item_start(idx as u64);
                     match catch_unwind(AssertUnwindSafe(move || task(item))) {
                         Ok(v) => {
+                            wt.item_end(idx as u64, trace_start);
                             item_counter.incr();
                             out.push(v);
                         }
                         Err(payload) => {
+                            wt.fault(idx as u64);
                             counters.panics_caught.incr();
                             return Err(RuntimeError::StagePanicked {
                                 stage: "masterworker".to_string(),
@@ -149,9 +168,11 @@ impl MasterWorker {
     {
         let item_counter = self.telemetry.counter("masterworker.items");
         let _wall = self.telemetry.span("masterworker.run");
+        let stage_id = self.tracer.stage("masterworker");
         let n = items.len();
         let started = Instant::now();
         if self.sequential || self.workers <= 1 || n <= 1 {
+            let wt = self.tracer.worker(stage_id, 0);
             let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
             for (idx, item) in items.into_iter().enumerate() {
                 if opts.cancel.is_cancelled() {
@@ -162,7 +183,7 @@ impl MasterWorker {
                         return (results, Some(RuntimeError::DeadlineExceeded { budget }));
                     }
                 }
-                match run_one_item(task, item, idx, opts, counters, "masterworker") {
+                match run_one_item(task, item, idx, opts, counters, "masterworker", &wt) {
                     Ok(out) => {
                         item_counter.incr();
                         results[idx] = Some(out);
@@ -187,35 +208,45 @@ impl MasterWorker {
             let results = &results;
             let next = &next;
             let errors = &errors;
-            for _ in 0..self.workers.min(n) {
+            for worker in 0..self.workers.min(n) {
                 let cancel = cancel.clone();
-                scope.spawn(move || loop {
-                    if cancel.is_cancelled() {
-                        return;
-                    }
-                    if let Some(budget) = opts.deadline {
-                        if started.elapsed() > budget {
-                            errors.set(RuntimeError::DeadlineExceeded { budget });
-                            cancel.cancel();
-                            return;
+                let wt = self.tracer.worker(stage_id, worker);
+                scope.spawn(move || {
+                    let run_start = wt.tick();
+                    let mut busy_ns = 0u64;
+                    let mut items_done = 0u64;
+                    loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        if let Some(budget) = opts.deadline {
+                            if started.elapsed() > budget {
+                                errors.set(RuntimeError::DeadlineExceeded { budget });
+                                cancel.cancel();
+                                break;
+                            }
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let item = slots[idx].lock().take().expect("each slot claimed once");
+                        let before = wt.tick();
+                        match run_one_item(task, item, idx, opts, counters, "masterworker", &wt) {
+                            Ok(out) => {
+                                busy_ns += wt.tick().since(before);
+                                items_done += 1;
+                                item_counter.incr();
+                                *results[idx].lock() = Some(out);
+                            }
+                            Err(err) => {
+                                errors.set(err);
+                                cancel.cancel();
+                                break;
+                            }
                         }
                     }
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        return;
-                    }
-                    let item = slots[idx].lock().take().expect("each slot claimed once");
-                    match run_one_item(task, item, idx, opts, counters, "masterworker") {
-                        Ok(out) => {
-                            item_counter.incr();
-                            *results[idx].lock() = Some(out);
-                        }
-                        Err(err) => {
-                            errors.set(err);
-                            cancel.cancel();
-                            return;
-                        }
-                    }
+                    wt.worker_idle(run_start, busy_ns, items_done);
                 });
             }
         });
@@ -237,11 +268,34 @@ impl MasterWorker {
         F: FnOnce() -> O + Send,
     {
         self.telemetry.add("masterworker.tasks", tasks.len() as u64);
+        let stage_id = self.tracer.stage("masterworker");
         if self.sequential || self.workers <= 1 || tasks.len() <= 1 {
-            return tasks.into_iter().map(|t| t()).collect();
+            let wt = self.tracer.worker(stage_id, 0);
+            return tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let trace_start = wt.item_start(i as u64);
+                    let v = t();
+                    wt.item_end(i as u64, trace_start);
+                    v
+                })
+                .collect();
         }
         std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks.into_iter().map(|t| scope.spawn(t)).collect();
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let wt = self.tracer.worker(stage_id, i);
+                    scope.spawn(move || {
+                        let trace_start = wt.item_start(i as u64);
+                        let v = t();
+                        wt.item_end(i as u64, trace_start);
+                        v
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -272,12 +326,14 @@ impl MasterWorker {
             counters.cancellations.incr();
             return Err(RuntimeError::Cancelled);
         }
+        let stage_id = self.tracer.stage("masterworker");
         let raw: Vec<Result<O, RuntimeError>> =
             if self.sequential || self.workers <= 1 || tasks.len() <= 1 {
+                let wt = self.tracer.worker(stage_id, 0);
                 tasks
                     .into_iter()
                     .enumerate()
-                    .map(|(i, t)| join_one_task(t, i, &counters))
+                    .map(|(i, t)| join_one_task(t, i, &counters, &wt))
                     .collect()
             } else {
                 std::thread::scope(|scope| {
@@ -286,7 +342,8 @@ impl MasterWorker {
                         .enumerate()
                         .map(|(i, t)| {
                             let counters = counters.clone();
-                            scope.spawn(move || join_one_task(t, i, &counters))
+                            let wt = self.tracer.worker(stage_id, i);
+                            scope.spawn(move || join_one_task(t, i, &counters, &wt))
                         })
                         .collect();
                     handles
@@ -313,13 +370,16 @@ fn run_one_item<I, O, F>(
     opts: &RunOptions,
     counters: &FaultCounters,
     stage: &str,
+    wt: &WorkerTracer,
 ) -> Result<O, RuntimeError>
 where
     F: Fn(I) -> O,
 {
+    let trace_start = wt.item_start(idx as u64);
     let invoked = opts.stage_deadline.map(|_| Instant::now());
     match catch_unwind(AssertUnwindSafe(move || task(item))) {
         Ok(out) => {
+            wt.item_end(idx as u64, trace_start);
             if let (Some(budget), Some(t0)) = (opts.stage_deadline, invoked) {
                 let elapsed = t0.elapsed();
                 if elapsed > budget {
@@ -334,6 +394,7 @@ where
             Ok(out)
         }
         Err(payload) => {
+            wt.fault(idx as u64);
             counters.panics_caught.incr();
             Err(RuntimeError::StagePanicked {
                 stage: stage.to_string(),
@@ -349,18 +410,27 @@ fn join_one_task<O, F>(
     task: F,
     idx: usize,
     counters: &FaultCounters,
+    wt: &WorkerTracer,
 ) -> Result<O, RuntimeError>
 where
     F: FnOnce() -> O,
 {
-    catch_unwind(AssertUnwindSafe(task)).map_err(|payload| {
-        counters.panics_caught.incr();
-        RuntimeError::StagePanicked {
-            stage: format!("task{idx}"),
-            item_seq: Some(idx as u64),
-            payload: panic_payload(payload.as_ref()),
+    let trace_start = wt.item_start(idx as u64);
+    match catch_unwind(AssertUnwindSafe(task)) {
+        Ok(v) => {
+            wt.item_end(idx as u64, trace_start);
+            Ok(v)
         }
-    })
+        Err(payload) => {
+            wt.fault(idx as u64);
+            counters.panics_caught.incr();
+            Err(RuntimeError::StagePanicked {
+                stage: format!("task{idx}"),
+                item_seq: Some(idx as u64),
+                payload: panic_payload(payload.as_ref()),
+            })
+        }
+    }
 }
 
 /// A replicable work item, mirroring the paper's runtime-library surface
@@ -444,6 +514,27 @@ mod tests {
         let mw = MasterWorker::new(8);
         assert_eq!(mw.run(vec![42i64], |x| x), vec![42]);
         assert_eq!(mw.run(Vec::<i64>::new(), |x| x), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn tracer_records_items_across_workers() {
+        let tracer = Tracer::enabled();
+        let mw = MasterWorker::new(4).with_tracer(tracer.clone());
+        let out = mw.run((0..64).collect::<Vec<i64>>(), |x| x * 2);
+        assert_eq!(out.len(), 64);
+        let report = tracer.report();
+        let s = report.stage("masterworker").expect("stage summarized");
+        assert_eq!(s.items, 64);
+        assert!(s.workers >= 2 && s.workers <= 4, "workers: {}", s.workers);
+        // join_all rides the same stage.
+        let tracer2 = Tracer::enabled();
+        let mw2 = MasterWorker::new(3).with_tracer(tracer2.clone());
+        mw2.join_all(vec![
+            Box::new(|| 1i64) as Box<dyn FnOnce() -> i64 + Send>,
+            Box::new(|| 2),
+            Box::new(|| 3),
+        ]);
+        assert_eq!(tracer2.report().stage("masterworker").unwrap().items, 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
 use patty_telemetry::{Counter, Telemetry};
+use patty_trace::{Tracer, WorkerTracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -24,6 +25,8 @@ pub struct ParallelFor {
     pub sequential: bool,
     /// Telemetry sink; disabled by default.
     telemetry: Telemetry,
+    /// Structured event tracer; disabled by default.
+    tracer: Tracer,
 }
 
 impl Default for ParallelFor {
@@ -40,6 +43,7 @@ impl ParallelFor {
             chunk: 16,
             sequential: false,
             telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -59,6 +63,15 @@ impl ParallelFor {
     /// `parfor.chunks` counters and a `parfor.chunk_size` histogram.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> ParallelFor {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach an event tracer. A data-parallel loop traces at chunk
+    /// granularity under the `"parfor"` stage: one `ItemStart`/`ItemEnd`
+    /// pair per claimed chunk (`item` = the chunk's first index), plus
+    /// per-worker idle tails and caught faults.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ParallelFor {
+        self.tracer = tracer;
         self
     }
 
@@ -86,28 +99,48 @@ impl ParallelFor {
         F: Fn(usize) -> O + Sync,
     {
         let (items, chunks) = self.counters();
+        let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             if n > 0 {
                 self.record_chunk(&items, &chunks, n);
             }
-            return (0..n).map(f).collect();
+            let wt = self.tracer.worker(stage_id, 0);
+            let trace_start = wt.item_start(0);
+            let out = (0..n).map(f).collect();
+            wt.item_end(0, trace_start);
+            return out;
         }
         let results: Vec<parking_lot::Mutex<Option<O>>> =
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(|| loop {
-                    let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                    if start >= n {
-                        return;
+            let results = &results;
+            let next = &next;
+            let items = &items;
+            let chunks = &chunks;
+            for worker in 0..self.workers.min(n) {
+                let wt = self.tracer.worker(stage_id, worker);
+                scope.spawn(move || {
+                    let run_start = wt.tick();
+                    let mut busy_ns = 0u64;
+                    let mut chunks_done = 0u64;
+                    loop {
+                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + self.chunk).min(n);
+                        self.record_chunk(items, chunks, end - start);
+                        let trace_start = wt.item_start(start as u64);
+                        for (slot, i) in results[start..end].iter().zip(start..end) {
+                            *slot.lock() = Some(f(i));
+                        }
+                        let ended = wt.item_end(start as u64, trace_start);
+                        busy_ns += ended.since(trace_start);
+                        chunks_done += 1;
                     }
-                    let end = (start + self.chunk).min(n);
-                    self.record_chunk(&items, &chunks, end - start);
-                    for (slot, i) in results[start..end].iter().zip(start..end) {
-                        *slot.lock() = Some(f(i));
-                    }
+                    wt.worker_idle(run_start, busy_ns, chunks_done);
                 });
             }
         });
@@ -124,27 +157,45 @@ impl ParallelFor {
         F: Fn(usize) + Sync,
     {
         let (items, chunks) = self.counters();
+        let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             if n > 0 {
                 self.record_chunk(&items, &chunks, n);
             }
+            let wt = self.tracer.worker(stage_id, 0);
+            let trace_start = wt.item_start(0);
             (0..n).for_each(f);
+            wt.item_end(0, trace_start);
             return;
         }
         let next = AtomicUsize::new(0);
         let f = &f;
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                scope.spawn(|| loop {
-                    let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                    if start >= n {
-                        return;
+            let next = &next;
+            let items = &items;
+            let chunks = &chunks;
+            for worker in 0..self.workers.min(n) {
+                let wt = self.tracer.worker(stage_id, worker);
+                scope.spawn(move || {
+                    let run_start = wt.tick();
+                    let mut busy_ns = 0u64;
+                    let mut chunks_done = 0u64;
+                    loop {
+                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + self.chunk).min(n);
+                        self.record_chunk(items, chunks, end - start);
+                        let trace_start = wt.item_start(start as u64);
+                        for i in start..end {
+                            f(i);
+                        }
+                        let ended = wt.item_end(start as u64, trace_start);
+                        busy_ns += ended.since(trace_start);
+                        chunks_done += 1;
                     }
-                    let end = (start + self.chunk).min(n);
-                    self.record_chunk(&items, &chunks, end - start);
-                    for i in start..end {
-                        f(i);
-                    }
+                    wt.worker_idle(run_start, busy_ns, chunks_done);
                 });
             }
         });
@@ -183,15 +234,21 @@ impl ParallelFor {
         }
         // Graceful degradation: recompute only the missing indices.
         fault.fallbacks.incr();
+        let wt = self.tracer.worker(self.tracer.stage("parfor"), 0);
         let mut out = Vec::with_capacity(n);
         for (i, slot) in results.into_iter().enumerate() {
             match slot.into_inner() {
                 Some(v) => out.push(v),
                 None => {
                     fault.items_retried.incr();
+                    let trace_start = wt.item_start(i as u64);
                     match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                        Ok(v) => out.push(v),
+                        Ok(v) => {
+                            wt.item_end(i as u64, trace_start);
+                            out.push(v)
+                        }
                         Err(payload) => {
+                            wt.fault(i as u64);
                             fault.panics_caught.incr();
                             return Err(RuntimeError::StagePanicked {
                                 stage: "parfor".to_string(),
@@ -229,14 +286,19 @@ impl ParallelFor {
             return Err(error);
         }
         fault.fallbacks.incr();
+        let wt = self.tracer.worker(self.tracer.stage("parfor"), 0);
         for (i, flag) in done.iter().enumerate() {
             if flag.load(Ordering::Acquire) {
                 continue;
             }
             fault.items_retried.incr();
+            let trace_start = wt.item_start(i as u64);
             match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                Ok(()) => {}
+                Ok(()) => {
+                    wt.item_end(i as u64, trace_start);
+                }
                 Err(payload) => {
+                    wt.fault(i as u64);
                     fault.panics_caught.incr();
                     return Err(RuntimeError::StagePanicked {
                         stage: "parfor".to_string(),
@@ -290,12 +352,15 @@ impl ParallelFor {
             }
             fault.fallbacks.incr();
             fault.items_retried.add(n as u64);
+            let wt = self.tracer.worker(self.tracer.stage("parfor"), 0);
+            let trace_start = wt.item_start(0);
             let mut acc = identity;
             for i in 0..n {
                 let folded = catch_unwind(AssertUnwindSafe(|| fold(acc.clone(), i)));
                 match folded {
                     Ok(v) => acc = v,
                     Err(payload) => {
+                        wt.fault(i as u64);
                         fault.panics_caught.incr();
                         return Err(RuntimeError::StagePanicked {
                             stage: "parfor".to_string(),
@@ -305,6 +370,7 @@ impl ParallelFor {
                     }
                 }
             }
+            wt.item_end(0, trace_start);
             return Ok(acc);
         }
         Ok(partials
@@ -332,11 +398,21 @@ impl ParallelFor {
             return opts.cancel.is_cancelled().then_some(RuntimeError::Cancelled);
         }
         let (items, chunks) = self.counters();
+        let stage_id = self.tracer.stage("parfor");
+        // One tracer handle per potential worker id; `run_indices` is
+        // shared between workers and picks its handle by worker id.
+        let tracers: Vec<WorkerTracer> = (0..self.workers.min(n).max(1))
+            .map(|w| self.tracer.worker(stage_id, w))
+            .collect();
+        let tracers = &tracers;
         let started = Instant::now();
         let errors = ErrorSlot::new();
         let cancel = opts.cancel.clone();
         // Runs `body` over a chunk on one worker; true means "stop".
         let run_indices = |worker: usize, range: std::ops::Range<usize>| {
+            let wt = &tracers[worker];
+            let chunk_start = range.start as u64;
+            let trace_start = wt.item_start(chunk_start);
             for i in range {
                 if cancel.is_cancelled() {
                     return true;
@@ -366,6 +442,7 @@ impl ParallelFor {
                         }
                     }
                     Err(payload) => {
+                        wt.fault(i as u64);
                         fault.panics_caught.incr();
                         errors.set(RuntimeError::StagePanicked {
                             stage: "parfor".to_string(),
@@ -377,6 +454,7 @@ impl ParallelFor {
                     }
                 }
             }
+            wt.item_end(chunk_start, trace_start);
             false
         };
         if self.sequential || self.workers <= 1 || n <= 1 {
@@ -424,11 +502,16 @@ impl ParallelFor {
         C: Fn(A, A) -> A,
     {
         let (items, chunks) = self.counters();
+        let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             if n > 0 {
                 self.record_chunk(&items, &chunks, n);
             }
-            return (0..n).fold(identity, fold);
+            let wt = self.tracer.worker(stage_id, 0);
+            let trace_start = wt.item_start(0);
+            let out = (0..n).fold(identity, fold);
+            wt.item_end(0, trace_start);
+            return out;
         }
         let next = AtomicUsize::new(0);
         let next = &next;
@@ -436,20 +519,29 @@ impl ParallelFor {
         let counters = &(items, chunks);
         let partials: Vec<A> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers.min(n.max(1)))
-                .map(|_| {
+                .map(|worker| {
                     let seed = identity.clone();
+                    let wt = self.tracer.worker(stage_id, worker);
                     scope.spawn(move || {
+                        let run_start = wt.tick();
+                        let mut busy_ns = 0u64;
+                        let mut chunks_done = 0u64;
                         let mut acc = seed;
                         loop {
                             let start = next.fetch_add(self.chunk, Ordering::Relaxed);
                             if start >= n {
+                                wt.worker_idle(run_start, busy_ns, chunks_done);
                                 return acc;
                             }
                             let end = (start + self.chunk).min(n);
                             self.record_chunk(&counters.0, &counters.1, end - start);
+                            let trace_start = wt.item_start(start as u64);
                             for i in start..end {
                                 acc = fold(acc, i);
                             }
+                            let ended = wt.item_end(start as u64, trace_start);
+                            busy_ns += ended.since(trace_start);
+                            chunks_done += 1;
                         }
                     })
                 })
@@ -511,6 +603,23 @@ mod tests {
     fn chunk_larger_than_n_is_fine() {
         let pf = ParallelFor::new(4).with_chunk(1000);
         assert_eq!(pf.map(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tracer_records_chunks_as_items() {
+        let tracer = Tracer::enabled();
+        let pf = ParallelFor::new(4).with_chunk(10).with_tracer(tracer.clone());
+        let out = pf.map(100, |i| i * 2);
+        assert_eq!(out.len(), 100);
+        let report = tracer.report();
+        let s = report.stage("parfor").expect("stage summarized");
+        assert_eq!(s.items, 10, "100 indices / chunk 10 = 10 chunk events");
+        assert!(s.workers >= 1 && s.workers <= 4);
+        // Checked path traces too.
+        let tracer2 = Tracer::enabled();
+        let pf2 = ParallelFor::new(2).with_chunk(25).with_tracer(tracer2.clone());
+        pf2.for_each_checked(100, |_| {}, &RunOptions::default()).unwrap();
+        assert_eq!(tracer2.report().stage("parfor").unwrap().items, 4);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::fault::{
 };
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use patty_telemetry::Telemetry;
+use patty_trace::{Tracer, WorkerTracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -100,6 +101,9 @@ pub struct Pipeline<T> {
     pub sequential: bool,
     /// Telemetry sink; disabled by default (a dead branch per item).
     telemetry: Telemetry,
+    /// Structured event tracer; disabled by default (a dead branch per
+    /// event, no clock reads).
+    tracer: Tracer,
 }
 
 impl<T: Send + 'static> Pipeline<T> {
@@ -111,6 +115,7 @@ impl<T: Send + 'static> Pipeline<T> {
             fusion: Vec::new(),
             sequential: false,
             telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -142,6 +147,15 @@ impl<T: Send + 'static> Pipeline<T> {
     /// occupancy seen at receive) and a `wall_per_worker` span.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Pipeline<T> {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach an event tracer. Each worker then records per-item
+    /// `ItemStart`/`ItemEnd` events plus `StageBlockedRecv`/
+    /// `StageBlockedSend` waits, an idle tail at exit, and any caught
+    /// faults — see `patty_trace` for the event model.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Pipeline<T> {
+        self.tracer = tracer;
         self
     }
 
@@ -260,7 +274,8 @@ impl<T: Send + 'static> Pipeline<T> {
                 let items = self.telemetry.counter(&format!("pipeline.stage.{}.items", stage.name));
                 let queue_metric = format!("pipeline.stage.{}.queue_depth", stage.name);
                 let span_name = format!("pipeline.stage.{}.wall_per_worker", stage.name);
-                for _ in 0..stage.replication {
+                let stage_id = self.tracer.stage(&stage.name);
+                for worker in 0..stage.replication {
                     let func = stage.func.clone();
                     let stage_rx = prev_rx.clone();
                     let stage_tx = tx.clone();
@@ -273,15 +288,21 @@ impl<T: Send + 'static> Pipeline<T> {
                     let errors = &errors;
                     let counters = counters.clone();
                     let stage_deadline = opts.stage_deadline;
+                    let wt = self.tracer.worker(stage_id, worker);
                     scope.spawn(move || {
                         let _wall = telemetry.span(&span_name);
                         let record_depth = telemetry.is_enabled();
-                        while let Ok((seq, item)) = stage_rx.recv() {
+                        let run_start = wt.tick();
+                        let mut wait_start = run_start;
+                        let mut busy_ns = 0u64;
+                        let mut items_done = 0u64;
+                        loop {
+                            let Ok((seq, item)) = stage_rx.recv() else { break };
                             // Drain-and-exit: a cancelled run discards
                             // in-flight items so blocked upstream senders
                             // disconnect instead of deadlocking.
                             if cancel.is_cancelled() {
-                                return;
+                                break;
                             }
                             if record_depth {
                                 // Occupancy left behind in the input buffer —
@@ -289,9 +310,15 @@ impl<T: Send + 'static> Pipeline<T> {
                                 // as the bottleneck, an empty one as starved.
                                 telemetry.record(&queue_metric, stage_rx.len() as u64);
                             }
+                            // One clock read covers the receive wait and
+                            // the compute start.
+                            let started = wt.begin_item(seq, wait_start);
                             let invoked = stage_deadline.map(|_| Instant::now());
                             match catch_unwind(AssertUnwindSafe(|| func(item))) {
                                 Ok(out) => {
+                                    let ended = wt.item_end(seq, started);
+                                    busy_ns += ended.since(started);
+                                    items_done += 1;
                                     if let (Some(budget), Some(t0)) = (stage_deadline, invoked) {
                                         let elapsed = t0.elapsed();
                                         if elapsed > budget {
@@ -302,15 +329,19 @@ impl<T: Send + 'static> Pipeline<T> {
                                                 budget,
                                             });
                                             cancel.cancel();
-                                            return;
+                                            break;
                                         }
                                     }
                                     items.incr();
                                     if stage_tx.send((seq, out)).is_err() {
-                                        return;
+                                        break;
                                     }
+                                    // The send's end tick doubles as the
+                                    // start of the next receive wait.
+                                    wait_start = wt.blocked_send(seq, ended);
                                 }
                                 Err(payload) => {
+                                    wt.fault(seq);
                                     counters.panics_caught.incr();
                                     errors.set(RuntimeError::StagePanicked {
                                         stage: stage_name.clone(),
@@ -318,10 +349,11 @@ impl<T: Send + 'static> Pipeline<T> {
                                         payload: panic_payload(payload.as_ref()),
                                     });
                                     cancel.cancel();
-                                    return;
+                                    break;
                                 }
                             }
                         }
+                        wt.worker_idle(run_start, busy_ns, items_done);
                     });
                 }
                 drop(tx);
@@ -381,6 +413,7 @@ impl<T: Send + 'static> Pipeline<T> {
         counters: &FaultCounters,
     ) -> Attempt<T> {
         let item_counters = self.stage_item_counters();
+        let tracers = self.stage_worker_tracers();
         let started = Instant::now();
         let n = input.len();
         let mut collected: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -398,9 +431,12 @@ impl<T: Send + 'static> Pipeline<T> {
             }
             for (i, s) in self.stages.iter().enumerate() {
                 let func = &s.func;
+                let wt = &tracers[i];
+                let trace_start = wt.item_start(seq as u64);
                 let invoked = opts.stage_deadline.map(|_| Instant::now());
                 match catch_unwind(AssertUnwindSafe(move || func(item))) {
                     Ok(out) => {
+                        wt.item_end(seq as u64, trace_start);
                         if let (Some(budget), Some(t0)) = (opts.stage_deadline, invoked) {
                             let elapsed = t0.elapsed();
                             if elapsed > budget {
@@ -421,6 +457,7 @@ impl<T: Send + 'static> Pipeline<T> {
                         }
                     }
                     Err(payload) => {
+                        wt.fault(seq as u64);
                         counters.panics_caught.incr();
                         return Attempt::Failed {
                             error: RuntimeError::StagePanicked {
@@ -450,6 +487,7 @@ impl<T: Send + 'static> Pipeline<T> {
     ) -> Result<Vec<T>, RuntimeError> {
         counters.fallbacks.incr();
         let item_counters = self.stage_item_counters();
+        let tracers = self.stage_worker_tracers();
         partial.resize_with(input.len(), || None);
         let mut out = Vec::with_capacity(input.len());
         for (seq, item) in input.into_iter().enumerate() {
@@ -461,14 +499,18 @@ impl<T: Send + 'static> Pipeline<T> {
             let mut item = item;
             for (i, s) in self.stages.iter().enumerate() {
                 let func = &s.func;
+                let wt = &tracers[i];
+                let trace_start = wt.item_start(seq as u64);
                 match catch_unwind(AssertUnwindSafe(move || func(item))) {
                     Ok(v) => {
+                        wt.item_end(seq as u64, trace_start);
                         item = v;
                         if let Some(c) = item_counters.get(i) {
                             c.incr();
                         }
                     }
                     Err(payload) => {
+                        wt.fault(seq as u64);
                         counters.panics_caught.incr();
                         return Err(RuntimeError::StagePanicked {
                             stage: s.name.clone(),
@@ -481,6 +523,16 @@ impl<T: Send + 'static> Pipeline<T> {
             out.push(item);
         }
         Ok(out)
+    }
+
+    /// Per-stage worker-0 tracers for in-place execution (sequential
+    /// mode and the fallback): the calling thread plays every stage, so
+    /// each stage traces as a single worker. Inert when tracing is off.
+    fn stage_worker_tracers(&self) -> Vec<WorkerTracer> {
+        self.stages
+            .iter()
+            .map(|s| self.tracer.worker(self.tracer.stage(&s.name), 0))
+            .collect()
     }
 
     /// Per-stage item counters (empty when telemetry is disabled).
@@ -500,11 +552,16 @@ impl<T: Send + 'static> Pipeline<T> {
     /// reports the same per-stage totals as a threaded one.
     pub fn run_sequential(&self, input: Vec<T>) -> Vec<T> {
         let counters = self.stage_item_counters();
+        let tracers = self.stage_worker_tracers();
         input
             .into_iter()
-            .map(|mut item| {
+            .enumerate()
+            .map(|(seq, mut item)| {
                 for (i, s) in self.stages.iter().enumerate() {
+                    let wt = &tracers[i];
+                    let trace_start = wt.item_start(seq as u64);
                     item = (s.func)(item);
+                    wt.item_end(seq as u64, trace_start);
                     if let Some(c) = counters.get(i) {
                         c.incr();
                     }
@@ -917,6 +974,82 @@ mod stress_tests {
         assert_eq!(report.counter("fault.fallbacks"), Some(1));
         assert!(report.counter("fault.items_retried").unwrap() >= 1);
         assert_eq!(report.counter("fault.deadline_aborts"), Some(0));
+    }
+
+    #[test]
+    fn tracer_records_per_stage_events_threaded() {
+        let tracer = Tracer::enabled();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1).replicated(2),
+            Stage::new("b", |x: i64| x * 2),
+        ])
+        .with_tracer(tracer.clone());
+        let out = p.run((0..50).collect());
+        assert_eq!(out.len(), 50);
+        let report = tracer.report();
+        let a = report.stage("a").expect("stage a summarized");
+        let b = report.stage("b").expect("stage b summarized");
+        assert_eq!(a.items, 50);
+        assert_eq!(b.items, 50);
+        assert_eq!(a.workers, 2);
+        assert_eq!(b.workers, 1);
+        assert_eq!(report.total_items, 100);
+        assert_eq!(report.dropped_events, 0);
+        // Stage order in the report follows pipeline order.
+        assert_eq!(report.stages[0].name, "a");
+        assert_eq!(report.stages[1].name, "b");
+    }
+
+    #[test]
+    fn tracer_records_fused_stage_under_composed_name() {
+        let tracer = Tracer::enabled();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("b", |x: i64| x * 2),
+        ])
+        .with_fusion(vec![true])
+        .with_tracer(tracer.clone());
+        p.run((0..10).collect());
+        let report = tracer.report();
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].name, "a+b");
+        assert_eq!(report.stages[0].items, 10);
+    }
+
+    #[test]
+    fn tracer_records_sequential_and_checked_paths() {
+        let tracer = Tracer::enabled();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("b", |x: i64| x * 2),
+        ])
+        .sequential(true)
+        .with_tracer(tracer.clone());
+        p.run_checked((0..20).collect(), &RunOptions::default()).unwrap();
+        let report = tracer.report();
+        assert_eq!(report.stage("a").unwrap().items, 20);
+        assert_eq!(report.stage("b").unwrap().items, 20);
+    }
+
+    #[test]
+    fn tracer_records_faults_on_checked_fallback() {
+        use std::sync::atomic::AtomicBool;
+        let tracer = Tracer::enabled();
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let p = Pipeline::new(vec![Stage::new("flaky", move |x: i64| {
+            if x == 4 && !f.swap(true, Ordering::SeqCst) {
+                panic!("transient");
+            }
+            x
+        })])
+        .with_tracer(tracer.clone());
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let out = p.run_checked((0..10).collect(), &opts).unwrap();
+        assert_eq!(out, (0..10).collect::<Vec<i64>>());
+        let report = tracer.report();
+        assert_eq!(report.faults, 1);
+        assert!(report.stage("flaky").unwrap().items >= 10, "retries add item events");
     }
 
     #[test]

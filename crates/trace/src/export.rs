@@ -1,0 +1,251 @@
+//! Trace exporters.
+//!
+//! [`chrome_trace`] renders a raw [`Trace`] in the Chrome `trace_event`
+//! JSON format — open the file in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see per-worker timelines with compute
+//! slices, queue waits and fault markers. [`flame_summary`] renders a
+//! [`TraceReport`] as a plain-text top-down view for terminals.
+//!
+//! Chrome-format mapping:
+//! - one process (`pid` 1) per trace; one `tid` per worker ring, named
+//!   `"<stage> · w<worker>"` via `thread_name` metadata events;
+//! - `ItemEnd` / `StageBlockedSend` / `StageBlockedRecv` /
+//!   `WorkerIdle` become `"X"` complete events whose slice is
+//!   `[tick - dur, tick]` (timestamps in microseconds, as the format
+//!   requires); the matching `ItemStart` is implied by the `ItemEnd`
+//!   slice and not emitted separately;
+//! - `FaultCaught` and `TunerStep` become `"i"` instant events.
+
+use crate::{EventKind, Trace, TraceReport};
+use patty_json::Json;
+
+/// Slice / instant name per event kind, as shown in the viewer.
+fn chrome_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::ItemEnd => "item",
+        EventKind::StageBlockedSend => "blocked_send",
+        EventKind::StageBlockedRecv => "blocked_recv",
+        EventKind::WorkerIdle => "idle",
+        EventKind::FaultCaught => "fault",
+        EventKind::TunerStep => "tuner_step",
+        EventKind::ItemStart => "item_start",
+    }
+}
+
+fn micros(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Render the trace as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+/// Perfetto.
+pub fn chrome_trace(trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(
+        Json::obj()
+            .with("name", "process_name")
+            .with("ph", "M")
+            .with("pid", 1u64)
+            .with("args", Json::obj().with("name", "patty")),
+    );
+    for (tid, thread) in trace.threads.iter().enumerate() {
+        let tid = tid as u64 + 1;
+        let label = format!(
+            "{} · w{}",
+            trace.stage_name(thread.stage),
+            thread.worker
+        );
+        events.push(
+            Json::obj()
+                .with("name", "thread_name")
+                .with("ph", "M")
+                .with("pid", 1u64)
+                .with("tid", tid)
+                .with("args", Json::obj().with("name", label)),
+        );
+        for e in &thread.events {
+            match e.kind {
+                // The start marker is implied by the ItemEnd slice.
+                EventKind::ItemStart => continue,
+                EventKind::FaultCaught | EventKind::TunerStep => {
+                    let mut args = Json::obj().with("item", e.item);
+                    if e.kind == EventKind::TunerStep {
+                        args = args.with("objective_ns", e.dur_ns);
+                    }
+                    events.push(
+                        Json::obj()
+                            .with("name", chrome_name(e.kind))
+                            .with("ph", "i")
+                            .with("s", "t")
+                            .with("pid", 1u64)
+                            .with("tid", tid)
+                            .with("ts", micros(e.tick_ns))
+                            .with("args", args),
+                    );
+                }
+                _ => {
+                    events.push(
+                        Json::obj()
+                            .with("name", chrome_name(e.kind))
+                            .with("ph", "X")
+                            .with("pid", 1u64)
+                            .with("tid", tid)
+                            .with("ts", micros(e.tick_ns.saturating_sub(e.dur_ns)))
+                            .with("dur", micros(e.dur_ns))
+                            .with("args", Json::obj().with("item", e.item)),
+                    );
+                }
+            }
+        }
+    }
+    Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", "ms")
+}
+
+/// Render the report as a plain-text flame summary: one bar per stage
+/// scaled by total compute time, with the wait/idle breakdown and the
+/// critical path underneath.
+pub fn flame_summary(report: &TraceReport) -> String {
+    const BAR: usize = 40;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} item(s), {} stage(s), wall {:.3} ms\n",
+        report.total_items,
+        report.stages.len(),
+        report.wall_ns as f64 / 1e6
+    ));
+    if report.dropped_events > 0 {
+        out.push_str(&format!(
+            "warning: {} event(s) dropped to ring wrap — sizes below are lower bounds\n",
+            report.dropped_events
+        ));
+    }
+    let max_compute = report.stages.iter().map(|s| s.compute_ns).max().unwrap_or(0);
+    let width = report.stages.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+    for s in &report.stages {
+        let filled = if max_compute == 0 {
+            0
+        } else {
+            (s.compute_ns as u128 * BAR as u128 / max_compute as u128) as usize
+        };
+        out.push_str(&format!(
+            "  {:<width$}  {:#<filled$}{:.<rest$}  {:>8.3} ms compute · {:>7.3} ms wait · {:>4}‰ busy · {} worker(s) · p50/p95/p99 {}/{}/{} µs\n",
+            s.name,
+            "",
+            "",
+            s.compute_ns as f64 / 1e6,
+            (s.recv_wait_ns + s.send_wait_ns) as f64 / 1e6,
+            s.busy_permille,
+            s.workers,
+            s.p50_ns / 1000,
+            s.p95_ns / 1000,
+            s.p99_ns / 1000,
+            width = width,
+            filled = filled,
+            rest = BAR - filled,
+        ));
+    }
+    if let Some(b) = report.bottleneck() {
+        out.push_str(&format!(
+            "critical path: {}  (bottleneck: {b})\n",
+            report.critical_path.join(" → ")
+        ));
+    }
+    if report.tuner_steps > 0 {
+        out.push_str(&format!("tuner steps: {}\n", report.tuner_steps));
+    }
+    if report.faults > 0 {
+        out.push_str(&format!("faults caught: {}\n", report.faults));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceReport, Tracer};
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::deterministic(64);
+        let a = tracer.stage("decode");
+        let b = tracer.stage("encode");
+        let wa = tracer.worker(a, 0);
+        let wb = tracer.worker(b, 0);
+        for i in 0..3u64 {
+            let s = wa.item_start(i);
+            let e = wa.item_end(i, s);
+            wa.blocked_send(i, e);
+            let s = wb.begin_item(i, crate::Tick::none());
+            wb.item_end(i, s);
+        }
+        wa.fault(99);
+        tracer.tuner_step(1, 1_000_000);
+        tracer
+    }
+
+    #[test]
+    fn chrome_trace_emits_valid_schema() {
+        let trace = sample_tracer().snapshot();
+        let json = chrome_trace(&trace);
+        // Round-trip through the serializer and parser.
+        let parsed = patty_json::parse(&json.to_string_pretty()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata: process_name + one thread_name per ring (2 stages + tuner).
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 1 + trace.threads.len());
+        // Every complete event has ts + dur and a tid.
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert!(!slices.is_empty());
+        for s in &slices {
+            assert!(s.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(s.get("dur").is_some());
+            assert!(s.get("tid").is_some());
+        }
+        // ItemStart is folded into the ItemEnd slice.
+        assert!(events
+            .iter()
+            .all(|e| e.get("name").and_then(Json::as_str) != Some("item_start")));
+        // Instants: 1 fault + 1 tuner step.
+        let instants = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .count();
+        assert_eq!(instants, 2);
+    }
+
+    #[test]
+    fn chrome_thread_names_carry_stage_and_worker() {
+        let trace = sample_tracer().snapshot();
+        let json = chrome_trace(&trace).to_string_pretty();
+        assert!(json.contains("decode · w0"));
+        assert!(json.contains("encode · w0"));
+        assert!(json.contains("tuner · w0"));
+    }
+
+    #[test]
+    fn flame_summary_lists_all_stages_and_bottleneck() {
+        let report = sample_tracer().report();
+        let text = flame_summary(&report);
+        assert!(text.contains("decode"));
+        assert!(text.contains("encode"));
+        assert!(text.contains("critical path:"));
+        assert!(text.contains("bottleneck:"));
+        assert!(text.contains("tuner steps: 1"));
+        assert!(text.contains("faults caught: 1"));
+        assert!(!text.contains("dropped"), "no wrap warning without drops");
+    }
+
+    #[test]
+    fn flame_summary_warns_on_dropped_events() {
+        let report = TraceReport { dropped_events: 42, ..TraceReport::default() };
+        let text = flame_summary(&report);
+        assert!(text.contains("42 event(s) dropped"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Bottleneck classification over a [`TraceReport`] and the candidate
+//! configurations it suggests to the auto-tuner.
+//!
+//! The paper's shipped tuner walks the parameter space blindly (one
+//! dimension at a time, Section 3). A structured trace tells us *why*
+//! a configuration is slow — which stage bounds throughput, whether
+//! workers starve on queues, whether replication is over-provisioned —
+//! so the tuner can try the configurations most likely to help first:
+//! widen the slowest stage before touching anything else.
+
+use crate::param::{ParamKind, ParamValue, TuningConfig};
+use patty_trace::TraceReport;
+
+/// Why a traced run was as slow as it was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// One stage's per-item service time dominates every other stage:
+    /// throughput is bound by its compute. Widen it.
+    StageBound { stage: String },
+    /// Some stage spends a large share of its time blocked pushing into
+    /// the downstream queue: the split into threads costs more than it
+    /// buys. Fuse stages or drop order preservation.
+    QueueBound { stage: String },
+    /// A replicated stage's workers sit mostly idle while another
+    /// stage's workers are saturated: parallelism is in the wrong
+    /// place. Narrow the idle stage.
+    ImbalanceBound { stage: String },
+    /// No stage stands out; the configuration is near the knee.
+    Balanced,
+}
+
+impl Bottleneck {
+    /// The stage the classification points at, if any.
+    pub fn stage(&self) -> Option<&str> {
+        match self {
+            Bottleneck::StageBound { stage }
+            | Bottleneck::QueueBound { stage }
+            | Bottleneck::ImbalanceBound { stage } => Some(stage),
+            Bottleneck::Balanced => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bottleneck::StageBound { stage } => write!(f, "stage-bound on `{stage}`"),
+            Bottleneck::QueueBound { stage } => write!(f, "queue-bound on `{stage}`"),
+            Bottleneck::ImbalanceBound { stage } => {
+                write!(f, "imbalance-bound on `{stage}`")
+            }
+            Bottleneck::Balanced => write!(f, "balanced"),
+        }
+    }
+}
+
+/// Classifies a [`TraceReport`] into a [`Bottleneck`] and turns the
+/// classification into concrete tuning-configuration candidates.
+///
+/// Thresholds are expressed in permille so the analysis stays
+/// integer-only (and therefore deterministic across platforms).
+#[derive(Clone, Debug)]
+pub struct BottleneckAnalyzer {
+    /// A stage is stage-bound when its service time is at least this
+    /// many permille of the runner-up's (default 1300‰ = 1.3×).
+    pub dominance_permille: u64,
+    /// A stage is queue-bound when send-wait exceeds this many permille
+    /// of its compute time (default 500‰ = half).
+    pub send_wait_permille: u64,
+    /// Imbalance: some replicated stage is busy below this threshold…
+    pub idle_busy_permille: u64,
+    /// …while another stage is busy above this one.
+    pub saturated_busy_permille: u64,
+}
+
+impl Default for BottleneckAnalyzer {
+    fn default() -> BottleneckAnalyzer {
+        BottleneckAnalyzer {
+            dominance_permille: 1300,
+            send_wait_permille: 500,
+            idle_busy_permille: 500,
+            saturated_busy_permille: 900,
+        }
+    }
+}
+
+impl BottleneckAnalyzer {
+    pub fn new() -> BottleneckAnalyzer {
+        BottleneckAnalyzer::default()
+    }
+
+    /// Classify a traced run. Checks are ordered by how directly the
+    /// evidence names a fix: service-time dominance first (widen that
+    /// stage), then send-queue pressure (fuse / unorder), then worker
+    /// imbalance (narrow the idle stage).
+    pub fn classify(&self, report: &TraceReport) -> Bottleneck {
+        let active: Vec<_> = report.stages.iter().filter(|s| s.items > 0).collect();
+        if active.len() < 2 {
+            return Bottleneck::Balanced;
+        }
+
+        // Service-time dominance: compare the top stage of the critical
+        // path against the runner-up.
+        let mut by_service = active.clone();
+        by_service.sort_by_key(|s| std::cmp::Reverse(s.service_ns));
+        let (top, second) = (by_service[0], by_service[1]);
+        let dominant = second.service_ns == 0
+            || top.service_ns * 1000 >= second.service_ns * self.dominance_permille;
+        if dominant && top.service_ns > second.service_ns {
+            return Bottleneck::StageBound { stage: top.name.clone() };
+        }
+
+        // Queue pressure: a stage that mostly waits to *send* is faster
+        // than its successor's ability to drain — or the channel hop
+        // itself is the cost. Report the most send-bound stage.
+        if let Some(s) = active
+            .iter()
+            .filter(|s| s.compute_ns > 0)
+            .filter(|s| s.send_wait_ns * 1000 > s.compute_ns * self.send_wait_permille)
+            .max_by_key(|s| s.send_wait_ns * 1000 / s.compute_ns.max(1))
+        {
+            return Bottleneck::QueueBound { stage: s.name.clone() };
+        }
+
+        // Imbalance: replicated workers starving while another stage
+        // saturates.
+        let saturated = active.iter().any(|s| s.busy_permille >= self.saturated_busy_permille);
+        let starved = active
+            .iter()
+            .filter(|s| s.workers > 1 && s.busy_permille < self.idle_busy_permille)
+            .min_by_key(|s| s.busy_permille);
+        if let (true, Some(s)) = (saturated, starved) {
+            return Bottleneck::ImbalanceBound { stage: s.name.clone() };
+        }
+
+        Bottleneck::Balanced
+    }
+
+    /// Candidate configurations biased by the classification, most
+    /// promising first. Fused stages report under their composed
+    /// `"a+b"` name; each `+`-separated component is matched against
+    /// the parameter names independently.
+    pub fn suggest(&self, report: &TraceReport, config: &TuningConfig) -> Vec<TuningConfig> {
+        let mut out = Vec::new();
+        match self.classify(report) {
+            Bottleneck::StageBound { stage } => {
+                // Widen the slowest stage first: step its replication up,
+                // then jump straight to the domain maximum.
+                for name in replication_params(config, &stage) {
+                    push_stepped(&mut out, config, &name, 1);
+                    push_at_max(&mut out, config, &name);
+                }
+                // An order-preserving bottleneck stage pays a reorder
+                // tax; try releasing it.
+                for name in matching_params(config, &stage, ParamKind::OrderPreservation) {
+                    push_bool(&mut out, config, &name, false);
+                }
+            }
+            Bottleneck::QueueBound { stage } => {
+                // The channel hop costs more than the parallelism buys:
+                // fuse the stage with a neighbor, or stop re-ordering.
+                for p in &config.params {
+                    if p.kind == ParamKind::StageFusion
+                        && stage_in_name(&p.name, &stage)
+                        && !p.value.as_bool()
+                    {
+                        push_bool(&mut out, config, &p.name, true);
+                    }
+                }
+                for name in matching_params(config, &stage, ParamKind::OrderPreservation) {
+                    push_bool(&mut out, config, &name, false);
+                }
+            }
+            Bottleneck::ImbalanceBound { stage } => {
+                // Parallelism is over-provisioned here: narrow it.
+                for name in replication_params(config, &stage) {
+                    push_stepped(&mut out, config, &name, -1);
+                }
+            }
+            Bottleneck::Balanced => {}
+        }
+        out
+    }
+}
+
+/// Does `param_name` refer to `stage` (handling fused `"a+b"` stage
+/// names by matching each component)? Parameter names follow the
+/// `<arch>.<stage>.<what>` convention, so a component matches when it
+/// appears as a complete dot-separated segment.
+fn stage_in_name(param_name: &str, stage: &str) -> bool {
+    // Skip the leading `<arch>` segment: it encodes function/line, not
+    // a stage, and could alias a stage name.
+    let segs = param_name.split('.').skip(1);
+    stage.split('+').any(|part| {
+        segs.clone()
+            .any(|seg| seg == part || seg.split('_').any(|sub| sub == part))
+    })
+}
+
+/// Names of the replication/worker-count parameters steering `stage`.
+fn replication_params(config: &TuningConfig, stage: &str) -> Vec<String> {
+    config
+        .params
+        .iter()
+        .filter(|p| {
+            matches!(p.kind, ParamKind::StageReplication | ParamKind::WorkerCount)
+                && stage_in_name(&p.name, stage)
+        })
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Names of `stage`'s parameters of the given kind.
+fn matching_params(config: &TuningConfig, stage: &str, kind: ParamKind) -> Vec<String> {
+    config
+        .params
+        .iter()
+        .filter(|p| p.kind == kind && stage_in_name(&p.name, stage))
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Push a candidate with `name` stepped `delta` positions through its
+/// domain (skipped at the domain edge).
+fn push_stepped(out: &mut Vec<TuningConfig>, config: &TuningConfig, name: &str, delta: i64) {
+    let Some(p) = config.params.iter().find(|p| p.name == name) else { return };
+    let domain = p.domain.values();
+    let Some(idx) = domain.iter().position(|v| *v == p.value) else { return };
+    let next = idx as i64 + delta;
+    if next < 0 || next as usize >= domain.len() {
+        return;
+    }
+    push_value(out, config, name, domain[next as usize]);
+}
+
+/// Push a candidate with `name` at its domain maximum (skipped if
+/// already there).
+fn push_at_max(out: &mut Vec<TuningConfig>, config: &TuningConfig, name: &str) {
+    let Some(p) = config.params.iter().find(|p| p.name == name) else { return };
+    let domain = p.domain.values();
+    let Some(last) = domain.last() else { return };
+    if *last != p.value {
+        push_value(out, config, name, *last);
+    }
+}
+
+fn push_bool(out: &mut Vec<TuningConfig>, config: &TuningConfig, name: &str, value: bool) {
+    let Some(p) = config.params.iter().find(|p| p.name == name) else { return };
+    if p.value.as_bool() != value {
+        push_value(out, config, name, ParamValue::Bool(value));
+    }
+}
+
+fn push_value(out: &mut Vec<TuningConfig>, config: &TuningConfig, name: &str, value: ParamValue) {
+    let mut candidate = config.clone();
+    if candidate.set(name, value).is_ok() {
+        out.push(candidate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{TuningConfig, TuningParam};
+    use patty_trace::{StageSummary, TraceReport};
+
+    fn stage(name: &str, workers: u64, service_ns: u64, busy: u64) -> StageSummary {
+        StageSummary {
+            name: name.into(),
+            workers,
+            items: 10,
+            compute_ns: service_ns * 10 * workers,
+            busy_permille: busy,
+            service_ns,
+            ..StageSummary::default()
+        }
+    }
+
+    fn report(stages: Vec<StageSummary>) -> TraceReport {
+        let mut order: Vec<usize> = (0..stages.len()).collect();
+        order.sort_by(|&a, &b| stages[b].service_ns.cmp(&stages[a].service_ns).then(a.cmp(&b)));
+        TraceReport {
+            total_items: stages.iter().map(|s| s.items).sum(),
+            critical_path: order.iter().map(|&i| stages[i].name.clone()).collect(),
+            stages,
+            ..TraceReport::default()
+        }
+    }
+
+    fn pipeline_config() -> TuningConfig {
+        let mut c = TuningConfig::new("pipeline_main_l1");
+        c.push(TuningParam::replication("pipeline_main_l1.B.replication", "main:2", 8));
+        c.push(TuningParam::order_preservation("pipeline_main_l1.B.order", "main:2"));
+        c.push(TuningParam::stage_fusion("pipeline_main_l1.fuse.A_B", "main:1"));
+        c.push(TuningParam::sequential_execution("pipeline_main_l1.sequential", "main:1"));
+        c
+    }
+
+    #[test]
+    fn dominant_service_time_is_stage_bound() {
+        let r = report(vec![stage("A", 1, 100, 600), stage("B", 1, 500, 990)]);
+        let b = BottleneckAnalyzer::new().classify(&r);
+        assert_eq!(b, Bottleneck::StageBound { stage: "B".into() });
+        assert_eq!(b.stage(), Some("B"));
+    }
+
+    #[test]
+    fn near_equal_stages_are_balanced() {
+        let r = report(vec![stage("A", 1, 100, 800), stage("B", 1, 110, 820)]);
+        assert_eq!(BottleneckAnalyzer::new().classify(&r), Bottleneck::Balanced);
+    }
+
+    #[test]
+    fn heavy_send_wait_is_queue_bound() {
+        let mut a = stage("A", 1, 100, 300);
+        a.send_wait_ns = a.compute_ns; // waits as long as it computes
+        let r = report(vec![a, stage("B", 1, 110, 900)]);
+        assert_eq!(
+            BottleneckAnalyzer::new().classify(&r),
+            Bottleneck::QueueBound { stage: "A".into() }
+        );
+    }
+
+    #[test]
+    fn starved_replicas_are_imbalance_bound() {
+        let r = report(vec![stage("A", 1, 100, 950), stage("B", 4, 95, 200)]);
+        assert_eq!(
+            BottleneckAnalyzer::new().classify(&r),
+            Bottleneck::ImbalanceBound { stage: "B".into() }
+        );
+    }
+
+    #[test]
+    fn single_stage_report_is_balanced() {
+        let r = report(vec![stage("only", 4, 100, 990)]);
+        assert_eq!(BottleneckAnalyzer::new().classify(&r), Bottleneck::Balanced);
+    }
+
+    #[test]
+    fn stage_bound_suggestions_widen_the_bottleneck_first() {
+        let r = report(vec![stage("A", 1, 100, 600), stage("B", 1, 500, 990)]);
+        let cfg = pipeline_config();
+        let suggestions = BottleneckAnalyzer::new().suggest(&r, &cfg);
+        assert!(!suggestions.is_empty());
+        // First candidate: replication stepped up from 1 to 2.
+        assert_eq!(
+            suggestions[0].get("pipeline_main_l1.B.replication").unwrap().as_i64(),
+            2
+        );
+        // Also tries the domain maximum outright.
+        assert!(suggestions
+            .iter()
+            .any(|c| c.get("pipeline_main_l1.B.replication").unwrap().as_i64() == 8));
+        // And releasing order preservation on the bottleneck.
+        assert!(suggestions
+            .iter()
+            .any(|c| !c.get("pipeline_main_l1.B.order").unwrap().as_bool()));
+    }
+
+    #[test]
+    fn queue_bound_suggestions_fuse_or_unorder() {
+        let mut b = stage("B", 1, 100, 300);
+        b.send_wait_ns = b.compute_ns * 2;
+        let r = report(vec![stage("A", 1, 110, 900), b]);
+        let cfg = pipeline_config();
+        assert_eq!(
+            BottleneckAnalyzer::new().classify(&r),
+            Bottleneck::QueueBound { stage: "B".into() }
+        );
+        let suggestions = BottleneckAnalyzer::new().suggest(&r, &cfg);
+        assert!(suggestions
+            .iter()
+            .any(|c| c.get("pipeline_main_l1.fuse.A_B").unwrap().as_bool()));
+    }
+
+    #[test]
+    fn fused_stage_names_match_component_params() {
+        // The report shows the fused stage "A+B"; the config still
+        // names parameters after the component stages.
+        let r = report(vec![stage("A+B", 1, 500, 990), stage("C", 1, 100, 500)]);
+        let mut cfg = TuningConfig::new("p");
+        cfg.push(TuningParam::replication("p.B.replication", "main:2", 4));
+        let suggestions = BottleneckAnalyzer::new().suggest(&r, &cfg);
+        assert!(
+            suggestions.iter().any(|c| c.get("p.B.replication").unwrap().as_i64() == 2),
+            "component B of fused stage A+B should match p.B.replication"
+        );
+    }
+
+    #[test]
+    fn imbalance_suggestions_narrow_the_idle_stage() {
+        let r = report(vec![stage("A", 1, 100, 950), stage("B", 4, 95, 200)]);
+        let mut cfg = TuningConfig::new("p");
+        let mut rep = TuningParam::replication("p.B.replication", "main:2", 8);
+        rep.value = ParamValue::Int(4);
+        cfg.push(rep);
+        let suggestions = BottleneckAnalyzer::new().suggest(&r, &cfg);
+        assert_eq!(suggestions.len(), 1);
+        assert_eq!(suggestions[0].get("p.B.replication").unwrap().as_i64(), 3);
+    }
+
+    #[test]
+    fn balanced_report_suggests_nothing() {
+        let r = report(vec![stage("A", 1, 100, 800), stage("B", 1, 105, 800)]);
+        assert!(BottleneckAnalyzer::new().suggest(&r, &pipeline_config()).is_empty());
+    }
+
+    #[test]
+    fn display_names_the_stage() {
+        assert_eq!(
+            Bottleneck::StageBound { stage: "crop".into() }.to_string(),
+            "stage-bound on `crop`"
+        );
+        assert_eq!(Bottleneck::Balanced.to_string(), "balanced");
+    }
+}

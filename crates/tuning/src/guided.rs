@@ -1,0 +1,346 @@
+//! Trace-guided tuning: the [`BottleneckAnalyzer`]'s suggestions tried
+//! first, falling back to the ±1-step neighborhood only when the trace
+//! offers no direction.
+//!
+//! The blind tuners re-measure every neighbor of the current best on
+//! every step; the guided search instead asks the trace *which* stage
+//! bounds throughput and jumps straight to widening it. On a pipeline
+//! with one dominant stage this converges in a handful of evaluations
+//! where the per-dimension sweep spends its budget on parameters that
+//! cannot matter.
+
+use crate::analyzer::BottleneckAnalyzer;
+use crate::hill::neighbors;
+use crate::param::TuningConfig;
+use crate::tuner::{values_of, with_values, Evaluator, Tuner, TuningResult};
+use patty_trace::{TraceReport, Tracer};
+use std::collections::BTreeSet;
+
+/// Measures one configuration and reports *why* it performed the way
+/// it did: the measured cost plus the run's [`TraceReport`].
+pub trait TracedEvaluator {
+    /// Execute the application under `config`; return its measured cost
+    /// (lower is better) and the trace-derived report of the run.
+    fn measure_traced(&mut self, config: &TuningConfig) -> (f64, TraceReport);
+}
+
+/// A [`TracedEvaluator`] from a closure.
+pub struct FnTracedEvaluator<F: FnMut(&TuningConfig) -> (f64, TraceReport)>(pub F);
+
+impl<F: FnMut(&TuningConfig) -> (f64, TraceReport)> TracedEvaluator for FnTracedEvaluator<F> {
+    fn measure_traced(&mut self, config: &TuningConfig) -> (f64, TraceReport) {
+        (self.0)(config)
+    }
+}
+
+/// Bottleneck-guided search over tuning configurations.
+///
+/// Each round re-analyzes the best run's trace, measures the analyzer's
+/// candidates first (most promising first), then the ±1 neighborhood of
+/// the best configuration; already-measured value vectors are never
+/// re-measured. Terminates when neither source yields an unseen
+/// candidate or the evaluation budget runs out.
+#[derive(Debug, Default)]
+pub struct GuidedSearch {
+    /// Classification thresholds; the defaults suit the runtime's
+    /// reports.
+    pub analyzer: BottleneckAnalyzer,
+    /// When enabled, every evaluation is recorded as a `TunerStep`
+    /// trace event (iteration index, objective in nanoseconds).
+    pub tracer: Tracer,
+}
+
+impl GuidedSearch {
+    pub fn new() -> GuidedSearch {
+        GuidedSearch::default()
+    }
+
+    /// Record tuner progress into `tracer` (pass a disabled handle to
+    /// opt out again).
+    pub fn with_tracer(mut self, tracer: Tracer) -> GuidedSearch {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The trace-guided cycle: measure → analyze → suggest → measure.
+    pub fn tune_traced(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn TracedEvaluator,
+        budget: u32,
+    ) -> TuningResult {
+        let mut t = GuidedTracker {
+            evaluator,
+            tracer: self.tracer.clone(),
+            budget,
+            evaluations: 0,
+            best: None,
+            history: Vec::new(),
+            seen: BTreeSet::new(),
+        };
+        if t.measure(&initial).is_none() {
+            return t.finish(initial);
+        }
+        loop {
+            let (best_cfg, best_score, best_report) = {
+                let (c, s, r) = t.best.as_ref().expect("measured at least once");
+                (c.clone(), *s, r.clone())
+            };
+            // Analyzer candidates first — they encode "widen the
+            // slowest stage" — then the generic neighborhood.
+            let mut candidates = self.analyzer.suggest(&best_report, &best_cfg);
+            for n in neighbors(&best_cfg, &values_of(&best_cfg)) {
+                candidates.push(with_values(best_cfg.clone(), &n));
+            }
+            let mut fresh = Vec::new();
+            let mut local = BTreeSet::new();
+            for c in candidates {
+                let k = key_of(&c);
+                if !t.seen.contains(&k) && local.insert(k) {
+                    fresh.push(c);
+                }
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            for c in &fresh {
+                match t.measure(c) {
+                    // Greedy: a better configuration has a fresh trace —
+                    // re-derive the suggestions from it immediately. If
+                    // nothing improves, the next round regenerates the
+                    // same candidates, finds them all seen, and stops.
+                    Some(score) if score < best_score => break,
+                    Some(_) => {}
+                    None => return t.finish(initial),
+                }
+            }
+        }
+        t.finish(initial)
+    }
+}
+
+impl Tuner for GuidedSearch {
+    fn name(&self) -> &'static str {
+        "trace-guided"
+    }
+
+    /// Without traces the analyzer sees an empty report (always
+    /// [`Balanced`](crate::Bottleneck::Balanced)) and the search
+    /// degrades to plain greedy neighborhood descent.
+    fn tune(
+        &mut self,
+        initial: TuningConfig,
+        evaluator: &mut dyn Evaluator,
+        budget: u32,
+    ) -> TuningResult {
+        struct Untraced<'e>(&'e mut dyn Evaluator);
+        impl TracedEvaluator for Untraced<'_> {
+            fn measure_traced(&mut self, config: &TuningConfig) -> (f64, TraceReport) {
+                (self.0.measure(config), TraceReport::default())
+            }
+        }
+        self.tune_traced(initial, &mut Untraced(evaluator), budget)
+    }
+}
+
+/// [`Tracker`](crate::tuner::Tracker) with a trace report riding along
+/// on the best configuration and a seen-set of measured value vectors.
+struct GuidedTracker<'e> {
+    evaluator: &'e mut dyn TracedEvaluator,
+    tracer: Tracer,
+    budget: u32,
+    evaluations: u32,
+    best: Option<(TuningConfig, f64, TraceReport)>,
+    history: Vec<(u32, f64)>,
+    seen: BTreeSet<Vec<i64>>,
+}
+
+impl GuidedTracker<'_> {
+    fn measure(&mut self, config: &TuningConfig) -> Option<f64> {
+        if self.evaluations >= self.budget {
+            return None;
+        }
+        self.seen.insert(key_of(config));
+        let (score, report) = self.evaluator.measure_traced(config);
+        self.evaluations += 1;
+        self.tracer.tuner_step(self.evaluations as u64, score.max(0.0) as u64);
+        let improved = self.best.as_ref().map(|(_, s, _)| score < *s).unwrap_or(true);
+        if improved {
+            self.best = Some((config.clone(), score, report));
+        }
+        let best_score = self.best.as_ref().map(|(_, s, _)| *s).unwrap_or(score);
+        self.history.push((self.evaluations, best_score));
+        Some(score)
+    }
+
+    fn finish(self, fallback: TuningConfig) -> TuningResult {
+        match self.best {
+            Some((best, best_score, _)) => TuningResult {
+                best,
+                best_score,
+                evaluations: self.evaluations,
+                history: self.history,
+            },
+            None => TuningResult {
+                best: fallback,
+                best_score: f64::INFINITY,
+                evaluations: 0,
+                history: Vec::new(),
+            },
+        }
+    }
+}
+
+/// A configuration's value vector as comparable integers (booleans are
+/// 0/1); dimension order is parameter order, so vectors are comparable
+/// across clones of the same configuration.
+fn key_of(config: &TuningConfig) -> Vec<i64> {
+    values_of(config).iter().map(|v| v.as_i64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamValue, TuningConfig, TuningParam};
+    use crate::{LinearSearch, Tuner};
+    use patty_trace::StageSummary;
+
+    /// A deterministic three-stage pipeline cost model: stage B is 6×
+    /// heavier than A and C; replicating B divides its service time.
+    /// The cost is the bottleneck service time (pipeline throughput is
+    /// bound by the slowest stage), and the synthetic trace reports
+    /// exactly that shape.
+    fn sim(config: &TuningConfig) -> (f64, TraceReport) {
+        let rep = config.get("p.B.replication").map(|v| v.as_i64()).unwrap_or(1).max(1) as u64;
+        let order_tax = if config.get("p.B.order").map(|v| v.as_bool()).unwrap_or(false) {
+            5
+        } else {
+            0
+        };
+        let services = [("A", 100u64, 1u64), ("B", 600 / rep + order_tax, rep), ("C", 100, 1)];
+        let stages: Vec<StageSummary> = services
+            .iter()
+            .map(|(name, service, workers)| StageSummary {
+                name: (*name).into(),
+                workers: *workers,
+                items: 10,
+                compute_ns: service * 10 * workers,
+                busy_permille: 900,
+                service_ns: *service,
+                ..StageSummary::default()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..stages.len()).collect();
+        order.sort_by(|&a, &b| stages[b].service_ns.cmp(&stages[a].service_ns).then(a.cmp(&b)));
+        let cost = stages.iter().map(|s| s.service_ns).max().unwrap() as f64;
+        let report = TraceReport {
+            total_items: 30,
+            critical_path: order.iter().map(|&i| stages[i].name.clone()).collect(),
+            stages,
+            ..TraceReport::default()
+        };
+        (cost, report)
+    }
+
+    fn pipeline_config() -> TuningConfig {
+        let mut c = TuningConfig::new("p");
+        c.push(TuningParam::replication("p.A.replication", "main:1", 8));
+        c.push(TuningParam::replication("p.B.replication", "main:2", 8));
+        c.push(TuningParam::replication("p.C.replication", "main:3", 8));
+        c.push(TuningParam::order_preservation("p.B.order", "main:2"));
+        c.push(TuningParam::stage_fusion("p.fuse.A_B", "main:1"));
+        c.push(TuningParam::sequential_execution("p.sequential", "main:1"));
+        c
+    }
+
+    #[test]
+    fn guided_search_finds_the_optimum() {
+        let mut tuner = GuidedSearch::new();
+        let r = tuner.tune_traced(pipeline_config(), &mut FnTracedEvaluator(sim), 200);
+        // Optimum cost: the 100ns floor from stages A and C, reached
+        // once B is wide enough (ties keep the first width that gets
+        // there).
+        assert_eq!(r.best_score, 100.0, "bound by the A/C floor");
+        assert!(r.best.get("p.B.replication").unwrap().as_i64() >= 7);
+    }
+
+    #[test]
+    fn guided_converges_faster_than_blind_search() {
+        let target = 100.0;
+        let evals_to_target = |history: &[(u32, f64)]| {
+            history
+                .iter()
+                .find(|(_, best)| *best <= target)
+                .map(|(i, _)| *i)
+                .unwrap_or(u32::MAX)
+        };
+
+        let mut guided = GuidedSearch::new();
+        let g = guided.tune_traced(pipeline_config(), &mut FnTracedEvaluator(sim), 200);
+
+        let mut blind = LinearSearch::default();
+        let mut plain = crate::FnEvaluator(|c: &TuningConfig| sim(c).0);
+        let b = blind.tune(pipeline_config(), &mut plain, 200);
+
+        let g_evals = evals_to_target(&g.history);
+        let b_evals = evals_to_target(&b.history);
+        assert!(g_evals < u32::MAX, "guided reaches the optimum");
+        assert!(b_evals < u32::MAX, "blind reaches the optimum");
+        assert!(
+            g_evals < b_evals,
+            "guided ({g_evals} evals) should beat blind ({b_evals} evals)"
+        );
+    }
+
+    #[test]
+    fn never_remeasures_a_configuration() {
+        let count = std::cell::Cell::new(0u32);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut eval = FnTracedEvaluator(|c: &TuningConfig| {
+            count.set(count.get() + 1);
+            let key: Vec<i64> = c.params.iter().map(|p| p.value.as_i64()).collect();
+            assert!(seen.insert(key), "configuration measured twice");
+            sim(c)
+        });
+        let mut tuner = GuidedSearch::new();
+        let r = tuner.tune_traced(pipeline_config(), &mut eval, 500);
+        assert_eq!(r.evaluations, count.get());
+    }
+
+    #[test]
+    fn records_tuner_steps_when_traced() {
+        let tracer = Tracer::deterministic(256);
+        let mut tuner = GuidedSearch::new().with_tracer(tracer.clone());
+        let r = tuner.tune_traced(pipeline_config(), &mut FnTracedEvaluator(sim), 50);
+        let report = tracer.report();
+        assert_eq!(report.tuner_steps as u32, r.evaluations);
+    }
+
+    #[test]
+    fn plain_tuner_interface_degrades_to_neighborhood_descent() {
+        // Convex objective, no traces: still reaches the optimum via
+        // the ±1 fallback neighborhood.
+        let mut c = TuningConfig::new("t");
+        c.push(TuningParam::worker_count("t.workers", "f:1", 16));
+        let mut tuner = GuidedSearch::new();
+        assert_eq!(tuner.name(), "trace-guided");
+        let r = tuner.tune(
+            c,
+            &mut crate::FnEvaluator(|c: &TuningConfig| {
+                let w = c.get("t.workers").unwrap().as_i64() as f64;
+                (w - 9.0).abs()
+            }),
+            200,
+        );
+        assert_eq!(r.best.get("t.workers").unwrap().as_i64(), 9);
+    }
+
+    #[test]
+    fn budget_zero_returns_fallback() {
+        let mut tuner = GuidedSearch::new();
+        let r = tuner.tune_traced(pipeline_config(), &mut FnTracedEvaluator(sim), 0);
+        assert_eq!(r.evaluations, 0);
+        assert!(r.best_score.is_infinite());
+        assert_eq!(r.best.get("p.B.replication"), Some(ParamValue::Int(1)));
+    }
+}

@@ -11,7 +11,11 @@
 //! execute → measure → update (Fig. 4c). The paper's shipped algorithm is
 //! the per-dimension [`LinearSearch`]; [`HillClimbing`] (Karcher &
 //! Pankratius \[29\]), [`NelderMead`] \[30\] and [`TabuSearch`] \[31\] are the
-//! "smarter algorithms" it names as future work.
+//! "smarter algorithms" it names as future work. [`GuidedSearch`] goes
+//! further: it reads the run's structured trace through a
+//! [`BottleneckAnalyzer`] and tries the configurations the trace points
+//! at — widen the slowest stage first — before any blind neighborhood
+//! step.
 //!
 //! ```
 //! use patty_tuning::{FnEvaluator, LinearSearch, Tuner, TuningConfig, TuningParam};
@@ -30,7 +34,9 @@
 //! assert_eq!(result.best.get("C.replication").unwrap().as_i64(), 4);
 //! ```
 
+pub mod analyzer;
 pub mod exhaustive;
+pub mod guided;
 pub mod hill;
 pub mod linear;
 pub mod neldermead;
@@ -38,7 +44,9 @@ pub mod param;
 pub mod tabu;
 pub mod tuner;
 
+pub use analyzer::{Bottleneck, BottleneckAnalyzer};
 pub use exhaustive::ExhaustiveSearch;
+pub use guided::{FnTracedEvaluator, GuidedSearch, TracedEvaluator};
 pub use hill::HillClimbing;
 pub use linear::LinearSearch;
 pub use neldermead::NelderMead;

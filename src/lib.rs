@@ -16,6 +16,7 @@ pub use patty_runtime as runtime;
 pub use patty_tadl as tadl;
 pub use patty_testgen as testgen;
 pub use patty_tool as patty;
+pub use patty_trace as trace;
 pub use patty_transform as transform;
 pub use patty_tuning as tuning;
 pub use patty_userstudy as userstudy;

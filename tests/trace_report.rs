@@ -1,0 +1,205 @@
+//! Cross-crate integration: structured tracing end-to-end — the
+//! runtime records per-item events, the collector aggregates them
+//! deterministically, the exporter produces valid Chrome trace JSON,
+//! and the bottleneck analyzer both identifies a deliberately slowed
+//! stage and steers the auto-tuner past the blind per-dimension sweep.
+
+use patty_workspace::patty::Patty;
+use patty_workspace::runtime::{Pipeline, Stage};
+use patty_workspace::trace::{chrome_trace, StageSummary, TraceReport, Tracer};
+use patty_workspace::tuning::{
+    Bottleneck, BottleneckAnalyzer, FnEvaluator, FnTracedEvaluator, GuidedSearch, LinearSearch,
+    Tuner, TuningConfig, TuningParam,
+};
+
+fn avistream_source() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/avistream.mini");
+    std::fs::read_to_string(path).expect("examples/avistream.mini")
+}
+
+#[test]
+fn avistream_trace_covers_every_stage_and_exports_chrome_json() {
+    let patty = Patty::new();
+    let (trace, report) = patty.trace(&avistream_source()).expect("trace run");
+    assert!(!report.stages.is_empty());
+    for stage in &report.stages {
+        assert!(stage.items > 0, "stage `{}` recorded no items", stage.name);
+        assert!(stage.workers > 0, "stage `{}` has no workers", stage.name);
+    }
+    assert!(report.bottleneck().is_some());
+    assert_eq!(report.dropped_events, 0, "default ring must not wrap on avistream");
+
+    // The Chrome export round-trips through the project's own JSON
+    // parser and carries at least one complete ("X") slice per stage.
+    let json = chrome_trace(&trace).to_string_pretty();
+    let doc = patty_workspace::json::parse(&json).expect("chrome trace parses");
+    let events = doc.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents");
+    let mut tid_names = std::collections::BTreeMap::new();
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("M")
+            && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+        {
+            let tid = e.get("tid").and_then(|t| t.as_i64()).unwrap();
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+                .unwrap()
+                .to_string();
+            tid_names.insert(tid, name);
+        }
+    }
+    for stage in &report.stages {
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter(|e| {
+                let tid = e.get("tid").and_then(|t| t.as_i64()).unwrap_or(-1);
+                tid_names
+                    .get(&tid)
+                    .is_some_and(|n| n.starts_with(&format!("{} ", stage.name)))
+            })
+            .count();
+        assert!(slices > 0, "no Chrome slices for stage `{}`", stage.name);
+    }
+}
+
+/// The observability acceptance check: artificially slow one stage of a
+/// three-stage pipeline and the analyzer must (a) rank it as the
+/// bottleneck and (b) suggest widening exactly that stage first.
+#[test]
+fn analyzer_identifies_artificially_slowed_stage() {
+    fn burn(iters: u64, mut x: u64) -> u64 {
+        for i in 0..iters {
+            x = std::hint::black_box(x.wrapping_mul(31).wrapping_add(i));
+        }
+        x
+    }
+    let tracer = Tracer::enabled();
+    let pipeline = Pipeline::new(vec![
+        Stage::new("decode", |x: u64| burn(200, x)),
+        Stage::new("transform", |x: u64| burn(20_000, x)), // deliberately slowed
+        Stage::new("encode", |x: u64| burn(200, x)),
+    ])
+    .with_tracer(tracer.clone());
+    pipeline.run((0..64u64).collect());
+
+    let report = tracer.report();
+    assert_eq!(report.bottleneck(), Some("transform"));
+    let analyzer = BottleneckAnalyzer::new();
+    assert_eq!(
+        analyzer.classify(&report),
+        Bottleneck::StageBound { stage: "transform".into() }
+    );
+
+    let mut config = TuningConfig::new("pipeline_main_l1");
+    for s in ["decode", "transform", "encode"] {
+        config.push(TuningParam::replication(
+            format!("pipeline_main_l1.{s}.replication"),
+            "main:1",
+            8,
+        ));
+    }
+    let suggestions = analyzer.suggest(&report, &config);
+    assert!(!suggestions.is_empty());
+    assert_eq!(
+        suggestions[0].get("pipeline_main_l1.transform.replication").unwrap().as_i64(),
+        2,
+        "first candidate widens the slowed stage"
+    );
+    assert_eq!(
+        suggestions[0].get("pipeline_main_l1.decode.replication").unwrap().as_i64(),
+        1,
+        "other stages stay untouched"
+    );
+}
+
+/// Determinism pinning: two sequential runs under the virtual clock
+/// serialize to byte-identical summary JSON.
+#[test]
+fn deterministic_sequential_runs_pin_summary_bytes() {
+    let run = || {
+        let tracer = Tracer::deterministic(1024);
+        let pipeline = Pipeline::new(vec![
+            Stage::new("scale", |x: u64| x * 2),
+            Stage::new("emit", |x: u64| x + 1),
+        ])
+        .sequential(true)
+        .with_tracer(tracer.clone());
+        pipeline.run((0..16u64).collect());
+        tracer.report().to_json()
+    };
+    let first = run();
+    assert_eq!(first, run(), "summary JSON must be byte-identical");
+    let doc = patty_workspace::json::parse(&first).unwrap();
+    assert_eq!(doc.get("total_items").and_then(|v| v.as_i64()), Some(32));
+}
+
+/// A deterministic three-stage cost model shared by the guided and
+/// blind tuners: stage B dominates until replicated, and the synthetic
+/// trace reports exactly that shape.
+fn sim(config: &TuningConfig) -> (f64, TraceReport) {
+    let rep = config.get("p.B.replication").map(|v| v.as_i64()).unwrap_or(1).max(1) as u64;
+    let services = [("A", 100u64, 1u64), ("B", 900 / rep, rep), ("C", 100, 1)];
+    let stages: Vec<StageSummary> = services
+        .iter()
+        .map(|(name, service, workers)| StageSummary {
+            name: (*name).into(),
+            workers: *workers,
+            items: 10,
+            compute_ns: service * 10 * workers,
+            busy_permille: 900,
+            service_ns: *service,
+            ..StageSummary::default()
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..stages.len()).collect();
+    order.sort_by(|&a, &b| stages[b].service_ns.cmp(&stages[a].service_ns).then(a.cmp(&b)));
+    let cost = stages.iter().map(|s| s.service_ns).max().unwrap() as f64;
+    let report = TraceReport {
+        total_items: 30,
+        critical_path: order.iter().map(|&i| stages[i].name.clone()).collect(),
+        stages,
+        ..TraceReport::default()
+    };
+    (cost, report)
+}
+
+fn sim_config() -> TuningConfig {
+    let mut c = TuningConfig::new("p");
+    c.push(TuningParam::replication("p.A.replication", "main:1", 8));
+    c.push(TuningParam::replication("p.B.replication", "main:2", 8));
+    c.push(TuningParam::replication("p.C.replication", "main:3", 8));
+    c.push(TuningParam::order_preservation("p.B.order", "main:2"));
+    c.push(TuningParam::sequential_execution("p.sequential", "main:1"));
+    c
+}
+
+/// The tuner acceptance check: with the analyzer in the loop the tuner
+/// reaches the optimum in fewer evaluations than the paper's blind
+/// per-dimension sweep.
+#[test]
+fn guided_tuner_converges_faster_than_blind_search() {
+    let optimum = 112.0; // service floor once B no longer dominates
+    let evals_to = |history: &[(u32, f64)]| {
+        history
+            .iter()
+            .find(|(_, best)| *best <= optimum)
+            .map(|(i, _)| *i)
+            .expect("reaches the optimum")
+    };
+
+    let mut guided = GuidedSearch::new();
+    let g = guided.tune_traced(sim_config(), &mut FnTracedEvaluator(sim), 300);
+
+    let mut blind = LinearSearch::default();
+    let b = blind.tune(sim_config(), &mut FnEvaluator(|c: &TuningConfig| sim(c).0), 300);
+
+    assert!(g.best_score <= optimum, "guided best {}", g.best_score);
+    assert!(b.best_score <= optimum, "blind best {}", b.best_score);
+    let (g_evals, b_evals) = (evals_to(&g.history), evals_to(&b.history));
+    assert!(
+        g_evals < b_evals,
+        "guided ({g_evals} evals) must beat blind ({b_evals} evals)"
+    );
+}
