@@ -1,0 +1,191 @@
+//! Runtime hot-path benchmark: batched streaming vs per-item handoff,
+//! and guided self-scheduling vs fixed chunks on a skewed workload.
+//!
+//! Prints a table, writes machine-readable `BENCH_runtime.json`
+//! (`{bench, config, ns_per_item, speedup_vs_seq}` records), and — on
+//! hosts with enough cores to observe parallelism — asserts the
+//! regression guards:
+//!
+//! * batched pipeline (batch ≥ 16) is at least 2× the per-item
+//!   throughput at 4 stage workers, and
+//! * guided scheduling beats the fixed chunk=16 schedule on a
+//!   skewed-cost loop.
+
+use patty_bench::{busy_work, host_cores, print_table, time_median};
+use patty_json::Json;
+use patty_runtime::{ParallelFor, Pipeline, Stage};
+use std::time::Duration;
+
+/// Elements streamed through the pipeline benches.
+const STREAM: usize = 20_000;
+/// Iterations of the skewed loop benches.
+const LOOP_N: usize = 1024;
+/// Median-of-N samples per configuration.
+const SAMPLES: usize = 9;
+
+/// Four near-free stages: the workload is the channel transactions.
+fn cheap_pipeline() -> Pipeline<u64> {
+    Pipeline::new(vec![
+        Stage::new("a", |x: u64| x.wrapping_add(1)),
+        Stage::new("b", |x: u64| x.wrapping_mul(3)),
+        Stage::new("c", |x: u64| x ^ (x >> 7)),
+        Stage::new("d", |x: u64| x.wrapping_sub(5)),
+    ])
+}
+
+/// Skewed per-index cost: quadratic in the index, so the expensive tail
+/// punishes coarse fixed chunks.
+fn skewed_work(i: usize) -> u64 {
+    busy_work((i * i / LOOP_N) as u64, i as u64)
+}
+
+struct Record {
+    bench: &'static str,
+    config: String,
+    time: Duration,
+    items: usize,
+    seq: Duration,
+}
+
+impl Record {
+    fn ns_per_item(&self) -> f64 {
+        self.time.as_nanos() as f64 / self.items.max(1) as f64
+    }
+    fn speedup_vs_seq(&self) -> f64 {
+        self.seq.as_nanos() as f64 / self.time.as_nanos().max(1) as f64
+    }
+    fn json(&self) -> Json {
+        Json::obj()
+            .with("bench", Json::Str(self.bench.into()))
+            .with("config", Json::Str(self.config.clone()))
+            .with("ns_per_item", Json::Float(self.ns_per_item()))
+            .with("speedup_vs_seq", Json::Float(self.speedup_vs_seq()))
+    }
+}
+
+fn main() {
+    let cores = host_cores();
+    // The batching guard measures overhead *elimination* (fewer channel
+    // transactions), observable on any host. The scheduling guard
+    // measures tail *imbalance*, which needs real parallelism.
+    let scheduling_assertable = cores >= 4;
+    if !scheduling_assertable {
+        println!(
+            "NOTE: host exposes {cores} core(s); the guided-vs-fixed guard needs 4 \
+             to observe scheduling imbalance and is reported but not asserted."
+        );
+    }
+
+    // ---- pipeline: per-item vs batched handoff ----
+    let input = || (0..STREAM as u64).collect::<Vec<u64>>();
+    let seq = time_median(SAMPLES, || {
+        std::hint::black_box(cheap_pipeline().sequential(true).run(input()));
+    });
+    let per_item = time_median(SAMPLES, || {
+        std::hint::black_box(cheap_pipeline().run(input()));
+    });
+    let batched = time_median(SAMPLES, || {
+        std::hint::black_box(cheap_pipeline().with_batch(64).run(input()));
+    });
+
+    // ---- parfor: fixed chunk=16 vs guided on a skewed-cost loop ----
+    let loop_seq = time_median(SAMPLES, || {
+        for i in 0..LOOP_N {
+            std::hint::black_box(skewed_work(i));
+        }
+    });
+    let fixed = ParallelFor::new(4).with_chunk(16).with_min_chunk(16);
+    let fixed_t = time_median(SAMPLES, || {
+        fixed.for_each(LOOP_N, |i| {
+            std::hint::black_box(skewed_work(i));
+        });
+    });
+    let guided = ParallelFor::new(4).with_chunk(64).with_min_chunk(1);
+    let guided_t = time_median(SAMPLES, || {
+        guided.for_each(LOOP_N, |i| {
+            std::hint::black_box(skewed_work(i));
+        });
+    });
+
+    let records = [
+        Record {
+            bench: "pipeline_batching",
+            config: "sequential".into(),
+            time: seq,
+            items: STREAM,
+            seq,
+        },
+        Record {
+            bench: "pipeline_batching",
+            config: "per_item(batch=1, 4 stage workers)".into(),
+            time: per_item,
+            items: STREAM,
+            seq,
+        },
+        Record {
+            bench: "pipeline_batching",
+            config: "batched(batch=64, 4 stage workers)".into(),
+            time: batched,
+            items: STREAM,
+            seq,
+        },
+        Record {
+            bench: "parfor_scheduling",
+            config: "sequential".into(),
+            time: loop_seq,
+            items: LOOP_N,
+            seq: loop_seq,
+        },
+        Record {
+            bench: "parfor_scheduling",
+            config: "fixed(chunk=16, 4 workers)".into(),
+            time: fixed_t,
+            items: LOOP_N,
+            seq: loop_seq,
+        },
+        Record {
+            bench: "parfor_scheduling",
+            config: "guided(chunk=64, min_chunk=1, 4 workers)".into(),
+            time: guided_t,
+            items: LOOP_N,
+            seq: loop_seq,
+        },
+    ];
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.to_string(),
+                r.config.clone(),
+                format!("{:.1}", r.ns_per_item()),
+                format!("{:.2}x", r.speedup_vs_seq()),
+            ]
+        })
+        .collect();
+    print_table(
+        "runtime hot paths",
+        &["bench", "config", "ns/item", "speedup vs seq"],
+        &rows,
+    );
+
+    let json = Json::Arr(records.iter().map(Record::json).collect());
+    std::fs::write("BENCH_runtime.json", json.to_string_pretty() + "\n")
+        .expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+
+    assert!(
+        per_item >= batched.mul_f64(2.0),
+        "guard: batched pipeline must be >= 2x per-item throughput \
+         (per-item {per_item:?}, batched {batched:?})"
+    );
+    println!("guard passed: batched >= 2x per-item throughput");
+    if scheduling_assertable {
+        assert!(
+            guided_t < fixed_t,
+            "guard: guided scheduling must beat fixed chunk=16 on the \
+             skewed loop (fixed {fixed_t:?}, guided {guided_t:?})"
+        );
+        println!("guard passed: guided beats fixed chunk=16 on the skewed loop");
+    }
+}

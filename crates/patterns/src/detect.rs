@@ -393,6 +393,11 @@ pub fn detect_loop(
             loc.clone(),
         ));
     }
+    tuning.push(TuningParam::batch_size(
+        format!("{arch_name}.batch"),
+        loc.clone(),
+        256,
+    ));
     tuning.push(TuningParam::sequential_execution(
         format!("{arch_name}.sequential"),
         loc.clone(),
@@ -489,6 +494,11 @@ fn build_doall(
     ));
     tuning.push(TuningParam::chunk_size(
         format!("{arch_name}.chunk"),
+        loc.clone(),
+        256,
+    ));
+    tuning.push(TuningParam::chunk_size(
+        format!("{arch_name}.min_chunk"),
         loc.clone(),
         256,
     ));

@@ -29,7 +29,7 @@ fn decode_threads(name: &str, what: &str, raw: i64) -> Result<usize, String> {
 }
 
 /// Decoded pipeline tuning values.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineTuning {
     /// Replication per stage name.
     pub replication: BTreeMap<String, usize>,
@@ -37,8 +37,22 @@ pub struct PipelineTuning {
     pub preserve_order: BTreeMap<String, bool>,
     /// Fusion per adjacent pair `(left stage, right stage)`.
     pub fusion: BTreeMap<(String, String), bool>,
+    /// Elements per channel transaction (BatchSize), ≥ 1.
+    pub batch: usize,
     /// Sequential fallback.
     pub sequential: bool,
+}
+
+impl Default for PipelineTuning {
+    fn default() -> PipelineTuning {
+        PipelineTuning {
+            replication: BTreeMap::new(),
+            preserve_order: BTreeMap::new(),
+            fusion: BTreeMap::new(),
+            batch: 1,
+            sequential: false,
+        }
+    }
 }
 
 impl PipelineTuning {
@@ -87,6 +101,17 @@ impl PipelineTuning {
                     t.fusion
                         .insert((pair.0.to_string(), pair.1.to_string()), p.value.as_bool());
                 }
+                ParamKind::BatchSize => {
+                    let exp = p.value.as_i64();
+                    if !(0..=20).contains(&exp) {
+                        return Err(format!(
+                            "pipeline parameter `{}`: BatchSize exponent must be in 0..=20, \
+                             got {exp}",
+                            p.name
+                        ));
+                    }
+                    t.batch = 1usize << exp as usize;
+                }
                 ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
                 _ => {}
             }
@@ -121,6 +146,7 @@ impl PipelineTuning {
             .collect();
         Pipeline::new(stages)
             .with_fusion(fusion)
+            .with_batch(self.batch)
             .sequential(self.sequential)
     }
 }
@@ -129,13 +155,17 @@ impl PipelineTuning {
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoopTuning {
     pub workers: usize,
+    /// Largest chunk a guided claim may take.
     pub chunk: usize,
+    /// Smallest chunk a guided claim may take; `min_chunk == chunk`
+    /// recovers fixed-chunk scheduling.
+    pub min_chunk: usize,
     pub sequential: bool,
 }
 
 impl Default for LoopTuning {
     fn default() -> LoopTuning {
-        LoopTuning { workers: 1, chunk: 1, sequential: false }
+        LoopTuning { workers: 1, chunk: 1, min_chunk: 1, sequential: false }
     }
 }
 
@@ -158,7 +188,14 @@ impl LoopTuning {
                             p.name
                         ));
                     }
-                    t.chunk = 1usize << exp as usize;
+                    // The detector emits two ChunkSize-kind knobs per loop:
+                    // `<arch>.chunk` (guided maximum) and `<arch>.min_chunk`
+                    // (guided minimum), distinguished by name.
+                    if p.name.ends_with(".min_chunk") {
+                        t.min_chunk = 1usize << exp as usize;
+                    } else {
+                        t.chunk = 1usize << exp as usize;
+                    }
                 }
                 ParamKind::SequentialExecution => t.sequential = p.value.as_bool(),
                 _ => {}
@@ -171,6 +208,7 @@ impl LoopTuning {
     pub fn build(&self) -> ParallelFor {
         ParallelFor::new(self.workers)
             .with_chunk(self.chunk)
+            .with_min_chunk(self.min_chunk.min(self.chunk))
             .sequential(self.sequential)
     }
 }
@@ -289,8 +327,47 @@ mod tests {
         let t = LoopTuning::from_config(&c)?;
         assert_eq!(t.workers, 6);
         assert_eq!(t.chunk, 32, "chunk is a power-of-two exponent");
+        assert_eq!(t.min_chunk, 1, "min_chunk defaults to 1 (fully guided)");
         let pf = t.build();
         assert_eq!(pf.map(10, |i| i * 3), (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        Ok(())
+    }
+
+    #[test]
+    fn decodes_min_chunk_by_name_suffix() -> Result<(), String> {
+        let mut c = TuningConfig::new("doall");
+        c.push(TuningParam::worker_count("doall.workers", "main:3", 8));
+        c.push(TuningParam::chunk_size("doall.chunk", "main:3", 256));
+        c.push(TuningParam::chunk_size("doall.min_chunk", "main:3", 256));
+        c.set("doall.chunk", ParamValue::Int(6))?;
+        c.set("doall.min_chunk", ParamValue::Int(2))?;
+        let t = LoopTuning::from_config(&c)?;
+        assert_eq!(t.chunk, 64);
+        assert_eq!(t.min_chunk, 4);
+        let pf = t.build();
+        assert_eq!(pf.chunk, 64);
+        assert_eq!(pf.min_chunk, 4);
+        Ok(())
+    }
+
+    #[test]
+    fn decodes_pipeline_batch_size() -> Result<(), String> {
+        let mut cfg = pipeline_config();
+        cfg.push(TuningParam::batch_size("pipe.batch", "main:4", 256));
+        cfg.set("pipe.batch", ParamValue::Int(4))?;
+        let t = PipelineTuning::from_config(&cfg)?;
+        assert_eq!(t.batch, 16, "batch is a power-of-two exponent");
+        let p = t.build_pipeline(vec![Stage::new("C", |x: i64| x + 1)]);
+        assert_eq!(p.batch, 16);
+        assert_eq!(p.run((0..100).collect()), (1..101).collect::<Vec<i64>>());
+
+        // Out-of-range exponents are rejected like ChunkSize.
+        let mut cfg = pipeline_config();
+        cfg.push(TuningParam::batch_size("pipe.batch", "main:4", 256));
+        cfg.params.last_mut().unwrap().value = ParamValue::Int(33);
+        let err = PipelineTuning::from_config(&cfg).unwrap_err();
+        assert!(err.contains("0..=20"), "{err}");
+        assert!(err.contains("got 33"), "{err}");
         Ok(())
     }
 }

@@ -4,6 +4,14 @@
 //! plus a privatized reduction variant (the detector recognizes
 //! accumulator statements; the runtime gives each worker a private
 //! accumulator and combines them at the end).
+//!
+//! Scheduling is **guided self-scheduling**: each claim takes
+//! `remaining / (workers * K)` indices, clamped to
+//! `[min_chunk, chunk]`, so a large index space starts with coarse
+//! grabs (amortizing the shared-cursor synchronization) and drains with
+//! fine ones (fixing tail imbalance on skewed per-index costs without
+//! tuner help). Setting `min_chunk == chunk` recovers the classic
+//! fixed-chunk schedule.
 
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
@@ -14,13 +22,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Guided self-scheduling divisor: each claim takes
+/// `remaining / (workers * GUIDED_K)` indices, so every worker gets
+/// roughly `GUIDED_K` claims per "round" of the remaining space.
+const GUIDED_K: usize = 2;
+
 /// A tunable data-parallel loop executor.
 #[derive(Clone, Debug)]
 pub struct ParallelFor {
     /// Worker threads (WorkerCount), ≥ 1.
     pub workers: usize,
-    /// Indices claimed per grab (ChunkSize), ≥ 1.
+    /// Largest chunk a single claim may take (ChunkSize), ≥ 1.
     pub chunk: usize,
+    /// Smallest chunk a single claim may take; raising it bounds the
+    /// per-claim overhead on the drain tail, and `min_chunk == chunk`
+    /// disables guided scheduling in favor of fixed chunks.
+    pub min_chunk: usize,
     /// SequentialExecution fallback.
     pub sequential: bool,
     /// Telemetry sink; disabled by default.
@@ -41,16 +58,50 @@ impl ParallelFor {
         ParallelFor {
             workers: workers.max(1),
             chunk: 16,
+            min_chunk: 1,
             sequential: false,
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
     }
 
-    /// Set the chunk size.
+    /// Set the maximum chunk size.
     pub fn with_chunk(mut self, chunk: usize) -> ParallelFor {
         self.chunk = chunk.max(1);
         self
+    }
+
+    /// Set the minimum chunk size (guided claims never shrink below it).
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> ParallelFor {
+        self.min_chunk = min_chunk.max(1);
+        self
+    }
+
+    /// Claim the next run of indices from the shared cursor using guided
+    /// self-scheduling. A CAS loop is required because the claim size
+    /// depends on the remaining space at claim time.
+    fn claim(&self, next: &AtomicUsize, n: usize) -> Option<std::ops::Range<usize>> {
+        let hi = self.chunk.max(1);
+        let lo = self.min_chunk.clamp(1, hi);
+        let mut start = next.load(Ordering::Relaxed);
+        loop {
+            if start >= n {
+                return None;
+            }
+            let remaining = n - start;
+            let take = (remaining / (self.workers.max(1) * GUIDED_K))
+                .clamp(lo, hi)
+                .min(remaining);
+            match next.compare_exchange_weak(
+                start,
+                start + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(start..start + take),
+                Err(observed) => start = observed,
+            }
+        }
     }
 
     /// Set the SequentialExecution flag.
@@ -101,14 +152,15 @@ impl ParallelFor {
         let (items, chunks) = self.counters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
+            let wt = self.tracer.worker(stage_id, 0);
             if n > 0 {
                 self.record_chunk(&items, &chunks, n);
+                let trace_start = wt.item_start(0);
+                let out = (0..n).map(f).collect();
+                wt.item_end_n(0, n as u64, trace_start);
+                return out;
             }
-            let wt = self.tracer.worker(stage_id, 0);
-            let trace_start = wt.item_start(0);
-            let out = (0..n).map(f).collect();
-            wt.item_end(0, trace_start);
-            return out;
+            return Vec::new();
         }
         let results: Vec<parking_lot::Mutex<Option<O>>> =
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
@@ -125,18 +177,14 @@ impl ParallelFor {
                     let run_start = wt.tick();
                     let mut busy_ns = 0u64;
                     let mut chunks_done = 0u64;
-                    loop {
-                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + self.chunk).min(n);
-                        self.record_chunk(items, chunks, end - start);
-                        let trace_start = wt.item_start(start as u64);
-                        for (slot, i) in results[start..end].iter().zip(start..end) {
+                    while let Some(range) = self.claim(next, n) {
+                        self.record_chunk(items, chunks, range.len());
+                        let trace_start = wt.item_start(range.start as u64);
+                        for (slot, i) in results[range.clone()].iter().zip(range.clone()) {
                             *slot.lock() = Some(f(i));
                         }
-                        let ended = wt.item_end(start as u64, trace_start);
+                        let ended =
+                            wt.item_end_n(range.start as u64, range.len() as u64, trace_start);
                         busy_ns += ended.since(trace_start);
                         chunks_done += 1;
                     }
@@ -159,13 +207,14 @@ impl ParallelFor {
         let (items, chunks) = self.counters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
-            if n > 0 {
-                self.record_chunk(&items, &chunks, n);
+            if n == 0 {
+                return;
             }
+            self.record_chunk(&items, &chunks, n);
             let wt = self.tracer.worker(stage_id, 0);
             let trace_start = wt.item_start(0);
             (0..n).for_each(f);
-            wt.item_end(0, trace_start);
+            wt.item_end_n(0, n as u64, trace_start);
             return;
         }
         let next = AtomicUsize::new(0);
@@ -180,18 +229,14 @@ impl ParallelFor {
                     let run_start = wt.tick();
                     let mut busy_ns = 0u64;
                     let mut chunks_done = 0u64;
-                    loop {
-                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + self.chunk).min(n);
-                        self.record_chunk(items, chunks, end - start);
-                        let trace_start = wt.item_start(start as u64);
-                        for i in start..end {
+                    while let Some(range) = self.claim(next, n) {
+                        self.record_chunk(items, chunks, range.len());
+                        let trace_start = wt.item_start(range.start as u64);
+                        for i in range.clone() {
                             f(i);
                         }
-                        let ended = wt.item_end(start as u64, trace_start);
+                        let ended =
+                            wt.item_end_n(range.start as u64, range.len() as u64, trace_start);
                         busy_ns += ended.since(trace_start);
                         chunks_done += 1;
                     }
@@ -370,7 +415,7 @@ impl ParallelFor {
                     }
                 }
             }
-            wt.item_end(0, trace_start);
+            wt.item_end_n(0, n as u64, trace_start);
             return Ok(acc);
         }
         Ok(partials
@@ -412,6 +457,7 @@ impl ParallelFor {
         let run_indices = |worker: usize, range: std::ops::Range<usize>| {
             let wt = &tracers[worker];
             let chunk_start = range.start as u64;
+            let chunk_len = range.len() as u64;
             let trace_start = wt.item_start(chunk_start);
             for i in range {
                 if cancel.is_cancelled() {
@@ -454,7 +500,7 @@ impl ParallelFor {
                     }
                 }
             }
-            wt.item_end(chunk_start, trace_start);
+            wt.item_end_n(chunk_start, chunk_len, trace_start);
             false
         };
         if self.sequential || self.workers <= 1 || n <= 1 {
@@ -473,13 +519,11 @@ impl ParallelFor {
                         if cancel.is_cancelled() {
                             return;
                         }
-                        let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                        if start >= n {
+                        let Some(range) = self.claim(next, n) else {
                             return;
-                        }
-                        let end = (start + self.chunk).min(n);
-                        self.record_chunk(&counters.0, &counters.1, end - start);
-                        if run_indices(worker, start..end) {
+                        };
+                        self.record_chunk(&counters.0, &counters.1, range.len());
+                        if run_indices(worker, range) {
                             return;
                         }
                     });
@@ -504,13 +548,14 @@ impl ParallelFor {
         let (items, chunks) = self.counters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
-            if n > 0 {
-                self.record_chunk(&items, &chunks, n);
+            if n == 0 {
+                return identity;
             }
+            self.record_chunk(&items, &chunks, n);
             let wt = self.tracer.worker(stage_id, 0);
             let trace_start = wt.item_start(0);
             let out = (0..n).fold(identity, fold);
-            wt.item_end(0, trace_start);
+            wt.item_end_n(0, n as u64, trace_start);
             return out;
         }
         let next = AtomicUsize::new(0);
@@ -528,18 +573,18 @@ impl ParallelFor {
                         let mut chunks_done = 0u64;
                         let mut acc = seed;
                         loop {
-                            let start = next.fetch_add(self.chunk, Ordering::Relaxed);
-                            if start >= n {
+                            let Some(range) = self.claim(next, n) else {
                                 wt.worker_idle(run_start, busy_ns, chunks_done);
                                 return acc;
-                            }
-                            let end = (start + self.chunk).min(n);
-                            self.record_chunk(&counters.0, &counters.1, end - start);
-                            let trace_start = wt.item_start(start as u64);
-                            for i in start..end {
+                            };
+                            self.record_chunk(&counters.0, &counters.1, range.len());
+                            let trace_start = wt.item_start(range.start as u64);
+                            let first = range.start as u64;
+                            let len = range.len() as u64;
+                            for i in range {
                                 acc = fold(acc, i);
                             }
-                            let ended = wt.item_end(start as u64, trace_start);
+                            let ended = wt.item_end_n(first, len, trace_start);
                             busy_ns += ended.since(trace_start);
                             chunks_done += 1;
                         }
@@ -606,20 +651,69 @@ mod tests {
     }
 
     #[test]
-    fn tracer_records_chunks_as_items() {
+    fn tracer_counts_every_index_regardless_of_chunking() {
         let tracer = Tracer::enabled();
         let pf = ParallelFor::new(4).with_chunk(10).with_tracer(tracer.clone());
         let out = pf.map(100, |i| i * 2);
         assert_eq!(out.len(), 100);
         let report = tracer.report();
         let s = report.stage("parfor").expect("stage summarized");
-        assert_eq!(s.items, 10, "100 indices / chunk 10 = 10 chunk events");
+        assert_eq!(s.items, 100, "ItemEnd counts sum to the iteration count");
         assert!(s.workers >= 1 && s.workers <= 4);
         // Checked path traces too.
         let tracer2 = Tracer::enabled();
         let pf2 = ParallelFor::new(2).with_chunk(25).with_tracer(tracer2.clone());
         pf2.for_each_checked(100, |_| {}, &RunOptions::default()).unwrap();
-        assert_eq!(tracer2.report().stage("parfor").unwrap().items, 4);
+        assert_eq!(tracer2.report().stage("parfor").unwrap().items, 100);
+    }
+
+    #[test]
+    fn guided_scheduling_claims_shrink_toward_min_chunk() {
+        // With workers*K comfortably below n, early claims should hit the
+        // configured max while the tail shrinks toward min_chunk.
+        let telemetry = Telemetry::enabled();
+        let pf = ParallelFor::new(2)
+            .with_chunk(64)
+            .with_min_chunk(4)
+            .with_telemetry(telemetry.clone());
+        // 1024 drains to exactly zero without a sub-min_chunk tail claim.
+        let out = pf.map(1024, |i| i + 1);
+        assert_eq!(out.len(), 1024);
+        let report = telemetry.report();
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "parfor.chunk_size")
+            .expect("chunk histogram recorded");
+        assert_eq!(hist.sum, 1024, "chunk sizes sum to n");
+        assert!(hist.max <= 64, "claims never exceed the configured chunk");
+        assert!(hist.min >= 4, "claims never fall below min_chunk");
+        assert!(
+            hist.max > hist.min,
+            "guided claims vary in size (max {} vs min {})",
+            hist.max,
+            hist.min
+        );
+    }
+
+    #[test]
+    fn min_chunk_equal_to_chunk_recovers_fixed_scheduling() {
+        let telemetry = Telemetry::enabled();
+        let pf = ParallelFor::new(4)
+            .with_chunk(16)
+            .with_min_chunk(16)
+            .with_telemetry(telemetry.clone());
+        let out = pf.map(160, |i| i * 3);
+        assert_eq!(out, (0..160).map(|i| i * 3).collect::<Vec<_>>());
+        let report = telemetry.report();
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "parfor.chunk_size")
+            .expect("chunk histogram recorded");
+        assert_eq!(hist.sum, 160);
+        assert_eq!(hist.max, 16, "every claim is exactly the fixed chunk");
+        assert_eq!(hist.min, 16);
     }
 
     #[test]

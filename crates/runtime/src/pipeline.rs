@@ -13,6 +13,14 @@
 //!   saving the buffer and thread overhead,
 //! * **SequentialExecution** — the whole pipeline can run in-place, so a
 //!   short stream never pays the threading overhead.
+//!
+//! A fifth knob amortizes the per-element runtime cost: **BatchSize**.
+//! Stages exchange [`Batch`]es — runs of consecutive stream elements —
+//! so one channel transaction, one trace event pair and one cancellation
+//! check cover `batch` elements instead of one. Output stays identical
+//! to the sequential oracle: sequence numbers are per element, the
+//! reorder buffer releases whole runs in order, and fault attribution
+//! (`item_seq`) points at the exact element inside a batch.
 
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
@@ -33,9 +41,13 @@ const CANCEL_POLL: Duration = Duration::from_millis(10);
 /// A pipeline stage function over stream elements of type `T`.
 pub type StageFunc<T> = Arc<dyn Fn(T) -> T + Send + Sync>;
 
-/// A buffer endpoint carrying `(sequence number, element)` pairs.
-type SeqSender<T> = Sender<(u64, T)>;
-type SeqReceiver<T> = Receiver<(u64, T)>;
+/// A run of consecutive stream elements: `(first sequence number,
+/// elements)`. Element `j` of the vector has sequence `first + j`.
+pub type Batch<T> = (u64, Vec<T>);
+
+/// A buffer endpoint carrying batches.
+type SeqSender<T> = Sender<Batch<T>>;
+type SeqReceiver<T> = Receiver<Batch<T>>;
 
 /// One pipeline stage definition.
 pub struct Stage<T> {
@@ -99,6 +111,10 @@ pub struct Pipeline<T> {
     /// Run everything in-place on the calling thread
     /// (SequentialExecution).
     pub sequential: bool,
+    /// Elements per channel transaction (BatchSize); clamped to ≥ 1.
+    /// Larger batches amortize channel, trace and cancellation overhead
+    /// over more elements at the cost of coarser scheduling.
+    pub batch: usize,
     /// Telemetry sink; disabled by default (a dead branch per item).
     telemetry: Telemetry,
     /// Structured event tracer; disabled by default (a dead branch per
@@ -114,6 +130,7 @@ impl<T: Send + 'static> Pipeline<T> {
             buffer_capacity: 32,
             fusion: Vec::new(),
             sequential: false,
+            batch: 1,
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -139,6 +156,12 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Set the inter-stage buffer capacity.
     pub fn with_buffer(mut self, capacity: usize) -> Pipeline<T> {
         self.buffer_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the batch size (elements per channel transaction).
+    pub fn with_batch(mut self, batch: usize) -> Pipeline<T> {
+        self.batch = batch.max(1);
         self
     }
 
@@ -251,26 +274,38 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut collected: Vec<Option<T>> = (0..n_input).map(|_| None).collect();
         let mut arrival: Vec<u64> = Vec::with_capacity(n_input);
 
+        let batch = self.batch.max(1);
+
         std::thread::scope(|scope| {
             // StreamGenerator: the loop header becomes the implicit first
             // stage feeding the first buffer (rule PLPL). It observes the
             // cancellation token between sends so a failed run stops
-            // feeding instead of filling buffers nobody drains.
+            // feeding instead of filling buffers nobody drains. Elements
+            // are grouped into consecutive runs of `batch` so every send
+            // is one channel transaction for `batch` elements.
             let (feed_tx, mut prev_rx): (SeqSender<T>, SeqReceiver<T>) = bounded(cap);
             let feed_cancel = cancel.clone();
             scope.spawn(move || {
-                for (seq, item) in input.into_iter().enumerate() {
+                let mut iter = input.into_iter();
+                let mut seq = 0u64;
+                loop {
                     if feed_cancel.is_cancelled() {
                         return;
                     }
-                    if feed_tx.send((seq as u64, item)).is_err() {
+                    let run: Vec<T> = iter.by_ref().take(batch).collect();
+                    if run.is_empty() {
                         return;
                     }
+                    let len = run.len() as u64;
+                    if feed_tx.send((seq, run)).is_err() {
+                        return;
+                    }
+                    seq += len;
                 }
             });
 
             for stage in &stages {
-                let (tx, rx) = bounded::<(u64, T)>(cap);
+                let (tx, rx) = bounded::<Batch<T>>(cap);
                 let items = self.telemetry.counter(&format!("pipeline.stage.{}.items", stage.name));
                 let queue_metric = format!("pipeline.stage.{}.queue_depth", stage.name);
                 let span_name = format!("pipeline.stage.{}.wall_per_worker", stage.name);
@@ -297,10 +332,11 @@ impl<T: Send + 'static> Pipeline<T> {
                         let mut busy_ns = 0u64;
                         let mut items_done = 0u64;
                         loop {
-                            let Ok((seq, item)) = stage_rx.recv() else { break };
+                            let Ok((first, run)) = stage_rx.recv() else { break };
                             // Drain-and-exit: a cancelled run discards
                             // in-flight items so blocked upstream senders
-                            // disconnect instead of deadlocking.
+                            // disconnect instead of deadlocking. One check
+                            // covers the whole batch.
                             if cancel.is_cancelled() {
                                 break;
                             }
@@ -311,46 +347,64 @@ impl<T: Send + 'static> Pipeline<T> {
                                 telemetry.record(&queue_metric, stage_rx.len() as u64);
                             }
                             // One clock read covers the receive wait and
-                            // the compute start.
-                            let started = wt.begin_item(seq, wait_start);
-                            let invoked = stage_deadline.map(|_| Instant::now());
-                            match catch_unwind(AssertUnwindSafe(|| func(item))) {
-                                Ok(out) => {
-                                    let ended = wt.item_end(seq, started);
-                                    busy_ns += ended.since(started);
-                                    items_done += 1;
-                                    if let (Some(budget), Some(t0)) = (stage_deadline, invoked) {
-                                        let elapsed = t0.elapsed();
-                                        if elapsed > budget {
-                                            errors.set(RuntimeError::StageDeadlineExceeded {
-                                                stage: stage_name.clone(),
-                                                item_seq: Some(seq),
-                                                elapsed,
-                                                budget,
-                                            });
-                                            cancel.cancel();
-                                            break;
+                            // the compute start of the whole batch.
+                            let started = wt.begin_item(first, wait_start);
+                            let mut out_run: Vec<T> = Vec::with_capacity(run.len());
+                            let mut failed = false;
+                            for (j, item) in run.into_iter().enumerate() {
+                                let seq = first + j as u64;
+                                let invoked = stage_deadline.map(|_| Instant::now());
+                                match catch_unwind(AssertUnwindSafe(|| func(item))) {
+                                    Ok(out) => {
+                                        if let (Some(budget), Some(t0)) = (stage_deadline, invoked)
+                                        {
+                                            let elapsed = t0.elapsed();
+                                            if elapsed > budget {
+                                                errors.set(RuntimeError::StageDeadlineExceeded {
+                                                    stage: stage_name.clone(),
+                                                    item_seq: Some(seq),
+                                                    elapsed,
+                                                    budget,
+                                                });
+                                                cancel.cancel();
+                                                failed = true;
+                                                break;
+                                            }
                                         }
+                                        out_run.push(out);
                                     }
-                                    items.incr();
-                                    if stage_tx.send((seq, out)).is_err() {
+                                    Err(payload) => {
+                                        wt.fault(seq);
+                                        counters.panics_caught.incr();
+                                        errors.set(RuntimeError::StagePanicked {
+                                            stage: stage_name.clone(),
+                                            item_seq: Some(seq),
+                                            payload: panic_payload(payload.as_ref()),
+                                        });
+                                        cancel.cancel();
+                                        failed = true;
                                         break;
                                     }
-                                    // The send's end tick doubles as the
-                                    // start of the next receive wait.
-                                    wait_start = wt.blocked_send(seq, ended);
                                 }
-                                Err(payload) => {
-                                    wt.fault(seq);
-                                    counters.panics_caught.incr();
-                                    errors.set(RuntimeError::StagePanicked {
-                                        stage: stage_name.clone(),
-                                        item_seq: Some(seq),
-                                        payload: panic_payload(payload.as_ref()),
-                                    });
-                                    cancel.cancel();
+                            }
+                            // Forward whatever completed — on failure the
+                            // surviving prefix is a valid partial result
+                            // the fallback will not have to recompute.
+                            if !out_run.is_empty() {
+                                let done = out_run.len() as u64;
+                                let ended = wt.item_end_n(first, done, started);
+                                busy_ns += ended.since(started);
+                                items_done += done;
+                                items.add(done);
+                                if stage_tx.send((first, out_run)).is_err() {
                                     break;
                                 }
+                                // The send's end tick doubles as the
+                                // start of the next receive wait.
+                                wait_start = wt.blocked_send(first, ended);
+                            }
+                            if failed {
+                                break;
                             }
                         }
                         wt.worker_idle(run_start, busy_ns, items_done);
@@ -359,7 +413,7 @@ impl<T: Send + 'static> Pipeline<T> {
                 drop(tx);
                 prev_rx = if stage.replication > 1 && stage.preserve_order {
                     // Reorder buffer: release elements in sequence order.
-                    let (ord_tx, ord_rx) = bounded::<(u64, T)>(cap);
+                    let (ord_tx, ord_rx) = bounded::<Batch<T>>(cap);
                     scope.spawn(move || reorder(rx, ord_tx));
                     ord_rx
                 } else {
@@ -367,24 +421,39 @@ impl<T: Send + 'static> Pipeline<T> {
                 };
             }
 
-            // Collector: polls so a blocked run still observes its
-            // deadline and cancellation token. Items completed after a
-            // cancellation are kept — they are valid partial results the
-            // fallback will not have to recompute.
+            // Collector: its blocking waits are bounded by the nearest
+            // deadline (never more than CANCEL_POLL), so a 1 ms budget
+            // aborts in ~1 ms instead of overshooting by a full poll
+            // interval, and an external cancellation is still observed
+            // within CANCEL_POLL. Items completed after a cancellation
+            // are kept — they are valid partial results the fallback
+            // will not have to recompute.
             loop {
-                match prev_rx.recv_timeout(CANCEL_POLL) {
-                    Ok((seq, item)) => {
-                        collected[seq as usize] = Some(item);
-                        arrival.push(seq);
+                let mut wait = CANCEL_POLL;
+                if let Some(budget) = opts.deadline {
+                    if !cancel.is_cancelled() {
+                        let elapsed = started.elapsed();
+                        if elapsed > budget {
+                            errors.set(RuntimeError::DeadlineExceeded { budget });
+                            cancel.cancel();
+                        } else {
+                            // Wake right when the budget lands; the small
+                            // slack guarantees `elapsed > budget` then.
+                            wait = (budget - elapsed + Duration::from_micros(50))
+                                .min(CANCEL_POLL);
+                        }
+                    }
+                }
+                match prev_rx.recv_timeout(wait) {
+                    Ok((first, run)) => {
+                        for (j, item) in run.into_iter().enumerate() {
+                            let seq = first + j as u64;
+                            collected[seq as usize] = Some(item);
+                            arrival.push(seq);
+                        }
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
                     Err(RecvTimeoutError::Timeout) => {}
-                }
-                if let Some(budget) = opts.deadline {
-                    if started.elapsed() > budget && !cancel.is_cancelled() {
-                        errors.set(RuntimeError::DeadlineExceeded { budget });
-                        cancel.cancel();
-                    }
                 }
             }
         });
@@ -580,8 +649,8 @@ enum Attempt<T> {
     Failed { error: RuntimeError, partial: Vec<Option<T>> },
 }
 
-/// Entry in the reorder heap, ordered by sequence number only.
-struct Pending<T>(u64, T);
+/// Entry in the reorder heap, ordered by first sequence number only.
+struct Pending<T>(u64, Vec<T>);
 
 impl<T> PartialEq for Pending<T> {
     fn eq(&self, other: &Self) -> bool {
@@ -600,24 +669,27 @@ impl<T> Ord for Pending<T> {
     }
 }
 
-/// Drain `rx`, releasing elements to `tx` in strict sequence order.
+/// Drain `rx`, releasing batches to `tx` in strict sequence order. A
+/// batch is released when its first element is the next one due; the
+/// cursor then advances by the whole run length.
 fn reorder<T>(rx: SeqReceiver<T>, tx: SeqSender<T>) {
     let mut next: u64 = 0;
     let mut heap: BinaryHeap<Reverse<Pending<T>>> = BinaryHeap::new();
-    while let Ok((seq, item)) = rx.recv() {
-        heap.push(Reverse(Pending(seq, item)));
+    while let Ok((seq, run)) = rx.recv() {
+        heap.push(Reverse(Pending(seq, run)));
         while heap.peek().map(|Reverse(p)| p.0 == next).unwrap_or(false) {
-            let Reverse(Pending(seq, item)) = heap.pop().expect("peeked");
-            if tx.send((seq, item)).is_err() {
+            let Reverse(Pending(seq, run)) = heap.pop().expect("peeked");
+            next = seq + run.len() as u64;
+            if tx.send((seq, run)).is_err() {
                 return;
             }
-            next += 1;
         }
     }
-    // Input exhausted: flush whatever remains (holes can only happen if a
-    // producer died, which does not occur in normal operation).
-    while let Some(Reverse(Pending(seq, item))) = heap.pop() {
-        if tx.send((seq, item)).is_err() {
+    // Input exhausted: flush whatever remains in sequence order (holes
+    // can only happen if a producer died, in which case the run already
+    // failed and these are partial results for the fallback).
+    while let Some(Reverse(Pending(seq, run))) = heap.pop() {
+        if tx.send((seq, run)).is_err() {
             return;
         }
     }
@@ -911,6 +983,44 @@ mod stress_tests {
         assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
     }
 
+    /// Regression guard for the collector's bounded waits: with every
+    /// worker stuck inside a slow item, nothing reaches the collector,
+    /// and only the deadline-bounded `recv_timeout` can notice that the
+    /// budget elapsed. The fixed 10 ms poll noticed a 4 ms deadline at
+    /// ~10 ms; the bounded wait must notice within 2× the deadline.
+    /// Cancellation is observed through the shared token — the
+    /// `run_checked` return itself is bounded below by the in-flight
+    /// 60 ms sleep, which the abort cannot (and must not) interrupt.
+    #[test]
+    fn deadline_abort_latency_is_bounded_by_the_deadline_not_the_poll() {
+        let deadline = std::time::Duration::from_millis(4);
+        let token = crate::CancelToken::new();
+        let observer = token.clone();
+        let p = Pipeline::new(vec![Stage::new("stuck", |x: i64| {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            x
+        })]);
+        let opts = RunOptions::new().with_deadline(deadline).with_cancel(token);
+        let started = Instant::now();
+        let run = std::thread::spawn(move || p.run_checked((0..64).collect(), &opts));
+        let cancelled_after = loop {
+            if observer.is_cancelled() {
+                break started.elapsed();
+            }
+            assert!(
+                started.elapsed() < std::time::Duration::from_millis(500),
+                "deadline abort never observed"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        };
+        let err = run.join().expect("runner thread").unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
+        assert!(
+            cancelled_after < deadline * 2,
+            "abort latency {cancelled_after:?} exceeds 2x the {deadline:?} deadline"
+        );
+    }
+
     #[test]
     fn stage_deadline_flags_the_slow_stage() {
         let p = Pipeline::new(vec![
@@ -1050,6 +1160,111 @@ mod stress_tests {
         let report = tracer.report();
         assert_eq!(report.faults, 1);
         assert!(report.stage("flaky").unwrap().items >= 10, "retries add item events");
+    }
+
+    #[test]
+    fn batched_run_matches_per_item_run() {
+        let mk = || {
+            Pipeline::new(vec![
+                Stage::new("a", |x: i64| x + 1),
+                Stage::new("b", |x: i64| x * 3),
+            ])
+        };
+        let expected = mk().run((0..257).collect());
+        for batch in [1, 2, 16, 64, 300, 1024] {
+            let out = mk().with_batch(batch).run((0..257).collect());
+            assert_eq!(out, expected, "batch {batch} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_replicated_ordered_stream_keeps_order() {
+        let stage = Stage::new("a", |x: i64| {
+            if x % 13 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 10
+        })
+        .replicated(4)
+        .ordered(true);
+        let p = Pipeline::new(vec![stage, Stage::new("b", |x: i64| x + 1)]).with_batch(8);
+        let out = p.run((0..500).collect());
+        let expected: Vec<i64> = (0..500).map(|x| x * 10 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn batched_panic_attributes_the_true_element() {
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1),
+            Stage::new("boom", |x: i64| {
+                if x == 38 {
+                    panic!("mid-batch failure");
+                }
+                x
+            }),
+        ])
+        .with_batch(16);
+        let err = p
+            .run_checked((0..100).collect(), &RunOptions::default())
+            .unwrap_err();
+        match err {
+            RuntimeError::StagePanicked { stage, item_seq, .. } => {
+                assert_eq!(stage, "boom");
+                assert_eq!(item_seq, Some(37), "element 37 becomes 38 after stage a");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_transient_panic_recovers_via_fallback() {
+        use std::sync::atomic::AtomicBool;
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1).replicated(2),
+            Stage::new("flaky", move |x: i64| {
+                if x == 77 && !f.swap(true, Ordering::SeqCst) {
+                    panic!("transient fault");
+                }
+                x * 10
+            }),
+        ])
+        .with_batch(8);
+        let opts = RunOptions::new().on_failure(FailurePolicy::FallbackSequential);
+        let out = p.run_checked((0..300).collect(), &opts).unwrap();
+        let expected: Vec<i64> = (0..300).map(|x| (x + 1) * 10).collect();
+        assert_eq!(out, expected, "batched fallback equals the sequential oracle");
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn batched_tracer_counts_every_stream_element() {
+        let tracer = Tracer::enabled();
+        let p = Pipeline::new(vec![
+            Stage::new("a", |x: i64| x + 1).replicated(2),
+            Stage::new("b", |x: i64| x * 2),
+        ])
+        .with_batch(16)
+        .with_tracer(tracer.clone());
+        let out = p.run((0..100).collect());
+        assert_eq!(out.len(), 100);
+        let report = tracer.report();
+        assert_eq!(report.stage("a").unwrap().items, 100);
+        assert_eq!(report.stage("b").unwrap().items, 100);
+        assert_eq!(report.total_items, 200);
+    }
+
+    #[test]
+    fn batched_telemetry_counts_every_stream_element() {
+        let telemetry = Telemetry::enabled();
+        let p = Pipeline::new(vec![Stage::new("a", |x: i64| x)])
+            .with_batch(32)
+            .with_telemetry(telemetry.clone());
+        p.run((0..100).collect());
+        let report = telemetry.report();
+        assert_eq!(report.counter("pipeline.stage.a.items"), Some(100));
     }
 
     #[test]

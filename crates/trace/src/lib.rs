@@ -45,8 +45,9 @@ pub mod report;
 pub use export::{chrome_trace, flame_summary};
 pub use report::{StageSummary, TraceReport};
 
-/// Events per ring by default: 8192 × 40 bytes = 320 KiB per worker,
-/// enough for ~2700 items per worker at 3 events/item before wrapping.
+/// Events per ring by default: 8192 × 48 bytes = 384 KiB per worker,
+/// enough for ~2700 items per worker at 3 events/item before wrapping
+/// (batched runs record one event pair per batch, so they go further).
 pub const DEFAULT_RING_CAPACITY: usize = 8192;
 
 /// Nanoseconds the virtual clock advances per read; every clock access
@@ -123,14 +124,19 @@ pub struct TraceEvent {
     /// Worker index within the stage.
     pub worker: u16,
     /// Stream sequence number / loop index / task or iteration number.
+    /// For batch events this is the first element of the run.
     pub item: u64,
     /// Duration in nanoseconds (0 for instant events).
     pub dur_ns: u64,
+    /// Stream elements this event accounts for (1 for per-item events;
+    /// the batch/chunk length for batched `ItemEnd` events, so per-stage
+    /// item counts stay equal to the stream length under batching).
+    pub count: u64,
 }
 
-/// Slot layout: five words written relaxed, published by a release
+/// Slot layout: six words written relaxed, published by a release
 /// store of the ring head. seqno doubles as a torn-read detector.
-const WORDS: usize = 5;
+const WORDS: usize = 6;
 
 struct Slot {
     words: [AtomicU64; WORDS],
@@ -167,7 +173,7 @@ impl EventRing {
     }
 
     #[inline]
-    fn push(&self, kind: EventKind, tick_ns: u64, item: u64, dur_ns: u64) {
+    fn push(&self, kind: EventKind, tick_ns: u64, item: u64, dur_ns: u64, count: u64) {
         let n = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(n & self.mask) as usize];
         let packed =
@@ -177,6 +183,7 @@ impl EventRing {
         slot.words[2].store(packed, Ordering::Relaxed);
         slot.words[3].store(item, Ordering::Relaxed);
         slot.words[4].store(dur_ns, Ordering::Relaxed);
+        slot.words[5].store(count, Ordering::Relaxed);
         self.head.store(n + 1, Ordering::Release);
     }
 
@@ -205,6 +212,7 @@ impl EventRing {
                 worker: (packed >> 24 & 0xFFFF) as u16,
                 item: slot.words[3].load(Ordering::Relaxed),
                 dur_ns: slot.words[4].load(Ordering::Relaxed),
+                count: slot.words[5].load(Ordering::Relaxed),
             });
         }
         (events, dropped)
@@ -377,7 +385,7 @@ impl Tracer {
             return;
         };
         let ring = inner.ring(TUNER_STAGE, 0);
-        ring.push(EventKind::TunerStep, inner.clock.now_ns(), iteration, objective_ns);
+        ring.push(EventKind::TunerStep, inner.clock.now_ns(), iteration, objective_ns, 1);
     }
 
     /// Snapshot every ring into a raw [`Trace`]. Safe to call while
@@ -453,7 +461,7 @@ impl WorkerTracer {
         match &self.core {
             Some((ring, inner)) => {
                 let now = inner.clock.now_ns();
-                ring.push(kind, now, item, dur_ns);
+                ring.push(kind, now, item, dur_ns, 1);
                 Tick(Some(now))
             }
             None => Tick::none(),
@@ -475,8 +483,8 @@ impl WorkerTracer {
             Some((ring, inner)) => {
                 let now = inner.clock.now_ns();
                 let waited = Tick(Some(now)).since(waited_since);
-                ring.push(EventKind::StageBlockedRecv, now, item, waited);
-                ring.push(EventKind::ItemStart, now, item, 0);
+                ring.push(EventKind::StageBlockedRecv, now, item, waited, 1);
+                ring.push(EventKind::ItemStart, now, item, 0, 1);
                 Tick(Some(now))
             }
             None => Tick::none(),
@@ -487,10 +495,25 @@ impl WorkerTracer {
     /// the end tick (reusable as the start of a send wait).
     #[inline]
     pub fn item_end(&self, item: u64, started: Tick) -> Tick {
+        self.item_end_n(item, 1, started)
+    }
+
+    /// Record one `ItemEnd` that accounts for `count` consecutive stream
+    /// elements starting at `item` — the batched pipeline / adaptive
+    /// chunk form. One event per batch keeps the hot path amortized
+    /// while per-stage item counts still sum to the stream length.
+    #[inline]
+    pub fn item_end_n(&self, item: u64, count: u64, started: Tick) -> Tick {
         match &self.core {
             Some((ring, inner)) => {
                 let now = inner.clock.now_ns();
-                ring.push(EventKind::ItemEnd, now, item, Tick(Some(now)).since(started));
+                ring.push(
+                    EventKind::ItemEnd,
+                    now,
+                    item,
+                    Tick(Some(now)).since(started),
+                    count.max(1),
+                );
                 Tick(Some(now))
             }
             None => Tick::none(),
@@ -503,7 +526,7 @@ impl WorkerTracer {
         match &self.core {
             Some((ring, inner)) => {
                 let now = inner.clock.now_ns();
-                ring.push(EventKind::StageBlockedRecv, now, item, Tick(Some(now)).since(since));
+                ring.push(EventKind::StageBlockedRecv, now, item, Tick(Some(now)).since(since), 1);
                 Tick(Some(now))
             }
             None => Tick::none(),
@@ -517,7 +540,7 @@ impl WorkerTracer {
         match &self.core {
             Some((ring, inner)) => {
                 let now = inner.clock.now_ns();
-                ring.push(EventKind::StageBlockedSend, now, item, Tick(Some(now)).since(since));
+                ring.push(EventKind::StageBlockedSend, now, item, Tick(Some(now)).since(since), 1);
                 Tick(Some(now))
             }
             None => Tick::none(),
@@ -532,7 +555,7 @@ impl WorkerTracer {
         if let Some((ring, inner)) = &self.core {
             let now = inner.clock.now_ns();
             let wall = Tick(Some(now)).since(since);
-            ring.push(EventKind::WorkerIdle, now, items, wall.saturating_sub(busy_ns));
+            ring.push(EventKind::WorkerIdle, now, items, wall.saturating_sub(busy_ns), 1);
         }
     }
 
@@ -643,6 +666,30 @@ mod tests {
         assert_eq!(events[0].dur_ns, VIRTUAL_TICK_NS);
         // seqnos are gap-free.
         assert_eq!(events.iter().map(|e| e.seqno).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batched_item_end_carries_the_element_count() {
+        let tracer = Tracer::deterministic(64);
+        let wt = tracer.worker(tracer.stage("s"), 0);
+        let start = wt.item_start(8);
+        wt.item_end_n(8, 4, start);
+        let start = wt.item_start(12);
+        wt.item_end(12, start);
+        let trace = tracer.snapshot();
+        let counts: Vec<(EventKind, u64)> =
+            trace.threads[0].events.iter().map(|e| (e.kind, e.count)).collect();
+        assert_eq!(
+            counts,
+            vec![
+                (EventKind::ItemStart, 1),
+                (EventKind::ItemEnd, 4),
+                (EventKind::ItemStart, 1),
+                (EventKind::ItemEnd, 1),
+            ]
+        );
+        // The report counts elements, not events.
+        assert_eq!(tracer.report().stages[0].items, 5);
     }
 
     #[test]

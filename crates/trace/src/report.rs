@@ -21,7 +21,8 @@ pub struct StageSummary {
     pub name: String,
     /// Distinct worker threads that recorded events for this stage.
     pub workers: u64,
-    /// Completed items (`ItemEnd` events).
+    /// Completed stream elements (sum of `ItemEnd` counts — a batched
+    /// event contributes its whole batch).
     pub items: u64,
     /// Total compute time across all workers (sum of `ItemEnd` durations).
     pub compute_ns: u64,
@@ -128,9 +129,12 @@ impl TraceReport {
                 max_end = max_end.max(e.tick_ns);
                 match e.kind {
                     EventKind::ItemEnd => {
-                        s.items += 1;
+                        // One event may account for a whole batch/chunk:
+                        // count its elements so per-stage items always
+                        // equal the stream length.
+                        s.items += e.count.max(1);
                         s.compute_ns += e.dur_ns;
-                        durations[thread.stage as usize].push(e.dur_ns);
+                        durations[thread.stage as usize].push(e.dur_ns / e.count.max(1));
                     }
                     EventKind::StageBlockedRecv => s.recv_wait_ns += e.dur_ns,
                     EventKind::StageBlockedSend => s.send_wait_ns += e.dur_ns,

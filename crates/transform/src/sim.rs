@@ -110,6 +110,12 @@ pub fn simulate_pipeline(
     let slowdown_num = total_workers.max(params.cores) as u64;
     let slowdown_den = params.cores as u64;
 
+    // Batching amortizes the per-element handoff over `batch` elements
+    // (one buffer transaction per batch), but quantizes handovers: a
+    // batch is handed downstream only once its last element finished.
+    let batch = tuning.batch.max(1);
+    let handoff = params.handoff_overhead.div_ceil(batch as u64);
+
     // Event simulation: finish[s] keeps the last `replication` finish
     // times of stage s (its servers). Element e at stage s starts when
     // (a) its predecessor handed it over and (b) a server is free.
@@ -117,7 +123,7 @@ pub fn simulate_pipeline(
     let mut ready_from_prev: Vec<u64> = vec![0; n_usize]; // feed times
     let mut parallel_time = 0u64;
     for stage in &eff {
-        let cost = stage.cost * slowdown_num / slowdown_den + params.handoff_overhead;
+        let cost = stage.cost * slowdown_num / slowdown_den + handoff;
         let r = stage.replication;
         let mut servers: Vec<u64> = vec![0; r];
         let mut finish: Vec<u64> = vec![0; n_usize];
@@ -138,6 +144,16 @@ pub fn simulate_pipeline(
             }
         }
         parallel_time = finish.last().copied().unwrap_or(0);
+        // Batch handover barrier: every element of a batch becomes
+        // available downstream when the batch's slowest element is done.
+        if batch > 1 {
+            for group in finish.chunks_mut(batch) {
+                let released = group.iter().copied().max().unwrap_or(0);
+                for f in group.iter_mut() {
+                    *f = released;
+                }
+            }
+        }
         ready_from_prev = finish;
     }
     parallel_time += params.spawn_overhead * total_workers as u64;
@@ -157,11 +173,22 @@ pub fn simulate_doall(
     }
     let w = tuning.workers.clamp(1, params.cores.max(1)) as u64;
     let chunk = tuning.chunk.max(1) as u64;
-    let chunks = iterations.div_ceil(chunk);
-    let chunks_per_worker = chunks.div_ceil(w);
-    let chunk_cost = chunk * cost_per_iteration + params.handoff_overhead;
-    let parallel_time =
-        chunks_per_worker * chunk_cost + params.spawn_overhead * tuning.workers as u64;
+    let min_chunk = (tuning.min_chunk as u64).clamp(1, chunk);
+    // Replay the runtime's guided self-scheduling claim sequence
+    // (`remaining / (workers * 2)` clamped to `[min_chunk, chunk]`) and
+    // list-schedule the claims onto workers. With `min_chunk == chunk`
+    // this degenerates to the classic fixed-chunk round-robin.
+    let mut servers = vec![0u64; w as usize];
+    let mut remaining = iterations;
+    while remaining > 0 {
+        let take = (remaining / (w * 2)).clamp(min_chunk, chunk).min(remaining);
+        let claim_cost = take * cost_per_iteration + params.handoff_overhead;
+        let earliest = servers.iter_mut().min().expect("w >= 1");
+        *earliest += claim_cost;
+        remaining -= take;
+    }
+    let makespan = servers.iter().copied().max().unwrap_or(0);
+    let parallel_time = makespan + params.spawn_overhead * tuning.workers as u64;
     SimOutcome { parallel_time, sequential_time }
 }
 
@@ -310,9 +337,10 @@ mod tests {
 
     #[test]
     fn doall_scales_with_workers_until_cores() {
-        let t1 = patty_runtime::LoopTuning { workers: 1, chunk: 8, sequential: false };
-        let t4 = patty_runtime::LoopTuning { workers: 4, chunk: 8, sequential: false };
-        let t64 = patty_runtime::LoopTuning { workers: 64, chunk: 8, sequential: false };
+        let t1 = patty_runtime::LoopTuning { workers: 1, chunk: 8, min_chunk: 1, sequential: false };
+        let t4 = patty_runtime::LoopTuning { workers: 4, chunk: 8, min_chunk: 1, sequential: false };
+        let t64 =
+            patty_runtime::LoopTuning { workers: 64, chunk: 8, min_chunk: 1, sequential: false };
         let p = SimParams::default();
         let s1 = simulate_doall(500, 4000, &t1, &p);
         let s4 = simulate_doall(500, 4000, &t4, &p);
@@ -335,6 +363,50 @@ mod tests {
         let rep = result.best.get("test.A.replication").unwrap().as_i64();
         assert!(rep >= 4, "tuner should replicate the bottleneck, got {rep}");
         assert!(!result.best.get("test.sequential").unwrap().as_bool());
+    }
+
+    #[test]
+    fn batching_amortizes_handoff_on_cheap_stages() {
+        // Cheap stages dominated by buffer transactions: one transaction
+        // per 16 elements must beat one per element.
+        let p = plan(&[("A", 10, false), ("B", 10, false), ("C", 10, false)], 400);
+        let params = SimParams { handoff_overhead: 100, ..SimParams::default() };
+        let per_item = simulate_pipeline(&p, &default_tuning(), &params);
+        let mut t = default_tuning();
+        t.batch = 16;
+        let batched = simulate_pipeline(&p, &t, &params);
+        assert!(
+            batched.parallel_time < per_item.parallel_time,
+            "batched {} vs per-item {}",
+            batched.parallel_time,
+            per_item.parallel_time
+        );
+    }
+
+    #[test]
+    fn autotuner_explores_batch_size_through_the_simulator() {
+        use patty_tuning::{LinearSearch, Tuner, TuningConfig, TuningParam};
+        let p = plan(&[("A", 10, true), ("B", 10, false)], 400);
+        let params = SimParams { handoff_overhead: 200, ..SimParams::default() };
+        let mut cfg = TuningConfig::new("test");
+        cfg.push(TuningParam::replication("test.A.replication", "main:1", 8));
+        cfg.push(TuningParam::batch_size("test.batch", "main:1", 256));
+        cfg.push(TuningParam::sequential_execution("test.sequential", "main:1"));
+        let baseline = {
+            let tuning = PipelineTuning::from_config(&cfg).unwrap();
+            simulate_pipeline(&p, &tuning, &params).parallel_time as f64
+        };
+        let mut eval = PipelineSimEvaluator { plan: p, params };
+        let mut tuner = LinearSearch::default();
+        let result = tuner.tune(cfg, &mut eval, 100);
+        let exp = result.best.get("test.batch").unwrap().as_i64();
+        assert!(exp >= 1, "handoff-bound pipeline should batch, got exponent {exp}");
+        assert!(
+            result.best_score <= baseline,
+            "tuned cost {} must not exceed the batch=1 baseline {}",
+            result.best_score,
+            baseline
+        );
     }
 
     #[test]

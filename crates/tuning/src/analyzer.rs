@@ -170,6 +170,18 @@ impl BottleneckAnalyzer {
                 for name in matching_params(config, &stage, ParamKind::OrderPreservation) {
                     push_bool(&mut out, config, &name, false);
                 }
+                // Queue-bound ⇒ increase batch: amortize the channel
+                // transaction over more elements instead of removing it.
+                let batch_names: Vec<String> = config
+                    .params
+                    .iter()
+                    .filter(|p| p.kind == ParamKind::BatchSize)
+                    .map(|p| p.name.clone())
+                    .collect();
+                for name in batch_names {
+                    push_stepped(&mut out, config, &name, 1);
+                    push_at_max(&mut out, config, &name);
+                }
             }
             Bottleneck::ImbalanceBound { stage } => {
                 // Parallelism is over-provisioned here: narrow it.
@@ -371,6 +383,28 @@ mod tests {
         assert!(suggestions
             .iter()
             .any(|c| c.get("pipeline_main_l1.fuse.A_B").unwrap().as_bool()));
+    }
+
+    #[test]
+    fn queue_bound_suggestions_also_step_up_the_batch() {
+        // Queue-bound ⇒ increase batch: the channel hop is amortized
+        // instead of eliminated, keeping the stage split intact.
+        let mut b = stage("B", 1, 100, 300);
+        b.send_wait_ns = b.compute_ns * 2;
+        let r = report(vec![stage("A", 1, 110, 900), b]);
+        let mut cfg = pipeline_config();
+        cfg.push(TuningParam::batch_size("pipeline_main_l1.batch", "main:1", 256));
+        let suggestions = BottleneckAnalyzer::new().suggest(&r, &cfg);
+        // Stepped-up exponent (0 -> 1, i.e. batch 2) and the domain max.
+        assert!(suggestions
+            .iter()
+            .any(|c| c.get("pipeline_main_l1.batch").unwrap().as_i64() == 1));
+        assert!(suggestions
+            .iter()
+            .any(|c| c.get("pipeline_main_l1.batch").unwrap().as_i64() == 8));
+        // The fuse candidate still leads: batch candidates are appended,
+        // not prepended.
+        assert!(suggestions[0].get("pipeline_main_l1.fuse.A_B").unwrap().as_bool());
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum ParamKind {
     WorkerCount,
     /// Iteration chunk size of a data-parallel loop.
     ChunkSize,
+    /// Elements per channel transaction in a pipeline (grain size).
+    BatchSize,
 }
 
 impl fmt::Display for ParamKind {
@@ -39,6 +41,7 @@ impl fmt::Display for ParamKind {
             ParamKind::SequentialExecution => "SequentialExecution",
             ParamKind::WorkerCount => "WorkerCount",
             ParamKind::ChunkSize => "ChunkSize",
+            ParamKind::BatchSize => "BatchSize",
         };
         write!(f, "{s}")
     }
@@ -55,11 +58,12 @@ impl std::str::FromStr for ParamKind {
             "SequentialExecution" => ParamKind::SequentialExecution,
             "WorkerCount" => ParamKind::WorkerCount,
             "ChunkSize" => ParamKind::ChunkSize,
+            "BatchSize" => ParamKind::BatchSize,
             other => {
                 return Err(format!(
                     "unknown parameter kind `{other}` (expected StageReplication, \
-                     OrderPreservation, StageFusion, SequentialExecution, WorkerCount \
-                     or ChunkSize)"
+                     OrderPreservation, StageFusion, SequentialExecution, WorkerCount, \
+                     ChunkSize or BatchSize)"
                 ))
             }
         })
@@ -414,6 +418,20 @@ impl TuningParam {
             kind: ParamKind::ChunkSize,
             location: location.into(),
             // modeled as an exponent range to keep the domain regular
+            domain: ParamDomain::IntRange { lo: 0, hi: 63 - (max.max(1)).leading_zeros() as i64, step: 1 },
+            value: ParamValue::Int(0),
+        }
+    }
+
+    /// Pipeline batch size as powers of two in `1..=max` (elements per
+    /// channel transaction; same exponent encoding as [`chunk_size`]).
+    ///
+    /// [`chunk_size`]: TuningParam::chunk_size
+    pub fn batch_size(name: impl Into<String>, location: impl Into<String>, max: i64) -> Self {
+        TuningParam {
+            name: name.into(),
+            kind: ParamKind::BatchSize,
+            location: location.into(),
             domain: ParamDomain::IntRange { lo: 0, hi: 63 - (max.max(1)).leading_zeros() as i64, step: 1 },
             value: ParamValue::Int(0),
         }

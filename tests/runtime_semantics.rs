@@ -3,8 +3,12 @@
 //! loop computes — that is the contract that makes the tuning
 //! configuration "changeable without recompilation" safe.
 
-use patty_workspace::runtime::{MasterWorker, ParallelFor, Pipeline, Stage};
+use patty_workspace::runtime::{
+    FailurePolicy, MasterWorker, ParallelFor, Pipeline, RunOptions, RuntimeError, Stage,
+};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn stage_fn(kind: u8) -> impl Fn(i64) -> i64 + Send + Sync + Clone + 'static {
     move |x: i64| match kind % 4 {
@@ -79,6 +83,103 @@ proptest! {
         let sum = pf.reduce(n, 0i64, |a, i| a.wrapping_add(i as i64 * 3), |a, b| a.wrapping_add(b));
         let expected: i64 = (0..n).fold(0i64, |a, i| a.wrapping_add(i as i64 * 3));
         prop_assert_eq!(sum, expected);
+    }
+
+    // The batching tentpole's core contract: for every combination of
+    // stage count, replication, order preservation and batch size —
+    // including batch 1 (the per-item schedule) and batches longer than
+    // the whole stream — the batched pipeline is byte-identical to the
+    // sequential oracle.
+    #[test]
+    fn batched_pipeline_round_trips_against_the_oracle(
+        input in proptest::collection::vec(-1000i64..1000, 0..80),
+        kinds in proptest::collection::vec(0u8..4, 1..5),
+        replication in 1usize..4,
+        preserve in any::<bool>(),
+        batch_sel in 0usize..3,
+        batch_raw in 2usize..33,
+    ) {
+        // Force the edge batches into the sampled space: 1 (per-item)
+        // and 200 (longer than any generated stream).
+        let batch = match batch_sel {
+            0 => 1,
+            1 => 200,
+            _ => batch_raw,
+        };
+        let stages: Vec<Stage<i64>> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let s = Stage::new(format!("s{i}"), stage_fn(k));
+                if i == 0 { s.replicated(replication).ordered(preserve) } else { s }
+            })
+            .collect();
+        let pipeline = Pipeline::new(stages).with_batch(batch);
+        let mut out = pipeline.run(input.clone());
+        let mut expected: Vec<i64> = input
+            .iter()
+            .map(|&x| kinds.iter().fold(x, |v, &k| stage_fn(k)(v)))
+            .collect();
+        if replication > 1 && !preserve {
+            out.sort();
+            expected.sort();
+        }
+        prop_assert_eq!(out, expected);
+    }
+
+    // Per-item fault attribution inside a batch: a panic on one element
+    // of a batched run names that element's true stream sequence, and a
+    // transient panic recovered by the sequential fallback still yields
+    // the oracle's output.
+    #[test]
+    fn batched_panic_attribution_and_fallback_round_trip(
+        n in 1usize..120,
+        batch in 1usize..40,
+        replication in 1usize..4,
+        panic_at in 0usize..120,
+    ) {
+        let panic_at = panic_at % n;
+        let target = panic_at as i64;
+
+        // Fail-fast: the error's item_seq points at the true element
+        // even when it sits mid-batch.
+        let boom = Stage::new("boom", move |x: i64| {
+            if x == target { panic!("injected") }
+            x.wrapping_mul(3)
+        })
+        .replicated(replication);
+        let pipeline = Pipeline::new(vec![boom]).with_batch(batch);
+        let err = pipeline
+            .run_checked((0..n as i64).collect(), &RunOptions::default())
+            .expect_err("injected panic must surface");
+        match err {
+            RuntimeError::StagePanicked { stage, item_seq, .. } => {
+                prop_assert_eq!(stage, "boom".to_string());
+                prop_assert_eq!(item_seq, Some(panic_at as u64));
+            }
+            other => prop_assert!(false, "unexpected error {other:?}"),
+        }
+
+        // Transient panic + FallbackSequential: only the missing items
+        // are re-executed, and the result equals the oracle.
+        let tripped = Arc::new(AtomicBool::new(false));
+        let flag = tripped.clone();
+        let flaky = Stage::new("flaky", move |x: i64| {
+            if x == target && !flag.swap(true, Ordering::SeqCst) {
+                panic!("transient")
+            }
+            x.wrapping_mul(3)
+        })
+        .replicated(replication);
+        let out = Pipeline::new(vec![flaky])
+            .with_batch(batch)
+            .run_checked(
+                (0..n as i64).collect(),
+                &RunOptions::new().on_failure(FailurePolicy::FallbackSequential),
+            )
+            .expect("fallback recovers the transient fault");
+        let expected: Vec<i64> = (0..n as i64).map(|x| x.wrapping_mul(3)).collect();
+        prop_assert_eq!(out, expected);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! stage and steers the auto-tuner past the blind per-dimension sweep.
 
 use patty_workspace::patty::Patty;
-use patty_workspace::runtime::{Pipeline, Stage};
+use patty_workspace::runtime::{ParallelFor, Pipeline, Stage};
+use patty_workspace::telemetry::Telemetry;
 use patty_workspace::trace::{chrome_trace, StageSummary, TraceReport, Tracer};
 use patty_workspace::tuning::{
     Bottleneck, BottleneckAnalyzer, FnEvaluator, FnTracedEvaluator, GuidedSearch, LinearSearch,
@@ -133,6 +134,57 @@ fn deterministic_sequential_runs_pin_summary_bytes() {
     assert_eq!(first, run(), "summary JSON must be byte-identical");
     let doc = patty_workspace::json::parse(&first).unwrap();
     assert_eq!(doc.get("total_items").and_then(|v| v.as_i64()), Some(32));
+}
+
+/// Batching is a transport optimization, not an accounting one: the
+/// per-stage item counts a trace reports must equal the stream length
+/// whatever the batch size, and a data-parallel loop's `chunk_size`
+/// histogram must record the real adaptive claim lengths.
+#[test]
+fn batched_runs_keep_per_element_accounting() {
+    const STREAM: u64 = 120;
+    for batch in [1usize, 7, 16, 1000] {
+        let tracer = Tracer::enabled();
+        let pipeline = Pipeline::new(vec![
+            Stage::new("scale", |x: u64| x * 2).replicated(2),
+            Stage::new("emit", |x: u64| x + 1),
+        ])
+        .with_batch(batch)
+        .with_tracer(tracer.clone());
+        let out = pipeline.run((0..STREAM).collect());
+        assert_eq!(out.len(), STREAM as usize);
+        let report = tracer.report();
+        for stage in &report.stages {
+            assert_eq!(
+                stage.items, STREAM,
+                "stage `{}` at batch {batch} must account for every element",
+                stage.name
+            );
+        }
+    }
+
+    // Guided self-scheduling: the telemetry histogram carries the real
+    // claim lengths — they sum to the iteration count, never exceed the
+    // configured chunk, and actually vary (coarse head, fine tail).
+    let telemetry = Telemetry::enabled();
+    let tracer = Tracer::enabled();
+    let pf = ParallelFor::new(2)
+        .with_chunk(32)
+        .with_telemetry(telemetry.clone())
+        .with_tracer(tracer.clone());
+    let n = 512usize;
+    pf.for_each(n, |_| {});
+    let report = telemetry.report();
+    let hist = report
+        .histograms
+        .iter()
+        .find(|h| h.name == "parfor.chunk_size")
+        .expect("chunk_size histogram");
+    assert_eq!(hist.sum, n as u64, "claim lengths sum to the iteration count");
+    assert!(hist.max <= 32, "claims never exceed the configured chunk");
+    assert!(hist.min < hist.max, "guided claims vary in size");
+    // The trace's ItemEnd counts agree with the histogram's totals.
+    assert_eq!(tracer.report().stage("parfor").expect("parfor traced").items, n as u64);
 }
 
 /// A deterministic three-stage cost model shared by the guided and
