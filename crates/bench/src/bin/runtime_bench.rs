@@ -7,9 +7,17 @@
 //! regression guards:
 //!
 //! * batched pipeline (batch ≥ 16) is at least 2× the per-item
-//!   throughput at 4 stage workers, and
+//!   throughput at 4 stage workers,
+//! * a compute-heavy batched pipeline beats sequential execution
+//!   outright (stage overlap pays for the handoff), and
 //! * guided scheduling beats the fixed chunk=16 schedule on a
 //!   skewed-cost loop.
+//!
+//! The cheap pipeline intentionally does *not* beat sequential — its
+//! per-item work is a few ALU ops, so the channel handoff dominates and
+//! `speedup_vs_seq` stays below 1. That series measures overhead
+//! elimination (batched vs per-item), not parallel speedup; the
+//! compute-heavy series is the one that demonstrates speedup > 1.
 
 use patty_bench::{busy_work, host_cores, print_table, time_median};
 use patty_json::Json;
@@ -30,6 +38,21 @@ fn cheap_pipeline() -> Pipeline<u64> {
         Stage::new("b", |x: u64| x.wrapping_mul(3)),
         Stage::new("c", |x: u64| x ^ (x >> 7)),
         Stage::new("d", |x: u64| x.wrapping_sub(5)),
+    ])
+}
+
+/// Elements streamed through the compute-heavy pipeline, and the spin
+/// units each of its four stages burns per element. Sequential execution
+/// pays all four stages on one thread; the pipeline overlaps them.
+const HEAVY_STREAM: usize = 2_000;
+const HEAVY_WORK: u64 = 400;
+
+fn heavy_pipeline() -> Pipeline<u64> {
+    Pipeline::new(vec![
+        Stage::new("a", |x: u64| x ^ busy_work(HEAVY_WORK, x)),
+        Stage::new("b", |x: u64| x ^ busy_work(HEAVY_WORK, x.wrapping_add(1))),
+        Stage::new("c", |x: u64| x ^ busy_work(HEAVY_WORK, x.wrapping_add(2))),
+        Stage::new("d", |x: u64| x ^ busy_work(HEAVY_WORK, x.wrapping_add(3))),
     ])
 }
 
@@ -66,13 +89,15 @@ impl Record {
 fn main() {
     let cores = host_cores();
     // The batching guard measures overhead *elimination* (fewer channel
-    // transactions), observable on any host. The scheduling guard
-    // measures tail *imbalance*, which needs real parallelism.
-    let scheduling_assertable = cores >= 4;
-    if !scheduling_assertable {
+    // transactions), observable on any host. The compute-heavy pipeline
+    // and scheduling guards measure stage overlap and tail *imbalance*,
+    // which need real parallelism.
+    let parallelism_assertable = cores >= 4;
+    if !parallelism_assertable {
         println!(
-            "NOTE: host exposes {cores} core(s); the guided-vs-fixed guard needs 4 \
-             to observe scheduling imbalance and is reported but not asserted."
+            "NOTE: host exposes {cores} core(s); the compute-heavy-pipeline and \
+             guided-vs-fixed guards need 4 to observe parallelism and are \
+             reported but not asserted."
         );
     }
 
@@ -86,6 +111,15 @@ fn main() {
     });
     let batched = time_median(SAMPLES, || {
         std::hint::black_box(cheap_pipeline().with_batch(64).run(input()));
+    });
+
+    // ---- pipeline: compute-heavy stages, batched vs sequential ----
+    let heavy_input = || (0..HEAVY_STREAM as u64).collect::<Vec<u64>>();
+    let heavy_seq = time_median(SAMPLES, || {
+        std::hint::black_box(heavy_pipeline().sequential(true).run(heavy_input()));
+    });
+    let heavy_batched = time_median(SAMPLES, || {
+        std::hint::black_box(heavy_pipeline().with_batch(16).run(heavy_input()));
     });
 
     // ---- parfor: fixed chunk=16 vs guided on a skewed-cost loop ----
@@ -128,6 +162,20 @@ fn main() {
             time: batched,
             items: STREAM,
             seq,
+        },
+        Record {
+            bench: "pipeline_compute",
+            config: "sequential".into(),
+            time: heavy_seq,
+            items: HEAVY_STREAM,
+            seq: heavy_seq,
+        },
+        Record {
+            bench: "pipeline_compute",
+            config: "batched(batch=16, 4 stage workers)".into(),
+            time: heavy_batched,
+            items: HEAVY_STREAM,
+            seq: heavy_seq,
         },
         Record {
             bench: "parfor_scheduling",
@@ -180,7 +228,13 @@ fn main() {
          (per-item {per_item:?}, batched {batched:?})"
     );
     println!("guard passed: batched >= 2x per-item throughput");
-    if scheduling_assertable {
+    if parallelism_assertable {
+        assert!(
+            heavy_batched < heavy_seq,
+            "guard: compute-heavy batched pipeline must beat sequential \
+             (sequential {heavy_seq:?}, batched {heavy_batched:?})"
+        );
+        println!("guard passed: compute-heavy batched pipeline beats sequential");
         assert!(
             guided_t < fixed_t,
             "guard: guided scheduling must beat fixed chunk=16 on the \

@@ -1,0 +1,132 @@
+//! Diagnostic probe: per-feature engine timings on focused microprograms.
+//!
+//! Each program isolates one language feature so the ast-vs-vm ratio shows
+//! where the VM wins and where shared costs dominate. Not a regression
+//! gate — a tool for directing optimization work.
+
+use patty_bench::{print_table, time_median};
+use patty_minilang::{bytecode, parse, run, vm, Engine, InterpOptions};
+use std::hint::black_box;
+
+const SAMPLES: usize = 7;
+
+fn opts(engine: Engine) -> InterpOptions {
+    InterpOptions { engine, ..InterpOptions::default() }
+}
+
+const PROBES: &[(&str, &str)] = &[
+    (
+        "locals_arith",
+        "fn main() { var s = 0; for (var i = 0; i < 20000; i += 1) { s += i * 3 - 1; } print(s); }",
+    ),
+    (
+        "field_read",
+        "class P { var x = 1; }
+         fn main() { var p = new P(); var s = 0; for (var i = 0; i < 20000; i += 1) { s += p.x; } print(s); }",
+    ),
+    (
+        "field_write",
+        "class P { var x = 0; }
+         fn main() { var p = new P(); for (var i = 0; i < 20000; i += 1) { p.x += 1; } print(p.x); }",
+    ),
+    (
+        "method_call",
+        "class P { fn get() { return 1; } }
+         fn main() { var p = new P(); var s = 0; for (var i = 0; i < 20000; i += 1) { s += p.get(); } print(s); }",
+    ),
+    (
+        "object_alloc",
+        "class V { var x = 0; var y = 0; var z = 0; }
+         fn main() { var s = 0; for (var i = 0; i < 20000; i += 1) { var v = new V(i, 2, 3); s += v.x; } print(s); }",
+    ),
+    (
+        "func_call",
+        "fn f(a, b) { return a + b; }
+         fn main() { var s = 0; for (var i = 0; i < 20000; i += 1) { s = f(s, 1); } print(s); }",
+    ),
+    (
+        "builtin_len",
+        "fn main() { var xs = [1, 2, 3]; var s = 0; for (var i = 0; i < 20000; i += 1) { s += len(xs); } print(s); }",
+    ),
+    (
+        "builtin_sqrt",
+        "fn main() { var s = 0.0; for (var i = 0; i < 20000; i += 1) { s += sqrt(2.0); } print(s > 0.0); }",
+    ),
+    (
+        "list_index",
+        "fn main() { var xs = [1, 2, 3, 4]; var s = 0; for (var i = 0; i < 20000; i += 1) { s += xs[i % 4]; } print(s); }",
+    ),
+    (
+        "string_ops",
+        "fn main() { var s = 0; for (var i = 0; i < 2000; i += 1) { var parts = \"a b c\".split(\" \"); s += len(parts); } print(s); }",
+    ),
+];
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, src) in PROBES {
+        let program = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let compiled = bytecode::compile(&program);
+        let out = run(&program, opts(Engine::Ast)).unwrap();
+        let cost = out.profile.total_cost.max(1);
+        let ast_t = time_median(SAMPLES, || {
+            black_box(run(&program, opts(Engine::Ast)).unwrap());
+        });
+        let vm_t = time_median(SAMPLES, || {
+            black_box(vm::run_compiled(&compiled, "main", vec![], opts(Engine::Vm)).unwrap());
+        });
+        let ast_ns = ast_t.as_nanos() as f64 / cost as f64;
+        let vm_ns = vm_t.as_nanos() as f64 / cost as f64;
+        rows.push(vec![
+            name.to_string(),
+            cost.to_string(),
+            format!("{ast_ns:.2}"),
+            format!("{vm_ns:.2}"),
+            format!("{:.2}x", ast_ns / vm_ns),
+        ]);
+    }
+    print_table(
+        "per-feature probes (ns per virtual cost unit)",
+        &["probe", "total_cost", "ast ns/cost", "vm ns/cost", "ratio"],
+        &rows,
+    );
+
+    // Split execution vs loop-trace recording on the heaviest corpus
+    // programs: same run with tracing on and off.
+    let mut rows = Vec::new();
+    for p in patty_corpus::all_programs() {
+        if !["raytracer", "matmul", "nbody", "graph_bfs", "tokenizer"].contains(&p.name) {
+            continue;
+        }
+        let program = p.parse();
+        let compiled = bytecode::compile(&program);
+        let cost = run(&program, opts(Engine::Ast)).unwrap().profile.total_cost.max(1);
+        let t = |engine: Engine, trace: bool| {
+            let o = InterpOptions { engine, trace_loops: trace, ..InterpOptions::default() };
+            let d = time_median(SAMPLES, || match engine {
+                Engine::Ast => {
+                    black_box(run(&program, o.clone()).unwrap());
+                }
+                Engine::Vm => {
+                    black_box(vm::run_compiled(&compiled, "main", vec![], o.clone()).unwrap());
+                }
+            });
+            d.as_nanos() as f64 / cost as f64
+        };
+        let (ast_on, ast_off) = (t(Engine::Ast, true), t(Engine::Ast, false));
+        let (vm_on, vm_off) = (t(Engine::Vm, true), t(Engine::Vm, false));
+        rows.push(vec![
+            p.name.to_string(),
+            format!("{ast_on:.1}"),
+            format!("{ast_off:.1}"),
+            format!("{vm_on:.1}"),
+            format!("{vm_off:.1}"),
+            format!("{:.2}x", ast_off / vm_off),
+        ]);
+    }
+    print_table(
+        "trace recording split (ns/cost)",
+        &["program", "ast on", "ast off", "vm on", "vm off", "off-ratio"],
+        &rows,
+    );
+}

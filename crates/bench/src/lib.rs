@@ -66,6 +66,28 @@ pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Minimum per-call wall time of `f`: each sample batches enough calls to
+/// last at least `min_batch`, and the fastest sample wins. Batching keeps
+/// the timer's resolution out of microsecond-scale measurements and the
+/// minimum rejects scheduler noise, which only ever adds time — use this
+/// for ratio guards that must hold on loaded machines.
+pub fn time_min_batched<F: FnMut()>(samples: usize, min_batch: Duration, mut f: F) -> Duration {
+    // Calibrate the batch size on a warmup call.
+    let t0 = std::time::Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let per_batch = (min_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+    let mut best = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let t0 = std::time::Instant::now();
+        for _ in 0..per_batch {
+            f();
+        }
+        best = best.min(t0.elapsed() / per_batch as u32);
+    }
+    best
+}
+
 /// Number of cores available to this process.
 pub fn host_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)

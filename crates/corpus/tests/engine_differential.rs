@@ -1,0 +1,84 @@
+//! Differential oracle over the full corpus: every corpus program must
+//! produce an identical `Outcome` and a byte-identical profile JSON on the
+//! tree-walking interpreter and the bytecode VM, under several option
+//! profiles (default, tiny trace budget, injected step limits).
+
+use patty_corpus::all_programs;
+use patty_minilang::{run, Engine, InterpOptions, Program};
+
+fn assert_identical(name: &str, program: &Program, opts: &InterpOptions, label: &str) {
+    let ast = run(program, InterpOptions { engine: Engine::Ast, ..opts.clone() });
+    let vm = run(program, InterpOptions { engine: Engine::Vm, ..opts.clone() });
+    match (ast, vm) {
+        (Ok(a), Ok(v)) => {
+            assert_eq!(
+                format!("{:?}", a.result),
+                format!("{:?}", v.result),
+                "{name} [{label}]: results differ"
+            );
+            assert_eq!(a.output, v.output, "{name} [{label}]: outputs differ");
+            assert_eq!(
+                a.profile.to_json(),
+                v.profile.to_json(),
+                "{name} [{label}]: profiles differ"
+            );
+        }
+        (Err(a), Err(v)) => {
+            assert_eq!(a, v, "{name} [{label}]: errors differ");
+        }
+        (a, v) => panic!(
+            "{name} [{label}]: engines disagree: ast={:?} vm={:?}",
+            a.map(|o| o.output),
+            v.map(|o| o.output)
+        ),
+    }
+}
+
+#[test]
+fn engines_agree_on_every_corpus_program() {
+    for p in all_programs() {
+        let program = p.parse();
+        assert_identical(p.name, &program, &InterpOptions::default(), "default");
+    }
+}
+
+#[test]
+fn engines_agree_with_tiny_trace_budget() {
+    let opts = InterpOptions { trace_iters: 1, ..InterpOptions::default() };
+    for p in all_programs() {
+        let program = p.parse();
+        assert_identical(p.name, &program, &opts, "trace_iters=1");
+    }
+}
+
+#[test]
+fn engines_agree_with_tracing_disabled() {
+    let opts = InterpOptions { trace_loops: false, ..InterpOptions::default() };
+    for p in all_programs() {
+        let program = p.parse();
+        assert_identical(p.name, &program, &opts, "trace off");
+    }
+}
+
+#[test]
+fn engines_agree_on_injected_step_limit_errors() {
+    // Kill each program at several points mid-run; the resulting
+    // `step limit exceeded` error must carry the same line from both
+    // engines (profiles are discarded on error).
+    for p in all_programs() {
+        let program = p.parse();
+        for limit in [50u64, 500, 5_000, 50_000] {
+            let opts = InterpOptions { step_limit: limit, ..InterpOptions::default() };
+            assert_identical(p.name, &program, &opts, &format!("step_limit={limit}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_alternate_seed() {
+    let opts = InterpOptions { seed: 0xDEAD_BEEF, ..InterpOptions::default() };
+    for p in all_programs() {
+        let program = p.parse();
+        assert_identical(p.name, &program, &opts, "seed=0xDEADBEEF");
+    }
+}

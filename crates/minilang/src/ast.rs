@@ -6,6 +6,8 @@
 //! and that the analyses, detectors and rewriters all speak about.
 
 use crate::span::{NodeId, Span};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A parsed program: classes, free functions, and the original source text
 /// (kept so spans can be rendered as overlays, paper Fig. 4b).
@@ -17,6 +19,39 @@ pub struct Program {
     pub node_count: usize,
     /// The source text this program was parsed from.
     pub source: String,
+    /// Lazily-built name→index maps backing [`Program::func`],
+    /// [`Program::class`] and [`Program::method`]. Built once on first
+    /// lookup; cloning a program clones the built index.
+    index: OnceLock<NameIndex>,
+}
+
+/// Name→index maps for O(1) function/class/method lookup. Duplicate names
+/// keep the *first* declaration, matching the linear-scan semantics the
+/// index replaced.
+#[derive(Clone, Debug, Default)]
+struct NameIndex {
+    funcs: HashMap<String, usize>,
+    classes: HashMap<String, usize>,
+    /// Per-class method name→index, parallel to `Program::classes`.
+    methods: Vec<HashMap<String, usize>>,
+}
+
+impl NameIndex {
+    fn build(program: &Program) -> NameIndex {
+        let mut index = NameIndex::default();
+        for (i, f) in program.funcs.iter().enumerate() {
+            index.funcs.entry(f.name.clone()).or_insert(i);
+        }
+        for (i, c) in program.classes.iter().enumerate() {
+            index.classes.entry(c.name.clone()).or_insert(i);
+            let mut methods = HashMap::new();
+            for (j, m) in c.methods.iter().enumerate() {
+                methods.entry(m.name.clone()).or_insert(j);
+            }
+            index.methods.push(methods);
+        }
+        index
+    }
 }
 
 /// A class declaration with fields and methods.
@@ -246,6 +281,15 @@ impl Stmt {
 }
 
 impl Program {
+    /// Build a program from its parts (the name index is built lazily).
+    pub fn new(classes: Vec<ClassDecl>, funcs: Vec<FuncDecl>, node_count: usize, source: String) -> Program {
+        Program { classes, funcs, node_count, source, index: OnceLock::new() }
+    }
+
+    fn index(&self) -> &NameIndex {
+        self.index.get_or_init(|| NameIndex::build(self))
+    }
+
     /// Iterate over every function and method in the program.
     pub fn all_funcs(&self) -> impl Iterator<Item = &FuncDecl> {
         self.funcs
@@ -253,19 +297,21 @@ impl Program {
             .chain(self.classes.iter().flat_map(|c| c.methods.iter()))
     }
 
-    /// Look up a free function by name.
+    /// Look up a free function by name (O(1) after the first lookup).
     pub fn func(&self, name: &str) -> Option<&FuncDecl> {
-        self.funcs.iter().find(|f| f.name == name)
+        self.funcs.get(*self.index().funcs.get(name)?)
     }
 
-    /// Look up a class by name.
+    /// Look up a class by name (O(1) after the first lookup).
     pub fn class(&self, name: &str) -> Option<&ClassDecl> {
-        self.classes.iter().find(|c| c.name == name)
+        self.classes.get(*self.index().classes.get(name)?)
     }
 
-    /// Look up a method on a class.
+    /// Look up a method on a class (O(1) after the first lookup).
     pub fn method(&self, class: &str, method: &str) -> Option<&FuncDecl> {
-        self.class(class)?.methods.iter().find(|m| m.name == method)
+        let class_idx = *self.index().classes.get(class)?;
+        let method_idx = *self.index().methods.get(class_idx)?.get(method)?;
+        self.classes[class_idx].methods.get(method_idx)
     }
 
     /// Visit every statement in the program (pre-order, including nested).

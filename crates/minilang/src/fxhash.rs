@@ -1,0 +1,112 @@
+//! A small, fast, non-cryptographic hasher for interpreter-internal keys.
+//!
+//! This is the multiply-rotate word hash used by rustc ("FxHash"): each
+//! machine word is folded in with a rotate, xor and multiply. It is several
+//! times faster than the standard library's SipHash on the short fixed-size
+//! keys the interpreter hashes on hot paths (access-dedup keys, call
+//! edges), where HashDoS resistance buys nothing — the keys come from the
+//! program being interpreted, not from untrusted map inputs.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plug for `HashMap`/`HashSet` type aliases.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub(crate) type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        fn h(v: (u32, u64)) -> u64 {
+            use std::hash::BuildHasher;
+            FxBuildHasher::default().hash_one(v)
+        }
+        assert_ne!(h((1, 2)), h((2, 1)));
+        assert_ne!(h((0, 0)), h((0, 1)));
+        assert_eq!(h((7, 9)), h((7, 9)));
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<(u32, i64)> = FxHashSet::default();
+        assert!(s.insert((1, -5)));
+        assert!(!s.insert((1, -5)));
+        assert!(s.insert((2, -5)));
+        assert_eq!(s.len(), 2);
+    }
+}

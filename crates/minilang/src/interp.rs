@@ -9,13 +9,28 @@
 //! `work(1000)`), which is what rule PLTP's runtime-share reasoning needs.
 
 use crate::ast::*;
+use crate::builtins::{binary_op, call_builtin, call_builtin_method, BuiltinId, Host};
 use crate::error::LangError;
 use crate::profile::{AccessKind, DynLoc, Profile};
 use crate::span::NodeId;
-use crate::value::{HeapId, ListData, ObjectData, Value};
+use crate::value::{FieldTable, HeapId, ListData, ObjectData, Value};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+
+/// Which execution engine runs the program.
+///
+/// Both engines are observationally identical — same [`Outcome`], same
+/// errors, byte-identical [`Profile`] — so the choice is purely a
+/// performance one. The tree-walker is kept as the differential oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The original tree-walking interpreter (reference semantics).
+    Ast,
+    /// The compiled slot-resolved bytecode VM (default; ≥3× faster).
+    #[default]
+    Vm,
+}
 
 /// Options controlling interpretation and dynamic analysis.
 #[derive(Clone, Debug)]
@@ -33,6 +48,8 @@ pub struct InterpOptions {
     pub seed: u64,
     /// Maximum call depth.
     pub max_depth: usize,
+    /// Which engine executes the program.
+    pub engine: Engine,
 }
 
 impl Default for InterpOptions {
@@ -43,6 +60,7 @@ impl Default for InterpOptions {
             trace_iters: 12,
             seed: 0x5EED,
             max_depth: 64,
+            engine: Engine::default(),
         }
     }
 }
@@ -63,13 +81,17 @@ pub fn run(program: &Program, options: InterpOptions) -> Result<Outcome, LangErr
     run_func(program, "main", vec![], options)
 }
 
-/// Run a named free function with arguments.
+/// Run a named free function with arguments, on the engine selected by
+/// `options.engine`.
 pub fn run_func(
     program: &Program,
     name: &str,
     args: Vec<Value>,
     options: InterpOptions,
 ) -> Result<Outcome, LangError> {
+    if options.engine == Engine::Vm {
+        return crate::vm::run_func(program, name, args, options);
+    }
     let mut interp = Interp::new(program, options);
     let func = program
         .func(name)
@@ -124,11 +146,37 @@ impl Frame {
 
 /// An active loop-trace context: accesses made while executing direct body
 /// statement `cur_stmt` of loop `loop_id` during iteration `iter`.
-struct TraceCtx {
-    loop_id: NodeId,
-    iter: usize,
-    recording: bool,
-    cur_stmt: Option<NodeId>,
+/// Shared with the bytecode VM, which maintains an identical stack.
+pub(crate) struct TraceCtx {
+    pub(crate) loop_id: NodeId,
+    pub(crate) iter: usize,
+    pub(crate) recording: bool,
+    pub(crate) cur_stmt: Option<NodeId>,
+}
+
+/// Record one dynamic access into every active recording trace context.
+/// The single implementation keeps the tree-walker and the VM attributing
+/// accesses identically (nested loops record into outer contexts too).
+pub(crate) fn record_access(
+    profile: &mut Profile,
+    traces: &[TraceCtx],
+    loc: DynLoc,
+    kind: AccessKind,
+) {
+    for ctx in traces {
+        if !ctx.recording {
+            continue;
+        }
+        let Some(stmt) = ctx.cur_stmt else { continue };
+        let trace = profile.loop_traces.entry(ctx.loop_id).or_default();
+        while trace.traced.len() <= ctx.iter {
+            trace.traced.push(BTreeMap::new());
+        }
+        trace.traced[ctx.iter]
+            .entry(stmt)
+            .or_default()
+            .insert((loc.clone(), kind));
+    }
 }
 
 struct Interp<'p> {
@@ -197,24 +245,7 @@ impl<'p> Interp<'p> {
         if !self.options.trace_loops {
             return;
         }
-        for ctx in &self.traces {
-            if !ctx.recording {
-                continue;
-            }
-            let Some(stmt) = ctx.cur_stmt else { continue };
-            let trace = self
-                .profile
-                .loop_traces
-                .entry(ctx.loop_id)
-                .or_default();
-            while trace.traced.len() <= ctx.iter {
-                trace.traced.push(BTreeMap::new());
-            }
-            trace.traced[ctx.iter]
-                .entry(stmt)
-                .or_default()
-                .insert((loc.clone(), kind));
-        }
+        record_access(&mut self.profile, &self.traces, loc, kind);
     }
 
     fn next_rand(&mut self, n: i64) -> i64 {
@@ -591,7 +622,7 @@ impl<'p> Interp<'p> {
                     self.apply_compound(op, &old, &rhs)?
                 };
                 self.record(DynLoc::Field(o.id, field.clone()), AccessKind::Write);
-                o.fields.borrow_mut().insert(field.clone(), new);
+                o.fields.borrow_mut().set(field, new);
             }
             LValueKind::Index { base, index } => {
                 let list = self.eval(base)?;
@@ -719,8 +750,10 @@ impl<'p> Interp<'p> {
                 let argv = self.eval_args(args)?;
                 if let Some(func) = self.program.func(callee) {
                     self.call_func(func, None, argv)
+                } else if let Some(id) = BuiltinId::from_name(callee) {
+                    call_builtin(self, id, &argv)
                 } else {
-                    self.builtin_call(callee, argv)
+                    Err(self.err(format!("unknown function `{callee}`")))
                 }
             }
             ExprKind::MethodCall { base, method, args } => {
@@ -731,7 +764,7 @@ impl<'p> Interp<'p> {
                         return self.call_func(m, Some(recv.clone()), argv);
                     }
                 }
-                self.builtin_method(recv, method, argv)
+                call_builtin_method(self, &recv, method, &argv)
             }
             ExprKind::New { class, args } => {
                 let argv = self.eval_args(args)?;
@@ -762,18 +795,18 @@ impl<'p> Interp<'p> {
             .class(class)
             .ok_or_else(|| self.err(format!("no class `{class}`")))?;
         let id = self.fresh_heap();
-        let mut fields = HashMap::new();
+        let mut fields = FieldTable::with_capacity(decl.fields.len());
         // Field initializers run first (in declaration order).
         for f in &decl.fields {
             let v = match &f.init {
                 Some(e) => self.eval(e)?,
                 None => Value::Null,
             };
-            fields.insert(f.name.clone(), v);
+            fields.set(&f.name, v);
         }
         let obj = Value::Object(Rc::new(ObjectData {
             id,
-            class: class.to_string(),
+            class: Rc::from(class),
             fields: RefCell::new(fields),
         }));
         if let Some(init) = self.program.method(class, "init") {
@@ -788,350 +821,33 @@ impl<'p> Interp<'p> {
             }
             let Value::Object(o) = &obj else { unreachable!() };
             for (f, a) in decl.fields.iter().zip(args) {
-                o.fields.borrow_mut().insert(f.name.clone(), a);
+                o.fields.borrow_mut().set(&f.name, a);
             }
         }
         Ok(obj)
     }
 
-    // ---- builtins ----
-
-    fn builtin_call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, LangError> {
-        let arity = |n: usize| -> Result<(), LangError> {
-            if args.len() == n {
-                Ok(())
-            } else {
-                Err(LangError::runtime(
-                    0,
-                    format!("builtin `{name}` expects {n} argument(s), got {}", args.len()),
-                ))
-            }
-        };
-        match name {
-            "print" => {
-                let line = args
-                    .iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                self.output.push(line);
-                Ok(Value::Null)
-            }
-            "work" => {
-                arity(1)?;
-                let Value::Int(n) = args[0] else {
-                    return Err(self.err("work(n) takes an int"));
-                };
-                if n < 0 {
-                    return Err(self.err("work(n) takes a non-negative int"));
-                }
-                self.tick(n as u64)?;
-                Ok(Value::Null)
-            }
-            "rand" => {
-                arity(1)?;
-                let Value::Int(n) = args[0] else {
-                    return Err(self.err("rand(n) takes an int"));
-                };
-                Ok(Value::Int(self.next_rand(n)))
-            }
-            "range" => {
-                arity(2)?;
-                let (Value::Int(a), Value::Int(b)) = (&args[0], &args[1]) else {
-                    return Err(self.err("range(a, b) takes ints"));
-                };
-                let items: Vec<Value> = (*a..*b).map(Value::Int).collect();
-                self.tick(items.len() as u64)?;
-                let id = self.fresh_heap();
-                Ok(Value::List(Rc::new(ListData { id, items: RefCell::new(items) })))
-            }
-            "list" => {
-                arity(0)?;
-                let id = self.fresh_heap();
-                Ok(Value::List(Rc::new(ListData { id, items: RefCell::new(Vec::new()) })))
-            }
-            "len" => {
-                arity(1)?;
-                match &args[0] {
-                    Value::List(l) => {
-                        self.record(DynLoc::ListStruct(l.id), AccessKind::Read);
-                        Ok(Value::Int(l.items.borrow().len() as i64))
-                    }
-                    Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
-                    other => Err(self.err(format!("len() of {}", other.type_name()))),
-                }
-            }
-            "str" => {
-                arity(1)?;
-                Ok(Value::str(args[0].to_string()))
-            }
-            "int" => {
-                arity(1)?;
-                match &args[0] {
-                    Value::Int(v) => Ok(Value::Int(*v)),
-                    Value::Float(v) => Ok(Value::Int(*v as i64)),
-                    Value::Str(s) => s
-                        .trim()
-                        .parse::<i64>()
-                        .map(Value::Int)
-                        .map_err(|_| self.err(format!("cannot parse {s:?} as int"))),
-                    Value::Bool(b) => Ok(Value::Int(*b as i64)),
-                    other => Err(self.err(format!("int() of {}", other.type_name()))),
-                }
-            }
-            "float" => {
-                arity(1)?;
-                args[0]
-                    .as_f64()
-                    .map(Value::Float)
-                    .ok_or_else(|| self.err(format!("float() of {}", args[0].type_name())))
-            }
-            "abs" => {
-                arity(1)?;
-                match &args[0] {
-                    Value::Int(v) => Ok(Value::Int(v.abs())),
-                    Value::Float(v) => Ok(Value::Float(v.abs())),
-                    other => Err(self.err(format!("abs() of {}", other.type_name()))),
-                }
-            }
-            "sqrt" => {
-                arity(1)?;
-                let v = args[0]
-                    .as_f64()
-                    .ok_or_else(|| self.err("sqrt() of non-number"))?;
-                Ok(Value::Float(v.sqrt()))
-            }
-            "floor" => {
-                arity(1)?;
-                let v = args[0]
-                    .as_f64()
-                    .ok_or_else(|| self.err("floor() of non-number"))?;
-                Ok(Value::Int(v.floor() as i64))
-            }
-            "min" | "max" => {
-                arity(2)?;
-                let (a, b) = (&args[0], &args[1]);
-                match (a, b) {
-                    (Value::Int(x), Value::Int(y)) => Ok(Value::Int(if name == "min" {
-                        *x.min(y)
-                    } else {
-                        *x.max(y)
-                    })),
-                    _ => {
-                        let (x, y) = (
-                            a.as_f64().ok_or_else(|| self.err("min/max of non-number"))?,
-                            b.as_f64().ok_or_else(|| self.err("min/max of non-number"))?,
-                        );
-                        Ok(Value::Float(if name == "min" { x.min(y) } else { x.max(y) }))
-                    }
-                }
-            }
-            "pow" => {
-                arity(2)?;
-                let a = args[0].as_f64().ok_or_else(|| self.err("pow of non-number"))?;
-                let b = args[1].as_f64().ok_or_else(|| self.err("pow of non-number"))?;
-                Ok(Value::Float(a.powf(b)))
-            }
-            "assert" => {
-                if args.is_empty() || args.len() > 2 {
-                    return Err(self.err("assert(cond, msg?)"));
-                }
-                match args[0].as_bool() {
-                    Some(true) => Ok(Value::Null),
-                    Some(false) => {
-                        let msg = args
-                            .get(1)
-                            .map(|m| m.to_string())
-                            .unwrap_or_else(|| "assertion failed".into());
-                        Err(self.err(format!("assertion failed: {msg}")))
-                    }
-                    None => Err(self.err("assert condition must be bool")),
-                }
-            }
-            other => Err(self.err(format!("unknown function `{other}`"))),
-        }
-    }
-
-    fn builtin_method(
-        &mut self,
-        recv: Value,
-        method: &str,
-        args: Vec<Value>,
-    ) -> Result<Value, LangError> {
-        match (&recv, method) {
-            (Value::List(l), "add") => {
-                if args.len() != 1 {
-                    return Err(self.err("list.add(v) takes one argument"));
-                }
-                self.record(DynLoc::ListStruct(l.id), AccessKind::Write);
-                l.items.borrow_mut().push(args[0].clone());
-                Ok(Value::Null)
-            }
-            (Value::List(l), "len") => {
-                self.record(DynLoc::ListStruct(l.id), AccessKind::Read);
-                Ok(Value::Int(l.items.borrow().len() as i64))
-            }
-            (Value::List(l), "get") => {
-                let Some(Value::Int(i)) = args.first() else {
-                    return Err(self.err("list.get(i) takes an int"));
-                };
-                let len = l.items.borrow().len() as i64;
-                if *i < 0 || *i >= len {
-                    return Err(self.err(format!("get({i}) out of bounds (len {len})")));
-                }
-                self.record(DynLoc::Elem(l.id, *i), AccessKind::Read);
-                Ok(l.items.borrow()[*i as usize].clone())
-            }
-            (Value::List(l), "set") => {
-                let (Some(Value::Int(i)), Some(v)) = (args.first(), args.get(1)) else {
-                    return Err(self.err("list.set(i, v) takes an int and a value"));
-                };
-                let len = l.items.borrow().len() as i64;
-                if *i < 0 || *i >= len {
-                    return Err(self.err(format!("set({i}) out of bounds (len {len})")));
-                }
-                self.record(DynLoc::Elem(l.id, *i), AccessKind::Write);
-                l.items.borrow_mut()[*i as usize] = v.clone();
-                Ok(Value::Null)
-            }
-            (Value::List(l), "contains") => {
-                let Some(needle) = args.first() else {
-                    return Err(self.err("list.contains(v) takes one argument"));
-                };
-                self.record(DynLoc::ListStruct(l.id), AccessKind::Read);
-                let found = l.items.borrow().iter().any(|v| v.loose_eq(needle));
-                self.tick(l.items.borrow().len() as u64)?;
-                Ok(Value::Bool(found))
-            }
-            (Value::List(l), "clear") => {
-                self.record(DynLoc::ListStruct(l.id), AccessKind::Write);
-                l.items.borrow_mut().clear();
-                Ok(Value::Null)
-            }
-            (Value::List(l), "clone") => {
-                self.record(DynLoc::ListStruct(l.id), AccessKind::Read);
-                let items = l.items.borrow().clone();
-                self.tick(items.len() as u64)?;
-                let id = self.fresh_heap();
-                Ok(Value::List(Rc::new(ListData { id, items: RefCell::new(items) })))
-            }
-            (Value::Str(s), "len") => Ok(Value::Int(s.chars().count() as i64)),
-            (Value::Str(s), "upper") => Ok(Value::str(s.to_uppercase())),
-            (Value::Str(s), "lower") => Ok(Value::str(s.to_lowercase())),
-            (Value::Str(s), "trim") => Ok(Value::str(s.trim())),
-            (Value::Str(s), "contains") => {
-                let Some(Value::Str(needle)) = args.first() else {
-                    return Err(self.err("string.contains(s) takes a string"));
-                };
-                Ok(Value::Bool(s.contains(needle.as_ref())))
-            }
-            (Value::Str(s), "startsWith") => {
-                let Some(Value::Str(p)) = args.first() else {
-                    return Err(self.err("string.startsWith(s) takes a string"));
-                };
-                Ok(Value::Bool(s.starts_with(p.as_ref())))
-            }
-            (Value::Str(s), "split") => {
-                let Some(Value::Str(sep)) = args.first() else {
-                    return Err(self.err("string.split(sep) takes a string"));
-                };
-                let items: Vec<Value> = if sep.is_empty() {
-                    s.chars().map(|c| Value::str(c.to_string())).collect()
-                } else {
-                    s.split(sep.as_ref())
-                        .filter(|p| !p.is_empty())
-                        .map(Value::str)
-                        .collect()
-                };
-                self.tick(items.len() as u64)?;
-                let id = self.fresh_heap();
-                Ok(Value::List(Rc::new(ListData { id, items: RefCell::new(items) })))
-            }
-            (Value::Str(s), "substr") => {
-                let (Some(Value::Int(a)), Some(Value::Int(b))) = (args.first(), args.get(1))
-                else {
-                    return Err(self.err("string.substr(a, b) takes two ints"));
-                };
-                let chars: Vec<char> = s.chars().collect();
-                let a = (*a).clamp(0, chars.len() as i64) as usize;
-                let b = (*b).clamp(a as i64, chars.len() as i64) as usize;
-                Ok(Value::str(chars[a..b].iter().collect::<String>()))
-            }
-            (recv, m) => Err(self.err(format!(
-                "no method `{}` on {}",
-                m,
-                recv.type_name()
-            ))),
-        }
-    }
 }
 
-/// Apply a non-logical binary operator to two values.
-fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value, String> {
-    use BinOp::*;
-    use Value::*;
-    let type_err = || {
-        Err(format!(
-            "cannot apply operator to {} and {}",
-            l.type_name(),
-            r.type_name()
-        ))
-    };
-    match op {
-        Add => match (l, r) {
-            (Int(a), Int(b)) => Ok(Int(a.wrapping_add(*b))),
-            (Str(a), b) => Ok(Value::str(format!("{a}{b}"))),
-            (a, Str(b)) => Ok(Value::str(format!("{a}{b}"))),
-            _ => num_op(l, r, |a, b| a + b).ok_or(()).or_else(|_| type_err()),
-        },
-        Sub => match (l, r) {
-            (Int(a), Int(b)) => Ok(Int(a.wrapping_sub(*b))),
-            _ => num_op(l, r, |a, b| a - b).ok_or(()).or_else(|_| type_err()),
-        },
-        Mul => match (l, r) {
-            (Int(a), Int(b)) => Ok(Int(a.wrapping_mul(*b))),
-            _ => num_op(l, r, |a, b| a * b).ok_or(()).or_else(|_| type_err()),
-        },
-        Div => match (l, r) {
-            (Int(_), Int(0)) => Err("division by zero".into()),
-            (Int(a), Int(b)) => Ok(Int(a / b)),
-            _ => num_op(l, r, |a, b| a / b).ok_or(()).or_else(|_| type_err()),
-        },
-        Rem => match (l, r) {
-            (Int(_), Int(0)) => Err("remainder by zero".into()),
-            (Int(a), Int(b)) => Ok(Int(a % b)),
-            _ => type_err(),
-        },
-        Eq => Ok(Bool(l.loose_eq(r))),
-        Ne => Ok(Bool(!l.loose_eq(r))),
-        Lt | Le | Gt | Ge => {
-            let cmp = match (l, r) {
-                (Int(a), Int(b)) => a.partial_cmp(b),
-                (Str(a), Str(b)) => a.partial_cmp(b),
-                _ => {
-                    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-                        return type_err();
-                    };
-                    a.partial_cmp(&b)
-                }
-            };
-            let Some(ord) = cmp else {
-                return Err("incomparable values".into());
-            };
-            Ok(Bool(match op {
-                Lt => ord.is_lt(),
-                Le => ord.is_le(),
-                Gt => ord.is_gt(),
-                Ge => ord.is_ge(),
-                _ => unreachable!(),
-            }))
-        }
-        And | Or => unreachable!("handled by short-circuit evaluation"),
+impl Host for Interp<'_> {
+    fn tick(&mut self, n: u64) -> Result<(), LangError> {
+        Interp::tick(self, n)
     }
-}
-
-fn num_op(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> Option<Value> {
-    Some(Value::Float(f(l.as_f64()?, r.as_f64()?)))
+    fn rt_err(&self, msg: String) -> LangError {
+        self.err(msg)
+    }
+    fn fresh_heap(&mut self) -> HeapId {
+        Interp::fresh_heap(self)
+    }
+    fn next_rand(&mut self, n: i64) -> i64 {
+        Interp::next_rand(self, n)
+    }
+    fn record(&mut self, loc: DynLoc, kind: AccessKind) {
+        Interp::record(self, loc, kind)
+    }
+    fn push_output(&mut self, line: String) {
+        self.output.push(line)
+    }
 }
 
 #[cfg(test)]

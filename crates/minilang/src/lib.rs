@@ -26,18 +26,24 @@
 //! ```
 
 pub mod ast;
+mod builtins;
+pub mod bytecode;
 pub mod error;
+pub(crate) mod fxhash;
 pub mod interp;
 pub mod parser;
 pub mod pretty;
 pub mod profile;
+pub mod resolve;
 pub mod span;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use ast::{Block, ClassDecl, Expr, ExprKind, FuncDecl, Program, Stmt, StmtKind};
+pub use bytecode::CompiledProgram;
 pub use error::LangError;
-pub use interp::{run, run_func, InterpOptions, Outcome};
+pub use interp::{run, run_func, Engine, InterpOptions, Outcome};
 pub use parser::parse;
 pub use pretty::print_program;
 pub use profile::{AccessKind, CarriedDep, DepKind, DynLoc, LoopTrace, Profile};

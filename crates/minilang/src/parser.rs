@@ -91,12 +91,7 @@ impl<'s> Parser<'s> {
                 }
             }
         }
-        Ok(Program {
-            classes,
-            funcs,
-            node_count: self.ids.count(),
-            source: self.src.to_string(),
-        })
+        Ok(Program::new(classes, funcs, self.ids.count(), self.src.to_string()))
     }
 
     fn class_decl(&mut self) -> Result<ClassDecl, LangError> {

@@ -252,6 +252,132 @@ impl Profile {
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
+
+    /// Canonical JSON rendering of the complete profile.
+    ///
+    /// All containers are ordered (`BTreeMap`/`BTreeSet`), so two profiles
+    /// are byte-identical here iff they are semantically identical — the
+    /// comparison the differential engine tests rely on.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"total_cost\":");
+        s.push_str(&self.total_cost.to_string());
+        s.push_str(",\"stmt_hits\":");
+        json_id_map(&mut s, &self.stmt_hits);
+        s.push_str(",\"stmt_cost\":");
+        json_id_map(&mut s, &self.stmt_cost);
+        s.push_str(",\"call_edges\":[");
+        for (i, (from, to)) in self.call_edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            json_str(&mut s, from);
+            s.push(',');
+            json_str(&mut s, to);
+            s.push(']');
+        }
+        s.push_str("],\"loop_traces\":[");
+        for (i, (id, t)) in self.loop_traces.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            s.push_str(&id.0.to_string());
+            s.push_str(",{\"iterations\":");
+            s.push_str(&t.iterations.to_string());
+            s.push_str(",\"stmt_cost\":");
+            json_id_map(&mut s, &t.stmt_cost);
+            s.push_str(",\"traced\":[");
+            for (j, iter) in t.traced.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push('[');
+                for (k, (stmt, set)) in iter.iter().enumerate() {
+                    if k > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    s.push_str(&stmt.0.to_string());
+                    s.push_str(",[");
+                    for (m, (loc, kind)) in set.iter().enumerate() {
+                        if m > 0 {
+                            s.push(',');
+                        }
+                        json_access(&mut s, loc, *kind);
+                    }
+                    s.push_str("]]");
+                }
+                s.push(']');
+            }
+            s.push_str("]}]");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_id_map(s: &mut String, map: &BTreeMap<NodeId, u64>) {
+    s.push('[');
+    for (i, (id, v)) in map.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        s.push_str(&id.0.to_string());
+        s.push(',');
+        s.push_str(&v.to_string());
+        s.push(']');
+    }
+    s.push(']');
+}
+
+fn json_str(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn json_access(s: &mut String, loc: &DynLoc, kind: AccessKind) {
+    s.push_str("[[");
+    match loc {
+        DynLoc::Local(serial, name) => {
+            s.push_str("\"local\",");
+            s.push_str(&serial.to_string());
+            s.push(',');
+            json_str(s, name);
+        }
+        DynLoc::Field(id, name) => {
+            s.push_str("\"field\",");
+            s.push_str(&id.to_string());
+            s.push(',');
+            json_str(s, name);
+        }
+        DynLoc::Elem(id, idx) => {
+            s.push_str("\"elem\",");
+            s.push_str(&id.to_string());
+            s.push(',');
+            s.push_str(&idx.to_string());
+        }
+        DynLoc::ListStruct(id) => {
+            s.push_str("\"list\",");
+            s.push_str(&id.to_string());
+        }
+    }
+    s.push_str("],");
+    s.push_str(match kind {
+        AccessKind::Read => "\"r\"",
+        AccessKind::Write => "\"w\"",
+    });
+    s.push(']');
 }
 
 #[cfg(test)]

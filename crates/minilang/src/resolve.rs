@@ -1,0 +1,148 @@
+//! Identifier interning and lexical slot resolution for the bytecode engine.
+//!
+//! The tree-walker resolves every variable reference at runtime by hashing
+//! its name through a chain of `HashMap` scopes. The resolver replaces that
+//! with compile-time work: identifiers are interned to dense `u32` ids and
+//! every local binding gets a *frame slot* — an index into a flat per-call
+//! register file — so the VM never touches a string on a variable access.
+//!
+//! Resolution is position-based and mirrors the dynamic scope-chain
+//! semantics exactly:
+//!
+//! * a reference resolves to the innermost binding declared *before* it in
+//!   source order (shadowing allocates a fresh slot);
+//! * a reference with no visible binding compiles to a runtime
+//!   `undefined variable` error op — never a compile error, because the
+//!   tree-walker only fails if that path actually executes;
+//! * loop bodies get a fresh logical scope per iteration; since each
+//!   in-scope read is dominated by its `var` declaration, re-using one
+//!   statically-assigned slot per declaration is observationally identical.
+
+use std::collections::HashMap;
+
+/// Interns identifier strings to dense u32 ids.
+#[derive(Default)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    pub(crate) fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
+/// Per-function lexical scope tracker assigning frame slots to locals.
+///
+/// Slots are allocated monotonically (no re-use across sibling scopes);
+/// the final watermark is the function's frame size. A few wasted `Null`
+/// slots are much cheaper than the per-access hashing they replace.
+#[derive(Default)]
+pub(crate) struct SlotScopes {
+    /// Stack of scopes, each a list of (interned name, slot) bindings in
+    /// declaration order.
+    scopes: Vec<Vec<(u32, u32)>>,
+    next_slot: u32,
+}
+
+impl SlotScopes {
+    /// Reset for a new function and open its root (parameter) scope.
+    pub(crate) fn reset(&mut self) {
+        self.scopes.clear();
+        self.scopes.push(Vec::new());
+        self.next_slot = 0;
+    }
+
+    pub(crate) fn push(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    pub(crate) fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declare a new binding, always in a fresh slot (shadowing and
+    /// same-scope redeclaration both bind anew, like `HashMap::insert`
+    /// followed by innermost-first lookup).
+    pub(crate) fn declare(&mut self, name: u32) -> u32 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .push((name, slot));
+        slot
+    }
+
+    /// Resolve a reference to the innermost, most recent binding.
+    pub(crate) fn lookup(&self, name: u32) -> Option<u32> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|(n, _)| *n == name).map(|(_, slot)| *slot))
+    }
+
+    /// Number of slots the finished function needs.
+    pub(crate) fn frame_size(&self) -> u32 {
+        self.next_slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_dedups() {
+        let mut i = Interner::default();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_eq!(i.intern("x"), a);
+        assert_ne!(a, b);
+        assert_eq!(i.into_names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn shadowing_gets_fresh_slot_and_wins_lookup() {
+        let mut s = SlotScopes::default();
+        s.reset();
+        let name = 0;
+        let outer = s.declare(name);
+        s.push();
+        assert_eq!(s.lookup(name), Some(outer));
+        let inner = s.declare(name);
+        assert_ne!(outer, inner);
+        assert_eq!(s.lookup(name), Some(inner));
+        s.pop();
+        assert_eq!(s.lookup(name), Some(outer));
+        assert_eq!(s.frame_size(), 2);
+    }
+
+    #[test]
+    fn same_scope_redeclaration_binds_anew() {
+        let mut s = SlotScopes::default();
+        s.reset();
+        let first = s.declare(7);
+        let second = s.declare(7);
+        assert_ne!(first, second);
+        assert_eq!(s.lookup(7), Some(second));
+    }
+
+    #[test]
+    fn unresolved_name_is_none() {
+        let mut s = SlotScopes::default();
+        s.reset();
+        assert_eq!(s.lookup(3), None);
+    }
+}

@@ -1,7 +1,6 @@
 //! Runtime values of the minilang interpreter.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -30,12 +29,80 @@ pub struct ListData {
     pub items: RefCell<Vec<Value>>,
 }
 
-/// Backing store of an object value.
+/// Backing store of an object value. The class name is a shared `Rc<str>`
+/// so allocating an object bumps a refcount instead of copying a string.
 #[derive(Debug)]
 pub struct ObjectData {
     pub id: HeapId,
-    pub class: String,
-    pub fields: RefCell<HashMap<String, Value>>,
+    pub class: Rc<str>,
+    pub fields: RefCell<FieldTable>,
+}
+
+/// Field storage of an object: a compact ordered table.
+///
+/// minilang objects have a handful of fields, so a vector with linear scan
+/// beats a hash map on every axis that matters here — no hashing on access,
+/// one allocation for the table instead of one per key, and inserting an
+/// already-interned name ([`FieldTable::set_interned`]) is a refcount bump.
+/// Entries keep insertion order; `set` on an existing name replaces in
+/// place, so objects of the same class share a layout.
+#[derive(Debug, Default)]
+pub struct FieldTable {
+    entries: Vec<(Rc<str>, Value)>,
+}
+
+impl FieldTable {
+    pub fn with_capacity(n: usize) -> FieldTable {
+        FieldTable { entries: Vec::with_capacity(n) }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Lookup with a pre-interned key. Objects the VM allocates share their
+    /// key `Rc`s with the compiled name pool, so the common case is one
+    /// pointer comparison per entry; content equality is the fallback.
+    pub fn get_interned(&self, name: &Rc<str>) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| Rc::ptr_eq(k, name) || k.as_ref() == name.as_ref())
+            .map(|(_, v)| v)
+    }
+
+    pub fn get_mut_interned(&mut self, name: &Rc<str>) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| Rc::ptr_eq(k, name) || k.as_ref() == name.as_ref())
+            .map(|(_, v)| v)
+    }
+
+    /// Insert or replace, allocating a new interned key on first insert.
+    pub fn set(&mut self, name: &str, value: Value) {
+        match self.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => self.entries.push((Rc::from(name), value)),
+        }
+    }
+
+    /// Insert or replace with a pre-interned key: lookup is pointer-first
+    /// and a miss clones the `Rc` instead of copying the string.
+    pub fn set_interned(&mut self, name: &Rc<str>, value: Value) {
+        match self.get_mut_interned(name) {
+            Some(slot) => *slot = value,
+            None => self.entries.push((name.clone(), value)),
+        }
+    }
 }
 
 impl Value {

@@ -1,0 +1,1179 @@
+//! Stack-based virtual machine executing [`crate::bytecode`] programs.
+//!
+//! The VM is the fast engine behind [`crate::interp::Engine::Vm`]. It is
+//! observationally identical to the tree-walker: same [`Outcome`], same
+//! [`crate::error::LangError`] (phase, line, message), and a byte-identical
+//! [`Profile`] — statement hits, inclusive costs, loop access traces, call
+//! edges, deterministic heap ids, frame serials and `rand()` streams.
+//!
+//! Where the speed comes from:
+//!
+//! * locals are frame slots in a flat register file — no `HashMap` scope
+//!   chain, no string hashing on variable access; the current frame's base
+//!   and serial are cached in the dispatch loop;
+//! * expression-node ticks are pre-coalesced by the compiler into single
+//!   [`Op::Tick`] ops;
+//! * functions, builtins and classes are pre-resolved table indices, and
+//!   call arguments move straight from the value stack into parameter
+//!   slots — no per-call argument vector;
+//! * profile bookkeeping is dense: statement hits/costs live in flat arrays
+//!   indexed by statement id, per-loop counters in arrays indexed by
+//!   compile-time loop/statement slots, and traced accesses in plain `Copy`
+//!   records. The canonical `BTreeMap`-shaped [`Profile`] — byte-identical
+//!   to the tree-walker's — is materialized once, after the run;
+//! * loop-trace recording hides behind one cached `record_active` flag that
+//!   is only recomputed when the trace-context stack changes.
+
+use crate::ast::Program;
+use crate::builtins::{binary_op, call_builtin, call_builtin_method_tagged, Host};
+use crate::bytecode::{compile, compound_bin, CompiledProgram, Op, UndefKind};
+use crate::error::LangError;
+use crate::fxhash::FxHashSet;
+use crate::interp::{InterpOptions, Outcome};
+use crate::profile::{AccessKind, AccessSet, DynLoc, LoopTrace, Profile};
+use crate::span::NodeId;
+use crate::value::{FieldTable, HeapId, ListData, ObjectData, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Compile `program` and run a named free function on the VM.
+pub fn run_func(
+    program: &Program,
+    name: &str,
+    args: Vec<Value>,
+    options: InterpOptions,
+) -> Result<Outcome, LangError> {
+    let compiled = compile(program);
+    run_compiled(&compiled, name, args, options)
+}
+
+/// Run a named free function of an already-compiled program. Compiling once
+/// and calling this repeatedly amortizes compilation across runs.
+pub fn run_compiled(
+    compiled: &CompiledProgram,
+    name: &str,
+    args: Vec<Value>,
+    options: InterpOptions,
+) -> Result<Outcome, LangError> {
+    let func = *compiled
+        .free_funcs
+        .get(name)
+        .ok_or_else(|| LangError::runtime(0, format!("no function `{name}`")))?;
+    let mut vm = Vm::new(compiled, options);
+    let result = vm.run(func, args)?;
+    let profile = vm.build_profile();
+    Ok(Outcome { result, output: vm.output, profile })
+}
+
+/// One activation record. `base` is the frame's window into the slot file;
+/// `ctor_obj` is set for inlined `init` calls, whose return value is
+/// replaced by the constructed object.
+struct VmFrame {
+    ret_pc: usize,
+    base: usize,
+    serial: u32,
+    ctor_obj: Option<Value>,
+}
+
+/// A compact, `Copy` dynamic location: names are interned ids resolved to
+/// strings only when the final profile is built.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum LocLite {
+    Local(u32, u32),
+    Field(HeapId, u32),
+    Elem(HeapId, i64),
+    ListStruct(HeapId),
+}
+
+/// One recorded access of a traced iteration (raw; deduplicated into the
+/// canonical ordered access sets when the profile is built).
+#[derive(Clone, Copy)]
+struct AccessRec {
+    stmt: NodeId,
+    loc: LocLite,
+    kind: AccessKind,
+}
+
+/// Dense runtime counters of one compiled loop.
+struct LoopRun {
+    /// Whether `BeginLoop` ever executed — the tree-walker creates the
+    /// (possibly empty) trace entry on loop entry, even for zero iterations.
+    entered: bool,
+    iterations: u64,
+    /// Inclusive cost per direct body statement, by compile-time slot.
+    stmt_cost: Vec<u64>,
+    /// Which slots ever executed: the tree-walker creates a cost entry on
+    /// first execution even when the attributed delta is zero.
+    stmt_seen: Vec<bool>,
+    /// Unique access records of the traced iteration prefix.
+    traced: Vec<Vec<AccessRec>>,
+    /// Record-time dedup: a traced outer-loop iteration can replay the
+    /// same few access sites thousands of times (whole subcomputations run
+    /// under it), and only the first occurrence matters. Filtering here
+    /// with a cheap hash keeps the expensive canonical conversion in
+    /// [`Vm::build_profile`] proportional to *unique* accesses.
+    seen: FxHashSet<(u32, NodeId, LocLite, AccessKind)>,
+}
+
+/// An active loop-trace context, mirroring the tree-walker's stack.
+struct VmTraceCtx {
+    loop_idx: u32,
+    iter: usize,
+    recording: bool,
+    cur_stmt: Option<NodeId>,
+}
+
+struct Vm<'p> {
+    prog: &'p CompiledProgram,
+    options: InterpOptions,
+    stack: Vec<Value>,
+    /// Flat slot file; each frame owns `base..base + frame_size`.
+    slots: Vec<Value>,
+    frames: Vec<VmFrame>,
+    /// Interned names of the active call chain (for call edges).
+    call_names: Vec<u32>,
+    /// Call edges observed, as interned-name pairs.
+    edges_seen: FxHashSet<(u32, u32)>,
+    /// Active foreach iterations: (snapshot, next index).
+    iter_states: Vec<(Vec<Value>, usize)>,
+    /// Open statement cost watermarks (id, cost at entry).
+    stmt_marks: Vec<(NodeId, u64)>,
+    /// Open direct-loop-statement cost watermarks.
+    iter_marks: Vec<u64>,
+    /// Dense per-statement counters, indexed by statement `NodeId`.
+    stmt_hits: Vec<u64>,
+    stmt_cost: Vec<u64>,
+    /// Dense per-loop counters, indexed by compile-time loop index.
+    loop_runs: Vec<LoopRun>,
+    /// Names recorded by builtins that are not in the compile-time table
+    /// (ids offset past `prog.names`).
+    dyn_names: Vec<String>,
+    /// Monomorphic method-dispatch cache, indexed by interned method name:
+    /// `(class index, function index)`. Valid only for receivers whose
+    /// class `Rc` is the program's pooled one (anything the VM allocated),
+    /// checked by pointer identity on every hit. Name-keyed rather than
+    /// site-keyed so every call site of e.g. `.dot()` shares one entry.
+    method_cache: Vec<Option<(u32, u32)>>,
+    /// Reusable argument buffer for builtin calls (no per-call `Vec`).
+    scratch: Vec<Value>,
+    heap_next: HeapId,
+    frame_next: u32,
+    cost: u64,
+    output: Vec<String>,
+    traces: Vec<VmTraceCtx>,
+    rng: u64,
+    current_line: u32,
+    /// Cached: `trace_loops` and some trace context is recording with a
+    /// current statement. Recomputed only when the trace stack changes.
+    record_active: bool,
+}
+
+impl<'p> Vm<'p> {
+    fn new(prog: &'p CompiledProgram, options: InterpOptions) -> Vm<'p> {
+        let rng = options.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let trace_loops = options.trace_loops;
+        Vm {
+            prog,
+            options,
+            stack: Vec::with_capacity(64),
+            slots: Vec::with_capacity(64),
+            frames: Vec::with_capacity(16),
+            call_names: Vec::with_capacity(16),
+            edges_seen: FxHashSet::default(),
+            iter_states: Vec::new(),
+            stmt_marks: Vec::with_capacity(32),
+            iter_marks: Vec::with_capacity(32),
+            stmt_hits: vec![0; prog.n_stmts as usize],
+            stmt_cost: vec![0; prog.n_stmts as usize],
+            loop_runs: if trace_loops {
+                prog.loop_infos
+                    .iter()
+                    .map(|info| LoopRun {
+                        entered: false,
+                        iterations: 0,
+                        stmt_cost: vec![0; info.stmts.len()],
+                        stmt_seen: vec![false; info.stmts.len()],
+                        traced: Vec::new(),
+                        seen: FxHashSet::default(),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            dyn_names: Vec::new(),
+            method_cache: vec![None; prog.names.len()],
+            scratch: Vec::with_capacity(8),
+            heap_next: 1,
+            frame_next: 1,
+            cost: 0,
+            output: Vec::new(),
+            traces: Vec::new(),
+            rng,
+            current_line: 0,
+            record_active: false,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::runtime(self.current_line, msg)
+    }
+
+    #[inline]
+    fn tick(&mut self, n: u64) -> Result<(), LangError> {
+        self.cost += n;
+        if self.cost > self.options.step_limit {
+            return Err(self.err("step limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn fresh_heap(&mut self) -> HeapId {
+        let id = self.heap_next;
+        self.heap_next += 1;
+        id
+    }
+
+    fn next_rand(&mut self, n: i64) -> i64 {
+        // xorshift64* — identical stream to the tree-walker.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let v = x.wrapping_mul(0x2545F4914F6CDD1D);
+        if n <= 0 {
+            0
+        } else {
+            ((v >> 17) % n as u64) as i64
+        }
+    }
+
+    fn recompute_record_active(&mut self) {
+        self.record_active = self.options.trace_loops
+            && self
+                .traces
+                .iter()
+                .any(|c| c.recording && c.cur_stmt.is_some());
+    }
+
+    /// Record one access into every active recording trace context —
+    /// a `Copy` push per context, like the tree-walker's
+    /// `record_access` but without per-access allocation.
+    fn record_lite(&mut self, loc: LocLite, kind: AccessKind) {
+        for ctx in &self.traces {
+            if !ctx.recording {
+                continue;
+            }
+            let Some(stmt) = ctx.cur_stmt else { continue };
+            let run = &mut self.loop_runs[ctx.loop_idx as usize];
+            // A repeat access can only land in an iteration (and statement
+            // entry) that its first occurrence already created, so skipping
+            // it changes nothing downstream.
+            if !run.seen.insert((ctx.iter as u32, stmt, loc, kind)) {
+                continue;
+            }
+            while run.traced.len() <= ctx.iter {
+                run.traced.push(Vec::new());
+            }
+            run.traced[ctx.iter].push(AccessRec { stmt, loc, kind });
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("vm stack underflow")
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.prog.names[id as usize]
+    }
+
+    /// Builtin (list/string) method call, dispatched by the compile-time
+    /// tag of the interned method name.
+    fn dispatch_builtin_method(
+        &mut self,
+        name: u32,
+        recv: &Value,
+        args: &[Value],
+    ) -> Result<Value, LangError> {
+        match self.prog.method_tags[name as usize] {
+            Some(tag) => {
+                let method = self.prog.names_rc[name as usize].clone();
+                call_builtin_method_tagged(self, recv, tag, &method, args)
+            }
+            None => Err(self.rt_err(format!(
+                "no method `{}` on {}",
+                self.name(name),
+                recv.type_name()
+            ))),
+        }
+    }
+
+    /// Resolve an interned name, including runtime-recorded ones.
+    fn resolve_name(&self, id: u32) -> &str {
+        let id = id as usize;
+        let n = self.prog.names.len();
+        if id < n {
+            &self.prog.names[id]
+        } else {
+            &self.dyn_names[id - n]
+        }
+    }
+
+    /// Intern a name recorded at runtime (builtin-reported locations whose
+    /// names are not in the compile-time table). Cold path.
+    fn intern_dyn(&mut self, name: &str) -> u32 {
+        let base = self.prog.names.len();
+        if let Some(i) = self.dyn_names.iter().position(|n| n == name) {
+            return (base + i) as u32;
+        }
+        self.dyn_names.push(name.to_string());
+        (base + self.dyn_names.len() - 1) as u32
+    }
+
+    fn loc_full(&self, loc: LocLite) -> DynLoc {
+        match loc {
+            LocLite::Local(serial, name) => {
+                DynLoc::Local(serial, self.resolve_name(name).to_string())
+            }
+            LocLite::Field(id, name) => DynLoc::Field(id, self.resolve_name(name).to_string()),
+            LocLite::Elem(id, i) => DynLoc::Elem(id, i),
+            LocLite::ListStruct(id) => DynLoc::ListStruct(id),
+        }
+    }
+
+    /// Sort key for a [`LocLite`] that reproduces `DynLoc`'s `Ord` using
+    /// only integers: variant tag, then fields, with interned names mapped
+    /// through `name_rank` (their rank in string order) and `i64` indices
+    /// sign-flipped into ordered `u64`s.
+    fn loc_sort_key(loc: LocLite, name_rank: &[u32]) -> (u8, u64, u64) {
+        match loc {
+            LocLite::Local(serial, name) => (0, serial as u64, name_rank[name as usize] as u64),
+            LocLite::Field(id, name) => (1, id, name_rank[name as usize] as u64),
+            LocLite::Elem(id, i) => (2, id, (i as u64) ^ (1 << 63)),
+            LocLite::ListStruct(id) => (3, id, 0),
+        }
+    }
+
+    /// Materialize the canonical profile from the dense counters. Only
+    /// called on successful runs (errors discard the profile, like the
+    /// tree-walker).
+    ///
+    /// All maps are bulk-built from pre-sorted vectors instead of grown by
+    /// repeated inserts; record ordering uses integer ranks, so the only
+    /// per-record string work left is allocating the names that end up in
+    /// the output itself.
+    fn build_profile(&mut self) -> Profile {
+        let mut p = Profile { total_cost: self.cost, ..Profile::default() };
+        p.stmt_hits = self
+            .stmt_hits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h > 0)
+            .map(|(i, &h)| (NodeId(i as u32), h))
+            .collect();
+        p.stmt_cost = self
+            .stmt_hits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h > 0)
+            .map(|(i, _)| (NodeId(i as u32), self.stmt_cost[i]))
+            .collect();
+        p.call_edges = self
+            .edges_seen
+            .iter()
+            .map(|&(a, b)| (self.name(a).to_string(), self.name(b).to_string()))
+            .collect();
+
+        // Rank every name (compile-time and runtime-interned) by string
+        // order, assigning equal ranks to equal strings, so record ordering
+        // and deduplication below work on integers. Skipped when nothing
+        // was traced (tracing off, or no loop recorded an access).
+        let mut name_rank = Vec::new();
+        if self.loop_runs.iter().any(|r| !r.traced.is_empty()) {
+            let n_names = self.prog.names.len() + self.dyn_names.len();
+            let mut by_str: Vec<u32> = (0..n_names as u32).collect();
+            by_str.sort_unstable_by_key(|&id| self.resolve_name(id));
+            name_rank = vec![0u32; n_names];
+            let mut rank = 0u32;
+            for (i, &id) in by_str.iter().enumerate() {
+                if i > 0 && self.resolve_name(by_str[i - 1]) != self.resolve_name(id) {
+                    rank += 1;
+                }
+                name_rank[id as usize] = rank;
+            }
+        }
+
+        let loop_runs = std::mem::take(&mut self.loop_runs);
+        let mut traces: Vec<(NodeId, LoopTrace)> = Vec::new();
+        for (idx, run) in loop_runs.into_iter().enumerate() {
+            if !run.entered {
+                continue;
+            }
+            let info = &self.prog.loop_infos[idx];
+            let mut t = LoopTrace { iterations: run.iterations, ..LoopTrace::default() };
+            t.stmt_cost = run
+                .stmt_seen
+                .iter()
+                .enumerate()
+                .filter(|&(_, &seen)| seen)
+                .map(|(slot, _)| (info.stmts[slot], run.stmt_cost[slot]))
+                .collect();
+            for mut recs in run.traced {
+                recs.sort_unstable_by_key(|r| {
+                    (r.stmt, Self::loc_sort_key(r.loc, &name_rank), r.kind)
+                });
+                recs.dedup_by_key(|r| {
+                    (r.stmt, Self::loc_sort_key(r.loc, &name_rank), r.kind)
+                });
+                let mut stmt_sets: Vec<(NodeId, AccessSet)> = Vec::new();
+                let mut i = 0;
+                while i < recs.len() {
+                    let stmt = recs[i].stmt;
+                    let mut set: Vec<(DynLoc, AccessKind)> = Vec::new();
+                    while i < recs.len() && recs[i].stmt == stmt {
+                        set.push((self.loc_full(recs[i].loc), recs[i].kind));
+                        i += 1;
+                    }
+                    stmt_sets.push((stmt, AccessSet::from_iter(set)));
+                }
+                t.traced.push(BTreeMap::from_iter(stmt_sets));
+            }
+            traces.push((info.id, t));
+        }
+        p.loop_traces = BTreeMap::from_iter(traces);
+        p
+    }
+
+    /// Set up a frame for `func`, moving the top `argc` stack values into
+    /// its parameter slots, and return its entry pc.
+    fn call(
+        &mut self,
+        func: u32,
+        argc: usize,
+        this: Option<Value>,
+        ret_pc: usize,
+        ctor_obj: Option<Value>,
+    ) -> Result<usize, LangError> {
+        let f = self.prog.funcs[func as usize];
+        if self.frames.len() >= self.options.max_depth {
+            return Err(self.err(format!(
+                "call depth exceeded calling `{}`",
+                self.name(f.name)
+            )));
+        }
+        if f.n_params as usize != argc {
+            return Err(self.err(format!(
+                "function `{}` expects {} argument(s), got {}",
+                self.name(f.name),
+                f.n_params,
+                argc
+            )));
+        }
+        if let Some(&caller) = self.call_names.last() {
+            self.edges_seen.insert((caller, f.name));
+        }
+        self.call_names.push(f.name);
+        let serial = self.frame_next;
+        self.frame_next += 1;
+        let base = self.slots.len();
+        self.slots.resize(base + f.frame_size as usize, Value::Null);
+        let mut at = base;
+        if f.is_method {
+            self.slots[at] = this.unwrap_or(Value::Null);
+            at += 1;
+        }
+        let start = self.stack.len() - argc;
+        for i in 0..argc {
+            self.slots[at + i] = std::mem::replace(&mut self.stack[start + i], Value::Null);
+        }
+        self.stack.truncate(start);
+        self.frames.push(VmFrame { ret_pc, base, serial, ctor_obj });
+        Ok(f.entry as usize)
+    }
+
+    fn run(&mut self, entry_func: u32, args: Vec<Value>) -> Result<Value, LangError> {
+        let argc = args.len();
+        self.stack.extend(args);
+        let mut pc = self.call(entry_func, argc, None, usize::MAX, None)?;
+        // The current frame's base and serial, cached across ops and
+        // refreshed on call/return.
+        let (mut base, mut serial) = {
+            let f = self.frames.last().expect("entry frame");
+            (f.base, f.serial)
+        };
+        let code: &'p [Op] = &self.prog.code;
+        loop {
+            let op = code[pc];
+            pc += 1;
+            match op {
+                Op::Tick(n) => self.tick(n as u64)?,
+                Op::StmtEnter { id, line } => {
+                    self.current_line = line;
+                    self.tick(1)?;
+                    self.stmt_hits[id.0 as usize] += 1;
+                    self.stmt_marks.push((id, self.cost));
+                }
+                Op::StmtExit => {
+                    let (id, mark) = self.stmt_marks.pop().expect("stmt mark underflow");
+                    self.stmt_cost[id.0 as usize] += self.cost - mark + 1;
+                }
+                Op::IterStmtEnter { stmt } => {
+                    if self.options.trace_loops {
+                        if let Some(ctx) = self.traces.last_mut() {
+                            ctx.cur_stmt = Some(stmt);
+                        }
+                        self.recompute_record_active();
+                        self.iter_marks.push(self.cost);
+                    }
+                }
+                Op::IterStmtExit { loop_idx, slot } => {
+                    if self.options.trace_loops {
+                        let mark = self.iter_marks.pop().expect("iter mark underflow");
+                        let delta = self.cost - mark;
+                        let run = &mut self.loop_runs[loop_idx as usize];
+                        run.stmt_cost[slot as usize] += delta;
+                        run.stmt_seen[slot as usize] = true;
+                    }
+                }
+                Op::BeginLoop { loop_idx } => {
+                    if self.options.trace_loops {
+                        self.loop_runs[loop_idx as usize].entered = true;
+                        self.traces.push(VmTraceCtx {
+                            loop_idx,
+                            iter: 0,
+                            recording: false,
+                            cur_stmt: None,
+                        });
+                        self.recompute_record_active();
+                    }
+                }
+                Op::IterStart { loop_idx } => {
+                    if self.options.trace_loops {
+                        let run = &mut self.loop_runs[loop_idx as usize];
+                        let global_iter = run.iterations as usize;
+                        run.iterations += 1;
+                        if let Some(ctx) = self.traces.last_mut() {
+                            ctx.iter = global_iter;
+                            ctx.recording = global_iter < self.options.trace_iters;
+                            ctx.cur_stmt = None;
+                        }
+                        self.recompute_record_active();
+                    }
+                }
+                Op::EndIterBody => {
+                    if self.options.trace_loops {
+                        if let Some(ctx) = self.traces.last_mut() {
+                            ctx.cur_stmt = None;
+                        }
+                        self.recompute_record_active();
+                    }
+                }
+                Op::EndLoop => {
+                    if self.options.trace_loops {
+                        self.traces.pop();
+                        self.recompute_record_active();
+                    }
+                }
+                Op::PopIterState => {
+                    self.iter_states.pop();
+                }
+                Op::Const { idx } => {
+                    self.stack.push(self.prog.consts[idx as usize].clone());
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::LoadSlot { slot, name } => {
+                    if self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
+                    }
+                    self.stack.push(self.slots[base + slot as usize].clone());
+                }
+                Op::StoreSlot { slot, name } => {
+                    let v = self.pop();
+                    if self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
+                    }
+                    self.slots[base + slot as usize] = v;
+                }
+                Op::CompoundSlot { slot, name, op } => {
+                    let rhs = self.pop();
+                    if self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
+                    }
+                    let old = self.slots[base + slot as usize].clone();
+                    let new = binary_op(compound_bin(op), &old, &rhs)
+                        .map_err(|m| self.err(m))?;
+                    if self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
+                    }
+                    self.slots[base + slot as usize] = new;
+                }
+                Op::UndefVar { name, kind } => {
+                    let name = self.name(name);
+                    return Err(match kind {
+                        UndefKind::Read => self.err(format!("undefined variable `{name}`")),
+                        UndefKind::Assign => {
+                            self.err(format!("assignment to undefined variable `{name}`"))
+                        }
+                    });
+                }
+                Op::Unary(op) => {
+                    use crate::ast::UnOp;
+                    let v = self.pop();
+                    let out = match (op, &v) {
+                        (UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+                        (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
+                        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                        _ => {
+                            return Err(self.err(format!(
+                                "bad operand {} for unary op",
+                                v.type_name()
+                            )))
+                        }
+                    };
+                    self.stack.push(out);
+                }
+                Op::Binary(op) => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    let out = binary_op(op, &l, &r).map_err(|m| self.err(m))?;
+                    self.stack.push(out);
+                }
+                Op::ToBool => {
+                    let v = self.pop();
+                    let b = v
+                        .as_bool()
+                        .ok_or_else(|| self.err(format!("logic on {}", v.type_name())))?;
+                    self.stack.push(Value::Bool(b));
+                }
+                Op::ShortCircuit { and, target } => {
+                    let v = self.pop();
+                    let b = v
+                        .as_bool()
+                        .ok_or_else(|| self.err(format!("logic on {}", v.type_name())))?;
+                    if (and && !b) || (!and && b) {
+                        self.stack.push(Value::Bool(b));
+                        pc = target as usize;
+                    }
+                }
+                Op::Jump { target } => pc = target as usize,
+                Op::JumpIfFalse { target, cond } => {
+                    let v = self.pop();
+                    let b = v.as_bool().ok_or_else(|| {
+                        self.err(format!("{} condition is {}", cond.label(), v.type_name()))
+                    })?;
+                    if !b {
+                        pc = target as usize;
+                    }
+                }
+                Op::LoadField { name } => {
+                    let b = self.pop();
+                    match &b {
+                        Value::Object(o) => {
+                            if self.record_active {
+                                self.record_lite(LocLite::Field(o.id, name), AccessKind::Read);
+                            }
+                            let v = o
+                                .fields
+                                .borrow()
+                                .get_interned(&self.prog.names_rc[name as usize])
+                                .cloned()
+                                .ok_or_else(|| {
+                                    self.err(format!(
+                                        "no field `{}` on {}",
+                                        self.name(name),
+                                        o.class
+                                    ))
+                                })?;
+                            self.stack.push(v);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "cannot read field `{}` of {}",
+                                self.name(name),
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                Op::StoreField { name } => {
+                    let obj = self.pop();
+                    let rhs = self.pop();
+                    let Value::Object(o) = &obj else {
+                        return Err(self.err(format!(
+                            "cannot assign field `{}` on {}",
+                            self.name(name),
+                            obj.type_name()
+                        )));
+                    };
+                    if self.record_active {
+                        self.record_lite(LocLite::Field(o.id, name), AccessKind::Write);
+                    }
+                    o.fields
+                        .borrow_mut()
+                        .set_interned(&self.prog.names_rc[name as usize], rhs);
+                }
+                Op::CompoundField { name, op } => {
+                    let obj = self.pop();
+                    let rhs = self.pop();
+                    let Value::Object(o) = &obj else {
+                        return Err(self.err(format!(
+                            "cannot assign field `{}` on {}",
+                            self.name(name),
+                            obj.type_name()
+                        )));
+                    };
+                    if self.record_active {
+                        self.record_lite(LocLite::Field(o.id, name), AccessKind::Read);
+                    }
+                    let old = o
+                        .fields
+                        .borrow()
+                        .get_interned(&self.prog.names_rc[name as usize])
+                        .cloned()
+                        .ok_or_else(|| self.err(format!("no field `{}`", self.name(name))))?;
+                    let new = binary_op(compound_bin(op), &old, &rhs)
+                        .map_err(|m| self.err(m))?;
+                    if self.record_active {
+                        self.record_lite(LocLite::Field(o.id, name), AccessKind::Write);
+                    }
+                    o.fields
+                        .borrow_mut()
+                        .set_interned(&self.prog.names_rc[name as usize], new);
+                }
+                Op::LoadIndex => {
+                    let i = self.pop();
+                    let b = self.pop();
+                    let (Value::List(l), Value::Int(i)) = (&b, &i) else {
+                        return Err(self.err(format!(
+                            "cannot index {} with {}",
+                            b.type_name(),
+                            i.type_name()
+                        )));
+                    };
+                    let len = l.items.borrow().len() as i64;
+                    if *i < 0 || *i >= len {
+                        return Err(self.err(format!("index {i} out of bounds (len {len})")));
+                    }
+                    if self.record_active {
+                        self.record_lite(LocLite::Elem(l.id, *i), AccessKind::Read);
+                    }
+                    let v = l.items.borrow()[*i as usize].clone();
+                    self.stack.push(v);
+                }
+                Op::StoreIndex | Op::CompoundIndex { .. } => {
+                    let idx = self.pop();
+                    let list = self.pop();
+                    let rhs = self.pop();
+                    let Value::List(l) = &list else {
+                        return Err(self.err(format!("cannot index {}", list.type_name())));
+                    };
+                    let Value::Int(i) = idx else {
+                        return Err(
+                            self.err(format!("index must be int, got {}", idx.type_name()))
+                        );
+                    };
+                    let len = l.items.borrow().len() as i64;
+                    if i < 0 || i >= len {
+                        return Err(self.err(format!("index {i} out of bounds (len {len})")));
+                    }
+                    let new = match op {
+                        Op::StoreIndex => rhs,
+                        Op::CompoundIndex { op } => {
+                            if self.record_active {
+                                self.record_lite(LocLite::Elem(l.id, i), AccessKind::Read);
+                            }
+                            let old = l.items.borrow()[i as usize].clone();
+                            binary_op(compound_bin(op), &old, &rhs).map_err(|m| self.err(m))?
+                        }
+                        _ => unreachable!(),
+                    };
+                    if self.record_active {
+                        self.record_lite(LocLite::Elem(l.id, i), AccessKind::Write);
+                    }
+                    l.items.borrow_mut()[i as usize] = new;
+                }
+                Op::MakeList { len } => {
+                    let items = self.stack.split_off(self.stack.len() - len as usize);
+                    let id = self.fresh_heap();
+                    self.stack
+                        .push(Value::List(Rc::new(ListData { id, items: RefCell::new(items) })));
+                }
+                Op::CallFunc { func, argc } => {
+                    pc = self.call(func, argc as usize, None, pc, None)?;
+                    let f = self.frames.last().expect("frame just pushed");
+                    (base, serial) = (f.base, f.serial);
+                }
+                Op::CallMethod { name, argc } => {
+                    let argc = argc as usize;
+                    let recv_at = self.stack.len() - argc - 1;
+                    let site = name as usize;
+                    let mut method_fn = None;
+                    let mut slow_class: Option<Rc<str>> = None;
+                    if let Value::Object(o) = &self.stack[recv_at] {
+                        match self.method_cache[site] {
+                            Some((ci, f))
+                                if Rc::ptr_eq(
+                                    &o.class,
+                                    &self.prog.class_names[ci as usize],
+                                ) =>
+                            {
+                                method_fn = Some(f);
+                            }
+                            _ => slow_class = Some(o.class.clone()),
+                        }
+                    }
+                    if let Some(class) = slow_class {
+                        if let Some(&ci) = self.prog.class_by_name.get(&*class) {
+                            method_fn = self.prog.classes[ci as usize]
+                                .methods
+                                .iter()
+                                .find(|(n, _)| *n == name)
+                                .map(|&(_, f)| f);
+                            if method_fn.is_some()
+                                && Rc::ptr_eq(&class, &self.prog.class_names[ci as usize])
+                            {
+                                self.method_cache[site] =
+                                    method_fn.map(|f| (ci, f));
+                            }
+                        }
+                    }
+                    match method_fn {
+                        Some(f) => {
+                            let recv = self.stack.remove(recv_at);
+                            pc = self.call(f, argc, Some(recv), pc, None)?;
+                            let fr = self.frames.last().expect("frame just pushed");
+                            (base, serial) = (fr.base, fr.serial);
+                        }
+                        None => {
+                            let res = if argc <= 2 {
+                                let mut buf = [Value::Null, Value::Null];
+                                for slot in buf[..argc].iter_mut().rev() {
+                                    *slot = self.pop();
+                                }
+                                let recv = self.pop();
+                                self.dispatch_builtin_method(name, &recv, &buf[..argc])
+                            } else {
+                                let mut scratch = std::mem::take(&mut self.scratch);
+                                scratch.extend(self.stack.drain(recv_at + 1..));
+                                let recv = self.pop();
+                                let res =
+                                    self.dispatch_builtin_method(name, &recv, &scratch);
+                                scratch.clear();
+                                self.scratch = scratch;
+                                res
+                            };
+                            self.stack.push(res?);
+                        }
+                    }
+                }
+                Op::CallBuiltin { id, argc } => {
+                    let argc = argc as usize;
+                    // Nearly all builtin calls take <= 2 arguments: move
+                    // them into a fixed buffer instead of the shared
+                    // scratch vector (no drain, no restore).
+                    let res = if argc <= 2 {
+                        let mut buf = [Value::Null, Value::Null];
+                        for slot in buf[..argc].iter_mut().rev() {
+                            *slot = self.pop();
+                        }
+                        call_builtin(self, id, &buf[..argc])
+                    } else {
+                        let start = self.stack.len() - argc;
+                        let mut scratch = std::mem::take(&mut self.scratch);
+                        scratch.extend(self.stack.drain(start..));
+                        let res = call_builtin(self, id, &scratch);
+                        scratch.clear();
+                        self.scratch = scratch;
+                        res
+                    };
+                    self.stack.push(res?);
+                }
+                Op::Work => {
+                    let v = self.pop();
+                    let Value::Int(n) = v else {
+                        return Err(self.err("work(n) takes an int"));
+                    };
+                    if n < 0 {
+                        return Err(self.err("work(n) takes a non-negative int"));
+                    }
+                    self.tick(n as u64)?;
+                    self.stack.push(Value::Null);
+                }
+                Op::UnknownCall { name } => {
+                    return Err(self.err(format!("unknown function `{}`", self.name(name))));
+                }
+                Op::AllocObject { class } => {
+                    let id = self.fresh_heap();
+                    let n_fields = self.prog.classes[class as usize].field_names.len();
+                    self.stack.push(Value::Object(Rc::new(ObjectData {
+                        id,
+                        class: self.prog.class_names[class as usize].clone(),
+                        fields: RefCell::new(FieldTable::with_capacity(n_fields)),
+                    })));
+                }
+                Op::InitField { name } => {
+                    let v = self.pop();
+                    let Value::Object(o) = self.stack.last().expect("object under init") else {
+                        unreachable!("InitField on non-object");
+                    };
+                    o.fields
+                        .borrow_mut()
+                        .set_interned(&self.prog.names_rc[name as usize], v);
+                }
+                Op::CallCtor { func, argc } => {
+                    let obj = self.pop();
+                    pc = self.call(func, argc as usize, Some(obj.clone()), pc, Some(obj))?;
+                    let f = self.frames.last().expect("frame just pushed");
+                    (base, serial) = (f.base, f.serial);
+                }
+                Op::PositionalInit { class, argc } => {
+                    let cc = &self.prog.classes[class as usize];
+                    if argc as usize != cc.field_names.len() {
+                        let cname = self.name(cc.name);
+                        return Err(self.err(format!(
+                            "class `{cname}` has {} field(s) but constructor got {} argument(s)",
+                            cc.field_names.len(),
+                            argc
+                        )));
+                    }
+                    let obj = self.pop();
+                    let args = self.stack.split_off(self.stack.len() - argc as usize);
+                    let Value::Object(o) = &obj else {
+                        unreachable!("PositionalInit on non-object");
+                    };
+                    {
+                        let mut fields = o.fields.borrow_mut();
+                        for (&fname, a) in cc.field_names.iter().zip(args) {
+                            fields.set_interned(&self.prog.names_rc[fname as usize], a);
+                        }
+                    }
+                    self.stack.push(obj);
+                }
+                Op::NoClass { name } => {
+                    return Err(self.err(format!("no class `{}`", self.name(name))));
+                }
+                Op::CtorRecursion => {
+                    // Field initializers that construct their own class
+                    // diverge under the tree-walker; report the resource
+                    // error a diverging run would eventually hit.
+                    return Err(self.err("step limit exceeded"));
+                }
+                Op::ForeachIter => {
+                    let iterable = self.pop();
+                    let items: Vec<Value> = match &iterable {
+                        Value::List(l) => {
+                            if self.record_active {
+                                self.record_lite(LocLite::ListStruct(l.id), AccessKind::Read);
+                            }
+                            l.items.borrow().clone()
+                        }
+                        Value::Str(s) => {
+                            s.chars().map(|c| Value::str(c.to_string())).collect()
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "cannot iterate over {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    self.iter_states.push((items, 0));
+                }
+                Op::ForeachNext { slot, target } => {
+                    let (items, at) = self.iter_states.last_mut().expect("no iter state");
+                    if *at < items.len() {
+                        let item = std::mem::replace(&mut items[*at], Value::Null);
+                        *at += 1;
+                        self.slots[base + slot as usize] = item;
+                    } else {
+                        self.iter_states.pop();
+                        pc = target as usize;
+                    }
+                }
+                Op::Ret => {
+                    let ret = self.pop();
+                    let frame = self.frames.pop().expect("no frame to return from");
+                    self.slots.truncate(frame.base);
+                    self.call_names.pop();
+                    let v = match frame.ctor_obj {
+                        Some(obj) => obj,
+                        None => ret,
+                    };
+                    if self.frames.is_empty() {
+                        return Ok(v);
+                    }
+                    self.stack.push(v);
+                    pc = frame.ret_pc;
+                    let f = self.frames.last().expect("caller frame");
+                    (base, serial) = (f.base, f.serial);
+                }
+            }
+        }
+    }
+}
+
+impl Host for Vm<'_> {
+    fn tick(&mut self, n: u64) -> Result<(), LangError> {
+        Vm::tick(self, n)
+    }
+    fn rt_err(&self, msg: String) -> LangError {
+        self.err(msg)
+    }
+    fn fresh_heap(&mut self) -> HeapId {
+        Vm::fresh_heap(self)
+    }
+    fn next_rand(&mut self, n: i64) -> i64 {
+        Vm::next_rand(self, n)
+    }
+    fn record(&mut self, loc: DynLoc, kind: AccessKind) {
+        if !self.record_active {
+            return;
+        }
+        let lite = match loc {
+            DynLoc::Local(serial, name) => LocLite::Local(serial, self.intern_dyn(&name)),
+            DynLoc::Field(id, name) => LocLite::Field(id, self.intern_dyn(&name)),
+            DynLoc::Elem(id, i) => LocLite::Elem(id, i),
+            DynLoc::ListStruct(id) => LocLite::ListStruct(id),
+        };
+        self.record_lite(lite, kind);
+    }
+    fn push_output(&mut self, line: String) {
+        self.output.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, Engine};
+    use crate::parser::parse;
+
+    fn both(src: &str) -> (Result<Outcome, LangError>, Result<Outcome, LangError>) {
+        let p = parse(src).unwrap();
+        let ast = run(
+            &p,
+            InterpOptions { engine: Engine::Ast, ..InterpOptions::default() },
+        );
+        let vm = run(
+            &p,
+            InterpOptions { engine: Engine::Vm, ..InterpOptions::default() },
+        );
+        (ast, vm)
+    }
+
+    fn assert_identical(src: &str) {
+        let (ast, vm) = both(src);
+        match (ast, vm) {
+            (Ok(a), Ok(v)) => {
+                assert_eq!(format!("{:?}", a.result), format!("{:?}", v.result), "{src}");
+                assert_eq!(a.output, v.output, "{src}");
+                assert_eq!(a.profile.total_cost, v.profile.total_cost, "{src}");
+                assert_eq!(a.profile.stmt_hits, v.profile.stmt_hits, "{src}");
+                assert_eq!(a.profile.stmt_cost, v.profile.stmt_cost, "{src}");
+                assert_eq!(a.profile.call_edges, v.profile.call_edges, "{src}");
+            }
+            (Err(a), Err(v)) => {
+                assert_eq!(a.line, v.line, "{src}");
+                assert_eq!(a.message, v.message, "{src}");
+            }
+            (a, v) => panic!("engines disagree on {src}: ast={a:?} vm={v:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow_match() {
+        assert_identical("fn main() { print(1 + 2 * 3); print(10 / 4); print(10.0 / 4); }");
+        assert_identical(
+            "fn main() { var s = 0; for (var i = 0; i < 5; i = i + 1) { s += i; } print(s); }",
+        );
+        assert_identical(
+            "fn main() { var s = 0; foreach (i in range(0, 10)) { if (i % 2 == 0) { continue; } if (i > 5) { break; } s += i; } print(s); }",
+        );
+    }
+
+    #[test]
+    fn classes_and_calls_match() {
+        assert_identical(
+            r#"
+            class Counter {
+                var n = 0;
+                fn init(start) { this.n = start * 2; }
+                fn bump() { this.n += 1; return this.n; }
+            }
+            fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+            fn main() {
+                var c = new Counter(5);
+                print(c.bump(), c.bump(), fib(10));
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn errors_match() {
+        assert_identical("fn main() { var x = 1 / 0; }");
+        assert_identical("fn main() { print(nope); }");
+        assert_identical("fn main() { var xs = [1]; print(xs[5]); }");
+        assert_identical("fn main() { missing(); }");
+        assert_identical("fn f() { return f(); } fn main() { f(); }");
+        assert_identical("class P { var x = 0; } fn main() { var p = new P(1, 2); }");
+    }
+
+    #[test]
+    fn shadowing_and_scopes_match() {
+        assert_identical(
+            r#"
+            fn main() {
+                var x = 1;
+                { var x = 2; print(x); }
+                print(x);
+                var x = x + 10;
+                print(x);
+                if (true) { var y = 5; print(y); }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn loop_traces_match_byte_for_byte() {
+        let src = r#"
+            fn main() {
+                var acc = 0;
+                var xs = [1, 2, 3, 4, 5];
+                foreach (x in xs) {
+                    acc += x;
+                    foreach (y in xs) { acc += y; }
+                }
+                print(acc);
+            }
+        "#;
+        let (ast, vm) = both(src);
+        let (a, v) = (ast.unwrap(), vm.unwrap());
+        assert_eq!(a.profile.to_json(), v.profile.to_json());
+    }
+
+    #[test]
+    fn precompiled_program_reruns() {
+        let p = parse("fn main() { var s = 0; foreach (i in range(0, 5)) { s += i; } print(s); }")
+            .unwrap();
+        let compiled = compile(&p);
+        for _ in 0..3 {
+            let out =
+                run_compiled(&compiled, "main", vec![], InterpOptions::default()).unwrap();
+            assert_eq!(out.output, vec!["10"]);
+        }
+    }
+
+    #[test]
+    fn vm_is_the_default_engine() {
+        assert_eq!(Engine::default(), Engine::Vm);
+        let p = parse("fn main() { print(42); }").unwrap();
+        let out = run(&p, InterpOptions::default()).unwrap();
+        assert_eq!(out.output, vec!["42"]);
+    }
+}

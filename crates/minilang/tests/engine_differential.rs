@@ -1,0 +1,409 @@
+//! Differential tests: the bytecode VM must be observationally identical to
+//! the tree-walking interpreter — same result, same printed output, same
+//! `LangError` (phase, line, message) and a **byte-identical** profile JSON
+//! rendering — on randomly generated programs and on targeted error cases.
+
+use patty_minilang::ast::*;
+use patty_minilang::span::{NodeId, Span};
+use patty_minilang::{parse, print_program, run, Engine, InterpOptions};
+use proptest::prelude::*;
+
+/// Run one parsed program through both engines under the same options and
+/// assert full observational identity.
+fn assert_engines_agree(program: &Program, opts: &InterpOptions) -> Result<(), TestCaseError> {
+    let ast = run(program, InterpOptions { engine: Engine::Ast, ..opts.clone() });
+    let vm = run(program, InterpOptions { engine: Engine::Vm, ..opts.clone() });
+    match (ast, vm) {
+        (Ok(a), Ok(v)) => {
+            prop_assert_eq!(format!("{:?}", a.result), format!("{:?}", v.result));
+            prop_assert_eq!(&a.output, &v.output);
+            prop_assert_eq!(a.profile.to_json(), v.profile.to_json());
+        }
+        (Err(a), Err(v)) => prop_assert_eq!(a, v),
+        (a, v) => {
+            return Err(TestCaseError::fail(format!(
+                "engines disagree: ast={:?} vm={:?}",
+                a.map(|o| o.output),
+                v.map(|o| o.output)
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn assert_src_agrees(src: &str, opts: &InterpOptions) {
+    let program = parse(src).expect("test program parses");
+    assert_engines_agree(&program, opts).unwrap();
+}
+
+// ---- generated programs ----
+
+fn lit(v: i64) -> Expr {
+    Expr { id: NodeId(0), span: Span::DUMMY, kind: ExprKind::Int(v) }
+}
+
+fn var(name: &str) -> Expr {
+    Expr { id: NodeId(0), span: Span::DUMMY, kind: ExprKind::Var(name.to_string()) }
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt { id: NodeId(0), span: Span::DUMMY, kind }
+}
+
+fn block(stmts: Vec<Stmt>) -> Block {
+    Block { id: NodeId(0), span: Span::DUMMY, stmts }
+}
+
+fn call(callee: &str, args: Vec<Expr>) -> Expr {
+    Expr {
+        id: NodeId(0),
+        span: Span::DUMMY,
+        kind: ExprKind::Call { callee: callee.to_string(), args },
+    }
+}
+
+/// Expressions over pre-declared ints `a`/`b`/`c` and list `xs`.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(lit),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(var),
+        // xs[..] indexing with an in-bounds constant (xs has 4 elements)
+        (0i64..4).prop_map(|i| Expr {
+            id: NodeId(0),
+            span: Span::DUMMY,
+            kind: ExprKind::Index { base: Box::new(var("xs")), index: Box::new(lit(i)) },
+        }),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Rem),
+                Just(BinOp::Lt),
+                Just(BinOp::Eq),
+            ],
+        )
+            .prop_map(|(lhs, rhs, op)| {
+                // `%` faults on bool operands and on zero divisors from
+                // comparison subtrees; guard it to arithmetic-only shapes.
+                let op = if op == BinOp::Rem
+                    && !matches!(
+                        (&lhs.kind, &rhs.kind),
+                        (ExprKind::Var(_) | ExprKind::Int(_), ExprKind::Int(_))
+                    ) {
+                    BinOp::Add
+                } else {
+                    op
+                };
+                let rhs = if op == BinOp::Rem && matches!(rhs.kind, ExprKind::Int(0)) {
+                    lit(7)
+                } else {
+                    rhs
+                };
+                Expr {
+                    id: NodeId(0),
+                    span: Span::DUMMY,
+                    kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                }
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+/// Statements reading/writing `a`/`b`/`c`, mutating list `xs`, calling the
+/// `helper` user function, printing, and nesting ifs/foreach/while.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        prop_oneof![Just(AssignOp::Set), Just(AssignOp::Add), Just(AssignOp::Mul)],
+        arb_expr(2),
+    )
+        .prop_map(|(name, op, value)| {
+            let op = if matches!(
+                value.kind,
+                ExprKind::Binary { op: BinOp::Lt | BinOp::Eq, .. }
+            ) {
+                AssignOp::Set
+            } else {
+                op
+            };
+            stmt(StmtKind::Assign {
+                target: LValue { span: Span::DUMMY, kind: LValueKind::Var(name.to_string()) },
+                op,
+                value,
+            })
+        });
+    let index_assign = (0i64..4, arb_expr(1)).prop_map(|(i, value)| {
+        let value = if matches!(value.kind, ExprKind::Binary { op: BinOp::Lt | BinOp::Eq, .. }) {
+            lit(1)
+        } else {
+            value
+        };
+        stmt(StmtKind::Assign {
+            target: LValue {
+                span: Span::DUMMY,
+                kind: LValueKind::Index { base: var("xs"), index: lit(i) },
+            },
+            op: AssignOp::Set,
+            value,
+        })
+    });
+    let helper_call = arb_expr(1).prop_map(|e| {
+        stmt(StmtKind::Assign {
+            target: LValue { span: Span::DUMMY, kind: LValueKind::Var("a".to_string()) },
+            op: AssignOp::Set,
+            value: call("helper", vec![e]),
+        })
+    });
+    let print_stmt = arb_expr(1).prop_map(|e| stmt(StmtKind::Expr(call("print", vec![e]))));
+    let base = prop_oneof![3 => assign, 2 => index_assign, 1 => helper_call, 1 => print_stmt];
+    base.prop_recursive(depth, 16, 4, |inner| {
+        prop_oneof![
+            (arb_expr(1), proptest::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(c, body)| {
+                    let cond = Expr {
+                        id: NodeId(0),
+                        span: Span::DUMMY,
+                        kind: ExprKind::Binary {
+                            op: BinOp::Lt,
+                            lhs: Box::new(c),
+                            rhs: Box::new(lit(10)),
+                        },
+                    };
+                    stmt(StmtKind::If { cond, then_blk: block(body), else_blk: None })
+                }
+            ),
+            (1i64..5, proptest::collection::vec(inner.clone(), 1..3)).prop_map(|(n, body)| {
+                stmt(StmtKind::Foreach {
+                    var: "it".into(),
+                    iter: call("range", vec![lit(0), lit(n)]),
+                    body: block(body),
+                })
+            }),
+            // bounded while: `c = 0; while (c < n) { ..body..; c += 1 }`
+            (1i64..4, proptest::collection::vec(inner, 1..2)).prop_map(|(n, mut body)| {
+                body.push(stmt(StmtKind::Assign {
+                    target: LValue { span: Span::DUMMY, kind: LValueKind::Var("w".into()) },
+                    op: AssignOp::Add,
+                    value: lit(1),
+                }));
+                let cond = Expr {
+                    id: NodeId(0),
+                    span: Span::DUMMY,
+                    kind: ExprKind::Binary {
+                        op: BinOp::Lt,
+                        lhs: Box::new(var("w")),
+                        rhs: Box::new(lit(n)),
+                    },
+                };
+                stmt(StmtKind::Block(block(vec![
+                    stmt(StmtKind::VarDecl { name: "w".into(), init: lit(0) }),
+                    stmt(StmtKind::While { cond, body: block(body) }),
+                ])))
+            }),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+/// Build a whole program: a `helper(n)` user function plus a `main` with
+/// the shared declarations and the generated statements.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(2), 1..7).prop_map(|mut stmts| {
+        let helper = FuncDecl {
+            id: NodeId(0),
+            span: Span::DUMMY,
+            name: "helper".into(),
+            params: vec!["n".into()],
+            body: block(vec![stmt(StmtKind::Return(Some(Expr {
+                id: NodeId(0),
+                span: Span::DUMMY,
+                kind: ExprKind::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(var("n")),
+                    rhs: Box::new(lit(2)),
+                },
+            })))]),
+        };
+        let mut all = vec![
+            stmt(StmtKind::VarDecl { name: "a".into(), init: lit(1) }),
+            stmt(StmtKind::VarDecl { name: "b".into(), init: lit(2) }),
+            stmt(StmtKind::VarDecl { name: "c".into(), init: lit(3) }),
+            stmt(StmtKind::VarDecl {
+                name: "xs".into(),
+                init: Expr {
+                    id: NodeId(0),
+                    span: Span::DUMMY,
+                    kind: ExprKind::ListLit(vec![lit(1), lit(2), lit(3), lit(4)]),
+                },
+            }),
+        ];
+        all.append(&mut stmts);
+        all.push(stmt(StmtKind::Expr(call(
+            "print",
+            vec![var("a"), var("b"), var("c"), var("xs")],
+        ))));
+        Program::new(
+            vec![],
+            vec![
+                helper,
+                FuncDecl {
+                    id: NodeId(0),
+                    span: Span::DUMMY,
+                    name: "main".into(),
+                    params: vec![],
+                    body: block(all),
+                },
+            ],
+            0,
+            String::new(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vm_matches_tree_walker_on_random_programs(program in arb_program()) {
+        // Round-trip through the printer so the parsed program carries real
+        // node ids and line numbers (the generator uses dummies).
+        let src = print_program(&program);
+        let parsed = parse(&src).expect("printed program parses");
+        let opts = InterpOptions { step_limit: 2_000_000, ..InterpOptions::default() };
+        assert_engines_agree(&parsed, &opts)?;
+    }
+
+    #[test]
+    fn vm_matches_tree_walker_with_tiny_trace_budget(program in arb_program()) {
+        let src = print_program(&program);
+        let parsed = parse(&src).expect("printed program parses");
+        let opts = InterpOptions {
+            step_limit: 2_000_000,
+            trace_iters: 2,
+            ..InterpOptions::default()
+        };
+        assert_engines_agree(&parsed, &opts)?;
+    }
+
+    #[test]
+    fn vm_matches_tree_walker_under_injected_step_limit(program in arb_program(), limit in 1u64..400) {
+        let src = print_program(&program);
+        let parsed = parse(&src).expect("printed program parses");
+        // A tiny step limit makes many cases die mid-execution; the error
+        // (line and message) must match exactly.
+        let opts = InterpOptions { step_limit: limit, ..InterpOptions::default() };
+        assert_engines_agree(&parsed, &opts)?;
+    }
+}
+
+// ---- targeted error-identity cases ----
+
+#[test]
+fn step_limit_error_is_identical() {
+    assert_src_agrees(
+        "fn main() {\n    var i = 0;\n    while (i < 100000) {\n        i += 1;\n    }\n}",
+        &InterpOptions { step_limit: 5_000, ..InterpOptions::default() },
+    );
+}
+
+#[test]
+fn call_depth_error_is_identical() {
+    assert_src_agrees(
+        "fn rec(n) {\n    return rec(n + 1);\n}\nfn main() {\n    rec(0);\n}",
+        &InterpOptions::default(),
+    );
+    assert_src_agrees(
+        "fn rec(n) {\n    return rec(n + 1);\n}\nfn main() {\n    rec(0);\n}",
+        &InterpOptions { max_depth: 7, ..InterpOptions::default() },
+    );
+}
+
+#[test]
+fn index_out_of_bounds_error_is_identical() {
+    assert_src_agrees(
+        "fn main() {\n    var xs = [1, 2, 3];\n    var i = 0;\n    while (true) {\n        var v = xs[i];\n        i += 1;\n    }\n}",
+        &InterpOptions::default(),
+    );
+    assert_src_agrees(
+        "fn main() {\n    var xs = [1];\n    xs[5] = 9;\n}",
+        &InterpOptions::default(),
+    );
+    assert_src_agrees(
+        "fn main() {\n    var xs = [1];\n    xs[0 - 1] += 2;\n}",
+        &InterpOptions::default(),
+    );
+}
+
+#[test]
+fn type_and_name_errors_are_identical() {
+    for src in [
+        "fn main() {\n    var x = 1 / 0;\n}",
+        "fn main() {\n    var x = 5 % 0;\n}",
+        "fn main() {\n    print(nope);\n}",
+        "fn main() {\n    nope = 3;\n}",
+        "fn main() {\n    nope += 3;\n}",
+        "fn main() {\n    missing(1, 2);\n}",
+        "fn main() {\n    var o = new Ghost();\n}",
+        "fn main() {\n    if (1) { print(2); }\n}",
+        "fn main() {\n    while (1) { print(2); }\n}",
+        "fn main() {\n    for (var i = 0; i + 1; i += 1) { }\n}",
+        "fn main() {\n    var x = true + 1;\n}",
+        "fn main() {\n    var x = -true;\n}",
+        "fn main() {\n    var x = 1 && true;\n}",
+        "fn main() {\n    var x = true && 1;\n}",
+        "fn main() {\n    foreach (x in 5) { }\n}",
+        "fn main() {\n    var s = \"abc\";\n    s.x = 1;\n}",
+        "fn main() {\n    var s = \"abc\";\n    print(s.q());\n}",
+        "fn main() {\n    print(len(3));\n}",
+        "fn main() {\n    print(work(true));\n}",
+        "fn main() {\n    print(work(0 - 4));\n}",
+        "fn main() {\n    print(range(1));\n}",
+        "fn main() {\n    assert(1 == 2, \"boom\");\n}",
+        "class P { var x = 0; }\nfn main() {\n    var p = new P(1, 2);\n}",
+        "class P { var x = 0; }\nfn main() {\n    var p = new P(1);\n    print(p.y);\n}",
+        "fn f(a, b) { return a; }\nfn main() {\n    f(1);\n}",
+    ] {
+        assert_src_agrees(src, &InterpOptions::default());
+    }
+}
+
+#[test]
+fn errors_inside_loops_carry_identical_stale_lines() {
+    // The walker's `current_line` is the line of the innermost *statement*
+    // last entered; a condition failing on a later iteration reports the
+    // line of the last body statement. Both engines must agree.
+    assert_src_agrees(
+        "fn main() {\n    var c = 0;\n    while (c < 2) {\n        c = c + \"x\";\n    }\n}",
+        &InterpOptions::default(),
+    );
+}
+
+#[test]
+fn entry_function_runs_with_args_on_both_engines() {
+    use patty_minilang::{run_func, Value};
+    let p = parse("fn f(n) { var s = 0; foreach (i in range(0, n)) { s += i; } return s; }")
+        .unwrap();
+    let ast = run_func(
+        &p,
+        "f",
+        vec![Value::Int(10)],
+        InterpOptions { engine: Engine::Ast, ..InterpOptions::default() },
+    )
+    .unwrap();
+    let vm = run_func(
+        &p,
+        "f",
+        vec![Value::Int(10)],
+        InterpOptions { engine: Engine::Vm, ..InterpOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(format!("{:?}", ast.result), format!("{:?}", vm.result));
+    assert_eq!(ast.profile.to_json(), vm.profile.to_json());
+}

@@ -135,18 +135,18 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 args: vec![var("a".into()), var("b".into()), var("c".into())],
             },
         })));
-        Program {
-            classes: vec![],
-            funcs: vec![FuncDecl {
+        Program::new(
+            vec![],
+            vec![FuncDecl {
                 id: NodeId(0),
                 span: Span::DUMMY,
                 name: "main".into(),
                 params: vec![],
                 body: block(all),
             }],
-            node_count: 0,
-            source: String::new(),
-        }
+            0,
+            String::new(),
+        )
     })
 }
 
