@@ -1,0 +1,802 @@
+//! Process-wide worker pool with per-lane work-stealing deques.
+//!
+//! Every pattern run used to pay `std::thread::scope` + one OS thread
+//! per stage/worker; on short streams that overhead dominated and the
+//! "parallel" configurations lost to sequential. This module keeps a
+//! lazily-started pool of persistent **lanes** alive for the process and
+//! lets the patterns submit closures instead of spawning threads.
+//!
+//! Two task classes with different liveness needs:
+//!
+//! * **Resident** tasks ([`Scope::spawn_resident`]) may block on
+//!   channels for the life of a run — pipeline feeders, stage workers
+//!   and reorder threads. A resident task must never queue behind
+//!   another blocked task, so submission either hands it to a lane that
+//!   is *already idle*, starts a new lane (below the pool cap), or
+//!   falls back to a one-shot ephemeral thread. Deadlock-freedom does
+//!   not depend on pool capacity.
+//! * **Short** tasks ([`Scope::spawn`]) are non-blocking claim loops —
+//!   parfor chunk workers, master/worker item workers, `join_all`
+//!   members. They go through a shared [`Injector`] queue; lanes pull
+//!   batches into per-lane Chase-Lev deques and steal from each other
+//!   when their own deque drains.
+//!
+//! A [`Scope`] mirrors `std::thread::scope`: tasks may borrow from the
+//! caller's stack, every task completes before `scope` returns (even
+//! when the closure panics), and the first task panic is resumed on the
+//! caller. While waiting, the caller *helps*: it executes short tasks
+//! from the injector and sibling deques, so a loop still makes progress
+//! when every lane is occupied — including nested patterns running on a
+//! lane thread.
+//!
+//! Trace identity is unaffected by pooling: `WorkerTracer` handles are
+//! created per run (keyed by stage × logical worker index) *before*
+//! submission and move into the closure, so a trace lane means "worker
+//! `i` of this run", never "OS thread".
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// A submitted closure, lifetime-erased by [`Scope`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Hard ceiling on pool capacity, whatever `PATTY_THREADS` says.
+pub const MAX_POOL_THREADS: usize = 512;
+
+/// Ring capacity of each lane's local deque; overflow drains back to
+/// the injector, so this only bounds batch locality, not correctness.
+const LANE_DEQUE_CAP: usize = 256;
+
+/// How long an idle lane sleeps between re-scans of sibling deques.
+/// Submissions notify the lane directly; this only bounds the window
+/// in which work sitting in a *sibling's* deque goes unnoticed.
+const LANE_IDLE_WAIT: Duration = Duration::from_millis(5);
+
+/// How long a waiting scope sleeps between helping attempts.
+const SCOPE_HELP_WAIT: Duration = Duration::from_micros(500);
+
+/// How pattern runs execute their per-run closures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpawnMode {
+    /// Submit to the shared pool (the default): lanes are reused across
+    /// runs, so back-to-back runs spawn no threads after warm-up.
+    #[default]
+    Pooled,
+    /// Spawn one OS thread per task, as the pre-pool runtime did. Kept
+    /// as the honest baseline for the pool's throughput benchmarks and
+    /// as an escape hatch for task bodies that must own their thread.
+    PerRun,
+}
+
+/// Snapshot of pool activity counters, for tests and diagnostics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Persistent lanes started since pool creation.
+    pub lanes_spawned: u64,
+    /// Resident tasks handed to an already-idle lane.
+    pub resident_handoffs: u64,
+    /// Resident tasks that ran on a one-shot thread because every lane
+    /// was busy and the pool was at capacity.
+    pub ephemeral_spawns: u64,
+    /// Short tasks pushed to the injector.
+    pub short_submitted: u64,
+    /// Tasks executed by lanes.
+    pub tasks_executed: u64,
+    /// Short tasks executed by waiting scope callers (helping).
+    pub tasks_helped: u64,
+}
+
+struct Stats {
+    lanes_spawned: AtomicU64,
+    resident_handoffs: AtomicU64,
+    ephemeral_spawns: AtomicU64,
+    short_submitted: AtomicU64,
+    tasks_executed: AtomicU64,
+    tasks_helped: AtomicU64,
+}
+
+impl Stats {
+    fn new() -> Stats {
+        Stats {
+            lanes_spawned: AtomicU64::new(0),
+            resident_handoffs: AtomicU64::new(0),
+            ephemeral_spawns: AtomicU64::new(0),
+            short_submitted: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+            tasks_helped: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            lanes_spawned: self.lanes_spawned.load(Ordering::Relaxed),
+            resident_handoffs: self.resident_handoffs.load(Ordering::Relaxed),
+            ephemeral_spawns: self.ephemeral_spawns.load(Ordering::Relaxed),
+            short_submitted: self.short_submitted.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_helped: self.tasks_helped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Mutable pool state guarded by one mutex. The invariant that makes
+/// resident submission deadlock-free: `resident.len() < idle` always
+/// holds after a task is queued, i.e. every queued resident task has a
+/// distinct lane already parked on the condvar that will take it.
+struct Registry {
+    /// Resident tasks reserved for idle lanes (never more than `idle`).
+    resident: VecDeque<Task>,
+    /// Lanes currently parked on the condvar.
+    idle: usize,
+    /// Lanes alive (running or parked).
+    live: usize,
+    /// Stealer handles of every lane's deque, in spawn order.
+    stealers: Vec<Stealer<Task>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    registry: Mutex<Registry>,
+    work_available: Condvar,
+    injector: Injector<Task>,
+    /// Bumped whenever `stealers` changes so lanes/helpers can cache
+    /// their snapshot without re-locking per task.
+    lane_epoch: AtomicUsize,
+    cap: usize,
+    stats: Stats,
+}
+
+impl Inner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A handle to a worker pool. Patterns use the process-wide
+/// [`Executor::global`] pool; tests may build private pools with
+/// [`Executor::with_threads`] (joined on drop).
+pub struct Executor {
+    inner: Arc<Inner>,
+    /// Lane join handles, for private-pool shutdown. Empty for the
+    /// global pool only in the sense that it is never drained.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+
+/// Parse a `PATTY_THREADS`-style override. Returns `None` (use the
+/// default) for unset/unparseable input; parsed values are clamped to
+/// `1..=MAX_POOL_THREADS`, so a config requesting more workers than the
+/// pool cap degrades to the cap instead of failing or spawning them.
+fn parse_pool_cap(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    raw.parse::<usize>().ok().map(|n| n.clamp(1, MAX_POOL_THREADS))
+}
+
+/// Default pool capacity: comfortably above the core count because
+/// lanes host blocking resident tasks (a pipeline's stages all park in
+/// lanes at once), not just CPU-bound loops.
+fn default_pool_cap() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    (cores * 4).clamp(8, MAX_POOL_THREADS)
+}
+
+impl Executor {
+    /// The process-wide pool, started lazily on first use. Capacity is
+    /// `PATTY_THREADS` (clamped to `1..=MAX_POOL_THREADS`) or
+    /// `max(8, 4 × cores)`.
+    pub fn global() -> &'static Executor {
+        GLOBAL.get_or_init(|| {
+            let cap = parse_pool_cap(std::env::var("PATTY_THREADS").ok().as_deref())
+                .unwrap_or_else(default_pool_cap);
+            Executor::with_threads(cap)
+        })
+    }
+
+    /// A private pool with the given capacity (clamped to
+    /// `1..=MAX_POOL_THREADS`). Lanes are joined when the pool drops.
+    pub fn with_threads(cap: usize) -> Executor {
+        Executor {
+            inner: Arc::new(Inner {
+                registry: Mutex::new(Registry {
+                    resident: VecDeque::new(),
+                    idle: 0,
+                    live: 0,
+                    stealers: Vec::new(),
+                    shutdown: false,
+                }),
+                work_available: Condvar::new(),
+                injector: Injector::new(),
+                lane_epoch: AtomicUsize::new(0),
+                cap: cap.clamp(1, MAX_POOL_THREADS),
+                stats: Stats::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Maximum number of persistent lanes this pool will start.
+    pub fn cap(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Current pool activity counters.
+    pub fn stats(&self) -> ExecutorStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of lanes currently alive.
+    pub fn lanes_live(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    /// Run `f` with a [`Scope`] whose tasks may borrow from the current
+    /// stack frame. Blocks until every spawned task finished — also
+    /// when `f` itself panics — then resumes the first captured task
+    /// panic (or `f`'s own) on the caller.
+    pub fn scope<'env, F, R>(&self, mode: SpawnMode, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            data: Arc::new(ScopeData::new()),
+            executor: self,
+            mode,
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Tasks borrow `'env`; they must complete before we return or
+        // unwind past the borrowed frame.
+        self.wait_scope(&scope.data);
+        let task_panic = scope.data.take_panic();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Submit a resident (possibly blocking) task: idle-lane handoff,
+    /// else a new lane below the cap, else an ephemeral thread. The
+    /// task therefore always gets a dedicated thread of execution.
+    fn submit_resident(&self, task: Task) {
+        let inner = &self.inner;
+        let mut reg = inner.lock();
+        if reg.resident.len() < reg.idle && !reg.shutdown {
+            reg.resident.push_back(task);
+            inner.stats.resident_handoffs.fetch_add(1, Ordering::Relaxed);
+            drop(reg);
+            inner.work_available.notify_all();
+        } else if reg.live < inner.cap && !reg.shutdown {
+            self.spawn_lane(&mut reg, Some(task));
+        } else {
+            drop(reg);
+            inner.stats.ephemeral_spawns.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name("patty-ephemeral".into())
+                .spawn(task)
+                .expect("spawn ephemeral worker thread");
+        }
+    }
+
+    /// Submit a short (non-blocking) task to the injector, growing the
+    /// pool by at most one lane if nobody is idle to pick it up.
+    fn submit_short(&self, task: Task) {
+        let inner = &self.inner;
+        inner.injector.push(task);
+        inner.stats.short_submitted.fetch_add(1, Ordering::Relaxed);
+        let mut reg = inner.lock();
+        if reg.idle > 0 {
+            drop(reg);
+            inner.work_available.notify_all();
+        } else if reg.live < inner.cap && !reg.shutdown {
+            self.spawn_lane(&mut reg, None);
+        }
+        // else: every lane is busy and the pool is full — the task
+        // waits in the injector for a lane or a helping scope caller.
+    }
+
+    /// Start one lane. Caller holds the registry lock.
+    fn spawn_lane(&self, reg: &mut Registry, first: Option<Task>) {
+        let inner = &self.inner;
+        let lane = Worker::with_capacity(LANE_DEQUE_CAP);
+        reg.stealers.push(lane.stealer());
+        reg.live += 1;
+        inner.lane_epoch.fetch_add(1, Ordering::Release);
+        inner.stats.lanes_spawned.fetch_add(1, Ordering::Relaxed);
+        let lane_no = reg.stealers.len();
+        let inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("patty-lane-{lane_no}"))
+            .spawn(move || lane_main(inner, lane, first))
+            .expect("spawn pool lane thread");
+        self.handles.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+    }
+
+    /// Block until the scope's pending count hits zero, executing short
+    /// tasks from the pool while waiting (so progress never depends on
+    /// a lane being free).
+    fn wait_scope(&self, data: &ScopeData) {
+        let inner = &self.inner;
+        let mut cache = StealerCache::new();
+        while data.pending.load(Ordering::Acquire) > 0 {
+            if let Some(task) = steal_one(inner, &mut cache) {
+                inner.stats.tasks_helped.fetch_add(1, Ordering::Relaxed);
+                run_task(task);
+                continue;
+            }
+            let guard = data.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            if data.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            drop(
+                data.done
+                    .wait_timeout(guard, SCOPE_HELP_WAIT)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut reg = self.inner.lock();
+            reg.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        let handles = std::mem::take(
+            &mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-scope completion latch and first-panic slot.
+struct ScopeData {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeData {
+    fn new() -> ScopeData {
+        ScopeData {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the lock so the waiter cannot check-then-sleep
+            // between our decrement and this notify.
+            let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            self.done.notify_all();
+        }
+    }
+
+    fn set_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.panic.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+}
+
+/// Spawn surface handed to the closure of [`Executor::scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    data: Arc<ScopeData>,
+    executor: &'scope Executor,
+    mode: SpawnMode,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a short, non-blocking task (claim loops, item workers).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_inner(f, false);
+    }
+
+    /// Spawn a resident task that may block on channels for the whole
+    /// run (pipeline feeders, stage workers, reorder threads).
+    pub fn spawn_resident<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_inner(f, true);
+    }
+
+    fn spawn_inner<F>(&self, f: F, resident: bool)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let data = self.data.clone();
+        data.pending.fetch_add(1, Ordering::AcqRel);
+        let wrapper = {
+            let data = data.clone();
+            move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                    data.set_panic(payload);
+                }
+                data.finish_one();
+            }
+        };
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapper);
+        // SAFETY: lifetime erasure in the `std::thread::scope` mold.
+        // `Executor::scope` blocks until `pending` returns to zero —
+        // including when its closure panics — so the task can never
+        // run, nor be dropped, after `'env` ends. Only the lifetime is
+        // transmuted; layout is identical.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
+        };
+        match self.mode {
+            SpawnMode::Pooled if resident => self.executor.submit_resident(task),
+            SpawnMode::Pooled => self.executor.submit_short(task),
+            SpawnMode::PerRun => {
+                // Legacy shape: one detached OS thread per task. The
+                // scope latch supplies the join that `std::thread::
+                // scope` used to.
+                std::thread::Builder::new()
+                    .name("patty-per-run".into())
+                    .spawn(task)
+                    .expect("spawn per-run worker thread");
+            }
+        }
+    }
+}
+
+/// Run one task; the wrapper already isolates user panics, so a panic
+/// escaping here is a runtime bug — contain it rather than killing the
+/// lane (poisoning every future run).
+fn run_task(task: Task) {
+    let _ = catch_unwind(AssertUnwindSafe(task));
+}
+
+/// Cached snapshot of lane stealers, refreshed when the pool grows.
+struct StealerCache {
+    epoch: usize,
+    stealers: Vec<Stealer<Task>>,
+    /// Rotates the starting sibling so thieves do not convoy on lane 0.
+    next: usize,
+}
+
+impl StealerCache {
+    fn new() -> StealerCache {
+        StealerCache { epoch: 0, stealers: Vec::new(), next: 0 }
+    }
+
+    fn refresh(&mut self, inner: &Inner) {
+        let epoch = inner.lane_epoch.load(Ordering::Acquire);
+        if epoch != self.epoch {
+            self.stealers = inner.lock().stealers.clone();
+            self.epoch = epoch;
+        }
+    }
+}
+
+/// Take one short task: injector first (FIFO fairness for fresh
+/// submissions), then sibling deques.
+fn steal_one(inner: &Inner, cache: &mut StealerCache) -> Option<Task> {
+    match inner.injector.steal() {
+        Steal::Success(t) => return Some(t),
+        Steal::Retry => return steal_one(inner, cache),
+        Steal::Empty => {}
+    }
+    cache.refresh(inner);
+    let n = cache.stealers.len();
+    for i in 0..n {
+        let s = &cache.stealers[(self_rotate(cache, i)) % n];
+        loop {
+            match s.steal() {
+                Steal::Success(t) => {
+                    cache.next = cache.next.wrapping_add(1);
+                    return Some(t);
+                }
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+fn self_rotate(cache: &StealerCache, i: usize) -> usize {
+    cache.next.wrapping_add(i)
+}
+
+/// A persistent lane: local deque, then injector batches, then sibling
+/// stealing, then the resident handoff queue, then parked on the
+/// condvar. `first` seeds a lane started for a specific resident task.
+fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
+    let mut cache = StealerCache::new();
+    if let Some(task) = first {
+        inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        run_task(task);
+    }
+    loop {
+        // Local LIFO work first (cache-warm), then refill from the
+        // shared injector, then steal FIFO from siblings.
+        if let Some(task) = lane.pop() {
+            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            run_task(task);
+            continue;
+        }
+        match inner.injector.steal_batch_and_pop(&lane) {
+            Steal::Success(task) => {
+                inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                run_task(task);
+                continue;
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        cache.refresh(&inner);
+        if let Some(task) = steal_one(&inner, &mut cache) {
+            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            run_task(task);
+            continue;
+        }
+        // Nothing stealable: check the resident queue and park. The
+        // injector re-check under the lock closes the missed-wakeup
+        // window (submit_short pushes before it takes this lock).
+        let mut reg = inner.lock();
+        if let Some(task) = reg.resident.pop_front() {
+            drop(reg);
+            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            run_task(task);
+            continue;
+        }
+        if !inner.injector.is_empty() {
+            continue;
+        }
+        if reg.shutdown {
+            reg.live -= 1;
+            return;
+        }
+        reg.idle += 1;
+        let (mut reg2, _timeout) = inner
+            .work_available
+            .wait_timeout(reg, LANE_IDLE_WAIT)
+            .unwrap_or_else(PoisonError::into_inner);
+        reg2.idle -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pool_cap_accepts_clamps_and_rejects() {
+        assert_eq!(parse_pool_cap(None), None);
+        assert_eq!(parse_pool_cap(Some("")), None);
+        assert_eq!(parse_pool_cap(Some("not a number")), None);
+        assert_eq!(parse_pool_cap(Some("-3")), None);
+        assert_eq!(parse_pool_cap(Some("6")), Some(6));
+        assert_eq!(parse_pool_cap(Some(" 12 ")), Some(12));
+        assert_eq!(parse_pool_cap(Some("0")), Some(1), "zero degrades to one lane");
+        assert_eq!(
+            parse_pool_cap(Some("4096")),
+            Some(MAX_POOL_THREADS),
+            "requests above the cap degrade to the cap"
+        );
+    }
+
+    #[test]
+    fn with_threads_clamps_to_the_hard_cap() {
+        let pool = Executor::with_threads(1_000_000);
+        assert_eq!(pool.cap(), MAX_POOL_THREADS);
+        let pool = Executor::with_threads(0);
+        assert_eq!(pool.cap(), 1);
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        let pool = Executor::with_threads(2);
+        let mut results = vec![0usize; 64];
+        {
+            let slots: Vec<_> = results.iter_mut().collect();
+            pool.scope(SpawnMode::Pooled, |s| {
+                for (i, slot) in slots.into_iter().enumerate() {
+                    s.spawn(move || *slot = i * 2);
+                }
+            });
+        }
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_run_mode_matches_pooled_results() {
+        let pool = Executor::with_threads(2);
+        for mode in [SpawnMode::Pooled, SpawnMode::PerRun] {
+            let counter = AtomicUsize::new(0);
+            pool.scope(mode, |s| {
+                for _ in 0..32 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 32, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn task_panic_resumes_on_the_caller_after_all_tasks_finish() {
+        let pool = Executor::with_threads(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(SpawnMode::Pooled, |s| {
+                let finished = &finished;
+                for i in 0..16 {
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("task seven failed");
+                        }
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task seven failed");
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            15,
+            "non-panicking tasks all completed before the scope unwound"
+        );
+    }
+
+    #[test]
+    fn closure_panic_still_waits_for_spawned_tasks() {
+        let pool = Executor::with_threads(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(SpawnMode::Pooled, |s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("closure failed after spawning");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            8,
+            "tasks borrowed from the frame, so the scope waited before unwinding"
+        );
+    }
+
+    #[test]
+    fn lanes_are_reused_across_scopes() {
+        let pool = Executor::with_threads(4);
+        for _ in 0..20 {
+            pool.scope(SpawnMode::Pooled, |s| {
+                for _ in 0..4 {
+                    s.spawn(|| {});
+                }
+            });
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.lanes_spawned <= 4,
+            "80 tasks over 20 scopes started {} lanes (cap 4)",
+            stats.lanes_spawned
+        );
+        assert_eq!(
+            stats.tasks_executed + stats.tasks_helped,
+            80,
+            "every task ran on a lane or a helping caller"
+        );
+        assert_eq!(stats.ephemeral_spawns, 0, "short tasks never take the ephemeral path");
+    }
+
+    #[test]
+    fn resident_tasks_get_dedicated_threads_beyond_the_cap() {
+        // 1-lane pool, 3 resident tasks that must all be live at once
+        // to rendezvous through channels: the pool must fall back to
+        // ephemeral threads rather than queue (which would deadlock).
+        let pool = Executor::with_threads(1);
+        let (tx1, rx1) = crossbeam::channel::bounded::<u32>(1);
+        let (tx2, rx2) = crossbeam::channel::bounded::<u32>(1);
+        let mut out = 0;
+        pool.scope(SpawnMode::Pooled, |s| {
+            s.spawn_resident(move || {
+                tx1.send(1).unwrap();
+            });
+            s.spawn_resident(move || {
+                let v = rx1.recv().unwrap();
+                tx2.send(v + 1).unwrap();
+            });
+            s.spawn_resident(|| {
+                out = rx2.recv().unwrap() + 1;
+            });
+        });
+        assert_eq!(out, 3);
+        let stats = pool.stats();
+        assert!(
+            stats.ephemeral_spawns >= 1,
+            "a full 1-lane pool must overflow residents to ephemeral threads \
+             (stats: {stats:?})"
+        );
+    }
+
+    #[test]
+    fn pool_never_exceeds_its_lane_cap() {
+        let pool = Executor::with_threads(3);
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..64 {
+                s.spawn(|| std::thread::sleep(Duration::from_micros(100)));
+            }
+        });
+        assert!(pool.lanes_live() <= 3, "live lanes {} exceed cap 3", pool.lanes_live());
+        assert!(pool.stats().lanes_spawned <= 3);
+    }
+
+    #[test]
+    fn dropping_a_private_pool_joins_its_lanes() {
+        let pool = Executor::with_threads(2);
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        drop(pool); // must not hang or leak
+    }
+
+    #[test]
+    fn nested_scopes_on_the_same_pool_make_progress() {
+        // A task running on a lane opens its own scope (the nested-
+        // pattern shape: master/worker inside a pipeline stage). The
+        // inner scope's caller-helping keeps it live even when every
+        // lane is occupied by the outer scope.
+        let pool = Executor::with_threads(1);
+        let total = AtomicUsize::new(0);
+        pool.scope(SpawnMode::Pooled, |outer| {
+            let total = &total;
+            outer.spawn(move || {
+                Executor::global().scope(SpawnMode::Pooled, |inner| {
+                    for _ in 0..8 {
+                        inner.spawn(|| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8);
+    }
+}

@@ -33,12 +33,14 @@
 //! ```
 
 pub mod config;
+pub mod executor;
 pub mod fault;
 pub mod masterworker;
 pub mod parfor;
 pub mod pipeline;
 
 pub use config::{LoopTuning, PipelineTuning};
+pub use executor::{Executor, ExecutorStats, SpawnMode};
 pub use fault::{register_fault_counters, CancelToken, FailurePolicy, RunOptions, RuntimeError};
 pub use masterworker::{Item, MasterWorker};
 pub use parfor::ParallelFor;

@@ -6,6 +6,7 @@
 //! `(A || B || C+)` group of Fig. 3d, where independent items of one
 //! stream element run in parallel).
 
+use crate::executor::{Executor, SpawnMode};
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
@@ -23,6 +24,9 @@ pub struct MasterWorker {
     pub workers: usize,
     /// SequentialExecution fallback.
     pub sequential: bool,
+    /// Where worker closures run: the shared pool (default) or a fresh
+    /// thread per task.
+    pub spawn_mode: SpawnMode,
     /// Telemetry sink; disabled by default.
     telemetry: Telemetry,
     /// Structured event tracer; disabled by default.
@@ -41,6 +45,7 @@ impl MasterWorker {
         MasterWorker {
             workers: workers.max(1),
             sequential: false,
+            spawn_mode: SpawnMode::default(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -49,6 +54,12 @@ impl MasterWorker {
     /// Set the SequentialExecution flag.
     pub fn sequential(mut self, sequential: bool) -> MasterWorker {
         self.sequential = sequential;
+        self
+    }
+
+    /// Choose between the shared worker pool and per-run threads.
+    pub fn with_spawn_mode(mut self, mode: SpawnMode) -> MasterWorker {
+        self.spawn_mode = mode;
         self
     }
 
@@ -203,7 +214,7 @@ impl MasterWorker {
         let results: Vec<parking_lot::Mutex<Option<O>>> =
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
+        Executor::global().scope(self.spawn_mode, |scope| {
             let slots = &slots;
             let results = &results;
             let next = &next;
@@ -282,28 +293,34 @@ impl MasterWorker {
                 })
                 .collect();
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    let wt = self.tracer.worker(stage_id, i);
-                    scope.spawn(move || {
-                        let trace_start = wt.item_start(i as u64);
-                        let v = t();
+        // Pool workers have no join handle, so each task parks its
+        // result (or caught panic payload) in a per-task slot; the
+        // scope guarantees every slot is filled before it returns.
+        let results: Vec<parking_lot::Mutex<Option<std::thread::Result<O>>>> =
+            (0..tasks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        Executor::global().scope(self.spawn_mode, |scope| {
+            let results = &results;
+            for (i, t) in tasks.into_iter().enumerate() {
+                let wt = self.tracer.worker(stage_id, i);
+                scope.spawn(move || {
+                    let trace_start = wt.item_start(i as u64);
+                    let r = catch_unwind(AssertUnwindSafe(t));
+                    if r.is_ok() {
                         wt.item_end(i as u64, trace_start);
-                        v
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        })
+                    }
+                    *results[i].lock() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| match m.into_inner().expect("scope filled every slot") {
+                Ok(v) => v,
+                // Re-raise the first panic in declaration order, like
+                // joining handles in spawn order did.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     }
 
     /// [`MasterWorker::join_all`] with panic isolation: every task runs to
@@ -336,26 +353,24 @@ impl MasterWorker {
                     .map(|(i, t)| join_one_task(t, i, &counters, &wt))
                     .collect()
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = tasks
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, t)| {
-                            let counters = counters.clone();
-                            let wt = self.tracer.worker(stage_id, i);
-                            scope.spawn(move || join_one_task(t, i, &counters, &wt))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| match h.join() {
-                            Ok(r) => r,
-                            // join_one_task already caught the task's
-                            // panic; a panic here is the runtime's own.
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        })
-                        .collect()
-                })
+                let slots: Vec<parking_lot::Mutex<Option<Result<O, RuntimeError>>>> =
+                    (0..tasks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+                Executor::global().scope(self.spawn_mode, |scope| {
+                    let slots = &slots;
+                    for (i, t) in tasks.into_iter().enumerate() {
+                        let counters = counters.clone();
+                        let wt = self.tracer.worker(stage_id, i);
+                        scope.spawn(move || {
+                            // join_one_task catches the task's panic
+                            // itself, so the slot is always filled.
+                            *slots[i].lock() = Some(join_one_task(t, i, &counters, &wt));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|m| m.into_inner().expect("scope filled every slot"))
+                    .collect()
             };
         raw.into_iter().collect()
     }
@@ -565,9 +580,9 @@ mod fault_tests {
 
     /// Satellite requirement: a panicking worker returns `StagePanicked`
     /// without leaking threads. The guard counts workers that entered and
-    /// left the task body; `std::thread::scope` joins everything before
-    /// `run_checked` returns, so any live worker after return would leave
-    /// the counter nonzero.
+    /// left the task body; the executor scope waits for every submitted
+    /// task before `run_checked` returns, so any live worker after return
+    /// would leave the counter nonzero.
     #[test]
     fn worker_panic_returns_structured_error_without_leaking_threads() {
         let live = Arc::new(AtomicUsize::new(0));

@@ -10,9 +10,13 @@
 //! `[min_chunk, chunk]`, so a large index space starts with coarse
 //! grabs (amortizing the shared-cursor synchronization) and drains with
 //! fine ones (fixing tail imbalance on skewed per-index costs without
-//! tuner help). Setting `min_chunk == chunk` recovers the classic
-//! fixed-chunk schedule.
+//! tuner help). On the final drain — fewer than `min_chunk × workers`
+//! indices left — the `min_chunk` clamp itself decays toward 1 so the
+//! tail splits across all workers instead of serializing behind one.
+//! Setting `min_chunk == chunk` recovers the classic fixed-chunk
+//! schedule (no decay).
 
+use crate::executor::{Executor, SpawnMode};
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
@@ -40,6 +44,9 @@ pub struct ParallelFor {
     pub min_chunk: usize,
     /// SequentialExecution fallback.
     pub sequential: bool,
+    /// How worker loops execute: on the shared pool (default) or one
+    /// spawned thread per worker per run (legacy shape).
+    pub spawn_mode: SpawnMode,
     /// Telemetry sink; disabled by default.
     telemetry: Telemetry,
     /// Structured event tracer; disabled by default.
@@ -60,9 +67,17 @@ impl ParallelFor {
             chunk: 16,
             min_chunk: 1,
             sequential: false,
+            spawn_mode: SpawnMode::default(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Choose how worker loops execute (shared pool vs. one thread per
+    /// worker per run). [`SpawnMode::Pooled`] is the default.
+    pub fn with_spawn_mode(mut self, mode: SpawnMode) -> ParallelFor {
+        self.spawn_mode = mode;
+        self
     }
 
     /// Set the maximum chunk size.
@@ -80,16 +95,32 @@ impl ParallelFor {
     /// Claim the next run of indices from the shared cursor using guided
     /// self-scheduling. A CAS loop is required because the claim size
     /// depends on the remaining space at claim time.
+    ///
+    /// The `min_chunk` clamp decays on the drain tail: once fewer than
+    /// `min_chunk × workers` indices remain, holding claims at
+    /// `min_chunk` would hand the whole tail to one or two workers — on
+    /// skewed per-index costs that serializes the most expensive
+    /// indices behind a single thread. The effective minimum shrinks to
+    /// `remaining / workers` (never below 1) so the tail still splits
+    /// across every worker. Fixed-chunk scheduling
+    /// (`min_chunk == chunk`) is exempt: its contract is "every claim
+    /// is exactly `chunk`", and decay would silently break it.
     fn claim(&self, next: &AtomicUsize, n: usize) -> Option<std::ops::Range<usize>> {
         let hi = self.chunk.max(1);
         let lo = self.min_chunk.clamp(1, hi);
+        let workers = self.workers.max(1);
         let mut start = next.load(Ordering::Relaxed);
         loop {
             if start >= n {
                 return None;
             }
             let remaining = n - start;
-            let take = (remaining / (self.workers.max(1) * GUIDED_K))
+            let lo = if lo < hi {
+                lo.min((remaining / workers).max(1))
+            } else {
+                lo
+            };
+            let take = (remaining / (workers * GUIDED_K))
                 .clamp(lo, hi)
                 .min(remaining);
             match next.compare_exchange_weak(
@@ -166,7 +197,7 @@ impl ParallelFor {
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let f = &f;
-        std::thread::scope(|scope| {
+        Executor::global().scope(self.spawn_mode, |scope| {
             let results = &results;
             let next = &next;
             let items = &items;
@@ -219,7 +250,7 @@ impl ParallelFor {
         }
         let next = AtomicUsize::new(0);
         let f = &f;
-        std::thread::scope(|scope| {
+        Executor::global().scope(self.spawn_mode, |scope| {
             let next = &next;
             let items = &items;
             let chunks = &chunks;
@@ -509,7 +540,7 @@ impl ParallelFor {
         } else {
             let next = AtomicUsize::new(0);
             let counters = (items, chunks);
-            std::thread::scope(|scope| {
+            Executor::global().scope(self.spawn_mode, |scope| {
                 let next = &next;
                 let run_indices = &run_indices;
                 let counters = &counters;
@@ -562,41 +593,45 @@ impl ParallelFor {
         let next = &next;
         let fold = &fold;
         let counters = &(items, chunks);
-        let partials: Vec<A> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers.min(n.max(1)))
-                .map(|worker| {
-                    let seed = identity.clone();
-                    let wt = self.tracer.worker(stage_id, worker);
-                    scope.spawn(move || {
-                        let run_start = wt.tick();
-                        let mut busy_ns = 0u64;
-                        let mut chunks_done = 0u64;
-                        let mut acc = seed;
-                        loop {
-                            let Some(range) = self.claim(next, n) else {
-                                wt.worker_idle(run_start, busy_ns, chunks_done);
-                                return acc;
-                            };
-                            self.record_chunk(&counters.0, &counters.1, range.len());
-                            let trace_start = wt.item_start(range.start as u64);
-                            let first = range.start as u64;
-                            let len = range.len() as u64;
-                            for i in range {
-                                acc = fold(acc, i);
-                            }
-                            let ended = wt.item_end_n(first, len, trace_start);
-                            busy_ns += ended.since(trace_start);
-                            chunks_done += 1;
+        // Pool tasks return no value, so each worker parks its private
+        // accumulator in a slot; a panic in `fold` unwinds through the
+        // scope (legacy re-panic semantics) leaving that slot `None`.
+        let partials: Vec<parking_lot::Mutex<Option<A>>> = (0..self.workers.min(n.max(1)))
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        Executor::global().scope(self.spawn_mode, |scope| {
+            for (worker, slot) in partials.iter().enumerate() {
+                let seed = identity.clone();
+                let wt = self.tracer.worker(stage_id, worker);
+                scope.spawn(move || {
+                    let run_start = wt.tick();
+                    let mut busy_ns = 0u64;
+                    let mut chunks_done = 0u64;
+                    let mut acc = seed;
+                    loop {
+                        let Some(range) = self.claim(next, n) else {
+                            wt.worker_idle(run_start, busy_ns, chunks_done);
+                            *slot.lock() = Some(acc);
+                            return;
+                        };
+                        self.record_chunk(&counters.0, &counters.1, range.len());
+                        let trace_start = wt.item_start(range.start as u64);
+                        let first = range.start as u64;
+                        let len = range.len() as u64;
+                        for i in range {
+                            acc = fold(acc, i);
                         }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reduction worker panicked"))
-                .collect()
+                        let ended = wt.item_end_n(first, len, trace_start);
+                        busy_ns += ended.since(trace_start);
+                        chunks_done += 1;
+                    }
+                });
+            }
         });
-        partials.into_iter().fold(identity, combine)
+        partials
+            .into_iter()
+            .filter_map(|m| m.into_inner())
+            .fold(identity, combine)
     }
 }
 
@@ -687,12 +722,105 @@ mod tests {
             .expect("chunk histogram recorded");
         assert_eq!(hist.sum, 1024, "chunk sizes sum to n");
         assert!(hist.max <= 64, "claims never exceed the configured chunk");
-        assert!(hist.min >= 4, "claims never fall below min_chunk");
+        // min_chunk binds the steady state; only the final
+        // `min_chunk × workers` drain window may decay below it.
+        assert!(hist.min >= 1);
         assert!(
             hist.max > hist.min,
             "guided claims vary in size (max {} vs min {})",
             hist.max,
             hist.min
+        );
+    }
+
+    /// The exact claim sequence is deterministic when drained from a
+    /// single thread, so the tail-decay behavior can be pinned: before
+    /// the fix, claims never fell below `min_chunk`, which parked the
+    /// final `min_chunk`-sized runs — the most expensive indices of a
+    /// cost-increasing loop — on one worker.
+    #[test]
+    fn guided_tail_decays_below_min_chunk_only_on_the_drain() {
+        let pf = ParallelFor::new(4).with_chunk(64).with_min_chunk(16);
+        let next = AtomicUsize::new(0);
+        let n = 256;
+        let mut claims = Vec::new();
+        while let Some(r) = pf.claim(&next, n) {
+            claims.push(r.len());
+        }
+        assert_eq!(claims.iter().sum::<usize>(), n);
+        assert!(claims.iter().all(|&c| c <= 64));
+        // Steady state respects min_chunk: every claim taken while at
+        // least min_chunk × workers indices remained is >= min_chunk.
+        let mut consumed = 0;
+        for &c in &claims {
+            if n - consumed >= 16 * 4 {
+                assert!(c >= 16, "steady-state claim {c} fell below min_chunk");
+            }
+            consumed += c;
+        }
+        // The drain decays: the tail is split into strictly more claims
+        // than the un-decayed schedule's single min_chunk grabs, ending
+        // in single-index claims.
+        assert_eq!(*claims.last().unwrap(), 1, "claims: {claims:?}");
+        assert!(
+            claims.iter().filter(|&&c| c < 16).count() >= 4,
+            "tail did not split across workers: {claims:?}"
+        );
+    }
+
+    /// Skewed-cost regression: per-index cost grows linearly, so the
+    /// last indices dominate the loop. Simulate greedy assignment of
+    /// the claim sequence to 4 worker clocks and compare makespan
+    /// against the pre-fix schedule (min_chunk clamp never decaying).
+    /// The decayed schedule must not be worse, and must beat the old
+    /// one on the tail-dominated workload.
+    #[test]
+    fn guided_tail_decay_improves_skewed_makespan() {
+        const WORKERS: usize = 4;
+        const N: usize = 1024;
+        let cost = |i: usize| (i + 1) as u64;
+
+        // Claim sequence with the fix.
+        let pf = ParallelFor::new(WORKERS).with_chunk(64).with_min_chunk(32);
+        let next = AtomicUsize::new(0);
+        let mut fixed_claims = Vec::new();
+        while let Some(r) = pf.claim(&next, N) {
+            fixed_claims.push(r);
+        }
+
+        // Claim sequence of the pre-fix schedule: same formula, the
+        // min_chunk clamp held all the way to the end.
+        let mut old_claims = Vec::new();
+        let mut start = 0;
+        while start < N {
+            let remaining = N - start;
+            let take = (remaining / (WORKERS * GUIDED_K)).clamp(32, 64).min(remaining);
+            old_claims.push(start..start + take);
+            start += take;
+        }
+
+        // Greedy simulation: each claim goes to the least-loaded
+        // worker, the idealization of "next free worker claims next".
+        let makespan = |claims: &[std::ops::Range<usize>]| -> u64 {
+            let mut clocks = [0u64; WORKERS];
+            for r in claims {
+                let w = (0..WORKERS).min_by_key(|&w| clocks[w]).unwrap();
+                clocks[w] += r.clone().map(cost).sum::<u64>();
+            }
+            clocks.into_iter().max().unwrap()
+        };
+        let new_span = makespan(&fixed_claims);
+        let old_span = makespan(&old_claims);
+        assert!(
+            new_span < old_span,
+            "decayed tail should beat the fixed min_chunk tail on skewed costs \
+             (new {new_span} vs old {old_span})"
+        );
+        // And it lands within 2% of the perfect split.
+        let ideal = (0..N).map(cost).sum::<u64>() / WORKERS as u64;
+        assert!(
+            new_span as f64 <= ideal as f64 * 1.02,
+            "makespan {new_span} further than 2% above ideal {ideal}"
         );
     }
 

@@ -22,6 +22,7 @@
 //! reorder buffer releases whole runs in order, and fault attribution
 //! (`item_seq`) points at the exact element inside a batch.
 
+use crate::executor::{Executor, SpawnMode};
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
@@ -115,6 +116,9 @@ pub struct Pipeline<T> {
     /// Larger batches amortize channel, trace and cancellation overhead
     /// over more elements at the cost of coarser scheduling.
     pub batch: usize,
+    /// How the run's stage workers execute: on the shared pool
+    /// (default) or one spawned thread per worker (legacy shape).
+    pub spawn_mode: SpawnMode,
     /// Telemetry sink; disabled by default (a dead branch per item).
     telemetry: Telemetry,
     /// Structured event tracer; disabled by default (a dead branch per
@@ -131,6 +135,7 @@ impl<T: Send + 'static> Pipeline<T> {
             fusion: Vec::new(),
             sequential: false,
             batch: 1,
+            spawn_mode: SpawnMode::default(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -162,6 +167,13 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Set the batch size (elements per channel transaction).
     pub fn with_batch(mut self, batch: usize) -> Pipeline<T> {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Choose how stage workers execute (shared pool vs. one thread per
+    /// worker per run). [`SpawnMode::Pooled`] is the default.
+    pub fn with_spawn_mode(mut self, mode: SpawnMode) -> Pipeline<T> {
+        self.spawn_mode = mode;
         self
     }
 
@@ -276,7 +288,12 @@ impl<T: Send + 'static> Pipeline<T> {
 
         let batch = self.batch.max(1);
 
-        std::thread::scope(|scope| {
+        // Feeder, stage workers and reorderers block on their channels
+        // for the whole run, so they submit as *resident* tasks: each
+        // one is guaranteed a dedicated thread of execution (idle pool
+        // lane, new lane, or ephemeral overflow thread) and can never
+        // queue behind another blocked task.
+        Executor::global().scope(self.spawn_mode, |scope| {
             // StreamGenerator: the loop header becomes the implicit first
             // stage feeding the first buffer (rule PLPL). It observes the
             // cancellation token between sends so a failed run stops
@@ -285,7 +302,7 @@ impl<T: Send + 'static> Pipeline<T> {
             // is one channel transaction for `batch` elements.
             let (feed_tx, mut prev_rx): (SeqSender<T>, SeqReceiver<T>) = bounded(cap);
             let feed_cancel = cancel.clone();
-            scope.spawn(move || {
+            scope.spawn_resident(move || {
                 let mut iter = input.into_iter();
                 let mut seq = 0u64;
                 loop {
@@ -324,7 +341,7 @@ impl<T: Send + 'static> Pipeline<T> {
                     let counters = counters.clone();
                     let stage_deadline = opts.stage_deadline;
                     let wt = self.tracer.worker(stage_id, worker);
-                    scope.spawn(move || {
+                    scope.spawn_resident(move || {
                         let _wall = telemetry.span(&span_name);
                         let record_depth = telemetry.is_enabled();
                         let run_start = wt.tick();
@@ -414,7 +431,7 @@ impl<T: Send + 'static> Pipeline<T> {
                 prev_rx = if stage.replication > 1 && stage.preserve_order {
                     // Reorder buffer: release elements in sequence order.
                     let (ord_tx, ord_rx) = bounded::<Batch<T>>(cap);
-                    scope.spawn(move || reorder(rx, ord_tx));
+                    scope.spawn_resident(move || reorder(rx, ord_tx));
                     ord_rx
                 } else {
                     rx
@@ -1003,17 +1020,20 @@ mod stress_tests {
         let opts = RunOptions::new().with_deadline(deadline).with_cancel(token);
         let started = Instant::now();
         let run = std::thread::spawn(move || p.run_checked((0..64).collect(), &opts));
+        // Record the observation without asserting: the runner thread
+        // must be joined on every exit path, including a failed probe,
+        // or a panicking assert would leak it mid-run.
         let cancelled_after = loop {
             if observer.is_cancelled() {
-                break started.elapsed();
+                break Some(started.elapsed());
             }
-            assert!(
-                started.elapsed() < std::time::Duration::from_millis(500),
-                "deadline abort never observed"
-            );
+            if started.elapsed() >= std::time::Duration::from_millis(500) {
+                break None;
+            }
             std::thread::sleep(std::time::Duration::from_micros(200));
         };
         let err = run.join().expect("runner thread").unwrap_err();
+        let cancelled_after = cancelled_after.expect("deadline abort never observed");
         assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
         assert!(
             cancelled_after < deadline * 2,

@@ -1,10 +1,14 @@
 //! Offline shim for the subset of `crossbeam` this workspace uses: the
-//! bounded MPMC channel. Built over `std::sync` (Mutex + Condvar); both
-//! `Sender` and `Receiver` are cloneable, sends block when the buffer is
-//! full (that backpressure is what makes the pipeline's bounded
-//! inter-stage buffers meaningful), and disconnection is reported the
-//! crossbeam way: `send` fails once all receivers are gone, `recv` fails
-//! once the buffer is drained and all senders are gone.
+//! bounded MPMC channel and the work-stealing deque. The channel is
+//! built over `std::sync` (Mutex + Condvar); both `Sender` and
+//! `Receiver` are cloneable, sends block when the buffer is full (that
+//! backpressure is what makes the pipeline's bounded inter-stage
+//! buffers meaningful), and disconnection is reported the crossbeam
+//! way: `send` fails once all receivers are gone, `recv` fails once the
+//! buffer is drained and all senders are gone. The deque module
+//! implements the Chase-Lev owner/stealer split plus a shared injector
+//! queue, mirroring `crossbeam_deque`'s `Worker`/`Stealer`/`Injector`
+//! API subset used by the runtime executor.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -227,7 +231,7 @@ pub mod channel {
     }
 
     #[cfg(test)]
-    mod tests {
+    mod channel_tests {
         use super::*;
 
         #[test]
@@ -314,6 +318,448 @@ pub mod channel {
                 .collect();
             all.sort_unstable();
             assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+    }
+}
+
+pub mod deque {
+    //! Chase-Lev work-stealing deque plus a shared injector queue.
+    //!
+    //! The `Worker` owns the bottom end of a fixed-capacity ring: it
+    //! pushes and pops there without contention (LIFO, cache-warm).
+    //! `Stealer` handles take from the top end (FIFO, oldest first) and
+    //! race each other — and the owner's pop of the last element — with
+    //! a single CAS on `top`. Memory orderings follow Lê, Pop &
+    //! Cohen, "Correct and Efficient Work-Stealing for Weak Memory
+    //! Models" (PPoPP 2013). Unlike crossbeam's growable buffer (which
+    //! needs epoch reclamation to retire old rings), this shim keeps
+    //! one fixed ring and reports overflow from `push` by handing the
+    //! value back — callers overflow into the [`Injector`].
+
+    use std::cell::UnsafeCell;
+    use std::collections::VecDeque;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{fence, AtomicIsize, Ordering};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// Lost a race with another consumer; worth retrying.
+        Retry,
+        /// Took this value.
+        Success(T),
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    struct Ring<T> {
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+        mask: usize,
+        /// Steal end. Monotonically increasing; `slots[top..bottom]`
+        /// are initialized.
+        top: AtomicIsize,
+        /// Owner end. Only the `Worker` writes it (except transiently
+        /// during its own pop).
+        bottom: AtomicIsize,
+    }
+
+    unsafe impl<T: Send> Send for Ring<T> {}
+    unsafe impl<T: Send> Sync for Ring<T> {}
+
+    impl<T> Ring<T> {
+        fn with_capacity(capacity: usize) -> Ring<T> {
+            let cap = capacity.next_power_of_two().max(2);
+            let slots = (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            Ring { slots, mask: cap - 1, top: AtomicIsize::new(0), bottom: AtomicIsize::new(0) }
+        }
+
+        /// Write `value` into the slot for `index`. Caller must hold
+        /// the unique right to that slot (owner push below `bottom`).
+        unsafe fn write(&self, index: isize, value: T) {
+            let slot = &self.slots[(index as usize) & self.mask];
+            (*slot.get()).write(value);
+        }
+
+        /// Copy the value out of the slot for `index`. The copy is only
+        /// valid to use if the caller subsequently wins the CAS (or is
+        /// the owner above `top`); losers must `mem::forget` it.
+        unsafe fn read(&self, index: isize) -> T {
+            let slot = &self.slots[(index as usize) & self.mask];
+            (*slot.get()).assume_init_read()
+        }
+    }
+
+    impl<T> Drop for Ring<T> {
+        fn drop(&mut self) {
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let mut i = t;
+            while i != b {
+                unsafe { drop(self.read(i)) };
+                i = i.wrapping_add(1);
+            }
+        }
+    }
+
+    /// Owner handle: single-threaded push/pop at the bottom end.
+    pub struct Worker<T> {
+        ring: Arc<Ring<T>>,
+    }
+
+    // The owner may move between threads (a lane handing its deque to a
+    // successor) but must never be shared: no `Sync` impl.
+    unsafe impl<T: Send> Send for Worker<T> {}
+
+    impl<T> Worker<T> {
+        /// Create a deque whose ring holds at least `capacity` items
+        /// (rounded up to a power of two).
+        pub fn with_capacity(capacity: usize) -> Worker<T> {
+            Worker { ring: Arc::new(Ring::with_capacity(capacity)) }
+        }
+
+        /// Create a stealer handle for this deque; cloneable and
+        /// shareable across threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { ring: self.ring.clone() }
+        }
+
+        /// Push at the bottom end. Returns the value back if the ring
+        /// is full — the caller overflows into the [`Injector`].
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let b = self.ring.bottom.load(Ordering::Relaxed);
+            let t = self.ring.top.load(Ordering::Acquire);
+            if b.wrapping_sub(t) >= self.ring.slots.len() as isize {
+                return Err(value);
+            }
+            unsafe { self.ring.write(b, value) };
+            self.ring.bottom.store(b.wrapping_add(1), Ordering::Release);
+            Ok(())
+        }
+
+        /// Pop from the bottom end (most recently pushed first). Races
+        /// stealers only when one element remains.
+        pub fn pop(&self) -> Option<T> {
+            let b = self.ring.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+            self.ring.bottom.store(b, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let t = self.ring.top.load(Ordering::Relaxed);
+            let size = b.wrapping_sub(t);
+            if size < 0 {
+                // Deque was empty; restore bottom.
+                self.ring.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+                return None;
+            }
+            let value = unsafe { self.ring.read(b) };
+            if size > 0 {
+                return Some(value);
+            }
+            // Last element: race stealers for it via the top CAS.
+            let won = self
+                .ring
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.ring.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            if won {
+                Some(value)
+            } else {
+                // A stealer took it; our speculative copy must not drop.
+                std::mem::forget(value);
+                None
+            }
+        }
+
+        /// Observed number of queued items (approximate under races).
+        pub fn len(&self) -> usize {
+            let b = self.ring.bottom.load(Ordering::Relaxed);
+            let t = self.ring.top.load(Ordering::Relaxed);
+            b.wrapping_sub(t).max(0) as usize
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Thief handle: concurrent FIFO takes from the top end.
+    pub struct Stealer<T> {
+        ring: Arc<Ring<T>>,
+    }
+
+    unsafe impl<T: Send> Send for Stealer<T> {}
+    unsafe impl<T: Send> Sync for Stealer<T> {}
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer { ring: self.ring.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Try to take the oldest element.
+        pub fn steal(&self) -> Steal<T> {
+            let t = self.ring.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.ring.bottom.load(Ordering::Acquire);
+            if b.wrapping_sub(t) <= 0 {
+                return Steal::Empty;
+            }
+            let value = unsafe { self.ring.read(t) };
+            if self
+                .ring
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(value)
+            } else {
+                // Lost to the owner or another thief; drop the
+                // speculative copy without running destructors.
+                std::mem::forget(value);
+                Steal::Retry
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            let b = self.ring.bottom.load(Ordering::Relaxed);
+            let t = self.ring.top.load(Ordering::Relaxed);
+            b.wrapping_sub(t).max(0) as usize
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Shared FIFO entry queue: any thread pushes, lanes steal. Backed
+    /// by a mutexed `VecDeque` — the injector is the cold path (new
+    /// submissions and deque overflow), so lock cost is acceptable and
+    /// batch transfer amortizes it further.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Cap on how many items one `steal_batch_and_pop` moves; keeps a
+    /// single lane from draining the shared queue while siblings starve.
+    const MAX_BATCH: usize = 16;
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Take the oldest element.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Take the oldest element and move up to half the remainder
+        /// (capped) into `dest`, preserving FIFO order. Items that do
+        /// not fit in `dest` stay queued here.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            let batch = (q.len() / 2).min(MAX_BATCH);
+            for _ in 0..batch {
+                let Some(v) = q.pop_front() else { break };
+                if let Err(v) = dest.push(v) {
+                    q.push_front(v);
+                    break;
+                }
+            }
+            Steal::Success(first)
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod deque_tests {
+        use super::*;
+        use std::sync::atomic::AtomicUsize;
+
+        #[test]
+        fn owner_pop_is_lifo_steal_is_fifo() {
+            let w = Worker::with_capacity(8);
+            let s = w.stealer();
+            for i in 0..4 {
+                w.push(i).unwrap();
+            }
+            assert_eq!(w.pop(), Some(3));
+            assert!(matches!(s.steal(), Steal::Success(0)));
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn push_reports_overflow_and_recovers_after_pop() {
+            let w = Worker::with_capacity(2);
+            w.push(1).unwrap();
+            w.push(2).unwrap();
+            assert_eq!(w.push(3), Err(3));
+            assert_eq!(w.pop(), Some(2));
+            w.push(4).unwrap();
+            assert_eq!(w.len(), 2);
+        }
+
+        #[test]
+        fn ring_wraps_across_many_cycles() {
+            let w = Worker::with_capacity(4);
+            let s = w.stealer();
+            let mut expected = 0;
+            for round in 0..100 {
+                w.push(round * 2).unwrap();
+                w.push(round * 2 + 1).unwrap();
+                assert!(matches!(s.steal(), Steal::Success(v) if v == expected));
+                expected += 1;
+                assert!(matches!(s.steal(), Steal::Success(v) if v == expected));
+                expected += 1;
+            }
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn drop_releases_unconsumed_items() {
+            static DROPS: AtomicUsize = AtomicUsize::new(0);
+            #[derive(Debug)]
+            struct D;
+            impl Drop for D {
+                fn drop(&mut self) {
+                    DROPS.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            let w = Worker::with_capacity(8);
+            for _ in 0..5 {
+                w.push(D).unwrap();
+            }
+            drop(w.pop());
+            drop(w);
+            assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+        }
+
+        #[test]
+        fn injector_batch_pop_moves_items_in_order() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::with_capacity(16);
+            let s = w.stealer();
+            assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(0)));
+            // Half of the remaining nine (4) moved into the worker.
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 5);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert!(matches!(inj.steal(), Steal::Success(5)));
+        }
+
+        #[test]
+        fn concurrent_owner_and_stealers_consume_each_item_once() {
+            const ITEMS: usize = 10_000;
+            let w: Worker<usize> = Worker::with_capacity(64);
+            let inj = Arc::new(Injector::new());
+            let seen: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+            let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+            let thieves: Vec<_> = (0..3)
+                .map(|_| {
+                    let s = w.stealer();
+                    let seen = seen.clone();
+                    let done = done.clone();
+                    std::thread::spawn(move || loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                seen[v].fetch_add(1, Ordering::SeqCst);
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // Owner interleaves pushes with pops; ring overflow spills
+            // into the injector exactly like the executor does.
+            for i in 0..ITEMS {
+                if let Err(v) = w.push(i) {
+                    inj.push(v);
+                }
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        seen[v].fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                seen[v].fetch_add(1, Ordering::SeqCst);
+            }
+            done.store(true, Ordering::SeqCst);
+            for t in thieves {
+                t.join().unwrap();
+            }
+            while let Steal::Success(v) = inj.steal() {
+                seen[v].fetch_add(1, Ordering::SeqCst);
+            }
+            for (i, c) in seen.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "item {i} seen wrong number of times");
+            }
         }
     }
 }
