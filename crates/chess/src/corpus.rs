@@ -1,0 +1,215 @@
+//! The known-bug micro-corpus.
+//!
+//! Small programs with seeded concurrency bugs (plus one clean pipeline
+//! carrying fault points) that the explorer **must** find. They serve
+//! three masters: `tests/known_bugs.rs` asserts each bug is found and
+//! replays byte-stably; the DPOR-vs-DFS differential test asserts
+//! identical failure sets with strictly fewer DPOR schedules; and the CI
+//! chess guard (`crates/bench/src/bin/chess_bench.rs`) drives the joint
+//! schedule×fault explorer over the corpus with asserted budgets.
+
+use crate::explore::Report;
+use crate::sched::{FailureKind, FaultScenario, Inject, InjectKind, ThreadCtx};
+
+/// Failure kind expectations, ignoring payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpectedKind {
+    Race,
+    Deadlock,
+    Panic,
+    CheckFailed,
+}
+
+impl ExpectedKind {
+    pub fn matches(&self, kind: &FailureKind) -> bool {
+        matches!(
+            (self, kind),
+            (ExpectedKind::Race, FailureKind::Race { .. })
+                | (ExpectedKind::Deadlock, FailureKind::Deadlock)
+                | (ExpectedKind::Panic, FailureKind::Panic(_))
+                | (ExpectedKind::CheckFailed, FailureKind::CheckFailed(_))
+        )
+    }
+}
+
+/// One corpus entry.
+pub struct CorpusEntry {
+    pub name: &'static str,
+    pub test: fn(&ThreadCtx),
+    /// Failure kinds exploration must report (fault-free).
+    pub expected: &'static [ExpectedKind],
+    /// Fault point labels the entry carries (drives scenario generation).
+    pub fault_labels: &'static [&'static str],
+}
+
+impl CorpusEntry {
+    /// Does `report` contain every expected kind and nothing else?
+    pub fn satisfied_by(&self, report: &Report) -> bool {
+        self.expected
+            .iter()
+            .all(|e| report.failures.iter().any(|f| e.matches(&f.kind)))
+            && report
+                .failures
+                .iter()
+                .all(|f| self.expected.iter().any(|e| e.matches(&f.kind)))
+    }
+}
+
+/// Seeded data race: two unsynchronized read-increment-write threads
+/// lose an update on some interleavings.
+fn lost_update(ctx: &ThreadCtx) {
+    let counter = ctx.shared("counter", 0i64);
+    let c1 = counter.clone();
+    let c2 = counter.clone();
+    let t1 = ctx.spawn(move |ctx| {
+        let v = c1.read(ctx);
+        c1.write(ctx, v + 1);
+    });
+    let t2 = ctx.spawn(move |ctx| {
+        let v = c2.read(ctx);
+        c2.write(ctx, v + 1);
+    });
+    ctx.join(t1);
+    ctx.join(t2);
+    ctx.check(counter.read(ctx) == 2, "both increments must land");
+}
+
+/// Classic ABBA deadlock: opposite lock acquisition order.
+fn abba_deadlock(ctx: &ThreadCtx) {
+    let a = ctx.mutex("a");
+    let b = ctx.mutex("b");
+    let (a1, b1) = (a.clone(), b.clone());
+    let (a2, b2) = (a.clone(), b.clone());
+    let t1 = ctx.spawn(move |ctx| {
+        a1.lock(ctx);
+        b1.lock(ctx);
+        b1.unlock(ctx);
+        a1.unlock(ctx);
+    });
+    let t2 = ctx.spawn(move |ctx| {
+        b2.lock(ctx);
+        a2.lock(ctx);
+        a2.unlock(ctx);
+        b2.unlock(ctx);
+    });
+    ctx.join(t1);
+    ctx.join(t2);
+}
+
+/// Channel-order violation: two producers race to a shared FIFO, but the
+/// consumer assumes producer 1's message arrives first.
+fn channel_order(ctx: &ThreadCtx) {
+    let ch = ctx.channel::<i64>("merge");
+    let (c1, c2) = (ch.clone(), ch.clone());
+    let t1 = ctx.spawn(move |ctx| c1.send(ctx, 1));
+    let t2 = ctx.spawn(move |ctx| c2.send(ctx, 2));
+    let first = ch.recv(ctx);
+    let second = ch.recv(ctx);
+    ctx.check(first == 1 && second == 2, "producer 1 must arrive first");
+    ctx.join(t1);
+    ctx.join(t2);
+}
+
+/// Panic mid-drain: the producer dies after two of three items; the
+/// consumer starves on the third receive — a panic *and* the deadlock it
+/// causes downstream.
+fn panic_mid_drain(ctx: &ThreadCtx) {
+    let ch = ctx.channel::<i64>("drain");
+    let chp = ch.clone();
+    let producer = ctx.spawn(move |ctx| {
+        chp.send(ctx, 10);
+        chp.send(ctx, 20);
+        panic!("producer died mid-drain");
+    });
+    let chc = ch.clone();
+    let consumer = ctx.spawn(move |ctx| {
+        for _ in 0..3 {
+            let _ = chc.recv(ctx);
+        }
+    });
+    ctx.join(producer);
+    ctx.join(consumer);
+}
+
+/// A clean two-stage pipeline carrying fault points at both stages: the
+/// fault-free exploration must be silent, and every fault-scenario
+/// failure must be fault-induced. A `Drop` at stage A forwards a
+/// tombstone so the stream stays drainable.
+fn clean_pipeline(ctx: &ThreadCtx) {
+    let ch = ctx.channel::<i64>("buf");
+    let out = ctx.shared("out", 0i64);
+    let chp = ch.clone();
+    let producer = ctx.spawn(move |ctx| {
+        for i in 0..2 {
+            let v = match ctx.fault_point("stage_a") {
+                Inject::Run => i * 2,
+                Inject::Drop => -1,
+            };
+            chp.send(ctx, v);
+        }
+    });
+    let (chc, oc) = (ch.clone(), out.clone());
+    let consumer = ctx.spawn(move |ctx| {
+        let mut sum = 0;
+        for _ in 0..2 {
+            let v = chc.recv(ctx);
+            if ctx.fault_point("stage_b") == Inject::Run && v >= 0 {
+                sum += v;
+            }
+        }
+        oc.write(ctx, sum);
+    });
+    ctx.join(producer);
+    ctx.join(consumer);
+    ctx.check(out.read(ctx) >= 0, "sum stays non-negative");
+}
+
+/// The full micro-corpus.
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry {
+            name: "lost_update",
+            test: lost_update,
+            expected: &[ExpectedKind::Race, ExpectedKind::CheckFailed],
+            fault_labels: &[],
+        },
+        CorpusEntry {
+            name: "abba_deadlock",
+            test: abba_deadlock,
+            expected: &[ExpectedKind::Deadlock],
+            fault_labels: &[],
+        },
+        CorpusEntry {
+            name: "channel_order",
+            test: channel_order,
+            expected: &[ExpectedKind::CheckFailed],
+            fault_labels: &[],
+        },
+        CorpusEntry {
+            name: "panic_mid_drain",
+            test: panic_mid_drain,
+            expected: &[ExpectedKind::Panic, ExpectedKind::Deadlock],
+            fault_labels: &[],
+        },
+        CorpusEntry {
+            name: "clean_pipeline",
+            test: clean_pipeline,
+            expected: &[],
+            fault_labels: &["stage_a", "stage_b"],
+        },
+    ]
+}
+
+/// The scenario matrix for one entry: no-fault plus, for every label,
+/// every injection kind at the first two call positions.
+pub fn scenarios_for(entry: &CorpusEntry) -> Vec<FaultScenario> {
+    let mut scenarios = vec![FaultScenario::none()];
+    for label in entry.fault_labels {
+        for nth in 0..2 {
+            for kind in [InjectKind::Panic, InjectKind::DelayTicks(50), InjectKind::DropItem] {
+                scenarios.push(FaultScenario::one(*label, nth, kind));
+            }
+        }
+    }
+    scenarios
+}

@@ -1,0 +1,328 @@
+//! Dynamic partial-order reduction (DPOR) with sleep sets.
+//!
+//! DFS enumerates *interleavings*; DPOR enumerates *Mazurkiewicz traces*
+//! — equivalence classes of interleavings that differ only in the order
+//! of independent (commuting) operations. Following Flanagan–Godefroid,
+//! each run is analyzed after the fact: for every executed operation we
+//! find the most recent operation of another task that is *dependent*
+//! (same cell with a write, same mutex, same channel, same fault label)
+//! and not already ordered by happens-before (the scheduler's vector
+//! clocks), and add a *backtrack point* at that earlier decision so the
+//! reversed order is explored too. *Sleep sets* prune runs that would
+//! only replay an already-explored commutation.
+//!
+//! One deliberate strengthening: two `lock` acquisitions of the same
+//! mutex are **always** treated as racing, even though the loser's clock
+//! is ordered after the winner's unlock — acquisition *order* is exactly
+//! the thing lock clocks cannot capture, and reversing it is how the
+//! ABBA deadlock is discovered.
+//!
+//! The preemption-bounded DFS ([`crate::explore`]) stays as the
+//! differential oracle: on the known-bug corpus both must report the
+//! identical failure set, with DPOR running strictly fewer schedules
+//! (asserted in `tests/known_bugs.rs` and the chess bench guard).
+
+use crate::explore::{ChessOptions, Report};
+use crate::sched::{run_schedule, FaultScenario, OpKey, Policy, StepInfo, ThreadCtx};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Are two operations dependent (order-sensitive)?
+fn dependent(a: OpKey, b: OpKey) -> bool {
+    use OpKey::*;
+    match (a, b) {
+        (Read(x), Write(y)) | (Write(x), Read(y)) | (Write(x), Write(y)) => x == y,
+        (Lock(x), Lock(y)) | (Lock(x), Unlock(y)) | (Unlock(x), Lock(y)) => x == y,
+        (Send(x), Send(y)) | (Recv(x), Recv(y)) | (Send(x), Recv(y)) | (Recv(x), Send(y)) => {
+            x == y
+        }
+        (Fault(x), Fault(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// One decision point along the committed path prefix.
+struct Node {
+    /// The runnable set at this point (replay-deterministic).
+    enabled: Vec<usize>,
+    /// The branch the next run takes.
+    chosen: usize,
+    /// Branches whose subtrees are fully explored.
+    done: BTreeSet<usize>,
+    /// Branches that must be explored (filled by race analysis).
+    backtrack: BTreeSet<usize>,
+    /// `(tid, op)` of each done sibling — seeds the sleep set when the
+    /// node is revisited.
+    sleep_ops: Vec<(usize, Option<OpKey>)>,
+}
+
+struct DporPolicy {
+    nodes: Vec<Node>,
+    /// Length of the committed prefix (`nodes.len()` at run start).
+    path_len: usize,
+    /// The run-side sleep set: `(tid, op-it-performed-when-explored)`.
+    sleep: Vec<(usize, Option<OpKey>)>,
+    /// Set when every enabled task was asleep: the rest of this run is
+    /// known-redundant, so no further nodes are created.
+    pruned: bool,
+}
+
+impl Policy for DporPolicy {
+    fn choose(&mut self, step: usize, runnable: &[usize], _last: Option<usize>) -> usize {
+        if step < self.path_len {
+            let node = &self.nodes[step];
+            debug_assert_eq!(
+                node.enabled, runnable,
+                "nondeterministic test: runnable set diverged on replay"
+            );
+            for entry in &node.sleep_ops {
+                self.sleep.push(*entry);
+            }
+            return node.chosen;
+        }
+        if self.pruned {
+            return runnable[0];
+        }
+        let fresh = runnable
+            .iter()
+            .copied()
+            .find(|t| !self.sleep.iter().any(|(s, _)| s == t));
+        match fresh {
+            None => {
+                self.pruned = true;
+                runnable[0]
+            }
+            Some(t) => {
+                self.nodes.push(Node {
+                    enabled: runnable.to_vec(),
+                    chosen: t,
+                    done: BTreeSet::new(),
+                    backtrack: BTreeSet::new(),
+                    sleep_ops: Vec::new(),
+                });
+                t
+            }
+        }
+    }
+
+    fn observe_step(&mut self, info: &StepInfo) {
+        // A sleeping task wakes when the executed op is dependent with
+        // the op it performed when its branch was explored (or when it is
+        // itself scheduled — its position in the trace moved).
+        self.sleep.retain(|(t, op)| {
+            if *t == info.tid {
+                return false;
+            }
+            match (op, &info.op) {
+                (Some(a), Some(b)) => !dependent(*a, *b),
+                _ => true,
+            }
+        });
+    }
+}
+
+/// Post-run race analysis: add backtrack points that reverse every pair
+/// of dependent, happens-before-unordered operations.
+fn apply_backtracks(infos: &[StepInfo], nodes: &mut [Node]) {
+    for i in 0..infos.len() {
+        let Some(op_i) = infos[i].op else { continue };
+        let tid_i = infos[i].tid;
+        let jmax = i.min(nodes.len());
+        let mut found = None;
+        for j in (0..jmax).rev() {
+            let Some(op_j) = infos[j].op else { continue };
+            if infos[j].tid == tid_i || !dependent(op_j, op_i) {
+                continue;
+            }
+            let lock_lock = matches!((op_j, op_i), (OpKey::Lock(a), OpKey::Lock(b)) if a == b);
+            if lock_lock || !infos[j].clock.le(&infos[i].clock) {
+                found = Some(j);
+                break;
+            }
+        }
+        if let Some(j) = found {
+            let node = &mut nodes[j];
+            if node.enabled.contains(&tid_i) {
+                node.backtrack.insert(tid_i);
+            } else {
+                // The racing task was not yet enabled at j: conservatively
+                // try every branch there.
+                for &e in &node.enabled {
+                    node.backtrack.insert(e);
+                }
+            }
+        }
+    }
+}
+
+/// Explore `test` with dynamic partial-order reduction.
+pub fn explore_dpor<F>(test: F, options: ChessOptions) -> Report
+where
+    F: Fn(&ThreadCtx) + 'static,
+{
+    explore_dpor_scenario(Rc::new(test), &FaultScenario::none(), &options)
+}
+
+/// DPOR exploration under a fixed fault scenario (used by the joint
+/// schedule×fault explorer).
+pub(crate) fn explore_dpor_scenario<F>(
+    test: Rc<F>,
+    scenario: &FaultScenario,
+    options: &ChessOptions,
+) -> Report
+where
+    F: Fn(&ThreadCtx) + 'static,
+{
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut report = Report::default();
+    loop {
+        let mut policy = DporPolicy {
+            path_len: nodes.len(),
+            nodes: std::mem::take(&mut nodes),
+            sleep: Vec::new(),
+            pruned: false,
+        };
+        let run = run_schedule(test.clone(), &mut policy, options.max_steps, scenario);
+        nodes = policy.nodes;
+        report.absorb_run(run.failures, run.steps);
+        if options.stop_on_first_failure && report.failed() {
+            return report;
+        }
+        if report.schedules >= options.max_schedules {
+            return report;
+        }
+        apply_backtracks(&run.step_infos, &mut nodes);
+        // Backtrack: close out the deepest explored branch and switch to
+        // the next pending backtrack point, popping exhausted nodes.
+        loop {
+            let depth = match nodes.len().checked_sub(1) {
+                None => {
+                    report.complete = true;
+                    return report;
+                }
+                Some(d) => d,
+            };
+            let op = run.step_infos.get(depth).and_then(|s| s.op);
+            let top = &mut nodes[depth];
+            top.done.insert(top.chosen);
+            top.sleep_ops.push((top.chosen, op));
+            match top.backtrack.iter().copied().find(|t| !top.done.contains(t)) {
+                Some(q) => {
+                    top.chosen = q;
+                    break;
+                }
+                None => {
+                    nodes.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, SearchMode};
+    use crate::sched::FailureKind;
+
+    fn kinds(report: &Report) -> BTreeSet<FailureKind> {
+        report.failures.iter().map(|f| f.kind.clone()).collect()
+    }
+
+    fn racy_counter(ctx: &ThreadCtx) {
+        let counter = ctx.shared("counter", 0i64);
+        let c1 = counter.clone();
+        let c2 = counter.clone();
+        let t1 = ctx.spawn(move |ctx| {
+            let v = c1.read(ctx);
+            c1.write(ctx, v + 1);
+        });
+        let t2 = ctx.spawn(move |ctx| {
+            let v = c2.read(ctx);
+            c2.write(ctx, v + 1);
+        });
+        ctx.join(t1);
+        ctx.join(t2);
+        ctx.check(counter.read(ctx) == 2, "both increments must land");
+    }
+
+    #[test]
+    fn dpor_finds_lost_update_with_fewer_schedules() {
+        let dfs = explore(racy_counter, ChessOptions::default());
+        let dpor = explore_dpor(racy_counter, ChessOptions::default());
+        assert!(dfs.complete && dpor.complete);
+        assert_eq!(kinds(&dfs), kinds(&dpor));
+        assert!(
+            dpor.schedules < dfs.schedules,
+            "dpor {} !< dfs {}",
+            dpor.schedules,
+            dfs.schedules
+        );
+    }
+
+    #[test]
+    fn dpor_finds_abba_deadlock() {
+        let report = explore_dpor(
+            |ctx| {
+                let a = ctx.mutex("a");
+                let b = ctx.mutex("b");
+                let (a1, b1) = (a.clone(), b.clone());
+                let (a2, b2) = (a.clone(), b.clone());
+                let t1 = ctx.spawn(move |ctx| {
+                    a1.lock(ctx);
+                    b1.lock(ctx);
+                    b1.unlock(ctx);
+                    a1.unlock(ctx);
+                });
+                let t2 = ctx.spawn(move |ctx| {
+                    b2.lock(ctx);
+                    a2.lock(ctx);
+                    a2.unlock(ctx);
+                    b2.unlock(ctx);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.failures.iter().any(|f| f.kind == FailureKind::Deadlock));
+    }
+
+    #[test]
+    fn dpor_on_independent_threads_runs_one_schedule() {
+        // Two tasks touching disjoint cells commute completely: DPOR
+        // must collapse the whole interleaving space to a single trace.
+        let report = explore_dpor(
+            |ctx| {
+                let x = ctx.shared("x", 0i64);
+                let y = ctx.shared("y", 0i64);
+                let (xc, yc) = (x.clone(), y.clone());
+                let t1 = ctx.spawn(move |ctx| {
+                    let v = xc.read(ctx);
+                    xc.write(ctx, v + 1);
+                });
+                let t2 = ctx.spawn(move |ctx| {
+                    let v = yc.read(ctx);
+                    yc.write(ctx, v + 1);
+                });
+                ctx.join(t1);
+                ctx.join(t2);
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert!(!report.failed(), "{:?}", report.failures);
+        assert_eq!(report.schedules, 1, "independent ops must not be reversed");
+    }
+
+    #[test]
+    fn search_mode_dispatch_routes_to_dpor() {
+        let via_mode = explore(
+            racy_counter,
+            ChessOptions { mode: SearchMode::Dpor, ..ChessOptions::default() },
+        );
+        let direct = explore_dpor(racy_counter, ChessOptions::default());
+        assert_eq!(via_mode.schedules, direct.schedules);
+        assert_eq!(kinds(&via_mode), kinds(&direct));
+    }
+}

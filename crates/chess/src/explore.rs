@@ -6,9 +6,28 @@
 //! *Iterative context bounding* — CHESS's key idea — explores all
 //! schedules with at most `c` preemptions before trying `c + 1`, because
 //! most concurrency bugs need only a couple of preemptions.
+//!
+//! [`SearchMode::Dpor`] switches the same entry point to the dynamic
+//! partial-order reduction explorer ([`crate::dpor`]), which visits every
+//! Mazurkiewicz trace once instead of every interleaving — same failure
+//! set, strictly fewer schedules. The DFS stays as the differential
+//! oracle (and is the only mode that honors `preemption_bound`).
 
-use crate::sched::{run_schedule, Failure, Policy, Sched, ThreadCtx};
-use std::sync::Arc;
+use crate::sched::{run_schedule, Failure, FaultScenario, Policy, ThreadCtx};
+use std::rc::Rc;
+
+/// Which search algorithm drives the exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Stateless depth-first enumeration (CHESS), optionally preemption-
+    /// bounded. The differential oracle for DPOR.
+    #[default]
+    Dfs,
+    /// Dynamic partial-order reduction with sleep sets: one schedule per
+    /// equivalence class of commuting interleavings. Ignores
+    /// `preemption_bound`.
+    Dpor,
+}
 
 /// Exploration options.
 #[derive(Clone, Debug)]
@@ -17,10 +36,12 @@ pub struct ChessOptions {
     pub max_schedules: u64,
     /// Per-schedule step limit (livelock guard).
     pub max_steps: u64,
-    /// Maximum preemptions per schedule (`None` = unbounded).
+    /// Maximum preemptions per schedule (`None` = unbounded; DFS only).
     pub preemption_bound: Option<usize>,
     /// Stop at the first failing schedule.
     pub stop_on_first_failure: bool,
+    /// Search algorithm.
+    pub mode: SearchMode,
 }
 
 impl Default for ChessOptions {
@@ -30,6 +51,7 @@ impl Default for ChessOptions {
             max_steps: 20_000,
             preemption_bound: None,
             stop_on_first_failure: false,
+            mode: SearchMode::Dfs,
         }
     }
 }
@@ -54,10 +76,20 @@ impl Report {
     }
 
     /// Merge another report into this one (used by iterative bounding).
-    fn merge(&mut self, other: Report) {
+    pub(crate) fn merge(&mut self, other: Report) {
         self.schedules += other.schedules;
         self.total_steps += other.total_steps;
         for f in other.failures {
+            if !self.failures.iter().any(|g| g.kind == f.kind) {
+                self.failures.push(f);
+            }
+        }
+    }
+
+    pub(crate) fn absorb_run(&mut self, failures: Vec<Failure>, steps: u64) {
+        self.schedules += 1;
+        self.total_steps += steps;
+        for f in failures {
             if !self.failures.iter().any(|g| g.kind == f.kind) {
                 self.failures.push(f);
             }
@@ -100,30 +132,40 @@ impl Policy for DfsPolicy {
     }
 }
 
-/// Explore all schedules of `test` (within the options' bounds).
+/// Explore all schedules of `test` (within the options' bounds), using
+/// the configured [`SearchMode`].
 pub fn explore<F>(test: F, options: ChessOptions) -> Report
 where
-    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+    F: Fn(&ThreadCtx) + 'static,
 {
-    let test = Arc::new(test);
+    let test = Rc::new(test);
+    match options.mode {
+        SearchMode::Dfs => explore_dfs_scenario(test, &FaultScenario::none(), &options),
+        SearchMode::Dpor => crate::dpor::explore_dpor_scenario(test, &FaultScenario::none(), &options),
+    }
+}
+
+/// DFS exploration of `test` under a fixed fault scenario (used directly
+/// by the joint schedule×fault explorer).
+pub(crate) fn explore_dfs_scenario<F>(
+    test: Rc<F>,
+    scenario: &FaultScenario,
+    options: &ChessOptions,
+) -> Report
+where
+    F: Fn(&ThreadCtx) + 'static,
+{
     let mut frames: Vec<Frame> = Vec::new();
     let mut report = Report::default();
     loop {
-        let sched = Sched::new(options.max_steps);
         let mut policy = DfsPolicy {
             frames: std::mem::take(&mut frames),
             bound: options.preemption_bound,
             preemptions: 0,
         };
-        let (failures, _decisions, steps) = run_schedule(sched, test.clone(), &mut policy);
+        let run = run_schedule(test.clone(), &mut policy, options.max_steps, scenario);
         frames = policy.frames;
-        report.schedules += 1;
-        report.total_steps += steps;
-        for f in failures {
-            if !report.failures.iter().any(|g| g.kind == f.kind) {
-                report.failures.push(f);
-            }
-        }
+        report.absorb_run(run.failures, run.steps);
         if options.stop_on_first_failure && report.failed() {
             return report;
         }
@@ -154,9 +196,9 @@ where
 /// requested). The returned report accumulates all bounds explored.
 pub fn explore_iterative<F>(test: F, max_bound: usize, options: ChessOptions) -> Report
 where
-    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+    F: Fn(&ThreadCtx) + 'static,
 {
-    let test = Arc::new(test);
+    let test = Rc::new(test);
     let mut total = Report { complete: true, ..Report::default() };
     for c in 0..=max_bound {
         let opts = ChessOptions {
@@ -165,10 +207,10 @@ where
                 .max_schedules
                 .saturating_sub(total.schedules)
                 .max(1),
+            mode: SearchMode::Dfs,
             ..options.clone()
         };
-        let t = test.clone();
-        let r = explore(move |ctx| t(ctx), opts);
+        let r = explore_dfs_scenario(test.clone(), &FaultScenario::none(), &opts);
         let complete = r.complete;
         total.merge(r);
         total.complete &= complete;
@@ -190,7 +232,7 @@ where
 /// guarantee.
 pub fn explore_random<F>(test: F, runs: u64, seed: u64, options: ChessOptions) -> Report
 where
-    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+    F: Fn(&ThreadCtx) + 'static,
 {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -204,19 +246,12 @@ where
         }
     }
 
-    let test = Arc::new(test);
+    let test = Rc::new(test);
     let mut report = Report::default();
     for i in 0..runs {
-        let sched = Sched::new(options.max_steps);
         let mut policy = RandomPolicy { rng: StdRng::seed_from_u64(seed ^ i) };
-        let (failures, _, steps) = run_schedule(sched, test.clone(), &mut policy);
-        report.schedules += 1;
-        report.total_steps += steps;
-        for f in failures {
-            if !report.failures.iter().any(|g| g.kind == f.kind) {
-                report.failures.push(f);
-            }
-        }
+        let run = run_schedule(test.clone(), &mut policy, options.max_steps, &FaultScenario::none());
+        report.absorb_run(run.failures, run.steps);
         if options.stop_on_first_failure && report.failed() {
             break;
         }
@@ -224,28 +259,28 @@ where
     report
 }
 
+pub(crate) struct ReplayPolicy {
+    pub schedule: Vec<usize>,
+}
+
+impl Policy for ReplayPolicy {
+    fn choose(&mut self, step: usize, runnable: &[usize], _last: Option<usize>) -> usize {
+        self.schedule
+            .get(step)
+            .copied()
+            .filter(|t| runnable.contains(t))
+            .unwrap_or(runnable[0])
+    }
+}
+
 /// Replay a specific schedule (e.g. a failure witness) and return the
 /// failures it triggers.
 pub fn replay<F>(test: F, schedule: &[usize], max_steps: u64) -> Vec<Failure>
 where
-    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+    F: Fn(&ThreadCtx) + 'static,
 {
-    struct ReplayPolicy {
-        schedule: Vec<usize>,
-    }
-    impl Policy for ReplayPolicy {
-        fn choose(&mut self, step: usize, runnable: &[usize], _last: Option<usize>) -> usize {
-            self.schedule
-                .get(step)
-                .copied()
-                .filter(|t| runnable.contains(t))
-                .unwrap_or(runnable[0])
-        }
-    }
-    let sched = Sched::new(max_steps);
     let mut policy = ReplayPolicy { schedule: schedule.to_vec() };
-    let (failures, _, _) = run_schedule(sched, Arc::new(test), &mut policy);
-    failures
+    run_schedule(Rc::new(test), &mut policy, max_steps, &FaultScenario::none()).failures
 }
 
 #[cfg(test)]
@@ -427,6 +462,25 @@ mod tests {
     }
 
     #[test]
+    fn replayed_failure_carries_identical_trace_hash() {
+        let report = explore(racy_counter, ChessOptions::default());
+        let lost = report
+            .failures
+            .iter()
+            .find(|f| matches!(f.kind, FailureKind::CheckFailed(_)))
+            .expect("lost update found");
+        assert_ne!(lost.trace_hash, 0);
+        let replayed = replay(racy_counter, &lost.schedule, 20_000);
+        let again = replayed
+            .iter()
+            .find(|f| f.kind == lost.kind)
+            .expect("replay reproduces");
+        // Byte-stable: same decision prefix, same hash, same schedule.
+        assert_eq!(again.trace_hash, lost.trace_hash);
+        assert_eq!(again.schedule, lost.schedule);
+    }
+
+    #[test]
     fn panic_in_thread_is_reported() {
         let report = explore(
             |ctx| {
@@ -517,6 +571,36 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.kind == FailureKind::StepLimit));
+    }
+
+    #[test]
+    fn virtual_sleep_is_deterministic_and_instant() {
+        // Sleeps ride on the virtual clock: a million-tick sleep costs
+        // nothing and two sleepers wake in target order, every run.
+        let report = explore(
+            |ctx| {
+                let x = ctx.shared("order", 0i64);
+                let (x1, x2) = (x.clone(), x.clone());
+                let slow = ctx.spawn(move |ctx| {
+                    ctx.sleep(1_000_000);
+                    x1.fetch_modify(ctx, |v| v * 10 + 2);
+                });
+                let fast = ctx.spawn(move |ctx| {
+                    ctx.sleep(10);
+                    x2.fetch_modify(ctx, |v| v * 10 + 1);
+                });
+                ctx.join(fast);
+                ctx.join(slow);
+                ctx.check(x.read(ctx) == 12, "fast sleeper wakes first");
+            },
+            ChessOptions::default(),
+        );
+        assert!(report.complete);
+        assert!(
+            !report.failures.iter().any(|f| matches!(f.kind, FailureKind::CheckFailed(_))),
+            "{:?}",
+            report.failures
+        );
     }
 }
 

@@ -3,12 +3,22 @@
 //! A CHESS-style systematic concurrency tester (Musuvathi et al., OSDI'08
 //! — reference \[24\] of the Patty paper) used by Patty's correctness
 //! validation phase: generated parallel unit tests are driven through
-//! *all* thread interleavings, with iterative preemption bounding keeping
-//! the search tractable, and a vector-clock happens-before detector
-//! reporting data races even on schedules where nothing visibly breaks.
+//! *all* thread interleavings, with a vector-clock happens-before
+//! detector reporting data races even on schedules where nothing visibly
+//! breaks.
+//!
+//! Exploration runs on a **cooperative virtual-time scheduler** — no OS
+//! threads, every `Shared`/`CMutex`/`CChannel` operation is a
+//! deterministic yield point, blocking is a virtual-time event — so
+//! every schedule gets a stable `sched_trace_hash` and replays
+//! byte-stably. Two search modes share the scheduler: stateless DFS with
+//! iterative preemption bounding (the differential oracle) and dynamic
+//! partial-order reduction ([`explore_dpor`]): same failure set,
+//! strictly fewer schedules. The joint explorer ([`explore_joint`])
+//! drives schedules × injected faults ([`FaultScenario`]) in one search.
 //!
 //! Tests are ordinary closures over a [`ThreadCtx`] that spawn controlled
-//! threads and touch [`Shared`] cells / [`CMutex`] mutexes; every access
+//! tasks and touch [`Shared`] cells / [`CMutex`] mutexes; every access
 //! is a deterministic scheduling point.
 //!
 //! ```
@@ -32,9 +42,19 @@
 //! ```
 
 pub mod clock;
+pub mod corpus;
+pub mod dpor;
 pub mod explore;
+pub mod joint;
 pub mod sched;
 
 pub use clock::VectorClock;
-pub use explore::{explore, explore_iterative, explore_random, replay, ChessOptions, Report};
-pub use sched::{CChannel, CMutex, Failure, FailureKind, JoinHandle, Shared, ThreadCtx};
+pub use dpor::explore_dpor;
+pub use explore::{
+    explore, explore_iterative, explore_random, replay, ChessOptions, Report, SearchMode,
+};
+pub use joint::{explore_joint, replay_hash, JointReport, ReplayOutcome, ScenarioReport};
+pub use sched::{
+    CChannel, CMutex, Failure, FailureKind, FaultPoint, FaultScenario, Inject, InjectKind,
+    JoinHandle, Shared, ThreadCtx,
+};

@@ -1,20 +1,46 @@
-//! The deterministic cooperative scheduler.
+//! The deterministic cooperative virtual-time scheduler.
 //!
-//! Like CHESS \[24\], the tester owns every scheduling decision: controlled
-//! threads run one at a time, stopping at each shared-memory or
-//! synchronization operation (a *yield point*) and waiting for the
-//! scheduler's grant. The sequence of grants *is* the schedule, so any
-//! execution can be replayed exactly, and the explorer
-//! ([`crate::explore`]) can enumerate all schedules of a test.
+//! Like CHESS \[24\], the tester owns every scheduling decision — but
+//! unlike the first generation of this module there are **no OS threads**
+//! anywhere: controlled "threads" are scheduler-owned *tasks* driven one
+//! decision at a time on the caller's thread. Every [`Shared`] access,
+//! [`CMutex`] lock/unlock, [`CChannel`] send/recv, [`ThreadCtx::step`] and
+//! [`ThreadCtx::fault_point`] is a yield point; blocking waits are
+//! virtual-time events, so deadlock and livelock detection are exact and a
+//! `max_steps` abort is byte-reproducible — no wall-clock timeout can
+//! smear a verdict.
+//!
+//! ## Resumption by replay
+//!
+//! A task is an ordinary `Fn(&ThreadCtx)` closure. Granting a task one
+//! step re-executes its closure from the start: operations already
+//! performed return their memoized results from the task's effect log
+//! (without re-executing effects or re-feeding the race detector), the
+//! first un-logged operation executes live against the shared state, and
+//! the next operation unwinds the closure with a private panic payload,
+//! suspending the task. User code between yield points must therefore be
+//! deterministic — the same contract CHESS imposes (the DFS explorer
+//! asserts it by comparing runnable sets on replay).
+//!
+//! ## Trace hashes
+//!
+//! Each run maintains a running FNV-1a hash over the fault scenario and
+//! the decision sequence. Failures carry the hash of their decision
+//! prefix (`sched_trace_hash`), so any reported failure can be replayed
+//! byte-stably from the hash alone (see [`crate::explore::replay`] and
+//! [`crate::joint`]).
 //!
 //! A vector-clock happens-before detector runs piggy-backed on the same
 //! yield points and reports data races even on schedules where the race
-//! does not corrupt the result.
+//! does not corrupt the result; the same clocks drive the DPOR explorer's
+//! happens-before pruning ([`crate::dpor`]).
 
 use crate::clock::VectorClock;
-use parking_lot::{Condvar, Mutex};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::any::Any;
+use std::cell::{Cell, RefCell, RefMut};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::rc::Rc;
 
 /// What went wrong on some schedule.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,39 +70,202 @@ impl std::fmt::Display for FailureKind {
 }
 
 /// A failure together with the schedule (sequence of chosen thread ids)
-/// that reproduces it.
+/// that reproduces it, the stable trace hash of that decision prefix, and
+/// whether an injected fault had already fired when it was observed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Failure {
     pub kind: FailureKind,
     pub schedule: Vec<usize>,
+    /// FNV-1a hash of (fault scenario, decision prefix): the
+    /// `sched_trace_hash` quoted in diagnostics and accepted by replay.
+    pub trace_hash: u64,
+    /// True when an injected fault fired before this failure was observed
+    /// — joint exploration uses it to separate fault-induced outcomes
+    /// (an injected panic, the deadlock it causes downstream) from real
+    /// concurrency bugs.
+    pub fault_induced: bool,
 }
 
-/// Why a thread cannot currently run.
+/// What an injected fault does when its call arrives (the chess-side
+/// mirror of `patty_faultsim::FaultKind`, with virtual ticks instead of
+/// wall-clock sleeps).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Panic inside the task at the fault point.
+    Panic,
+    /// Suspend the task for `n` virtual ticks (models a slow stage).
+    DelayTicks(u64),
+    /// Tell the fault point's caller to drop the item
+    /// ([`Inject::Drop`]).
+    DropItem,
+}
+
+impl std::fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectKind::Panic => write!(f, "panic"),
+            InjectKind::DelayTicks(n) => write!(f, "delay({n})"),
+            InjectKind::DropItem => write!(f, "drop"),
+        }
+    }
+}
+
+/// One armed fault: fires at the `nth` (0-based) call of the fault point
+/// labelled `label`, once per run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPoint {
+    pub label: String,
+    pub nth: u64,
+    pub kind: InjectKind,
+}
+
+/// A set of armed faults driven jointly with the schedule; the empty
+/// scenario is the plain (fault-free) exploration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultScenario {
+    pub faults: Vec<FaultPoint>,
+}
+
+impl FaultScenario {
+    /// The fault-free scenario.
+    pub fn none() -> FaultScenario {
+        FaultScenario::default()
+    }
+
+    /// A single-fault scenario.
+    pub fn one(label: impl Into<String>, nth: u64, kind: InjectKind) -> FaultScenario {
+        FaultScenario { faults: vec![FaultPoint { label: label.into(), nth, kind }] }
+    }
+
+    /// Stable textual encoding (seeds the trace hash, printed in reports).
+    pub fn encode(&self) -> String {
+        if self.faults.is_empty() {
+            return "no-fault".to_string();
+        }
+        self.faults
+            .iter()
+            .map(|f| format!("{}@{}:{}", f.label, f.nth, f.kind))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+/// What a [`ThreadCtx::fault_point`] call tells its caller to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inject {
+    /// No fault (or a delay that already elapsed): run the item normally.
+    Run,
+    /// A `DropItem` fault fired: the caller should lose this item.
+    Drop,
+}
+
+// ---------------------------------------------------------------------------
+// Trace hashing (FNV-1a 64).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash seed for a fault scenario (the empty scenario included).
+pub(crate) fn scenario_seed(scenario: &FaultScenario) -> u64 {
+    fnv_bytes(FNV_OFFSET, scenario.encode().as_bytes())
+}
+
+/// Fold one scheduling decision into a running trace hash.
+pub(crate) fn hash_step(h: u64, tid: usize) -> u64 {
+    fnv_bytes(h, &(tid as u64).to_le_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Internal scheduler state.
+
+/// Why a task cannot currently run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum BlockReason {
     Mutex(usize),
     Join(usize),
     /// Waiting to receive on an empty channel.
     Recv(usize),
+    /// Sleeping until the virtual clock reaches the target.
+    Until(u64),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum TState {
-    /// Real thread exists but has not reached its first yield point.
-    Starting,
-    /// Waiting at a yield point for a grant.
-    Parked,
-    /// Holds the grant (or is running between yield points).
-    Running,
-    /// Waiting for a condition (mutex release, join target).
+    Runnable,
     Blocked(BlockReason),
     Finished,
+}
+
+/// Identity of a decision operation — drives the DPOR dependence relation
+/// and labels blocked attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum OpKey {
+    Read(usize),
+    /// Also covers `fetch_modify` (write-like for dependence purposes).
+    Write(usize),
+    Lock(usize),
+    Unlock(usize),
+    Send(usize),
+    Recv(usize),
+    Join(usize),
+    Spawn,
+    Fault(usize),
+    Step,
+    Check,
+    Sleep,
+}
+
+/// What one scheduling decision did — one entry per decision, used by the
+/// DPOR explorer to compute backtrack points.
+#[derive(Clone, Debug)]
+pub(crate) struct StepInfo {
+    pub tid: usize,
+    /// The decision op performed (or attempted, if the task blocked on
+    /// it); `None` when the task finished without reaching a fresh
+    /// operation.
+    pub op: Option<OpKey>,
+    /// The task's vector clock after the step.
+    pub clock: VectorClock,
+}
+
+/// Memoized result of one performed operation.
+#[derive(Clone)]
+enum Saved {
+    Unit,
+    /// A spawned task id or a created cell/mutex/channel id.
+    Id(usize),
+    /// A value read or received (downcast to the concrete type on replay).
+    Value(Rc<dyn Any>),
+    /// Fault point outcome: `true` = drop the item.
+    Inject(bool),
+}
+
+struct Task {
+    body: Rc<dyn Fn(&ThreadCtx)>,
+    state: TState,
+    /// Effect log; replayed from the start on every resumption.
+    log: Vec<Saved>,
+    /// Replay position within `log` for the current resumption.
+    cursor: usize,
+    clock: VectorClock,
+    finish_clock: Option<VectorClock>,
 }
 
 struct CellMeta {
     name: String,
     last_write: Option<(usize, VectorClock)>,
     reads: Vec<(usize, VectorClock)>,
+    /// `Rc<RefCell<T>>` behind `dyn Any`: replayed creations must hand
+    /// back the *same* storage, not a fresh copy of the initial value.
+    data: Rc<dyn Any>,
 }
 
 struct MutexMeta {
@@ -87,44 +276,107 @@ struct MutexMeta {
 struct ChannelMeta {
     /// Sender clocks of queued messages (FIFO), joined at receive to
     /// establish the happens-before edge of the handoff.
-    queue: std::collections::VecDeque<VectorClock>,
+    queue: VecDeque<VectorClock>,
+    /// `Rc<RefCell<VecDeque<T>>>` behind `dyn Any` (same reason as cells).
+    data: Rc<dyn Any>,
 }
 
 pub(crate) struct State {
-    pub(crate) threads: Vec<TState>,
-    clocks: Vec<VectorClock>,
-    finish_clocks: Vec<Option<VectorClock>>,
-    /// The thread currently holding the grant.
-    pub(crate) current: Option<usize>,
+    tasks: Vec<Task>,
+    /// Whether the current step's single live-operation grant is unspent.
+    granted: bool,
     cells: Vec<CellMeta>,
     mutexes: Vec<MutexMeta>,
     channels: Vec<ChannelMeta>,
-    pub(crate) failures: Vec<Failure>,
+    failures: Vec<Failure>,
     /// Chosen tids, in order — the schedule of this run.
-    pub(crate) decisions: Vec<usize>,
-    pub(crate) steps: u64,
-    pub(crate) aborted: bool,
+    decisions: Vec<usize>,
+    steps: u64,
+    aborted: bool,
+    /// The virtual clock: +1 per decision, jumps to the earliest wake
+    /// target when only sleepers remain.
+    virtual_time: u64,
+    /// Running FNV-1a trace hash (seeded by the fault scenario).
+    cur_hash: u64,
+    scenario: FaultScenario,
+    fault_fired: Vec<bool>,
+    /// Per-label fault point call counters (shared across tasks, like
+    /// faultsim's per-stage counters span replicas).
+    fault_calls: Vec<(String, u64)>,
+    any_fault_fired: bool,
+    step_infos: Vec<StepInfo>,
 }
 
-/// Panic payload used to unwind controlled threads when a schedule is
-/// aborted; not a user-visible failure.
-pub(crate) struct Abort;
+impl State {
+    fn block_cleared(&self, r: &BlockReason) -> bool {
+        match r {
+            BlockReason::Mutex(m) => self.mutexes[*m].owner.is_none(),
+            BlockReason::Join(t) => matches!(self.tasks[*t].state, TState::Finished),
+            BlockReason::Recv(c) => !self.channels[*c].queue.is_empty(),
+            BlockReason::Until(t) => self.virtual_time >= *t,
+        }
+    }
+}
+
+/// Panic payload used to suspend a task at a yield point; never escapes
+/// the scheduler.
+struct Suspend;
+
+/// Panic payload used to unwind a task when the run is aborted; not a
+/// user-visible failure.
+struct Abort;
+
+thread_local! {
+    /// True while a controlled task body is executing: the panic hook
+    /// stays silent (suspension unwinds are panics by mechanism, not by
+    /// meaning, and user panics are caught and recorded as failures).
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_TASK.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_str(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
 
 pub(crate) struct Sched {
-    pub(crate) state: Mutex<State>,
-    pub(crate) cv: Condvar,
-    pub(crate) max_steps: u64,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    state: RefCell<State>,
+    max_steps: u64,
+}
+
+/// Everything one run produced.
+pub(crate) struct RunResult {
+    pub failures: Vec<Failure>,
+    pub decisions: Vec<usize>,
+    pub steps: u64,
+    pub trace_hash: u64,
+    pub step_infos: Vec<StepInfo>,
 }
 
 impl Sched {
-    pub(crate) fn new(max_steps: u64) -> Arc<Sched> {
-        Arc::new(Sched {
-            state: Mutex::new(State {
-                threads: Vec::new(),
-                clocks: Vec::new(),
-                finish_clocks: Vec::new(),
-                current: None,
+    pub(crate) fn new(max_steps: u64, scenario: FaultScenario) -> Rc<Sched> {
+        install_quiet_hook();
+        let cur_hash = scenario_seed(&scenario);
+        let fault_fired = vec![false; scenario.faults.len()];
+        Rc::new(Sched {
+            state: RefCell::new(State {
+                tasks: Vec::new(),
+                granted: false,
                 cells: Vec::new(),
                 mutexes: Vec::new(),
                 channels: Vec::new(),
@@ -132,65 +384,38 @@ impl Sched {
                 decisions: Vec::new(),
                 steps: 0,
                 aborted: false,
+                virtual_time: 0,
+                cur_hash,
+                scenario,
+                fault_fired,
+                fault_calls: Vec::new(),
+                any_fault_fired: false,
+                step_infos: Vec::new(),
             }),
-            cv: Condvar::new(),
             max_steps,
-            handles: Mutex::new(Vec::new()),
         })
     }
 
-    /// Record a failure with the current schedule and abort the run.
-    fn fail(&self, state: &mut State, kind: FailureKind) {
-        self.observe(state, kind);
-        state.aborted = true;
-        self.cv.notify_all();
-    }
-
-    /// Record a failure without aborting (data races are observations:
-    /// the schedule remains meaningful and must keep running so deeper
-    /// failures — lost updates, failed checks — are still reached).
-    fn observe(&self, state: &mut State, kind: FailureKind) {
-        if state.failures.iter().any(|f| f.kind == kind) {
+    /// Record a failure (deduplicated by kind) with the current schedule
+    /// prefix and trace hash; does not abort by itself.
+    fn observe_in(st: &mut State, kind: FailureKind) {
+        if st.failures.iter().any(|f| f.kind == kind) {
             return;
         }
-        let schedule = state.decisions.clone();
-        state.failures.push(Failure { kind, schedule });
+        let schedule = st.decisions.clone();
+        st.failures.push(Failure {
+            kind,
+            schedule,
+            trace_hash: st.cur_hash,
+            fault_induced: st.any_fault_fired,
+        });
     }
 
-    /// Yield point: park, wait for the grant, count the step.
-    fn gate(&self, tid: usize) {
-        let mut st = self.state.lock();
-        if st.aborted {
-            drop(st);
-            std::panic::panic_any(Abort);
-        }
-        st.threads[tid] = TState::Parked;
-        if st.current == Some(tid) {
-            st.current = None;
-        }
-        self.cv.notify_all();
-        while st.current != Some(tid) {
-            if st.aborted {
-                drop(st);
-                std::panic::panic_any(Abort);
-            }
-            self.cv.wait(&mut st);
-        }
-        st.threads[tid] = TState::Running;
-        st.steps += 1;
-        if st.steps > self.max_steps {
-            self.fail(&mut st, FailureKind::StepLimit);
-            drop(st);
-            std::panic::panic_any(Abort);
-        }
-    }
-
-    fn register_thread(&self, state: &mut State, parent: Option<usize>) -> usize {
-        let tid = state.threads.len();
-        state.threads.push(TState::Starting);
+    fn register_task(st: &mut State, parent: Option<usize>, body: Rc<dyn Fn(&ThreadCtx)>) -> usize {
+        let tid = st.tasks.len();
         let mut clock = match parent {
             Some(p) => {
-                let mut c = state.clocks[p].clone();
+                let mut c = st.tasks[p].clock.clone();
                 c.tick(tid);
                 c
             }
@@ -201,187 +426,487 @@ impl Sched {
             }
         };
         if let Some(p) = parent {
-            state.clocks[p].tick(p);
-            clock.join(&state.clocks[p]);
+            st.tasks[p].clock.tick(p);
+            let pc = st.tasks[p].clock.clone();
+            clock.join(&pc);
         }
-        state.clocks.push(clock);
-        state.finish_clocks.push(None);
+        st.tasks.push(Task {
+            body,
+            state: TState::Runnable,
+            log: Vec::new(),
+            cursor: 0,
+            clock,
+            finish_clock: None,
+        });
         tid
     }
 
-    fn finish_thread(&self, tid: usize) {
-        let mut st = self.state.lock();
-        st.finish_clocks[tid] = Some(st.clocks[tid].clone());
-        st.threads[tid] = TState::Finished;
-        if st.current == Some(tid) {
-            st.current = None;
+    /// Gate for a decision op: `Some(saved)` replays a memoized result,
+    /// `None` means "perform live now" (this step's grant was consumed).
+    /// Unwinds the task when the grant is already spent.
+    fn decision(&self, tid: usize) -> Option<Saved> {
+        let mut st = self.state.borrow_mut();
+        if st.aborted {
+            drop(st);
+            panic_any(Abort);
         }
-        self.cv.notify_all();
+        let t = &mut st.tasks[tid];
+        if t.cursor < t.log.len() {
+            let s = t.log[t.cursor].clone();
+            t.cursor += 1;
+            return Some(s);
+        }
+        if st.granted {
+            st.granted = false;
+            return None;
+        }
+        drop(st);
+        panic_any(Suspend);
+    }
+
+    /// Gate for a silent op (cell/mutex/channel creation): replays or
+    /// signals "perform live" without consuming the grant — creation is
+    /// not a scheduling decision.
+    fn silent(&self, tid: usize) -> Option<Saved> {
+        let mut st = self.state.borrow_mut();
+        let t = &mut st.tasks[tid];
+        if t.cursor < t.log.len() {
+            let s = t.log[t.cursor].clone();
+            t.cursor += 1;
+            return Some(s);
+        }
+        None
+    }
+
+    /// Log a completed live decision op and its step record.
+    fn commit(st: &mut State, tid: usize, saved: Saved, key: OpKey) {
+        st.tasks[tid].log.push(saved);
+        st.tasks[tid].cursor += 1;
+        let clock = st.tasks[tid].clock.clone();
+        st.step_infos.push(StepInfo { tid, op: Some(key), clock });
+    }
+
+    /// Log a completed live silent op (no step record).
+    fn commit_silent(st: &mut State, tid: usize, saved: Saved) {
+        st.tasks[tid].log.push(saved);
+        st.tasks[tid].cursor += 1;
+    }
+
+    /// Abandon the live attempt: mark the task blocked, record the
+    /// attempted op (blocked attempts are scheduling decisions too), and
+    /// suspend. The op is *not* logged — the next grant retries it.
+    fn block(&self, mut st: RefMut<'_, State>, tid: usize, reason: BlockReason, key: OpKey) -> ! {
+        st.tasks[tid].state = TState::Blocked(reason);
+        let clock = st.tasks[tid].clock.clone();
+        st.step_infos.push(StepInfo { tid, op: Some(key), clock });
+        drop(st);
+        panic_any(Suspend);
+    }
+
+    /// The sorted set of tasks the driver may grant the next step to.
+    fn runnable(&self) -> Vec<usize> {
+        let st = self.state.borrow();
+        st.tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match &t.state {
+                TState::Runnable => Some(i),
+                TState::Blocked(r) => st.block_cleared(r).then_some(i),
+                TState::Finished => None,
+            })
+            .collect()
+    }
+
+    /// Jump the virtual clock to the earliest sleeper's wake target.
+    /// Returns false when there is nothing to wake.
+    fn advance_time(&self) -> bool {
+        let mut st = self.state.borrow_mut();
+        let target = st
+            .tasks
+            .iter()
+            .filter_map(|t| match t.state {
+                TState::Blocked(BlockReason::Until(x)) => Some(x),
+                _ => None,
+            })
+            .min();
+        match target {
+            Some(x) if x > st.virtual_time => {
+                st.virtual_time = x;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Count a decision into the schedule, hash and clocks. Returns false
+    /// when the step limit was hit (the run aborts).
+    fn record_decision(&self, tid: usize) -> bool {
+        let mut st = self.state.borrow_mut();
+        st.decisions.push(tid);
+        st.cur_hash = hash_step(st.cur_hash, tid);
+        st.steps += 1;
+        st.virtual_time += 1;
+        if st.steps > self.max_steps {
+            Sched::observe_in(&mut st, FailureKind::StepLimit);
+            st.aborted = true;
+            return false;
+        }
+        true
+    }
+
+    /// Give `tid` one step: re-execute its closure, replaying the effect
+    /// log and performing exactly one fresh decision op.
+    fn step_task(self: &Rc<Sched>, tid: usize) {
+        let body = {
+            let mut st = self.state.borrow_mut();
+            st.granted = true;
+            let t = &mut st.tasks[tid];
+            t.cursor = 0;
+            t.state = TState::Runnable;
+            t.body.clone()
+        };
+        let ctx = ThreadCtx { tid, sched: self.clone() };
+        let prev = IN_TASK.with(|f| f.replace(true));
+        let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+        IN_TASK.with(|f| f.set(prev));
+        let mut st = self.state.borrow_mut();
+        st.granted = false;
+        match result {
+            Ok(()) => {
+                let t = &mut st.tasks[tid];
+                t.finish_clock = Some(t.clock.clone());
+                t.state = TState::Finished;
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<Suspend>().is_some()
+                    || payload.downcast_ref::<Abort>().is_some()
+                {
+                    // Suspended / blocked / aborted: state already set.
+                } else {
+                    // A real panic: record it and declare the task dead
+                    // (joiners proceed, like joining a panicked thread;
+                    // starved channel peers deadlock — a separate,
+                    // correctly-attributed failure).
+                    let msg = payload_str(payload.as_ref());
+                    Sched::observe_in(&mut st, FailureKind::Panic(msg));
+                    let t = &mut st.tasks[tid];
+                    t.finish_clock = Some(t.clock.clone());
+                    t.state = TState::Finished;
+                }
+            }
+        }
+        // Keep step records aligned 1:1 with decisions even when the task
+        // finished (or died) without reaching a fresh operation.
+        if st.step_infos.len() < st.decisions.len() {
+            let clock = st.tasks[tid].clock.clone();
+            st.step_infos.push(StepInfo { tid, op: None, clock });
+        }
+    }
+
+    /// End-of-run bookkeeping: classify an empty runnable set.
+    fn finish_run(&self) {
+        let mut st = self.state.borrow_mut();
+        if st.aborted {
+            return;
+        }
+        let all_done = st.tasks.iter().all(|t| matches!(t.state, TState::Finished));
+        if !all_done {
+            Sched::observe_in(&mut st, FailureKind::Deadlock);
+        }
+    }
+
+    fn take_result(&self) -> RunResult {
+        let st = self.state.borrow();
+        RunResult {
+            failures: st.failures.clone(),
+            decisions: st.decisions.clone(),
+            steps: st.steps,
+            trace_hash: st.cur_hash,
+            step_infos: st.step_infos.clone(),
+        }
+    }
+
+    fn race_check(st: &mut State, tid: usize, cell_id: usize, is_write: bool) {
+        st.tasks[tid].clock.tick(tid);
+        let clock = st.tasks[tid].clock.clone();
+        let cell = &mut st.cells[cell_id];
+        let mut race = cell
+            .last_write
+            .as_ref()
+            .map(|(wt, wc)| *wt != tid && !wc.le(&clock))
+            .unwrap_or(false);
+        if is_write {
+            race |= cell.reads.iter().any(|(rt, rc)| *rt != tid && !rc.le(&clock));
+            cell.last_write = Some((tid, clock));
+            cell.reads.clear();
+        } else {
+            cell.reads.push((tid, clock));
+        }
+        if race {
+            let name = st.cells[cell_id].name.clone();
+            Sched::observe_in(st, FailureKind::Race { cell: name });
+        }
     }
 }
 
-/// Handle to a controlled thread.
+/// Handle to a controlled task.
 pub struct JoinHandle {
     tid: usize,
 }
 
-/// The per-thread capability for writing controlled concurrency tests:
-/// spawn controlled threads, create shared cells and mutexes, assert.
+/// The per-task capability for writing controlled concurrency tests:
+/// spawn controlled tasks, create shared cells / mutexes / channels,
+/// sleep on the virtual clock, place fault points, assert.
 #[derive(Clone)]
 pub struct ThreadCtx {
     tid: usize,
-    sched: Arc<Sched>,
+    sched: Rc<Sched>,
 }
 
 impl ThreadCtx {
-    pub(crate) fn root(sched: Arc<Sched>) -> ThreadCtx {
-        {
-            let mut st = sched.state.lock();
-            let tid = sched.register_thread(&mut st, None);
-            debug_assert_eq!(tid, 0);
-        }
-        ThreadCtx { tid: 0, sched }
-    }
-
-    /// This thread's id (0 = the test's main thread).
+    /// This task's id (0 = the test's main task).
     pub fn tid(&self) -> usize {
         self.tid
     }
 
-    /// Spawn a controlled thread.
+    /// Spawn a controlled task (a scheduling decision). The closure is
+    /// `Fn` because suspended tasks resume by replaying it from the
+    /// start.
     pub fn spawn<F>(&self, f: F) -> JoinHandle
     where
-        F: FnOnce(&ThreadCtx) + Send + 'static,
+        F: Fn(&ThreadCtx) + 'static,
     {
-        self.sched.gate(self.tid);
-        let tid = {
-            let mut st = self.sched.state.lock();
-            self.sched.register_thread(&mut st, Some(self.tid))
-        };
-        let ctx = ThreadCtx { tid, sched: self.sched.clone() };
-        let sched = self.sched.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("chess-{tid}"))
-            .spawn(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    // First yield point: the new thread starts parked.
-                    ctx.sched.gate(tid);
-                    f(&ctx);
-                }));
-                if let Err(payload) = result {
-                    if payload.downcast_ref::<Abort>().is_none() {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic>".into());
-                        let mut st = sched.state.lock();
-                        sched.fail(&mut st, FailureKind::Panic(msg));
-                    }
-                }
-                sched.finish_thread(tid);
-            })
-            .expect("spawn controlled thread");
-        self.sched.handles.lock().push(handle);
-        JoinHandle { tid }
+        match self.sched.decision(self.tid) {
+            Some(Saved::Id(tid)) => JoinHandle { tid },
+            Some(_) => unreachable!("replay log diverged at spawn"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                let tid = Sched::register_task(&mut st, Some(self.tid), Rc::new(f));
+                Sched::commit(&mut st, self.tid, Saved::Id(tid), OpKey::Spawn);
+                JoinHandle { tid }
+            }
+        }
     }
 
-    /// Join a controlled thread (blocks this thread in the model).
+    /// Join a controlled task (blocks this task in the model; joining a
+    /// panicked task succeeds, as with real threads).
     pub fn join(&self, handle: JoinHandle) {
-        self.sched.gate(self.tid);
-        let mut st = self.sched.state.lock();
-        while st.threads[handle.tid] != TState::Finished {
-            // Block and give up the grant.
-            st.threads[self.tid] = TState::Blocked(BlockReason::Join(handle.tid));
-            if st.current == Some(self.tid) {
-                st.current = None;
-            }
-            self.sched.cv.notify_all();
-            while st.threads[handle.tid] != TState::Finished {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
+        match self.sched.decision(self.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at join"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                if !matches!(st.tasks[handle.tid].state, TState::Finished) {
+                    self.sched.block(
+                        st,
+                        self.tid,
+                        BlockReason::Join(handle.tid),
+                        OpKey::Join(handle.tid),
+                    );
                 }
-                self.sched.cv.wait(&mut st);
+                let fc = st.tasks[handle.tid].finish_clock.clone().expect("finished");
+                st.tasks[self.tid].clock.join(&fc);
+                st.tasks[self.tid].clock.tick(self.tid);
+                Sched::commit(&mut st, self.tid, Saved::Unit, OpKey::Join(handle.tid));
             }
-            // Re-park and wait for a grant before continuing.
-            st.threads[self.tid] = TState::Parked;
-            self.sched.cv.notify_all();
-            while st.current != Some(self.tid) {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
-                }
-                self.sched.cv.wait(&mut st);
-            }
-            st.threads[self.tid] = TState::Running;
         }
-        // Happens-before edge from the finished thread.
-        let fc = st.finish_clocks[handle.tid].clone().expect("finished");
-        st.clocks[self.tid].join(&fc);
-        st.clocks[self.tid].tick(self.tid);
     }
 
     /// Create a shared cell participating in scheduling and race
-    /// detection.
-    pub fn shared<T: Send>(&self, name: &str, init: T) -> Shared<T> {
-        let id = {
-            let mut st = self.sched.state.lock();
-            st.cells.push(CellMeta {
-                name: name.to_string(),
-                last_write: None,
-                reads: Vec::new(),
-            });
-            st.cells.len() - 1
-        };
-        Shared {
-            id,
-            data: Arc::new(Mutex::new(init)),
-            sched: self.sched.clone(),
+    /// detection (not itself a scheduling decision).
+    pub fn shared<T: Clone + 'static>(&self, name: &str, init: T) -> Shared<T> {
+        match self.sched.silent(self.tid) {
+            Some(Saved::Id(id)) => {
+                let st = self.sched.state.borrow();
+                let data = st.cells[id]
+                    .data
+                    .clone()
+                    .downcast::<RefCell<T>>()
+                    .unwrap_or_else(|_| unreachable!("cell type diverged on replay"));
+                Shared { id, data, sched: self.sched.clone() }
+            }
+            Some(_) => unreachable!("replay log diverged at shared"),
+            None => {
+                let data = Rc::new(RefCell::new(init));
+                let mut st = self.sched.state.borrow_mut();
+                let id = st.cells.len();
+                st.cells.push(CellMeta {
+                    name: name.to_string(),
+                    last_write: None,
+                    reads: Vec::new(),
+                    data: data.clone(),
+                });
+                Sched::commit_silent(&mut st, self.tid, Saved::Id(id));
+                Shared { id, data, sched: self.sched.clone() }
+            }
         }
     }
 
     /// Create a controlled mutex.
     pub fn mutex(&self, _name: &str) -> CMutex {
-        let id = {
-            let mut st = self.sched.state.lock();
-            st.mutexes.push(MutexMeta { owner: None, clock: VectorClock::new() });
-            st.mutexes.len() - 1
-        };
-        CMutex { id, sched: self.sched.clone() }
+        match self.sched.silent(self.tid) {
+            Some(Saved::Id(id)) => CMutex { id, sched: self.sched.clone() },
+            Some(_) => unreachable!("replay log diverged at mutex"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                let id = st.mutexes.len();
+                st.mutexes.push(MutexMeta { owner: None, clock: VectorClock::new() });
+                Sched::commit_silent(&mut st, self.tid, Saved::Id(id));
+                CMutex { id, sched: self.sched.clone() }
+            }
+        }
     }
 
     /// Create a controlled FIFO channel (models a pipeline buffer: the
     /// send→receive handoff is a happens-before edge).
-    pub fn channel<T: Send>(&self, _name: &str) -> CChannel<T> {
-        let id = {
-            let mut st = self.sched.state.lock();
-            st.channels.push(ChannelMeta { queue: std::collections::VecDeque::new() });
-            st.channels.len() - 1
-        };
-        CChannel {
-            id,
-            data: Arc::new(Mutex::new(std::collections::VecDeque::new())),
-            sched: self.sched.clone(),
+    pub fn channel<T: Clone + 'static>(&self, _name: &str) -> CChannel<T> {
+        match self.sched.silent(self.tid) {
+            Some(Saved::Id(id)) => {
+                let st = self.sched.state.borrow();
+                let data = st.channels[id]
+                    .data
+                    .clone()
+                    .downcast::<RefCell<VecDeque<T>>>()
+                    .unwrap_or_else(|_| unreachable!("channel type diverged on replay"));
+                CChannel { id, data, sched: self.sched.clone() }
+            }
+            Some(_) => unreachable!("replay log diverged at channel"),
+            None => {
+                let data: Rc<RefCell<VecDeque<T>>> = Rc::new(RefCell::new(VecDeque::new()));
+                let mut st = self.sched.state.borrow_mut();
+                let id = st.channels.len();
+                st.channels.push(ChannelMeta { queue: VecDeque::new(), data: data.clone() });
+                Sched::commit_silent(&mut st, self.tid, Saved::Id(id));
+                CChannel { id, data, sched: self.sched.clone() }
+            }
         }
     }
 
     /// Assert a property of the current schedule; a failure is recorded
-    /// with the reproducing schedule and the run is aborted.
+    /// with the reproducing schedule + trace hash and the run is aborted.
     pub fn check(&self, cond: bool, msg: &str) {
-        self.sched.gate(self.tid);
-        if !cond {
-            let mut st = self.sched.state.lock();
-            self.sched
-                .fail(&mut st, FailureKind::CheckFailed(msg.to_string()));
-            drop(st);
-            std::panic::panic_any(Abort);
+        match self.sched.decision(self.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at check"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                Sched::commit(&mut st, self.tid, Saved::Unit, OpKey::Check);
+                if !cond {
+                    Sched::observe_in(&mut st, FailureKind::CheckFailed(msg.to_string()));
+                    st.aborted = true;
+                    drop(st);
+                    panic_any(Abort);
+                }
+            }
         }
     }
 
     /// A scheduling point without a memory access (models local work).
     pub fn step(&self) {
-        self.sched.gate(self.tid);
+        match self.sched.decision(self.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at step"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                Sched::commit(&mut st, self.tid, Saved::Unit, OpKey::Step);
+            }
+        }
+    }
+
+    /// Sleep `ticks` on the virtual clock: a deterministic stand-in for
+    /// wall-clock sleeps. When only sleepers remain, the driver jumps the
+    /// clock to the earliest wake target — no real time passes.
+    pub fn sleep(&self, ticks: u64) {
+        match self.sched.decision(self.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at sleep"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                let target = st.virtual_time + ticks;
+                Sched::commit(&mut st, self.tid, Saved::Unit, OpKey::Sleep);
+                st.tasks[self.tid].state = TState::Blocked(BlockReason::Until(target));
+                drop(st);
+                panic_any(Suspend);
+            }
+        }
+    }
+
+    /// A named fault point: under a [`FaultScenario`] the matching armed
+    /// fault fires here (panic / virtual delay / drop), making fault
+    /// injection a scheduler decision point. Call counts are shared
+    /// across tasks per label, mirroring faultsim's per-stage counters.
+    pub fn fault_point(&self, label: &str) -> Inject {
+        match self.sched.decision(self.tid) {
+            Some(Saved::Inject(drop_item)) => {
+                if drop_item {
+                    Inject::Drop
+                } else {
+                    Inject::Run
+                }
+            }
+            Some(_) => unreachable!("replay log diverged at fault_point"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                let label_id = match st.fault_calls.iter().position(|(l, _)| l == label) {
+                    Some(i) => i,
+                    None => {
+                        st.fault_calls.push((label.to_string(), 0));
+                        st.fault_calls.len() - 1
+                    }
+                };
+                let call = st.fault_calls[label_id].1;
+                st.fault_calls[label_id].1 += 1;
+                let armed = (0..st.scenario.faults.len()).find(|&i| {
+                    !st.fault_fired[i]
+                        && st.scenario.faults[i].label == label
+                        && st.scenario.faults[i].nth == call
+                });
+                match armed {
+                    None => {
+                        Sched::commit(&mut st, self.tid, Saved::Inject(false), OpKey::Fault(label_id));
+                        Inject::Run
+                    }
+                    Some(i) => {
+                        st.fault_fired[i] = true;
+                        st.any_fault_fired = true;
+                        match st.scenario.faults[i].kind.clone() {
+                            InjectKind::Panic => {
+                                Sched::commit(
+                                    &mut st,
+                                    self.tid,
+                                    Saved::Inject(false),
+                                    OpKey::Fault(label_id),
+                                );
+                                drop(st);
+                                panic!("chess-fault: injected panic at `{label}` call {call}");
+                            }
+                            InjectKind::DelayTicks(n) => {
+                                let target = st.virtual_time + n;
+                                Sched::commit(
+                                    &mut st,
+                                    self.tid,
+                                    Saved::Inject(false),
+                                    OpKey::Fault(label_id),
+                                );
+                                st.tasks[self.tid].state =
+                                    TState::Blocked(BlockReason::Until(target));
+                                drop(st);
+                                panic_any(Suspend);
+                            }
+                            InjectKind::DropItem => {
+                                Sched::commit(
+                                    &mut st,
+                                    self.tid,
+                                    Saved::Inject(true),
+                                    OpKey::Fault(label_id),
+                                );
+                                Inject::Drop
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -389,8 +914,8 @@ impl ThreadCtx {
 /// detector.
 pub struct Shared<T> {
     id: usize,
-    data: Arc<Mutex<T>>,
-    sched: Arc<Sched>,
+    data: Rc<RefCell<T>>,
+    sched: Rc<Sched>,
 }
 
 impl<T> Clone for Shared<T> {
@@ -399,85 +924,68 @@ impl<T> Clone for Shared<T> {
     }
 }
 
-impl<T: Clone + Send> Shared<T> {
+impl<T: Clone + 'static> Shared<T> {
     /// Read the cell.
     pub fn read(&self, ctx: &ThreadCtx) -> T {
-        self.sched.gate(ctx.tid);
-        {
-            let mut st = self.sched.state.lock();
-            st.clocks[ctx.tid].tick(ctx.tid);
-            let reader_clock = st.clocks[ctx.tid].clone();
-            let cell = &mut st.cells[self.id];
-            let race = cell
-                .last_write
-                .as_ref()
-                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&reader_clock))
-                .unwrap_or(false);
-            cell.reads.push((ctx.tid, reader_clock));
-            if race {
-                let name = cell.name.clone();
-                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Value(v)) => v
+                .downcast_ref::<T>()
+                .unwrap_or_else(|| unreachable!("replay log diverged at read"))
+                .clone(),
+            Some(_) => unreachable!("replay log diverged at read"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                Sched::race_check(&mut st, ctx.tid, self.id, false);
+                let value = self.data.borrow().clone();
+                Sched::commit(
+                    &mut st,
+                    ctx.tid,
+                    Saved::Value(Rc::new(value.clone())),
+                    OpKey::Read(self.id),
+                );
+                value
             }
         }
-        self.data.lock().clone()
     }
 
     /// Write the cell.
     pub fn write(&self, ctx: &ThreadCtx, value: T) {
-        self.sched.gate(ctx.tid);
-        {
-            let mut st = self.sched.state.lock();
-            st.clocks[ctx.tid].tick(ctx.tid);
-            let writer_clock = st.clocks[ctx.tid].clone();
-            let cell = &mut st.cells[self.id];
-            let mut race = cell
-                .last_write
-                .as_ref()
-                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&writer_clock))
-                .unwrap_or(false);
-            race |= cell
-                .reads
-                .iter()
-                .any(|(rt, rc)| *rt != ctx.tid && !rc.le(&writer_clock));
-            cell.last_write = Some((ctx.tid, writer_clock));
-            cell.reads.clear();
-            if race {
-                let name = cell.name.clone();
-                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at write"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                Sched::race_check(&mut st, ctx.tid, self.id, true);
+                *self.data.borrow_mut() = value;
+                Sched::commit(&mut st, ctx.tid, Saved::Unit, OpKey::Write(self.id));
             }
         }
-        *self.data.lock() = value;
     }
 
     /// Atomic read-modify-write (a single yield point; models an atomic
-    /// instruction — no race window inside).
+    /// instruction — no race window inside). `f` must be deterministic:
+    /// it is not re-applied on replay.
     pub fn fetch_modify(&self, ctx: &ThreadCtx, f: impl FnOnce(T) -> T) -> T {
-        self.sched.gate(ctx.tid);
-        {
-            let mut st = self.sched.state.lock();
-            st.clocks[ctx.tid].tick(ctx.tid);
-            let clock = st.clocks[ctx.tid].clone();
-            let cell = &mut st.cells[self.id];
-            let mut race = cell
-                .last_write
-                .as_ref()
-                .map(|(wt, wc)| *wt != ctx.tid && !wc.le(&clock))
-                .unwrap_or(false);
-            race |= cell
-                .reads
-                .iter()
-                .any(|(rt, rc)| *rt != ctx.tid && !rc.le(&clock));
-            cell.last_write = Some((ctx.tid, clock));
-            cell.reads.clear();
-            if race {
-                let name = cell.name.clone();
-                self.sched.observe(&mut st, FailureKind::Race { cell: name });
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Value(v)) => v
+                .downcast_ref::<T>()
+                .unwrap_or_else(|| unreachable!("replay log diverged at fetch_modify"))
+                .clone(),
+            Some(_) => unreachable!("replay log diverged at fetch_modify"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                Sched::race_check(&mut st, ctx.tid, self.id, true);
+                let old = self.data.borrow().clone();
+                *self.data.borrow_mut() = f(old.clone());
+                Sched::commit(
+                    &mut st,
+                    ctx.tid,
+                    Saved::Value(Rc::new(old.clone())),
+                    OpKey::Write(self.id),
+                );
+                old
             }
         }
-        let mut data = self.data.lock();
-        let old = data.clone();
-        *data = f(old.clone());
-        old
     }
 }
 
@@ -485,7 +993,7 @@ impl<T: Clone + Send> Shared<T> {
 /// happens-before edges (so properly locked accesses are race-free).
 pub struct CMutex {
     id: usize,
-    sched: Arc<Sched>,
+    sched: Rc<Sched>,
 }
 
 impl Clone for CMutex {
@@ -497,60 +1005,47 @@ impl Clone for CMutex {
 impl CMutex {
     /// Acquire the mutex (blocking in the model).
     pub fn lock(&self, ctx: &ThreadCtx) {
-        self.sched.gate(ctx.tid);
-        let mut st = self.sched.state.lock();
-        loop {
-            if st.mutexes[self.id].owner.is_none() {
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at lock"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                if st.mutexes[self.id].owner == Some(ctx.tid) {
+                    drop(st);
+                    panic!("recursive lock of a CMutex");
+                }
+                if st.mutexes[self.id].owner.is_some() {
+                    self.sched.block(
+                        st,
+                        ctx.tid,
+                        BlockReason::Mutex(self.id),
+                        OpKey::Lock(self.id),
+                    );
+                }
                 st.mutexes[self.id].owner = Some(ctx.tid);
                 let mclock = st.mutexes[self.id].clock.clone();
-                st.clocks[ctx.tid].join(&mclock);
-                st.clocks[ctx.tid].tick(ctx.tid);
-                return;
+                st.tasks[ctx.tid].clock.join(&mclock);
+                st.tasks[ctx.tid].clock.tick(ctx.tid);
+                Sched::commit(&mut st, ctx.tid, Saved::Unit, OpKey::Lock(self.id));
             }
-            if st.mutexes[self.id].owner == Some(ctx.tid) {
-                drop(st);
-                panic!("recursive lock of a CMutex");
-            }
-            // Block: give up the grant until the owner releases.
-            st.threads[ctx.tid] = TState::Blocked(BlockReason::Mutex(self.id));
-            if st.current == Some(ctx.tid) {
-                st.current = None;
-            }
-            self.sched.cv.notify_all();
-            while st.mutexes[self.id].owner.is_some() {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
-                }
-                self.sched.cv.wait(&mut st);
-            }
-            st.threads[ctx.tid] = TState::Parked;
-            self.sched.cv.notify_all();
-            while st.current != Some(ctx.tid) {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
-                }
-                self.sched.cv.wait(&mut st);
-            }
-            st.threads[ctx.tid] = TState::Running;
         }
     }
 
     /// Release the mutex.
     pub fn unlock(&self, ctx: &ThreadCtx) {
-        self.sched.gate(ctx.tid);
-        let mut st = self.sched.state.lock();
-        assert_eq!(
-            st.mutexes[self.id].owner,
-            Some(ctx.tid),
-            "unlock by non-owner"
-        );
-        let thread_clock = st.clocks[ctx.tid].clone();
-        st.mutexes[self.id].clock = thread_clock;
-        st.clocks[ctx.tid].tick(ctx.tid);
-        st.mutexes[self.id].owner = None;
-        self.sched.cv.notify_all();
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at unlock"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                assert_eq!(st.mutexes[self.id].owner, Some(ctx.tid), "unlock by non-owner");
+                st.tasks[ctx.tid].clock.tick(ctx.tid);
+                let thread_clock = st.tasks[ctx.tid].clock.clone();
+                st.mutexes[self.id].clock = thread_clock;
+                st.mutexes[self.id].owner = None;
+                Sched::commit(&mut st, ctx.tid, Saved::Unit, OpKey::Unlock(self.id));
+            }
+        }
     }
 
     /// Run `f` under the lock.
@@ -562,14 +1057,14 @@ impl CMutex {
     }
 }
 
-/// A controlled unbounded FIFO channel. `send`/`recv` are yield points;
-/// a receive joins the sender's clock, so values handed through a channel
+/// A controlled unbounded FIFO channel. `send`/`recv` are yield points; a
+/// receive joins the sender's clock, so values handed through a channel
 /// are race-free on the receiving side — exactly the guarantee pipeline
 /// buffers give (rule PLDS).
 pub struct CChannel<T> {
     id: usize,
-    data: Arc<Mutex<std::collections::VecDeque<T>>>,
-    sched: Arc<Sched>,
+    data: Rc<RefCell<VecDeque<T>>>,
+    sched: Rc<Sched>,
 }
 
 impl<T> Clone for CChannel<T> {
@@ -578,191 +1073,120 @@ impl<T> Clone for CChannel<T> {
     }
 }
 
-impl<T: Send> CChannel<T> {
+impl<T: Clone + 'static> CChannel<T> {
     /// Send a value (never blocks; the model channel is unbounded).
     pub fn send(&self, ctx: &ThreadCtx, value: T) {
-        self.sched.gate(ctx.tid);
-        let mut st = self.sched.state.lock();
-        st.clocks[ctx.tid].tick(ctx.tid);
-        let clock = st.clocks[ctx.tid].clone();
-        st.channels[self.id].queue.push_back(clock);
-        self.data.lock().push_back(value);
-        self.sched.cv.notify_all();
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Unit) => {}
+            Some(_) => unreachable!("replay log diverged at send"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                st.tasks[ctx.tid].clock.tick(ctx.tid);
+                let clock = st.tasks[ctx.tid].clock.clone();
+                st.channels[self.id].queue.push_back(clock);
+                self.data.borrow_mut().push_back(value);
+                Sched::commit(&mut st, ctx.tid, Saved::Unit, OpKey::Send(self.id));
+            }
+        }
     }
 
     /// Receive a value, blocking (in the model) while the channel is
     /// empty.
     pub fn recv(&self, ctx: &ThreadCtx) -> T {
-        self.sched.gate(ctx.tid);
-        let mut st = self.sched.state.lock();
-        loop {
-            if !st.channels[self.id].queue.is_empty() {
-                let sender_clock = st.channels[self.id]
-                    .queue
-                    .pop_front()
-                    .expect("checked nonempty");
-                st.clocks[ctx.tid].join(&sender_clock);
-                st.clocks[ctx.tid].tick(ctx.tid);
-                drop(st);
-                return self
+        match self.sched.decision(ctx.tid) {
+            Some(Saved::Value(v)) => v
+                .downcast_ref::<T>()
+                .unwrap_or_else(|| unreachable!("replay log diverged at recv"))
+                .clone(),
+            Some(_) => unreachable!("replay log diverged at recv"),
+            None => {
+                let mut st = self.sched.state.borrow_mut();
+                if st.channels[self.id].queue.is_empty() {
+                    self.sched.block(
+                        st,
+                        ctx.tid,
+                        BlockReason::Recv(self.id),
+                        OpKey::Recv(self.id),
+                    );
+                }
+                let sender_clock =
+                    st.channels[self.id].queue.pop_front().expect("checked nonempty");
+                st.tasks[ctx.tid].clock.join(&sender_clock);
+                st.tasks[ctx.tid].clock.tick(ctx.tid);
+                let value = self
                     .data
-                    .lock()
+                    .borrow_mut()
                     .pop_front()
                     .expect("data and clock queues stay in sync");
+                Sched::commit(
+                    &mut st,
+                    ctx.tid,
+                    Saved::Value(Rc::new(value.clone())),
+                    OpKey::Recv(self.id),
+                );
+                value
             }
-            // Block until a sender delivers.
-            st.threads[ctx.tid] = TState::Blocked(BlockReason::Recv(self.id));
-            if st.current == Some(ctx.tid) {
-                st.current = None;
-            }
-            self.sched.cv.notify_all();
-            while st.channels[self.id].queue.is_empty() {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
-                }
-                self.sched.cv.wait(&mut st);
-            }
-            st.threads[ctx.tid] = TState::Parked;
-            self.sched.cv.notify_all();
-            while st.current != Some(ctx.tid) {
-                if st.aborted {
-                    drop(st);
-                    std::panic::panic_any(Abort);
-                }
-                self.sched.cv.wait(&mut st);
-            }
-            st.threads[ctx.tid] = TState::Running;
         }
     }
 }
 
 /// The scheduling policy queried by the driver at each decision point.
 pub(crate) trait Policy {
-    /// Pick one of `runnable` (sorted ascending). `last` is the thread
+    /// Pick one of `runnable` (sorted ascending). `last` is the task
     /// scheduled at the previous step, if any.
     fn choose(&mut self, step: usize, runnable: &[usize], last: Option<usize>) -> usize;
+
+    /// Observe what the chosen task actually did this step (DPOR's sleep
+    /// sets need the executed op while the run is still in flight).
+    fn observe_step(&mut self, _info: &StepInfo) {}
 }
 
-/// Run one schedule of `test` under `policy`; returns the final state
-/// (failures, decisions, steps).
+/// Run one schedule of `test` under `policy` and `scenario`; the whole
+/// run executes cooperatively on the calling thread.
 pub(crate) fn run_schedule<F>(
-    sched: Arc<Sched>,
-    test: Arc<F>,
+    test: Rc<F>,
     policy: &mut dyn Policy,
-) -> (Vec<Failure>, Vec<usize>, u64)
+    max_steps: u64,
+    scenario: &FaultScenario,
+) -> RunResult
 where
-    F: Fn(&ThreadCtx) + Send + Sync + 'static,
+    F: Fn(&ThreadCtx) + 'static,
 {
-    // Root thread (tid 0).
-    let root_ctx = ThreadCtx::root(sched.clone());
+    let sched = Sched::new(max_steps, scenario.clone());
     {
-        let sched2 = sched.clone();
-        let test = test.clone();
-        let handle = std::thread::Builder::new()
-            .name("chess-0".into())
-            .spawn(move || {
-                let ctx = root_ctx;
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    ctx.sched.gate(0);
-                    test(&ctx);
-                }));
-                if let Err(payload) = result {
-                    if payload.downcast_ref::<Abort>().is_none() {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic>".into());
-                        let mut st = sched2.state.lock();
-                        sched2.fail(&mut st, FailureKind::Panic(msg));
-                    }
-                }
-                sched2.finish_thread(0);
-            })
-            .expect("spawn root thread");
-        sched.handles.lock().push(handle);
+        let mut st = sched.state.borrow_mut();
+        let body: Rc<dyn Fn(&ThreadCtx)> = test;
+        let tid = Sched::register_task(&mut st, None, body);
+        debug_assert_eq!(tid, 0);
     }
-
-    // Driver loop.
     let mut last: Option<usize> = None;
     let mut step = 0usize;
     loop {
-        let mut st = sched.state.lock();
-        let runnable: Vec<usize> = loop {
-            if st.aborted {
-                break Vec::new();
-            }
-            let busy = st
-                .threads
-                .iter()
-                .any(|t| matches!(t, TState::Running | TState::Starting))
-                || st.current.is_some();
-            if busy {
-                sched.cv.wait(&mut st);
-                continue;
-            }
-            // Blocked threads whose condition is already satisfied will
-            // re-park on their own; wait for them so the runnable set is
-            // deterministic across replays.
-            let blocked: Vec<(usize, BlockReason)> = st
-                .threads
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| match t {
-                    TState::Blocked(r) => Some((i, *r)),
-                    _ => None,
-                })
-                .collect();
-            let progress_possible = blocked.iter().any(|(_, r)| match r {
-                BlockReason::Mutex(mid) => st.mutexes[*mid].owner.is_none(),
-                BlockReason::Join(t) => st.threads[*t] == TState::Finished,
-                BlockReason::Recv(cid) => !st.channels[*cid].queue.is_empty(),
-            });
-            if progress_possible {
-                sched.cv.wait(&mut st);
-                continue;
-            }
-            let parked: Vec<usize> = st
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| matches!(t, TState::Parked))
-                .map(|(i, _)| i)
-                .collect();
-            if !parked.is_empty() {
-                break parked;
-            }
-            if blocked.is_empty() {
-                break Vec::new(); // all finished
-            }
-            sched.fail(&mut st, FailureKind::Deadlock);
-            break Vec::new();
-        };
+        if sched.state.borrow().aborted {
+            break;
+        }
+        let runnable = sched.runnable();
         if runnable.is_empty() {
-            drop(st);
+            if sched.advance_time() {
+                continue;
+            }
+            sched.finish_run();
             break;
         }
         let tid = policy.choose(step, &runnable, last);
         debug_assert!(runnable.contains(&tid));
-        st.decisions.push(tid);
-        st.current = Some(tid);
+        if !sched.record_decision(tid) {
+            break;
+        }
+        sched.step_task(tid);
+        {
+            let st = sched.state.borrow();
+            if let Some(info) = st.step_infos.last() {
+                policy.observe_step(info);
+            }
+        }
         last = Some(tid);
         step += 1;
-        sched.cv.notify_all();
-        drop(st);
     }
-
-    // Release any stragglers and join the real threads.
-    {
-        let mut st = sched.state.lock();
-        st.aborted = true;
-        sched.cv.notify_all();
-    }
-    let handles: Vec<_> = std::mem::take(&mut *sched.handles.lock());
-    for h in handles {
-        let _ = h.join();
-    }
-    let st = sched.state.lock();
-    (st.failures.clone(), st.decisions.clone(), st.steps)
+    sched.take_result()
 }

@@ -1,0 +1,120 @@
+//! The known-bug micro-corpus: every seeded bug must be found, every
+//! failure must replay byte-stably from its schedule and trace hash, and
+//! DPOR must match the DFS oracle's failure set with strictly fewer
+//! schedules.
+
+use patty_chess::corpus::{corpus, scenarios_for};
+use patty_chess::{
+    explore, explore_dpor, explore_joint, replay, replay_hash, ChessOptions, FailureKind,
+};
+use patty_chess::SearchMode;
+use std::collections::BTreeSet;
+
+fn options() -> ChessOptions {
+    ChessOptions { max_schedules: 50_000, ..ChessOptions::default() }
+}
+
+fn dpor_options() -> ChessOptions {
+    ChessOptions { mode: SearchMode::Dpor, ..options() }
+}
+
+#[test]
+fn every_seeded_bug_is_found_and_nothing_else() {
+    for entry in corpus() {
+        let report = explore(entry.test, options());
+        assert!(report.complete, "{}: search must be exhaustive", entry.name);
+        assert!(
+            entry.satisfied_by(&report),
+            "{}: expected {:?}, got {:?}",
+            entry.name,
+            entry.expected,
+            report.failures.iter().map(|f| &f.kind).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_failure_replays_byte_stably_from_its_witness() {
+    for entry in corpus() {
+        let report = explore(entry.test, options());
+        for failure in &report.failures {
+            let replayed = replay(entry.test, &failure.schedule, options().max_steps);
+            let again = replayed
+                .iter()
+                .find(|f| f.kind == failure.kind)
+                .unwrap_or_else(|| {
+                    panic!("{}: replay lost {:?}", entry.name, failure.kind)
+                });
+            assert_eq!(
+                again.trace_hash, failure.trace_hash,
+                "{}: trace hash must be byte-stable",
+                entry.name
+            );
+            assert_eq!(again.schedule, failure.schedule, "{}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn dpor_matches_dfs_failure_set_with_strictly_fewer_schedules() {
+    let mut dfs_total = 0u64;
+    let mut dpor_total = 0u64;
+    for entry in corpus() {
+        let dfs = explore(entry.test, options());
+        let dpor = explore_dpor(entry.test, options());
+        assert!(dfs.complete && dpor.complete, "{}: both must exhaust", entry.name);
+        let dfs_kinds: BTreeSet<FailureKind> =
+            dfs.failures.iter().map(|f| f.kind.clone()).collect();
+        let dpor_kinds: BTreeSet<FailureKind> =
+            dpor.failures.iter().map(|f| f.kind.clone()).collect();
+        assert_eq!(
+            dfs_kinds, dpor_kinds,
+            "{}: DPOR must find the identical failure set",
+            entry.name
+        );
+        assert!(
+            dpor.schedules < dfs.schedules,
+            "{}: DPOR must explore strictly fewer schedules ({} !< {})",
+            entry.name,
+            dpor.schedules,
+            dfs.schedules
+        );
+        dfs_total += dfs.schedules;
+        dpor_total += dpor.schedules;
+    }
+    assert!(dpor_total * 2 <= dfs_total, "reduction should be substantial");
+}
+
+#[test]
+fn joint_explorer_passes_on_clean_pipeline_and_flags_seeded_bugs() {
+    for entry in corpus() {
+        let scenarios = scenarios_for(&entry);
+        let joint = explore_joint(entry.test, &scenarios, &dpor_options());
+        if entry.expected.is_empty() {
+            // Clean entry: every failure across the whole fault matrix
+            // must be explained by its injected fault.
+            assert!(joint.passed(), "{}: {:?}", entry.name, joint.unexpected());
+        } else {
+            // Buggy entries fail their no-fault scenario.
+            assert!(!joint.passed(), "{}: seeded bug must surface", entry.name);
+        }
+    }
+}
+
+#[test]
+fn joint_failures_replay_from_hash_alone() {
+    let entry = corpus().into_iter().find(|e| e.name == "clean_pipeline").unwrap();
+    let scenarios = scenarios_for(&entry);
+    let joint = explore_joint(entry.test, &scenarios, &dpor_options());
+    let mut checked = 0;
+    for sr in &joint.scenarios {
+        for failure in &sr.report.failures {
+            let outcome = replay_hash(entry.test, &scenarios, &dpor_options(), failure.trace_hash)
+                .unwrap_or_else(|| panic!("hash {:#x} not found", failure.trace_hash));
+            assert!(outcome.byte_stable, "replay must be byte-stable");
+            assert_eq!(outcome.scenario, sr.scenario);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "fault matrix must produce at least one failure");
+}

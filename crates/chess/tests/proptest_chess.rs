@@ -52,7 +52,7 @@ fn run_shape(shape: &Shape, locked: bool) -> patty_chess::Report {
                 let cells = cells.clone();
                 let mutex = mutex.clone();
                 handles.push(ctx.spawn(move |ctx| {
-                    for (cell, is_write) in ops {
+                    for &(cell, is_write) in &ops {
                         if locked {
                             mutex.lock(ctx);
                         }

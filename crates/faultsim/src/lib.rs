@@ -244,6 +244,57 @@ impl std::fmt::Debug for FaultPlan {
     }
 }
 
+/// Bridge into the chess joint schedule×fault explorer: faultsim's
+/// wall-clock fault matrix expressed as virtual-time
+/// [`patty_chess::FaultScenario`]s.
+pub mod chess {
+    use patty_chess::{FaultScenario, InjectKind};
+    use std::time::Duration;
+
+    /// Translate a faultsim fault kind into its chess injection: delays
+    /// become virtual ticks (1 tick ≈ 1 ms of modeled time, minimum 1),
+    /// and a dropped item is a first-class `Drop` decision instead of a
+    /// tagged panic — the cooperative scheduler can skip work without
+    /// killing the task.
+    pub fn inject_kind(kind: &crate::FaultKind) -> InjectKind {
+        match kind {
+            crate::FaultKind::Panic => InjectKind::Panic,
+            crate::FaultKind::Delay(d) => {
+                InjectKind::DelayTicks((duration_ticks(*d)).max(1))
+            }
+            crate::FaultKind::DropItem => InjectKind::DropItem,
+        }
+    }
+
+    fn duration_ticks(d: Duration) -> u64 {
+        d.as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The joint scenario matrix for a set of stage labels: the no-fault
+    /// scenario plus every (stage × position × kind) single-fault
+    /// combination. `positions` follows faultcheck's convention
+    /// (first/middle/last call indices, deduplicated).
+    pub fn scenario_matrix(labels: &[String], positions: &[u64]) -> Vec<FaultScenario> {
+        let mut dedup: Vec<u64> = Vec::new();
+        for &p in positions {
+            if !dedup.contains(&p) {
+                dedup.push(p);
+            }
+        }
+        let mut scenarios = vec![FaultScenario::none()];
+        for label in labels {
+            for &nth in &dedup {
+                for kind in
+                    [InjectKind::Panic, InjectKind::DelayTicks(50), InjectKind::DropItem]
+                {
+                    scenarios.push(FaultScenario::one(label.clone(), nth, kind));
+                }
+            }
+        }
+        scenarios
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,15 @@
 //! The report carries the `fault.*` telemetry counters accumulated
 //! across all scenarios, so the recovery machinery is observable from
 //! the CLI exactly like stage throughput is in `patty profile`.
+//!
+//! The wall-clock matrix is complemented by the joint schedule×fault
+//! exploration on the virtual-time chess scheduler (see
+//! [`crate::chesscmd`]): every failing scenario there prints its
+//! `sched_trace_hash`, and `patty faultcheck --replay <hash>` (or
+//! `patty chess --replay <hash>`) re-executes exactly that interleaving
+//! byte-stably.
 
+use crate::chesscmd::{chess_explore, ChessReport};
 use crate::process::{InstanceArtifacts, Patty, PattyError};
 use patty_faultsim::FaultPlan;
 use patty_runtime::{FailurePolicy, MasterWorker, Pipeline, RunOptions, Stage};
@@ -62,13 +70,18 @@ impl Scenario {
 #[derive(Debug)]
 pub struct FaultcheckReport {
     pub scenarios: Vec<Scenario>,
+    /// The joint schedule×fault exploration on the chess scheduler —
+    /// every failure there carries a replayable `sched_trace_hash`.
+    pub chess: ChessReport,
     /// `fault.*` (and pattern) counters accumulated across the matrix.
     pub telemetry: patty_telemetry::TelemetryReport,
 }
 
 impl FaultcheckReport {
     pub fn passed(&self) -> bool {
-        !self.scenarios.is_empty() && self.scenarios.iter().all(Scenario::passed)
+        !self.scenarios.is_empty()
+            && self.scenarios.iter().all(Scenario::passed)
+            && self.chess.passed()
     }
 
     /// Human-readable rendering; the telemetry report is appended as
@@ -94,6 +107,8 @@ impl FaultcheckReport {
             "scenarios: {}, recovered: {recovered}, structured errors: {errored}, failures: {failed}\n",
             self.scenarios.len(),
         ));
+        out.push('\n');
+        out.push_str(&self.chess.render());
         out.push_str("\n[fault telemetry]\n");
         out.push_str(&self.telemetry.to_json());
         out.push('\n');
@@ -113,7 +128,8 @@ pub fn faultcheck(patty: &Patty, source: &str) -> Result<FaultcheckReport, Patty
     for artifacts in &run.artifacts {
         check_instance(artifacts, &telemetry, &mut scenarios);
     }
-    Ok(FaultcheckReport { scenarios, telemetry: telemetry.report() })
+    let chess = chess_explore(patty, &run);
+    Ok(FaultcheckReport { scenarios, chess, telemetry: telemetry.report() })
 }
 
 fn fallback_opts() -> RunOptions {
@@ -224,6 +240,10 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("fault.panics_caught"));
         assert!(rendered.contains("fault.fallbacks"));
+        // The chess section prints a replayable sched_trace_hash for
+        // every failing schedule×fault scenario.
+        assert!(rendered.contains("schedule×fault"), "{rendered}");
+        assert!(rendered.contains("hash=0x"), "{rendered}");
     }
 
     #[test]

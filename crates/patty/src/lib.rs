@@ -27,10 +27,12 @@
 //! assert!(run.artifacts[0].annotated_source.contains("#region TADL:"));
 //! ```
 
+pub mod chesscmd;
 pub mod faultcheck;
 pub mod overlay;
 pub mod process;
 
+pub use chesscmd::{chess_explore, chess_replay, chess_run, render_replay, ChessReport};
 pub use faultcheck::{faultcheck, FaultcheckReport, Outcome, Scenario};
 pub use overlay::{render_candidates, render_hotspots, render_overlay, render_process_chart, Phase};
 pub use process::{

@@ -12,10 +12,21 @@
 //! patty profile  <file.mini>    # run with telemetry: JSON report of
 //!                               # per-stage item counts, per-phase span
 //!                               # timings and tuner iteration logs
-//! patty faultcheck <file.mini>  # run the generated plan under a matrix
+//! patty faultcheck <file.mini> [--replay HASH]
+//!                               # run the generated plan under a matrix
 //!                               # of injected faults; every scenario must
 //!                               # recover to the sequential oracle or
-//!                               # fail with a structured error
+//!                               # fail with a structured error. Also runs
+//!                               # the joint schedule×fault exploration:
+//!                               # every failing scenario prints its
+//!                               # sched_trace_hash; --replay re-executes
+//!                               # that interleaving byte-stably
+//! patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]
+//!                               # joint schedule×fault exploration of the
+//!                               # generated unit tests on the virtual-time
+//!                               # chess scheduler (DPOR by default, DFS as
+//!                               # the exhaustive oracle); zero OS threads,
+//!                               # byte-reproducible
 //! patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]
 //!                               # run with structured tracing: Chrome
 //!                               # trace_event JSON (load in Perfetto),
@@ -51,7 +62,7 @@ fn main() {
 }
 
 fn run(args: &[String]) -> i32 {
-    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|trace|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]";
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|chess|trace|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]\n       patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]\n       patty faultcheck <file.mini> [--replay HASH]";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -60,8 +71,10 @@ fn run(args: &[String]) -> i32 {
         print!("{}", patty_tool::describe_modes());
         return 0;
     }
-    let known =
-        ["analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck", "trace"];
+    let known = [
+        "analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck", "chess",
+        "trace",
+    ];
     if !known.contains(&cmd.as_str()) {
         eprintln!("unknown command `{cmd}`\n{usage}");
         return 2;
@@ -81,25 +94,11 @@ fn run(args: &[String]) -> i32 {
     if cmd == "trace" {
         return trace(&patty, &source, &args[2..]);
     }
+    if cmd == "chess" {
+        return chess(&patty, &source, &args[2..]);
+    }
     if cmd == "faultcheck" {
-        return match patty_tool::faultcheck(&patty, &source) {
-            Ok(report) => {
-                print!("{}", report.render());
-                if report.passed() {
-                    0
-                } else if report.scenarios.is_empty() {
-                    eprintln!("patty: faultcheck: no parallel architectures detected");
-                    1
-                } else {
-                    eprintln!("patty: faultcheck failed: output diverged from sequential oracle");
-                    1
-                }
-            }
-            Err(e) => {
-                eprintln!("patty: {e}");
-                1
-            }
-        };
+        return faultcheck(&patty, &source, &args[2..]);
     }
     if cmd == "profile" {
         // Telemetry profile: the process runs inside `Patty::profile` with
@@ -137,6 +136,143 @@ fn run(args: &[String]) -> i32 {
         other => unreachable!("command `{other}` validated above"),
     }
     0
+}
+
+/// Parse a `sched_trace_hash` CLI argument (hex, optional `0x` prefix).
+fn parse_hash(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+/// `patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]`.
+fn chess(patty: &Patty, source: &str, flags: &[String]) -> i32 {
+    let mut mode = patty_chess::SearchMode::Dpor;
+    let mut replay: Option<u64> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let value = flags.get(i + 1).map(String::as_str);
+        match (flags[i].as_str(), value) {
+            ("--mode", Some("dpor")) => mode = patty_chess::SearchMode::Dpor,
+            ("--mode", Some("dfs")) => mode = patty_chess::SearchMode::Dfs,
+            ("--mode", Some(other)) => {
+                eprintln!("patty chess: unknown mode `{other}` (expected dpor or dfs)");
+                return 2;
+            }
+            ("--replay", Some(hash)) => match parse_hash(hash) {
+                Some(h) => replay = Some(h),
+                None => {
+                    eprintln!("patty chess: `--replay` needs a hex trace hash, got `{hash}`");
+                    return 2;
+                }
+            },
+            (flag @ ("--mode" | "--replay"), None) => {
+                eprintln!("patty chess: `{flag}` needs a value");
+                return 2;
+            }
+            (other, _) => {
+                eprintln!("patty chess: unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    let mut patty = patty.clone();
+    patty.options.chess.mode = mode;
+    let run = match patty_tool::chess_run(&patty, source) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("patty: {e}");
+            return 1;
+        }
+    };
+    if let Some(hash) = replay {
+        return match patty_tool::chess_replay(&patty, &run, hash) {
+            Some((arch, outcome)) => {
+                print!("{}", patty_tool::render_replay(&arch, &outcome));
+                i32::from(!outcome.byte_stable)
+            }
+            None => {
+                eprintln!("patty chess: no explored failure carries hash {hash:#018x}");
+                1
+            }
+        };
+    }
+    let report = patty_tool::chess_explore(&patty, &run);
+    print!("{}", report.render());
+    if report.is_empty() {
+        eprintln!("patty: chess: no parallel architectures with unit tests detected");
+        return 1;
+    }
+    i32::from(!report.passed())
+}
+
+/// `patty faultcheck <file.mini> [--replay HASH]`.
+fn faultcheck(patty: &Patty, source: &str, flags: &[String]) -> i32 {
+    let mut replay: Option<u64> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let value = flags.get(i + 1).map(String::as_str);
+        match (flags[i].as_str(), value) {
+            ("--replay", Some(hash)) => match parse_hash(hash) {
+                Some(h) => replay = Some(h),
+                None => {
+                    eprintln!("patty faultcheck: `--replay` needs a hex trace hash, got `{hash}`");
+                    return 2;
+                }
+            },
+            ("--replay", None) => {
+                eprintln!("patty faultcheck: `--replay` needs a value");
+                return 2;
+            }
+            (other, _) => {
+                eprintln!("patty faultcheck: unknown flag `{other}`");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    if let Some(hash) = replay {
+        let run = match patty_tool::chess_run(patty, source) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("patty: {e}");
+                return 1;
+            }
+        };
+        return match patty_tool::chess_replay(patty, &run, hash) {
+            Some((arch, outcome)) => {
+                print!("{}", patty_tool::render_replay(&arch, &outcome));
+                i32::from(!outcome.byte_stable)
+            }
+            None => {
+                eprintln!("patty faultcheck: no explored failure carries hash {hash:#018x}");
+                1
+            }
+        };
+    }
+    match patty_tool::faultcheck(patty, source) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                0
+            } else if report.scenarios.is_empty() {
+                eprintln!("patty: faultcheck: no parallel architectures detected");
+                1
+            } else if report.scenarios.iter().any(|s| !s.passed()) {
+                eprintln!("patty: faultcheck failed: output diverged from sequential oracle");
+                1
+            } else {
+                eprintln!(
+                    "patty: faultcheck failed: unexpected schedule×fault failures \
+                     (re-execute one with `patty faultcheck <file> --replay <hash>`)"
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("patty: {e}");
+            1
+        }
+    }
 }
 
 /// `patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]`.

@@ -11,7 +11,7 @@
 //! necessity to visualize the phase artifacts after each step").
 
 use patty_analysis::SemanticModel;
-use patty_chess::{ChessOptions, Report};
+use patty_chess::{ChessOptions, Report, SearchMode};
 use patty_minilang::{parse, InterpOptions, LangError};
 use patty_patterns::{detect_patterns, DetectOptions, PatternInstance};
 use patty_tadl::ArchitectureDescription;
@@ -44,7 +44,14 @@ impl Default for PattyOptions {
             detect: DetectOptions::default(),
             sim: SimParams::default(),
             unit_test_elements: 2,
-            chess: ChessOptions { max_schedules: 2_000, ..ChessOptions::default() },
+            // DPOR prunes happens-before-equivalent interleavings, so the
+            // default budget covers the same behaviours as a much larger
+            // DFS budget; `patty chess --mode dfs` restores the oracle.
+            chess: ChessOptions {
+                max_schedules: 2_000,
+                mode: SearchMode::Dpor,
+                ..ChessOptions::default()
+            },
             tuning_budget: 60,
         }
     }

@@ -58,6 +58,13 @@ const LANE_DEQUE_CAP: usize = 256;
 /// in which work sitting in a *sibling's* deque goes unnoticed.
 const LANE_IDLE_WAIT: Duration = Duration::from_millis(5);
 
+/// How long a lane may stay continuously quiescent before it retires
+/// (exits and deregisters its stealer). Long enough that back-to-back
+/// pattern runs never churn lanes; short enough that a burst of wide
+/// runs does not pin `4 × cores` sleeping threads for the process
+/// lifetime. Tests shrink it via [`Executor::with_idle_retirement`].
+const DEFAULT_LANE_RETIRE: Duration = Duration::from_millis(250);
+
 /// How long a waiting scope sleeps between helping attempts.
 const SCOPE_HELP_WAIT: Duration = Duration::from_micros(500);
 
@@ -90,6 +97,9 @@ pub struct ExecutorStats {
     pub tasks_executed: u64,
     /// Short tasks executed by waiting scope callers (helping).
     pub tasks_helped: u64,
+    /// Lanes that exited after staying quiescent past the retirement
+    /// window (the pool shrinks back when runs stop).
+    pub lanes_retired: u64,
 }
 
 struct Stats {
@@ -99,6 +109,7 @@ struct Stats {
     short_submitted: AtomicU64,
     tasks_executed: AtomicU64,
     tasks_helped: AtomicU64,
+    lanes_retired: AtomicU64,
 }
 
 impl Stats {
@@ -110,6 +121,7 @@ impl Stats {
             short_submitted: AtomicU64::new(0),
             tasks_executed: AtomicU64::new(0),
             tasks_helped: AtomicU64::new(0),
+            lanes_retired: AtomicU64::new(0),
         }
     }
 
@@ -121,6 +133,7 @@ impl Stats {
             short_submitted: self.short_submitted.load(Ordering::Relaxed),
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             tasks_helped: self.tasks_helped.load(Ordering::Relaxed),
+            lanes_retired: self.lanes_retired.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,8 +149,11 @@ struct Registry {
     idle: usize,
     /// Lanes alive (running or parked).
     live: usize,
-    /// Stealer handles of every lane's deque, in spawn order.
-    stealers: Vec<Stealer<Task>>,
+    /// Stealer handles of every live lane's deque, keyed by lane id so
+    /// a retiring lane can deregister exactly its own entry.
+    stealers: Vec<(u64, Stealer<Task>)>,
+    /// Monotonic lane id source (ids are never reused).
+    next_lane_id: u64,
     shutdown: bool,
 }
 
@@ -149,6 +165,9 @@ struct Inner {
     /// their snapshot without re-locking per task.
     lane_epoch: AtomicUsize,
     cap: usize,
+    /// Continuous quiescence after which an idle lane exits; `None`
+    /// keeps lanes alive for the pool's lifetime.
+    retire_after: Option<Duration>,
     stats: Stats,
 }
 
@@ -203,8 +222,17 @@ impl Executor {
     }
 
     /// A private pool with the given capacity (clamped to
-    /// `1..=MAX_POOL_THREADS`). Lanes are joined when the pool drops.
+    /// `1..=MAX_POOL_THREADS`). Lanes are joined when the pool drops,
+    /// and retire on their own after [`DEFAULT_LANE_RETIRE`] of
+    /// continuous quiescence.
     pub fn with_threads(cap: usize) -> Executor {
+        Executor::with_idle_retirement(cap, DEFAULT_LANE_RETIRE)
+    }
+
+    /// A private pool whose idle lanes retire after `retire_after` of
+    /// continuous quiescence (tests use short windows to pin the
+    /// decay/regrow lifecycle without waiting for the default).
+    pub fn with_idle_retirement(cap: usize, retire_after: Duration) -> Executor {
         Executor {
             inner: Arc::new(Inner {
                 registry: Mutex::new(Registry {
@@ -212,12 +240,14 @@ impl Executor {
                     idle: 0,
                     live: 0,
                     stealers: Vec::new(),
+                    next_lane_id: 0,
                     shutdown: false,
                 }),
                 work_available: Condvar::new(),
                 injector: Injector::new(),
                 lane_epoch: AtomicUsize::new(0),
                 cap: cap.clamp(1, MAX_POOL_THREADS),
+                retire_after: Some(retire_after),
                 stats: Stats::new(),
             }),
             handles: Mutex::new(Vec::new()),
@@ -314,17 +344,22 @@ impl Executor {
     fn spawn_lane(&self, reg: &mut Registry, first: Option<Task>) {
         let inner = &self.inner;
         let lane = Worker::with_capacity(LANE_DEQUE_CAP);
-        reg.stealers.push(lane.stealer());
+        let lane_id = reg.next_lane_id;
+        reg.next_lane_id += 1;
+        reg.stealers.push((lane_id, lane.stealer()));
         reg.live += 1;
         inner.lane_epoch.fetch_add(1, Ordering::Release);
         inner.stats.lanes_spawned.fetch_add(1, Ordering::Relaxed);
-        let lane_no = reg.stealers.len();
         let inner = inner.clone();
         let handle = std::thread::Builder::new()
-            .name(format!("patty-lane-{lane_no}"))
-            .spawn(move || lane_main(inner, lane, first))
+            .name(format!("patty-lane-{lane_id}"))
+            .spawn(move || lane_main(inner, lane, lane_id, first))
             .expect("spawn pool lane thread");
-        self.handles.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        // Retired lanes leave finished handles behind; drop them here so
+        // a long-lived pool's handle list tracks live lanes, not churn.
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
     }
 
     /// Block until the scope's pending count hits zero, executing short
@@ -497,7 +532,7 @@ impl StealerCache {
     fn refresh(&mut self, inner: &Inner) {
         let epoch = inner.lane_epoch.load(Ordering::Acquire);
         if epoch != self.epoch {
-            self.stealers = inner.lock().stealers.clone();
+            self.stealers = inner.lock().stealers.iter().map(|(_, s)| s.clone()).collect();
             self.epoch = epoch;
         }
     }
@@ -536,8 +571,15 @@ fn self_rotate(cache: &StealerCache, i: usize) -> usize {
 /// A persistent lane: local deque, then injector batches, then sibling
 /// stealing, then the resident handoff queue, then parked on the
 /// condvar. `first` seeds a lane started for a specific resident task.
-fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
+///
+/// A lane continuously quiescent past `Inner::retire_after` retires: it
+/// deregisters its stealer, decrements `live` and exits, all under the
+/// registry lock — so the resident invariant (`resident.len() < idle`
+/// after queuing) is never observed broken, and a retirement racing a
+/// submission at worst makes the submitter start a fresh lane.
+fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<Task>) {
     let mut cache = StealerCache::new();
+    let mut idle_since: Option<std::time::Instant> = None;
     if let Some(task) = first {
         inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
         run_task(task);
@@ -546,12 +588,14 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
         // Local LIFO work first (cache-warm), then refill from the
         // shared injector, then steal FIFO from siblings.
         if let Some(task) = lane.pop() {
+            idle_since = None;
             inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
             run_task(task);
             continue;
         }
         match inner.injector.steal_batch_and_pop(&lane) {
             Steal::Success(task) => {
+                idle_since = None;
                 inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
                 run_task(task);
                 continue;
@@ -561,6 +605,7 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
         }
         cache.refresh(&inner);
         if let Some(task) = steal_one(&inner, &mut cache) {
+            idle_since = None;
             inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
             run_task(task);
             continue;
@@ -571,6 +616,7 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
         let mut reg = inner.lock();
         if let Some(task) = reg.resident.pop_front() {
             drop(reg);
+            idle_since = None;
             inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
             run_task(task);
             continue;
@@ -581,6 +627,22 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, first: Option<Task>) {
         if reg.shutdown {
             reg.live -= 1;
             return;
+        }
+        // A full scan found nothing: the quiescent period starts (or
+        // continues) now. The local deque is empty here — only this
+        // lane pushes to it — so retiring strands no task; the resident
+        // queue was just drained under this same lock, so no queued
+        // resident task loses the lane it was promised.
+        let now = std::time::Instant::now();
+        let quiescent_start = *idle_since.get_or_insert(now);
+        if let Some(retire_after) = inner.retire_after {
+            if now.duration_since(quiescent_start) >= retire_after {
+                reg.stealers.retain(|(id, _)| *id != lane_id);
+                reg.live -= 1;
+                inner.lane_epoch.fetch_add(1, Ordering::Release);
+                inner.stats.lanes_retired.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         reg.idle += 1;
         let (mut reg2, _timeout) = inner
@@ -732,10 +794,15 @@ mod tests {
         let pool = Executor::with_threads(1);
         let (tx1, rx1) = crossbeam::channel::bounded::<u32>(1);
         let (tx2, rx2) = crossbeam::channel::bounded::<u32>(1);
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<u32>(1);
         let mut out = 0;
         pool.scope(SpawnMode::Pooled, |s| {
+            // The ack keeps the first task (and with it the only lane)
+            // alive until the third has run, so the overlap is genuine —
+            // without it a fast lane could serve all three sequentially.
             s.spawn_resident(move || {
                 tx1.send(1).unwrap();
+                ack_rx.recv().unwrap();
             });
             s.spawn_resident(move || {
                 let v = rx1.recv().unwrap();
@@ -743,6 +810,7 @@ mod tests {
             });
             s.spawn_resident(|| {
                 out = rx2.recv().unwrap() + 1;
+                ack_tx.send(0).unwrap();
             });
         });
         assert_eq!(out, 3);
@@ -764,6 +832,46 @@ mod tests {
         });
         assert!(pool.lanes_live() <= 3, "live lanes {} exceed cap 3", pool.lanes_live());
         assert!(pool.stats().lanes_spawned <= 3);
+    }
+
+    #[test]
+    fn idle_lanes_retire_after_quiescence_and_the_pool_regrows() {
+        let pool = Executor::with_idle_retirement(4, Duration::from_millis(20));
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..16 {
+                s.spawn(|| std::thread::sleep(Duration::from_micros(200)));
+            }
+        });
+        let warm = pool.stats();
+        assert!(warm.lanes_spawned >= 1, "warm-up must start at least one lane");
+        // Decay: parked lanes wake every LANE_IDLE_WAIT, notice the
+        // retirement window has passed, deregister and exit.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.lanes_live() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.lanes_live(), 0, "idle lanes must retire after the window");
+        assert!(pool.stats().lanes_retired >= 1);
+        // Regrow: the next run starts fresh lanes below the cap and
+        // completes exactly as before the decay.
+        let counter = AtomicUsize::new(0);
+        pool.scope(SpawnMode::Pooled, |s| {
+            let counter = &counter;
+            for _ in 0..16 {
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        let after = pool.stats();
+        assert!(
+            after.lanes_spawned > warm.lanes_spawned,
+            "a decayed pool must regrow on demand ({} !> {})",
+            after.lanes_spawned,
+            warm.lanes_spawned
+        );
+        assert!(pool.lanes_live() <= pool.cap());
     }
 
     #[test]

@@ -149,6 +149,39 @@ fn worker_counts_above_the_pool_cap_degrade_cleanly() {
     assert!(pool.lanes_live() <= pool.cap());
 }
 
+/// A pool left quiescent decays to zero lanes (park-timeout plus
+/// deregistration), then regrows on the next run with results intact —
+/// the full lane lifecycle: spawn → park → retire → respawn.
+#[test]
+fn quiescent_pool_decays_and_regrows_across_runs() {
+    use patty_runtime::SpawnMode;
+    let pool = Executor::with_idle_retirement(3, Duration::from_millis(15));
+    let run = |expected: usize| {
+        let total = AtomicUsize::new(0);
+        pool.scope(SpawnMode::Pooled, |s| {
+            let total = &total;
+            for _ in 0..expected {
+                s.spawn(move || {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    };
+    run(24);
+    let warm = pool.stats();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while pool.lanes_live() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(pool.lanes_live(), 0, "quiescent lanes must all retire");
+    assert!(pool.stats().lanes_retired >= 1, "retirement must be observable in stats");
+    // Decayed pools serve the next run exactly like a cold pool.
+    run(24);
+    assert!(pool.stats().lanes_spawned > warm.lanes_spawned, "regrow starts fresh lanes");
+    assert!(pool.lanes_live() <= pool.cap());
+}
+
 /// `PATTY_THREADS` is honored at global-pool initialization in a child
 /// process: a cap of 2 bounds lanes_spawned even under wide runs. The
 /// child re-runs this same test binary with the env var set and a

@@ -17,12 +17,16 @@
 //! interleaving is clean.
 
 use patty_analysis::SemanticModel;
-use patty_chess::{explore, ChessOptions, Report, ThreadCtx};
+use patty_chess::{
+    explore, explore_joint, replay_hash, ChessOptions, FaultScenario, Inject, JointReport,
+    ReplayOutcome, Report, ThreadCtx,
+};
 use patty_minilang::profile::{AccessKind, DynLoc};
 use patty_patterns::PatternInstance;
 use patty_tadl::PatternKind;
 use patty_transform::expr_levels;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// One memory operation of a stage on one stream element.
@@ -141,52 +145,152 @@ pub fn generate_unit_test(
         }
         levels.push(level_idx);
     }
-    Some(ParallelUnitTest {
+    let mut test = ParallelUnitTest {
         name: format!("put_{}", instance.arch.name),
         kind: instance.kind(),
         stages,
         levels,
         elements,
         cells,
-    })
+    };
+    prune_unracing_ops(&mut test);
+    Some(test)
 }
 
-/// Execute a generated unit test on the CHESS explorer.
+/// Drop operations that provably cannot participate in a failure: ops on
+/// cells touched by a single scheduler task (program order already orders
+/// them) and ops on cells that are never written (no conflicting pair
+/// exists). Duplicate `(cell, kind)` ops within one element collapse to
+/// one occurrence — the happens-before pair the detector needs survives.
+/// None of this can change a race/deadlock/panic verdict; it only removes
+/// equivalent interleavings, which otherwise blow up the schedule space
+/// quadratically (every step re-executes the task's effect log, so a
+/// row-render loop with thousands of per-pixel accesses makes each
+/// schedule cost seconds instead of microseconds).
+fn prune_unracing_ops(test: &mut ParallelUnitTest) {
+    // Map every (stage, element) to the scheduler task that performs it,
+    // mirroring doall_body (one task per element) and pipeline_body (one
+    // task per stage×replica; element e goes to replica e % replicas).
+    let task_of = |si: usize, e: usize| -> (usize, usize) {
+        if test.kind == PatternKind::DataParallelLoop {
+            (0, e)
+        } else {
+            (si, e % test.stages[si].replicas.max(1))
+        }
+    };
+    let mut accessors: BTreeMap<&str, BTreeSet<(usize, usize)>> = BTreeMap::new();
+    let mut written: BTreeSet<&str> = BTreeSet::new();
+    for (si, stage) in test.stages.iter().enumerate() {
+        for (e, elem_ops) in stage.ops.iter().enumerate() {
+            for op in elem_ops {
+                accessors.entry(&op.cell).or_default().insert(task_of(si, e));
+                if op.kind == AccessKind::Write {
+                    written.insert(&op.cell);
+                }
+            }
+        }
+    }
+    let keep: BTreeSet<String> = accessors
+        .iter()
+        .filter(|(cell, tasks)| tasks.len() >= 2 && written.contains(*cell))
+        .map(|(cell, _)| cell.to_string())
+        .collect();
+    for stage in &mut test.stages {
+        for elem_ops in &mut stage.ops {
+            elem_ops.retain(|op| keep.contains(&op.cell));
+            elem_ops.dedup();
+        }
+    }
+    test.cells = keep;
+}
+
+/// Execute a generated unit test on the CHESS explorer (search mode —
+/// DFS oracle or DPOR — comes from `options.mode`).
 pub fn run_unit_test(test: &ParallelUnitTest, options: ChessOptions) -> Report {
     let test = Arc::new(test.clone());
     match test.kind {
-        PatternKind::DataParallelLoop => run_doall(test, options),
-        _ => run_pipeline(test, options),
+        PatternKind::DataParallelLoop => explore(doall_body(test, false), options),
+        _ => explore(pipeline_body(test, false), options),
     }
+}
+
+/// Execute a generated unit test under the joint schedule×fault explorer:
+/// the body gains one `fault_point` per (stage, element), so every
+/// scenario in `scenarios` is explored against every schedule.
+pub fn run_unit_test_joint(
+    test: &ParallelUnitTest,
+    scenarios: &[FaultScenario],
+    options: &ChessOptions,
+) -> JointReport {
+    let test = Arc::new(test.clone());
+    match test.kind {
+        PatternKind::DataParallelLoop => {
+            explore_joint(doall_body(test, true), scenarios, options)
+        }
+        _ => explore_joint(pipeline_body(test, true), scenarios, options),
+    }
+}
+
+/// Replay one interleaving of a generated unit test from its
+/// `sched_trace_hash` alone: re-explores the scenario matrix (same
+/// options ⇒ same search ⇒ same hashes), finds the failure carrying the
+/// hash, and re-executes its schedule twice, comparing byte-for-byte.
+/// Returns `None` when no explored failure carries the hash.
+pub fn replay_unit_test_hash(
+    test: &ParallelUnitTest,
+    scenarios: &[FaultScenario],
+    options: &ChessOptions,
+    hash: u64,
+) -> Option<ReplayOutcome> {
+    let test = Arc::new(test.clone());
+    match test.kind {
+        PatternKind::DataParallelLoop => {
+            replay_hash(doall_body(test, true), scenarios, options, hash)
+        }
+        _ => replay_hash(pipeline_body(test, true), scenarios, options, hash),
+    }
+}
+
+/// Fault point labels (one per stage) a generated unit test exposes to
+/// the joint explorer.
+pub fn fault_labels(test: &ParallelUnitTest) -> Vec<String> {
+    test.stages.iter().map(|s| s.name.clone()).collect()
 }
 
 /// Data-parallel loop: all elements run concurrently (that is the claim
 /// the detector made).
-fn run_doall(test: Arc<ParallelUnitTest>, options: ChessOptions) -> Report {
-    explore(
-        move |ctx: &ThreadCtx| {
+fn doall_body(
+    test: Arc<ParallelUnitTest>,
+    with_faults: bool,
+) -> impl Fn(&ThreadCtx) + 'static {
+    move |ctx: &ThreadCtx| {
             let cells = make_cells(ctx, &test.cells);
             let mut handles = Vec::new();
             let stage = &test.stages[0];
             for e in 0..test.elements {
                 let ops = stage.ops[e].clone();
                 let cells = cells.clone();
-                handles.push(ctx.spawn(move |ctx| perform(ctx, &cells, &ops)));
+                let label = stage.name.clone();
+                handles.push(ctx.spawn(move |ctx| {
+                    if !with_faults || ctx.fault_point(&label) == Inject::Run {
+                        perform(ctx, &cells, &ops);
+                    }
+                }));
             }
             for h in handles {
                 ctx.join(h);
             }
-        },
-        options,
-    )
+    }
 }
 
 /// Pipeline / master-worker: stage threads connected by per-successor
 /// channels; every stage sends one token per element to each stage of the
 /// next level, and receives one token per predecessor.
-fn run_pipeline(test: Arc<ParallelUnitTest>, options: ChessOptions) -> Report {
-    explore(
-        move |ctx: &ThreadCtx| {
+fn pipeline_body(
+    test: Arc<ParallelUnitTest>,
+    with_faults: bool,
+) -> impl Fn(&ThreadCtx) + 'static {
+    move |ctx: &ThreadCtx| {
             let cells = make_cells(ctx, &test.cells);
             let n_stages = test.stages.len();
             // Input channels, one per (stage, replica).
@@ -227,6 +331,7 @@ fn run_pipeline(test: Arc<ParallelUnitTest>, options: ChessOptions) -> Report {
                     let preds = pred_count[si];
                     let replicas = stage.replicas.max(1);
                     let elements = test.elements;
+                    let label = stage.name.clone();
                     handles.push(ctx.spawn(move |ctx| {
                         for e in 0..elements {
                             if replicas > 1 && e % replicas != replica {
@@ -236,7 +341,12 @@ fn run_pipeline(test: Arc<ParallelUnitTest>, options: ChessOptions) -> Report {
                             for _ in 0..preds {
                                 let _ = my_in.recv(ctx);
                             }
-                            perform(ctx, &cells, &ops[e]);
+                            // Under a fault scenario a dropped item skips
+                            // the stage's work but still forwards its
+                            // tokens, so the stream stays drainable.
+                            if !with_faults || ctx.fault_point(&label) == Inject::Run {
+                                perform(ctx, &cells, &ops[e]);
+                            }
                             // Hand the element to every successor stage
                             // (to the replica that will process it).
                             for succ_chs in &outs {
@@ -259,16 +369,14 @@ fn run_pipeline(test: Arc<ParallelUnitTest>, options: ChessOptions) -> Report {
             for h in handles {
                 ctx.join(h);
             }
-        },
-        options,
-    )
+    }
 }
 
 fn make_cells(
     ctx: &ThreadCtx,
     names: &BTreeSet<String>,
-) -> Arc<BTreeMap<String, patty_chess::Shared<i64>>> {
-    Arc::new(
+) -> Rc<BTreeMap<String, patty_chess::Shared<i64>>> {
+    Rc::new(
         names
             .iter()
             .map(|n| (n.clone(), ctx.shared(n, 0i64)))
