@@ -68,6 +68,8 @@ struct Row {
     dpor_steps: u64,
     failures: usize,
     replayed: bool,
+    coverage_permille: u64,
+    truncated_coverage_permille: u64,
 }
 
 impl Row {
@@ -80,6 +82,11 @@ impl Row {
             .with("dpor_steps", Json::Int(self.dpor_steps as i64))
             .with("failures", Json::Int(self.failures as i64))
             .with("replayed_byte_stable", Json::Bool(self.replayed))
+            .with("coverage_permille", Json::Int(self.coverage_permille as i64))
+            .with(
+                "truncated_coverage_permille",
+                Json::Int(self.truncated_coverage_permille as i64),
+            )
     }
 }
 
@@ -129,6 +136,34 @@ fn main() {
             None => false,
         };
 
+        // Coverage accounting: an exhausted search must report exactly
+        // 1000‰; the same sweep under a tiny budget must report an open
+        // frontier and strictly partial coverage.
+        assert_eq!(
+            dpor.coverage_permille(),
+            1000,
+            "{}: exhaustive DPOR sweep must report 1000 permille coverage",
+            entry.name
+        );
+        let truncated = explore_joint(
+            entry.test,
+            &scenarios,
+            &ChessOptions { max_schedules: 2, mode: SearchMode::Dpor, ..ChessOptions::default() },
+        );
+        let truncated_coverage = truncated.coverage_permille();
+        if !truncated.all_complete() {
+            assert!(
+                truncated_coverage < 1000,
+                "{}: truncated sweep must not claim exhaustion",
+                entry.name
+            );
+            assert!(
+                truncated.frontier_open > 0,
+                "{}: truncated sweep must leave frontier branches open",
+                entry.name
+            );
+        }
+
         rows.push(Row {
             name: entry.name,
             scenarios: scenarios.len(),
@@ -137,6 +172,8 @@ fn main() {
             dpor_steps: dpor.total_steps,
             failures: failures.len(),
             replayed,
+            coverage_permille: dpor.coverage_permille(),
+            truncated_coverage_permille: truncated_coverage,
         });
     }
 
@@ -146,7 +183,7 @@ fn main() {
 
     print_table(
         "chess guard: joint schedule×fault exploration",
-        &["entry", "scenarios", "dpor", "dfs", "steps", "failures", "replayed"],
+        &["entry", "scenarios", "dpor", "dfs", "steps", "failures", "replayed", "cov‰"],
         &rows
             .iter()
             .map(|r| {
@@ -158,6 +195,7 @@ fn main() {
                     r.dpor_steps.to_string(),
                     r.failures.to_string(),
                     r.replayed.to_string(),
+                    r.coverage_permille.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -199,6 +237,12 @@ fn main() {
             .with("guard", Json::Str("chess_joint_budgets".into()))
             .with("result", Json::Str("guard_passed".into()))
             .with("total_combos", Json::Int(total_combos as i64))
+            .with(
+                "coverage_permille",
+                Json::Int(
+                    rows.iter().map(|r| r.coverage_permille).min().unwrap_or(0) as i64,
+                ),
+            )
             .with("elapsed_ms", Json::Int(elapsed.as_millis() as i64))
             .with(
                 "os_threads",

@@ -155,6 +155,32 @@ fn apply_backtracks(infos: &[StepInfo], nodes: &mut [Node]) {
     }
 }
 
+/// Frontier accounting at DPOR exit. Open branches are backtrack points
+/// not yet done and not currently in flight; the size estimate is the
+/// product, along the committed path, of the branches DPOR has decided
+/// are needed at each node (`backtrack ∪ done ∪ {chosen}`) — the
+/// DPOR-*reduced* space, not the raw interleaving count.
+fn close_dpor_frontier(report: &mut Report, nodes: &[Node]) {
+    let open: u64 = nodes
+        .iter()
+        .map(|n| {
+            n.backtrack
+                .iter()
+                .filter(|t| !n.done.contains(t) && **t != n.chosen)
+                .count() as u64
+        })
+        .sum();
+    report.close_frontier(
+        open,
+        nodes.iter().map(|n| {
+            let mut needed = n.backtrack.clone();
+            needed.extend(n.done.iter().copied());
+            needed.insert(n.chosen);
+            needed.len() as u64
+        }),
+    );
+}
+
 /// Explore `test` with dynamic partial-order reduction.
 pub fn explore_dpor<F>(test: F, options: ChessOptions) -> Report
 where
@@ -185,19 +211,24 @@ where
         let run = run_schedule(test.clone(), &mut policy, options.max_steps, scenario);
         nodes = policy.nodes;
         report.absorb_run(run.failures, run.steps);
+        // Race analysis before the exit checks, so a truncated search's
+        // frontier still reflects the last run's backtrack points.
+        apply_backtracks(&run.step_infos, &mut nodes);
         if options.stop_on_first_failure && report.failed() {
+            close_dpor_frontier(&mut report, &nodes);
             return report;
         }
         if report.schedules >= options.max_schedules {
+            close_dpor_frontier(&mut report, &nodes);
             return report;
         }
-        apply_backtracks(&run.step_infos, &mut nodes);
         // Backtrack: close out the deepest explored branch and switch to
         // the next pending backtrack point, popping exhausted nodes.
         loop {
             let depth = match nodes.len().checked_sub(1) {
                 None => {
                     report.complete = true;
+                    close_dpor_frontier(&mut report, &nodes);
                     return report;
                 }
                 Some(d) => d,
@@ -313,6 +344,28 @@ mod tests {
         assert!(report.complete);
         assert!(!report.failed(), "{:?}", report.failures);
         assert_eq!(report.schedules, 1, "independent ops must not be reversed");
+    }
+
+    #[test]
+    fn dpor_coverage_tracks_the_reduced_space() {
+        let full = explore_dpor(racy_counter, ChessOptions::default());
+        assert!(full.complete);
+        assert_eq!(full.coverage_permille(), 1000);
+        assert_eq!(full.estimated_total, full.schedules);
+        let truncated = explore_dpor(
+            racy_counter,
+            ChessOptions { max_schedules: 2, ..ChessOptions::default() },
+        );
+        assert!(!truncated.complete);
+        let permille = truncated.coverage_permille();
+        assert!(permille < 1000, "a truncated search never claims exhaustion");
+        assert!(
+            truncated.estimated_total <= full.estimated_total.max(full.schedules) * 4,
+            "the DPOR estimate tracks the reduced space, not the raw \
+             interleaving count ({} vs {} actual traces)",
+            truncated.estimated_total,
+            full.schedules
+        );
     }
 
     #[test]

@@ -56,6 +56,11 @@ impl Default for ChessOptions {
     }
 }
 
+/// Cap on the frontier-based size estimate: branching products along a
+/// deep path overflow fast, and coverage permille needs no more
+/// resolution than this.
+const ESTIMATE_CAP: u64 = 1_000_000_000_000;
+
 /// The outcome of an exploration.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -67,6 +72,15 @@ pub struct Report {
     pub failures: Vec<Failure>,
     /// Total yield points executed across all schedules.
     pub total_steps: u64,
+    /// Branches still open on the search frontier when the search
+    /// stopped (0 for a complete search): sibling choices at decision
+    /// points on the current path that were never taken.
+    pub frontier_open: u64,
+    /// Frontier-based estimate of the total (DPOR-reduced, for that
+    /// mode) schedule space: explored schedules plus a branching-product
+    /// estimate of what the open frontier still hides. Equals
+    /// `schedules` for a complete search; capped at [`ESTIMATE_CAP`].
+    pub estimated_total: u64,
 }
 
 impl Report {
@@ -75,10 +89,59 @@ impl Report {
         !self.failures.is_empty()
     }
 
+    /// How much of the (estimated) schedule space the budget explored,
+    /// in permille. A complete search is 1000‰ by definition; an
+    /// incomplete one is clamped to 999‰ so a truncated search never
+    /// claims exhaustion, however optimistic the estimate.
+    pub fn coverage_permille(&self) -> u64 {
+        if self.complete {
+            return 1000;
+        }
+        if self.schedules == 0 {
+            return 0;
+        }
+        let est = self.estimated_total.max(self.schedules.saturating_add(1));
+        (1000u64.saturating_mul(self.schedules) / est).min(999)
+    }
+
+    /// Fold the frontier left standing at search exit into the report:
+    /// `open` sibling branches never taken, and a Knuth-style product of
+    /// the branching factors along the final path as the size estimate
+    /// (each factor ≥ 1; saturating, capped). A complete search has no
+    /// frontier and estimates exactly what it ran.
+    pub(crate) fn close_frontier(&mut self, open: u64, branching: impl Iterator<Item = u64>) {
+        // A search that stops with nothing left on the frontier has in
+        // fact exhausted the (reduced) space — the next backtrack step
+        // would pop every node and terminate — so credit it as complete
+        // even when a budget check was what stopped it. Without this, a
+        // budget that lands exactly on the last schedule would report
+        // phantom partial coverage.
+        if open == 0 {
+            self.complete = true;
+        }
+        if self.complete {
+            self.frontier_open = 0;
+            self.estimated_total = self.schedules;
+            return;
+        }
+        let mut est: u64 = 1;
+        for b in branching {
+            est = est.saturating_mul(b.max(1)).min(ESTIMATE_CAP);
+        }
+        self.frontier_open = open;
+        self.estimated_total =
+            est.max(self.schedules.saturating_add(open)).min(ESTIMATE_CAP);
+    }
+
     /// Merge another report into this one (used by iterative bounding).
     pub(crate) fn merge(&mut self, other: Report) {
         self.schedules += other.schedules;
         self.total_steps += other.total_steps;
+        self.frontier_open += other.frontier_open;
+        self.estimated_total = self
+            .estimated_total
+            .saturating_add(other.estimated_total)
+            .min(ESTIMATE_CAP);
         for f in other.failures {
             if !self.failures.iter().any(|g| g.kind == f.kind) {
                 self.failures.push(f);
@@ -167,9 +230,11 @@ where
         frames = policy.frames;
         report.absorb_run(run.failures, run.steps);
         if options.stop_on_first_failure && report.failed() {
+            close_dfs_frontier(&mut report, &frames);
             return report;
         }
         if report.schedules >= options.max_schedules {
+            close_dfs_frontier(&mut report, &frames);
             return report;
         }
         // Backtrack: drop exhausted suffix, advance the deepest open frame.
@@ -177,6 +242,7 @@ where
             match frames.last_mut() {
                 None => {
                     report.complete = true;
+                    close_dfs_frontier(&mut report, &frames);
                     return report;
                 }
                 Some(f) if f.next + 1 < f.choices.len() => {
@@ -189,6 +255,17 @@ where
             }
         }
     }
+}
+
+/// Frontier accounting at DFS exit: open branches are the sibling
+/// choices to the right of each frame's cursor; the size estimate is
+/// the branching product along the final path.
+fn close_dfs_frontier(report: &mut Report, frames: &[Frame]) {
+    let open: u64 = frames
+        .iter()
+        .map(|f| (f.choices.len().saturating_sub(f.next + 1)) as u64)
+        .sum();
+    report.close_frontier(open, frames.iter().map(|f| f.choices.len() as u64));
 }
 
 /// Iterative context bounding: explore with preemption bounds
@@ -437,6 +514,55 @@ mod tests {
             .any(|f| matches!(f.kind, FailureKind::CheckFailed(_))));
         // And bound 0 is much cheaper.
         assert!(r0.schedules < r1.schedules);
+    }
+
+    #[test]
+    fn complete_search_reports_full_coverage() {
+        let report = explore(racy_counter, ChessOptions::default());
+        assert!(report.complete);
+        assert_eq!(report.coverage_permille(), 1000);
+        assert_eq!(report.frontier_open, 0);
+        assert_eq!(report.estimated_total, report.schedules);
+    }
+
+    #[test]
+    fn truncated_search_reports_partial_coverage_and_open_frontier() {
+        let full = explore(racy_counter, ChessOptions::default());
+        assert!(full.complete);
+        let truncated = explore(
+            racy_counter,
+            ChessOptions { max_schedules: 3, ..ChessOptions::default() },
+        );
+        assert!(!truncated.complete);
+        assert!(truncated.frontier_open > 0, "a cut-off search leaves open branches");
+        assert!(
+            truncated.estimated_total > truncated.schedules,
+            "estimate must exceed what was run"
+        );
+        let permille = truncated.coverage_permille();
+        assert!(
+            permille > 0 && permille < 1000,
+            "3 of {} schedules cannot be 0‰ or 1000‰ (got {permille}‰)",
+            full.schedules
+        );
+    }
+
+    #[test]
+    fn coverage_grows_with_budget() {
+        let small = explore(
+            racy_counter,
+            ChessOptions { max_schedules: 2, ..ChessOptions::default() },
+        );
+        let large = explore(
+            racy_counter,
+            ChessOptions { max_schedules: 12, ..ChessOptions::default() },
+        );
+        assert!(
+            small.coverage_permille() <= large.coverage_permille(),
+            "{}‰ !<= {}‰",
+            small.coverage_permille(),
+            large.coverage_permille()
+        );
     }
 
     #[test]

@@ -57,9 +57,31 @@ pub struct JointReport {
     pub combos: u64,
     /// Total yield points executed across all combinations.
     pub total_steps: u64,
+    /// Frontier-based estimate of the full combination space
+    /// (Σ per-scenario `estimated_total`).
+    pub estimated_combos: u64,
+    /// Open frontier branches left across all scenarios.
+    pub frontier_open: u64,
 }
 
 impl JointReport {
+    /// Was every scenario's schedule space exhausted?
+    pub fn all_complete(&self) -> bool {
+        self.scenarios.iter().all(|s| s.report.complete)
+    }
+
+    /// Coverage of the estimated combination space, in permille: 1000‰
+    /// iff every scenario completed, otherwise clamped to 999‰.
+    pub fn coverage_permille(&self) -> u64 {
+        if self.all_complete() {
+            return 1000;
+        }
+        if self.combos == 0 {
+            return 0;
+        }
+        let est = self.estimated_combos.max(self.combos.saturating_add(1));
+        (1000u64.saturating_mul(self.combos) / est).min(999)
+    }
     /// All unexpected failures, tagged with their scenario encoding.
     pub fn unexpected(&self) -> Vec<(String, Failure)> {
         self.scenarios
@@ -104,6 +126,8 @@ where
         let report = explore_scenario(test.clone(), scenario, options);
         joint.combos += report.schedules;
         joint.total_steps += report.total_steps;
+        joint.estimated_combos = joint.estimated_combos.saturating_add(report.estimated_total);
+        joint.frontier_open += report.frontier_open;
         joint.scenarios.push(ScenarioReport { scenario: scenario.clone(), report });
     }
     joint

@@ -1,0 +1,249 @@
+//! Prometheus text exposition: renderer and format linter.
+//!
+//! The renderer emits the classic text format (`# HELP`, `# TYPE`, one
+//! sample line per series). The linter re-parses any exposition text and
+//! enforces the invariants scrapers rely on; the CLI golden tests run it
+//! over real `patty stats` output so a formatting regression fails CI
+//! with a precise message instead of a scrape-time surprise.
+
+use crate::{valid_metric_name, MetricsRegistry};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Escape a `# HELP` payload: backslash and newline only (the format
+/// leaves everything else verbatim).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render a registry to exposition text. Families arrive sorted from the
+/// registry; series within a family are sorted by label set.
+pub(crate) fn render(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, help, kind, samples) in reg.iter_families() {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {name} {}", kind.as_str());
+        for (labels, value) in samples {
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name} {value}");
+            } else {
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                    .collect();
+                let _ = writeln!(out, "{name}{{{}}} {value}", rendered.join(","));
+            }
+        }
+    }
+    out
+}
+
+/// Split a sample line into `(metric name, label text, value text)`.
+/// Returns `None` on lines that are not shaped like a sample at all.
+fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
+    if let Some(open) = line.find('{') {
+        let close = line.rfind('}')?;
+        if close < open {
+            return None;
+        }
+        let value = line.get(close + 1..)?.trim();
+        Some((&line[..open], &line[open + 1..close], value))
+    } else {
+        let (name, value) = line.split_once(' ')?;
+        Some((name, "", value.trim()))
+    }
+}
+
+/// Parse the label text of a sample line into sorted `key="value"`
+/// pairs, validating escapes along the way.
+fn parse_labels(text: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim();
+        if key.is_empty() || !valid_metric_name(key) {
+            return Err(format!("line {line_no}: invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        // Scan the quoted value honoring backslash escapes.
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("line {line_no}: unterminated label value")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("line {line_no}: bad escape in label value")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let ch = rest[i..].chars().next().unwrap();
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+        rest = rest[i + 1..].trim_start();
+        rest = rest.strip_prefix(',').map(str::trim_start).unwrap_or(rest);
+    }
+    labels.sort();
+    Ok(labels)
+}
+
+/// Summary of a linted exposition document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PromStats {
+    pub families: usize,
+    pub series: usize,
+}
+
+/// Validate Prometheus text exposition format. Enforced invariants:
+///
+/// * every sample's metric name is announced by both a `# HELP` and a
+///   `# TYPE` line earlier in the document,
+/// * `# TYPE` values are one of the known kinds and appear at most once
+///   per family,
+/// * metric and label names match the identifier grammar,
+/// * no duplicate series (same name + same label set), and
+/// * every sample value parses as an unsigned integer (this workspace
+///   exports integers only, for byte stability).
+///
+/// Returns family/series counts on success, a `line N: …` message on
+/// the first violation.
+pub fn lint_prometheus(text: &str) -> Result<PromStats, String> {
+    const KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<(String, Vec<(String, String)>)> = BTreeSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: invalid metric name in HELP"));
+            }
+            if rest.len() <= name.len() {
+                return Err(format!("line {line_no}: HELP for {name} has no text"));
+            }
+            helped.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {line_no}: invalid metric name in TYPE"));
+            }
+            if !KINDS.contains(&kind) {
+                return Err(format!("line {line_no}: unknown TYPE {kind:?} for {name}"));
+            }
+            if !typed.insert(name.to_string()) {
+                return Err(format!("line {line_no}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment: legal, ignored.
+            continue;
+        }
+        let (name, label_text, value) = split_sample(line)
+            .ok_or_else(|| format!("line {line_no}: malformed sample line"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: invalid metric name {name:?}"));
+        }
+        if !helped.contains(name) {
+            return Err(format!("line {line_no}: sample for {name} without a HELP line"));
+        }
+        if !typed.contains(name) {
+            return Err(format!("line {line_no}: sample for {name} without a TYPE line"));
+        }
+        let labels = parse_labels(label_text, line_no)?;
+        if !seen_series.insert((name.to_string(), labels)) {
+            return Err(format!("line {line_no}: duplicate series for {name}"));
+        }
+        if value.parse::<u64>().is_err() {
+            return Err(format!(
+                "line {line_no}: value {value:?} is not an unsigned integer"
+            ));
+        }
+    }
+    Ok(PromStats { families: typed.len(), series: seen_series.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricKind;
+
+    #[test]
+    fn rendered_registries_always_pass_the_lint() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("a_total", MetricKind::Counter, "a", &[], 1);
+        reg.set("b", MetricKind::Gauge, "b", &[("stage", "read \"x\"\\n")], 2);
+        let text = reg.prometheus();
+        let stats = lint_prometheus(&text).expect(&text);
+        assert_eq!(stats, PromStats { families: 2, series: 2 });
+    }
+
+    #[test]
+    fn label_escapes_round_trip_through_the_linter() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("m", MetricKind::Gauge, "m", &[("k", "a\"b\\c\nd")], 3);
+        let text = reg.prometheus();
+        assert!(text.contains(r#"m{k="a\"b\\c\nd"} 3"#), "{text}");
+        lint_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn lint_rejects_samples_without_help_or_type() {
+        let err = lint_prometheus("x_total 1\n").unwrap_err();
+        assert!(err.contains("without a HELP"), "{err}");
+        let err = lint_prometheus("# HELP x_total x\nx_total 1\n").unwrap_err();
+        assert!(err.contains("without a TYPE"), "{err}");
+    }
+
+    #[test]
+    fn lint_rejects_duplicate_series_and_duplicate_type() {
+        let doc = "# HELP x x\n# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        assert!(lint_prometheus(doc).unwrap_err().contains("duplicate series"));
+        let doc = "# HELP x x\n# TYPE x gauge\n# TYPE x gauge\nx 1\n";
+        assert!(lint_prometheus(doc).unwrap_err().contains("duplicate TYPE"));
+    }
+
+    #[test]
+    fn lint_rejects_bad_kinds_and_non_integer_values() {
+        let doc = "# HELP x x\n# TYPE x speedometer\nx 1\n";
+        assert!(lint_prometheus(doc).unwrap_err().contains("unknown TYPE"));
+        let doc = "# HELP x x\n# TYPE x gauge\nx 1.5\n";
+        assert!(lint_prometheus(doc).unwrap_err().contains("not an unsigned integer"));
+    }
+
+    #[test]
+    fn lint_tolerates_comments_and_blank_lines() {
+        let doc = "\n# a free comment\n# HELP x x\n# TYPE x counter\nx 7\n\n";
+        assert_eq!(lint_prometheus(doc).unwrap(), PromStats { families: 1, series: 1 });
+    }
+}

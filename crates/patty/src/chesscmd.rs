@@ -72,6 +72,16 @@ impl ChessReport {
                 joint.combos,
                 joint.total_steps
             ));
+            out.push_str(&format!(
+                "  coverage: {}‰ of ~{} estimated combination(s){}\n",
+                joint.coverage_permille(),
+                joint.estimated_combos.max(joint.combos),
+                if joint.all_complete() {
+                    String::from(" (exhaustive)")
+                } else {
+                    format!(" ({} frontier branch(es) open)", joint.frontier_open)
+                }
+            ));
             for sr in &joint.scenarios {
                 if sr.report.failures.is_empty() {
                     continue;
@@ -222,6 +232,8 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("schedule×fault"), "{rendered}");
         assert!(rendered.contains("verdict: pass"), "{rendered}");
+        assert!(rendered.contains("coverage: "), "{rendered}");
+        assert!(rendered.contains("‰"), "{rendered}");
 
         let hash = report
             .architectures

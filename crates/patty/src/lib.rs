@@ -31,10 +31,12 @@ pub mod chesscmd;
 pub mod faultcheck;
 pub mod overlay;
 pub mod process;
+pub mod statscmd;
 
 pub use chesscmd::{chess_explore, chess_replay, chess_run, render_replay, ChessReport};
 pub use faultcheck::{faultcheck, FaultcheckReport, Outcome, Scenario};
 pub use overlay::{render_candidates, render_hotspots, render_overlay, render_process_chart, Phase};
+pub use statscmd::stats_registry;
 pub use process::{
     load_tuning, InstanceArtifacts, Patty, PattyError, PattyOptions, PattyRun,
 };

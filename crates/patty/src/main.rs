@@ -32,6 +32,17 @@
 //!                               # trace_event JSON (load in Perfetto),
 //!                               # plain-text flame summary, or the
 //!                               # stable per-stage summary JSON
+//! patty stats <file.mini> [--format prom|json] [--watch]
+//!             [--deterministic] [--interval MS] [--iterations N]
+//!                               # unified observability snapshot:
+//!                               # executor lane counters, telemetry,
+//!                               # trace aggregates and VM profiler
+//!                               # stats in one registry. Prometheus
+//!                               # text exposition by default; --watch
+//!                               # renders a live terminal dashboard;
+//!                               # --deterministic makes the output
+//!                               # byte-stable (virtual clock, no
+//!                               # wall-clock pool execution)
 //! patty modes                   # describe the four operation modes
 //! ```
 //!
@@ -62,7 +73,7 @@ fn main() {
 }
 
 fn run(args: &[String]) -> i32 {
-    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|chess|trace|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]\n       patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]\n       patty faultcheck <file.mini> [--replay HASH]";
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|chess|trace|stats|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]\n       patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]\n       patty faultcheck <file.mini> [--replay HASH]\n       patty stats <file.mini> [--format prom|json] [--watch] [--deterministic] [--interval MS] [--iterations N]";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -73,7 +84,7 @@ fn run(args: &[String]) -> i32 {
     }
     let known = [
         "analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck", "chess",
-        "trace",
+        "trace", "stats",
     ];
     if !known.contains(&cmd.as_str()) {
         eprintln!("unknown command `{cmd}`\n{usage}");
@@ -99,6 +110,9 @@ fn run(args: &[String]) -> i32 {
     }
     if cmd == "faultcheck" {
         return faultcheck(&patty, &source, &args[2..]);
+    }
+    if cmd == "stats" {
+        return stats(&patty, path, &source, &args[2..]);
     }
     if cmd == "profile" {
         // Telemetry profile: the process runs inside `Patty::profile` with
@@ -203,6 +217,105 @@ fn chess(patty: &Patty, source: &str, flags: &[String]) -> i32 {
         return 1;
     }
     i32::from(!report.passed())
+}
+
+/// `patty stats <file.mini> [--format prom|json] [--watch]
+/// [--deterministic] [--interval MS] [--iterations N]`.
+///
+/// `--iterations` bounds the `--watch` loop (0 = forever) so scripted
+/// and test invocations terminate; `--interval` is the refresh period
+/// in milliseconds.
+fn stats(patty: &Patty, path: &str, source: &str, flags: &[String]) -> i32 {
+    let mut format = "prom";
+    let mut watch = false;
+    let mut deterministic = false;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: u64 = 0;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--watch" => {
+                watch = true;
+                i += 1;
+            }
+            "--deterministic" => {
+                deterministic = true;
+                i += 1;
+            }
+            flag @ ("--format" | "--interval" | "--iterations") => {
+                let Some(value) = flags.get(i + 1).map(String::as_str) else {
+                    eprintln!("patty stats: `{flag}` needs a value");
+                    return 2;
+                };
+                match flag {
+                    "--format" => {
+                        if !["prom", "json"].contains(&value) {
+                            eprintln!(
+                                "patty stats: unknown format `{value}` (expected prom or json)"
+                            );
+                            return 2;
+                        }
+                        format = value;
+                    }
+                    "--interval" => match value.parse() {
+                        Ok(ms) => interval_ms = ms,
+                        Err(_) => {
+                            eprintln!("patty stats: `--interval` needs milliseconds, got `{value}`");
+                            return 2;
+                        }
+                    },
+                    _ => match value.parse() {
+                        Ok(n) => iterations = n,
+                        Err(_) => {
+                            eprintln!("patty stats: `--iterations` needs a count, got `{value}`");
+                            return 2;
+                        }
+                    },
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("patty stats: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    if watch {
+        let mut frame = 0u64;
+        loop {
+            let reg = match patty_tool::stats_registry(patty, source, deterministic) {
+                Ok(reg) => reg,
+                Err(e) => {
+                    eprintln!("patty: {e}");
+                    return 1;
+                }
+            };
+            if frame > 0 {
+                // Repaint in place; the first frame scrolls normally so
+                // piped output keeps every frame.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", patty_obs::render_dashboard(&reg, path, frame));
+            frame += 1;
+            if iterations > 0 && frame >= iterations {
+                return 0;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    match patty_tool::stats_registry(patty, source, deterministic) {
+        Ok(reg) => {
+            match format {
+                "prom" => print!("{}", reg.prometheus()),
+                _ => println!("{}", reg.to_json()),
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("patty: {e}");
+            1
+        }
+    }
 }
 
 /// `patty faultcheck <file.mini> [--replay HASH]`.

@@ -223,6 +223,14 @@ impl Patty {
         }
         patty.validate_correctness(&run);
         patty.tune_performance(&run);
+        // Executor introspection rides along in the same report: the
+        // `executor.*` family is always registered (like `fault.*`), so
+        // the schema is identical whether or not any plan ran on the
+        // pool.
+        patty_runtime::annotate_executor_telemetry(
+            &telemetry,
+            patty_runtime::Executor::global(),
+        );
         Ok(telemetry.report())
     }
 
@@ -287,7 +295,7 @@ impl Patty {
 
 /// Items profiled per plan: enough for stable per-stage counts, bounded
 /// so `patty profile` stays interactive on long observed streams.
-const PROFILE_STREAM_CAP: u64 = 256;
+pub(crate) const PROFILE_STREAM_CAP: u64 = 256;
 
 /// Execute one generated plan on the real runtime library with telemetry
 /// attached, so the profile reports measured per-stage item counts rather

@@ -211,6 +211,133 @@ fn profile_reports_fault_counters_without_parallel_architectures() {
 }
 
 #[test]
+fn stats_emits_linted_prometheus_with_every_family_prefix() {
+    let file = write_temp("stats.mini", PIPELINE_SRC);
+    let (stdout, stderr, ok) = run_patty(&["stats", file.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    let lint = patty_obs::lint_prometheus(&stdout).expect("scrape must pass the format lint");
+    assert!(lint.families >= 20, "thin scrape ({lint:?}): {stdout}");
+    for prefix in ["patty_executor_", "patty_runtime_", "patty_vm_", "patty_trace_"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(prefix)),
+            "no {prefix}* sample in: {stdout}"
+        );
+    }
+    // The pipeline really ran on the pool: executed tasks are non-zero.
+    let executed = stdout
+        .lines()
+        .find(|l| l.starts_with("patty_executor_tasks_executed_total "))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("tasks_executed sample");
+    assert!(executed > 0, "{stdout}");
+}
+
+/// `--deterministic --format json` is the machine-readable snapshot
+/// contract: two sequential invocations must be byte-identical.
+#[test]
+fn stats_deterministic_json_is_byte_identical_across_runs() {
+    let file = write_temp("stats_det.mini", PIPELINE_SRC);
+    let path = file.to_str().unwrap();
+    let (a, stderr, ok) = run_patty(&["stats", path, "--format", "json", "--deterministic"]);
+    assert!(ok, "stderr: {stderr}");
+    let (b, _, ok2) = run_patty(&["stats", path, "--format", "json", "--deterministic"]);
+    assert!(ok2);
+    assert_eq!(a, b, "deterministic stats runs must be byte-identical");
+    let doc = patty_json::parse(&a).expect("stats JSON parses");
+    let obj = doc.as_obj().expect("top-level object");
+    assert!(obj.iter().any(|(k, _)| k.starts_with("patty_trace_stage_")), "{a}");
+    // Schedule-dependent families stay in the schema, at zero.
+    let executed = doc
+        .get("patty_executor_tasks_executed_total")
+        .and_then(|f| f.get("samples"))
+        .and_then(|s| s.as_arr())
+        .and_then(|s| s.first())
+        .and_then(|s| s.get("value"))
+        .and_then(|v| v.as_i64());
+    assert_eq!(executed, Some(0), "{a}");
+}
+
+/// `--watch --iterations N` renders N dashboard frames and exits 0, so
+/// the live mode is scriptable and testable.
+#[test]
+fn stats_watch_renders_bounded_dashboard_frames() {
+    let file = write_temp("stats_watch.mini", PIPELINE_SRC);
+    let (stdout, stderr, ok) = run_patty(&[
+        "stats",
+        file.to_str().unwrap(),
+        "--watch",
+        "--iterations",
+        "2",
+        "--interval",
+        "0",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("frame 0"), "{stdout}");
+    assert!(stdout.contains("frame 1"), "{stdout}");
+    assert!(!stdout.contains("frame 2"), "--iterations 2 must stop after two frames");
+    assert!(stdout.contains("lanes: "), "{stdout}");
+    assert!(stdout.contains("steals: "), "{stdout}");
+    assert!(stdout.contains("health: "), "{stdout}");
+}
+
+#[test]
+fn stats_flag_errors_are_usage_errors() {
+    let file = write_temp("stats_flags.mini", PIPELINE_SRC);
+    let path = file.to_str().unwrap();
+    for args in [
+        vec!["stats", path, "--format", "yaml"],
+        vec!["stats", path, "--format"],
+        vec!["stats", path, "--interval", "soon"],
+        vec!["stats", path, "--iterations", "-1"],
+        vec!["stats", path, "--frobnicate"],
+    ] {
+        let out = Command::new(patty_bin()).args(&args).output().expect("patty runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+/// The `executor.*` family joins `fault.*` in the profile schema: always
+/// present, even when no plan executed on the pool.
+#[test]
+fn profile_reports_executor_counters_alongside_faults() {
+    let plain = write_temp("profile_exec_plain.mini", "fn main() { var x = 1; print(x); }");
+    let pipeline = write_temp("profile_exec_pipe.mini", PIPELINE_SRC);
+    for (path, expect_work) in [(&plain, false), (&pipeline, true)] {
+        let (stdout, stderr, ok) = run_patty(&["profile", path.to_str().unwrap()]);
+        assert!(ok, "stderr: {stderr}");
+        let report = patty_json::parse(&stdout).expect("profile output is valid JSON");
+        let counters = report.get("counters").and_then(|c| c.as_arr()).expect("counters");
+        let value = |name: &str| {
+            counters
+                .iter()
+                .find(|c| c.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap_or_else(|| panic!("missing {name} in {stdout}"))
+                .get("value")
+                .and_then(|v| v.as_i64())
+                .unwrap()
+        };
+        for name in [
+            "executor.lanes_spawned",
+            "executor.lanes_live",
+            "executor.short_submitted",
+            "executor.tasks_executed",
+            "executor.steals_attempted",
+            "executor.injector_pops",
+            "executor.parks",
+        ] {
+            assert!(value(name) >= 0, "{stdout}");
+        }
+        if expect_work {
+            assert!(
+                value("executor.tasks_executed") + value("executor.tasks_helped") > 0,
+                "pipeline must have executed tasks on the pool: {stdout}"
+            );
+        }
+    }
+}
+
+#[test]
 fn trace_emits_chrome_json_with_events_per_stage() {
     let file = write_temp("trace.mini", PIPELINE_SRC);
     let (stdout, stderr, ok) = run_patty(&["trace", file.to_str().unwrap()]);

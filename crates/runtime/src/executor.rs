@@ -82,6 +82,14 @@ pub enum SpawnMode {
 }
 
 /// Snapshot of pool activity counters, for tests and diagnostics.
+///
+/// Produced by [`Executor::stats`], which returns a *coherent* snapshot:
+/// all submit-side counters are incremented (SeqCst) before the task is
+/// published and consume-side counters after it is claimed, and the
+/// snapshot reads consume-side fields before submit-side fields. The
+/// invariant `tasks_executed + tasks_helped <= short_submitted +
+/// resident_handoffs + lanes_spawned` therefore holds in every snapshot,
+/// even one taken mid-submission from another thread.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecutorStats {
     /// Persistent lanes started since pool creation.
@@ -100,6 +108,18 @@ pub struct ExecutorStats {
     /// Lanes that exited after staying quiescent past the retirement
     /// window (the pool shrinks back when runs stop).
     pub lanes_retired: u64,
+    /// Sibling-deque steal probes (by lanes and helping callers).
+    pub steals_attempted: u64,
+    /// Tasks actually taken from a sibling's deque.
+    pub steals_succeeded: u64,
+    /// Tasks taken from the shared injector (including batch refills).
+    pub injector_pops: u64,
+    /// Times a lane parked on the condvar with nothing runnable.
+    pub parks: u64,
+    /// Times a parked lane woke (notify or idle-wait timeout).
+    pub unparks: u64,
+    /// Highest local-deque depth any lane observed after a batch refill.
+    pub deque_depth_hwm: u64,
 }
 
 struct Stats {
@@ -110,6 +130,12 @@ struct Stats {
     tasks_executed: AtomicU64,
     tasks_helped: AtomicU64,
     lanes_retired: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    deque_depth_hwm: AtomicU64,
 }
 
 impl Stats {
@@ -122,20 +148,133 @@ impl Stats {
             tasks_executed: AtomicU64::new(0),
             tasks_helped: AtomicU64::new(0),
             lanes_retired: AtomicU64::new(0),
+            steals_attempted: AtomicU64::new(0),
+            steals_succeeded: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            deque_depth_hwm: AtomicU64::new(0),
         }
     }
 
-    fn snapshot(&self) -> ExecutorStats {
+    /// One pass over every field. Consume-side counters are read
+    /// *before* submit-side counters: combined with increment-before-
+    /// publish on the submit paths (all SeqCst), any executed task's
+    /// submission is already visible by the time the submit-side fields
+    /// are read, so the executed/submitted invariant cannot be observed
+    /// inverted.
+    fn read_once(&self) -> ExecutorStats {
+        let tasks_executed = self.tasks_executed.load(Ordering::SeqCst);
+        let tasks_helped = self.tasks_helped.load(Ordering::SeqCst);
+        let steals_succeeded = self.steals_succeeded.load(Ordering::SeqCst);
+        let steals_attempted = self.steals_attempted.load(Ordering::SeqCst);
+        let injector_pops = self.injector_pops.load(Ordering::SeqCst);
+        let lanes_retired = self.lanes_retired.load(Ordering::SeqCst);
+        let parks = self.parks.load(Ordering::SeqCst);
+        let unparks = self.unparks.load(Ordering::SeqCst);
+        let deque_depth_hwm = self.deque_depth_hwm.load(Ordering::SeqCst);
         ExecutorStats {
-            lanes_spawned: self.lanes_spawned.load(Ordering::Relaxed),
-            resident_handoffs: self.resident_handoffs.load(Ordering::Relaxed),
-            ephemeral_spawns: self.ephemeral_spawns.load(Ordering::Relaxed),
-            short_submitted: self.short_submitted.load(Ordering::Relaxed),
-            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
-            tasks_helped: self.tasks_helped.load(Ordering::Relaxed),
-            lanes_retired: self.lanes_retired.load(Ordering::Relaxed),
+            short_submitted: self.short_submitted.load(Ordering::SeqCst),
+            resident_handoffs: self.resident_handoffs.load(Ordering::SeqCst),
+            ephemeral_spawns: self.ephemeral_spawns.load(Ordering::SeqCst),
+            lanes_spawned: self.lanes_spawned.load(Ordering::SeqCst),
+            tasks_executed,
+            tasks_helped,
+            lanes_retired,
+            steals_attempted,
+            steals_succeeded,
+            injector_pops,
+            parks,
+            unparks,
+            deque_depth_hwm,
         }
     }
+
+    /// Coherent snapshot: re-read until two consecutive passes agree
+    /// (quiescent pools stabilize on the first retry), bounded so a
+    /// pool under constant churn still returns promptly — the ordering
+    /// discipline in [`Stats::read_once`] keeps even the bounded-exit
+    /// snapshot invariant-safe.
+    fn snapshot(&self) -> ExecutorStats {
+        let mut prev = self.read_once();
+        for _ in 0..4 {
+            let cur = self.read_once();
+            if cur == prev {
+                return cur;
+            }
+            prev = cur;
+        }
+        prev
+    }
+}
+
+/// Per-lane activity counters, updated only by the owning lane (plus
+/// the global aggregate in [`Stats`]). Read via [`Executor::lane_snapshots`].
+struct LaneStats {
+    lane_id: u64,
+    short_executed: AtomicU64,
+    resident_executed: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+    injector_pops: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    deque_depth_hwm: AtomicU64,
+}
+
+impl LaneStats {
+    fn new(lane_id: u64) -> LaneStats {
+        LaneStats {
+            lane_id,
+            short_executed: AtomicU64::new(0),
+            resident_executed: AtomicU64::new(0),
+            steals_attempted: AtomicU64::new(0),
+            steals_succeeded: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            deque_depth_hwm: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            lane_id: self.lane_id,
+            short_executed: self.short_executed.load(Ordering::SeqCst),
+            resident_executed: self.resident_executed.load(Ordering::SeqCst),
+            steals_attempted: self.steals_attempted.load(Ordering::SeqCst),
+            steals_succeeded: self.steals_succeeded.load(Ordering::SeqCst),
+            injector_pops: self.injector_pops.load(Ordering::SeqCst),
+            parks: self.parks.load(Ordering::SeqCst),
+            unparks: self.unparks.load(Ordering::SeqCst),
+            deque_depth_hwm: self.deque_depth_hwm.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Point-in-time counters for one live lane (see [`Executor::lane_snapshots`]).
+/// Retired lanes drop out of the list; their activity stays in the
+/// process aggregates of [`ExecutorStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneSnapshot {
+    /// Monotonic lane id (never reused across retire/regrow cycles).
+    pub lane_id: u64,
+    /// Short tasks this lane executed (deque, injector, steals).
+    pub short_executed: u64,
+    /// Resident tasks this lane executed (handoffs and seed tasks).
+    pub resident_executed: u64,
+    /// Sibling-deque steal probes by this lane.
+    pub steals_attempted: u64,
+    /// Tasks this lane took from a sibling's deque.
+    pub steals_succeeded: u64,
+    /// Tasks this lane took from the shared injector.
+    pub injector_pops: u64,
+    /// Times this lane parked with nothing runnable.
+    pub parks: u64,
+    /// Times this lane woke from a park.
+    pub unparks: u64,
+    /// Highest local-deque depth observed after a batch refill.
+    pub deque_depth_hwm: u64,
 }
 
 /// Mutable pool state guarded by one mutex. The invariant that makes
@@ -152,6 +291,9 @@ struct Registry {
     /// Stealer handles of every live lane's deque, keyed by lane id so
     /// a retiring lane can deregister exactly its own entry.
     stealers: Vec<(u64, Stealer<Task>)>,
+    /// Per-lane counters of every live lane, same keying discipline as
+    /// `stealers` (retiring lanes deregister their own entry).
+    lane_stats: Vec<Arc<LaneStats>>,
     /// Monotonic lane id source (ids are never reused).
     next_lane_id: u64,
     shutdown: bool,
@@ -240,6 +382,7 @@ impl Executor {
                     idle: 0,
                     live: 0,
                     stealers: Vec::new(),
+                    lane_stats: Vec::new(),
                     next_lane_id: 0,
                     shutdown: false,
                 }),
@@ -259,9 +402,18 @@ impl Executor {
         self.inner.cap
     }
 
-    /// Current pool activity counters.
+    /// Current pool activity counters (a coherent snapshot — see
+    /// [`ExecutorStats`] for the ordering contract).
     pub fn stats(&self) -> ExecutorStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Per-lane counters of every lane currently alive, ordered by
+    /// (monotonic, never-reused) lane id. Retired lanes drop out; their
+    /// activity remains in the [`Executor::stats`] aggregates.
+    pub fn lane_snapshots(&self) -> Vec<LaneSnapshot> {
+        let stats: Vec<Arc<LaneStats>> = self.inner.lock().lane_stats.to_vec();
+        stats.iter().map(|s| s.snapshot()).collect()
     }
 
     /// Number of lanes currently alive.
@@ -307,15 +459,17 @@ impl Executor {
         let inner = &self.inner;
         let mut reg = inner.lock();
         if reg.resident.len() < reg.idle && !reg.shutdown {
+            // Count before publishing, so a concurrent stats() reader
+            // never sees the task executed but not yet submitted.
+            inner.stats.resident_handoffs.fetch_add(1, Ordering::SeqCst);
             reg.resident.push_back(task);
-            inner.stats.resident_handoffs.fetch_add(1, Ordering::Relaxed);
             drop(reg);
             inner.work_available.notify_all();
         } else if reg.live < inner.cap && !reg.shutdown {
             self.spawn_lane(&mut reg, Some(task));
         } else {
             drop(reg);
-            inner.stats.ephemeral_spawns.fetch_add(1, Ordering::Relaxed);
+            inner.stats.ephemeral_spawns.fetch_add(1, Ordering::SeqCst);
             std::thread::Builder::new()
                 .name("patty-ephemeral".into())
                 .spawn(task)
@@ -327,8 +481,11 @@ impl Executor {
     /// pool by at most one lane if nobody is idle to pick it up.
     fn submit_short(&self, task: Task) {
         let inner = &self.inner;
+        // Increment-before-publish: once the task is in the injector a
+        // lane (or helper) may execute it and bump `tasks_executed`
+        // immediately, so the submission count must already be visible.
+        inner.stats.short_submitted.fetch_add(1, Ordering::SeqCst);
         inner.injector.push(task);
-        inner.stats.short_submitted.fetch_add(1, Ordering::Relaxed);
         let mut reg = inner.lock();
         if reg.idle > 0 {
             drop(reg);
@@ -347,13 +504,18 @@ impl Executor {
         let lane_id = reg.next_lane_id;
         reg.next_lane_id += 1;
         reg.stealers.push((lane_id, lane.stealer()));
+        let lane_stats = Arc::new(LaneStats::new(lane_id));
+        reg.lane_stats.push(lane_stats.clone());
         reg.live += 1;
         inner.lane_epoch.fetch_add(1, Ordering::Release);
-        inner.stats.lanes_spawned.fetch_add(1, Ordering::Relaxed);
+        // SeqCst + before the thread starts: the seed task may bump
+        // `tasks_executed` as soon as the lane runs, and a coherent
+        // stats() snapshot must already account for this lane.
+        inner.stats.lanes_spawned.fetch_add(1, Ordering::SeqCst);
         let inner = inner.clone();
         let handle = std::thread::Builder::new()
             .name(format!("patty-lane-{lane_id}"))
-            .spawn(move || lane_main(inner, lane, lane_id, first))
+            .spawn(move || lane_main(inner, lane, lane_id, lane_stats, first))
             .expect("spawn pool lane thread");
         let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
         // Retired lanes leave finished handles behind; drop them here so
@@ -369,8 +531,8 @@ impl Executor {
         let inner = &self.inner;
         let mut cache = StealerCache::new();
         while data.pending.load(Ordering::Acquire) > 0 {
-            if let Some(task) = steal_one(inner, &mut cache) {
-                inner.stats.tasks_helped.fetch_add(1, Ordering::Relaxed);
+            if let Some(task) = steal_one(inner, &mut cache, None) {
+                inner.stats.tasks_helped.fetch_add(1, Ordering::SeqCst);
                 run_task(task);
                 continue;
             }
@@ -539,21 +701,38 @@ impl StealerCache {
 }
 
 /// Take one short task: injector first (FIFO fairness for fresh
-/// submissions), then sibling deques.
-fn steal_one(inner: &Inner, cache: &mut StealerCache) -> Option<Task> {
-    match inner.injector.steal() {
-        Steal::Success(t) => return Some(t),
-        Steal::Retry => return steal_one(inner, cache),
-        Steal::Empty => {}
+/// submissions), then sibling deques. Steal traffic is counted in the
+/// pool aggregates, and — when the thief is a lane — in `lane` too.
+fn steal_one(inner: &Inner, cache: &mut StealerCache, lane: Option<&LaneStats>) -> Option<Task> {
+    loop {
+        match inner.injector.steal() {
+            Steal::Success(t) => {
+                inner.stats.injector_pops.fetch_add(1, Ordering::SeqCst);
+                if let Some(l) = lane {
+                    l.injector_pops.fetch_add(1, Ordering::SeqCst);
+                }
+                return Some(t);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
     }
     cache.refresh(inner);
     let n = cache.stealers.len();
     for i in 0..n {
         let s = &cache.stealers[(self_rotate(cache, i)) % n];
+        inner.stats.steals_attempted.fetch_add(1, Ordering::SeqCst);
+        if let Some(l) = lane {
+            l.steals_attempted.fetch_add(1, Ordering::SeqCst);
+        }
         loop {
             match s.steal() {
                 Steal::Success(t) => {
                     cache.next = cache.next.wrapping_add(1);
+                    inner.stats.steals_succeeded.fetch_add(1, Ordering::SeqCst);
+                    if let Some(l) = lane {
+                        l.steals_succeeded.fetch_add(1, Ordering::SeqCst);
+                    }
                     return Some(t);
                 }
                 Steal::Retry => continue,
@@ -568,6 +747,32 @@ fn self_rotate(cache: &StealerCache, i: usize) -> usize {
     cache.next.wrapping_add(i)
 }
 
+/// Pre-register the `executor.*` counter family on a telemetry sink and
+/// fill it from the pool's current stats, mirroring the always-present
+/// `fault.*` family: a `patty profile` report enumerates the executor
+/// surface even for a run that never reached the pool. Inert on a
+/// disabled telemetry handle.
+pub fn annotate_executor_telemetry(telemetry: &patty_telemetry::Telemetry, executor: &Executor) {
+    let stats = executor.stats();
+    for (name, value) in [
+        ("executor.lanes_spawned", stats.lanes_spawned),
+        ("executor.lanes_retired", stats.lanes_retired),
+        ("executor.lanes_live", executor.lanes_live() as u64),
+        ("executor.resident_handoffs", stats.resident_handoffs),
+        ("executor.ephemeral_spawns", stats.ephemeral_spawns),
+        ("executor.short_submitted", stats.short_submitted),
+        ("executor.tasks_executed", stats.tasks_executed),
+        ("executor.tasks_helped", stats.tasks_helped),
+        ("executor.steals_attempted", stats.steals_attempted),
+        ("executor.steals_succeeded", stats.steals_succeeded),
+        ("executor.injector_pops", stats.injector_pops),
+        ("executor.parks", stats.parks),
+        ("executor.deque_depth_hwm", stats.deque_depth_hwm),
+    ] {
+        telemetry.counter(name).add(value);
+    }
+}
+
 /// A persistent lane: local deque, then injector batches, then sibling
 /// stealing, then the resident handoff queue, then parked on the
 /// condvar. `first` seeds a lane started for a specific resident task.
@@ -577,11 +782,18 @@ fn self_rotate(cache: &StealerCache, i: usize) -> usize {
 /// registry lock — so the resident invariant (`resident.len() < idle`
 /// after queuing) is never observed broken, and a retirement racing a
 /// submission at worst makes the submitter start a fresh lane.
-fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<Task>) {
+fn lane_main(
+    inner: Arc<Inner>,
+    lane: Worker<Task>,
+    lane_id: u64,
+    me: Arc<LaneStats>,
+    first: Option<Task>,
+) {
     let mut cache = StealerCache::new();
     let mut idle_since: Option<std::time::Instant> = None;
     if let Some(task) = first {
-        inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
+        me.resident_executed.fetch_add(1, Ordering::SeqCst);
         run_task(task);
     }
     loop {
@@ -589,14 +801,23 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<
         // shared injector, then steal FIFO from siblings.
         if let Some(task) = lane.pop() {
             idle_since = None;
-            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
+            me.short_executed.fetch_add(1, Ordering::SeqCst);
             run_task(task);
             continue;
         }
         match inner.injector.steal_batch_and_pop(&lane) {
             Steal::Success(task) => {
                 idle_since = None;
-                inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                // The popped task plus whatever the batch left in the
+                // local deque is this lane's post-refill depth.
+                let depth = lane.len() as u64 + 1;
+                me.deque_depth_hwm.fetch_max(depth, Ordering::SeqCst);
+                inner.stats.deque_depth_hwm.fetch_max(depth, Ordering::SeqCst);
+                inner.stats.injector_pops.fetch_add(1, Ordering::SeqCst);
+                me.injector_pops.fetch_add(1, Ordering::SeqCst);
+                inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
+                me.short_executed.fetch_add(1, Ordering::SeqCst);
                 run_task(task);
                 continue;
             }
@@ -604,9 +825,10 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<
             Steal::Empty => {}
         }
         cache.refresh(&inner);
-        if let Some(task) = steal_one(&inner, &mut cache) {
+        if let Some(task) = steal_one(&inner, &mut cache, Some(&me)) {
             idle_since = None;
-            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
+            me.short_executed.fetch_add(1, Ordering::SeqCst);
             run_task(task);
             continue;
         }
@@ -617,7 +839,8 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<
         if let Some(task) = reg.resident.pop_front() {
             drop(reg);
             idle_since = None;
-            inner.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
+            me.resident_executed.fetch_add(1, Ordering::SeqCst);
             run_task(task);
             continue;
         }
@@ -625,6 +848,7 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<
             continue;
         }
         if reg.shutdown {
+            reg.lane_stats.retain(|s| s.lane_id != lane_id);
             reg.live -= 1;
             return;
         }
@@ -638,18 +862,23 @@ fn lane_main(inner: Arc<Inner>, lane: Worker<Task>, lane_id: u64, first: Option<
         if let Some(retire_after) = inner.retire_after {
             if now.duration_since(quiescent_start) >= retire_after {
                 reg.stealers.retain(|(id, _)| *id != lane_id);
+                reg.lane_stats.retain(|s| s.lane_id != lane_id);
                 reg.live -= 1;
                 inner.lane_epoch.fetch_add(1, Ordering::Release);
-                inner.stats.lanes_retired.fetch_add(1, Ordering::Relaxed);
+                inner.stats.lanes_retired.fetch_add(1, Ordering::SeqCst);
                 return;
             }
         }
         reg.idle += 1;
+        inner.stats.parks.fetch_add(1, Ordering::SeqCst);
+        me.parks.fetch_add(1, Ordering::SeqCst);
         let (mut reg2, _timeout) = inner
             .work_available
             .wait_timeout(reg, LANE_IDLE_WAIT)
             .unwrap_or_else(PoisonError::into_inner);
         reg2.idle -= 1;
+        inner.stats.unparks.fetch_add(1, Ordering::SeqCst);
+        me.unparks.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -872,6 +1101,141 @@ mod tests {
             warm.lanes_spawned
         );
         assert!(pool.lanes_live() <= pool.cap());
+    }
+
+    #[test]
+    fn stats_snapshots_stay_coherent_under_concurrent_readers() {
+        // Writers hammer short-task scopes while readers snapshot. A
+        // coherent snapshot can never show more tasks consumed than
+        // submissions visible: executed + helped <= short_submitted +
+        // resident_handoffs + lanes_spawned (seed tasks). The pre-fix
+        // publish-then-count order let readers observe the inversion.
+        let pool = Arc::new(Executor::with_threads(3));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = pool.clone();
+                let stop = stop.clone();
+                let violations = violations.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let s = pool.stats();
+                        let consumed = s.tasks_executed + s.tasks_helped;
+                        let submitted =
+                            s.short_submitted + s.resident_handoffs + s.lanes_spawned;
+                        if consumed > submitted {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..300 {
+            pool.scope(SpawnMode::Pooled, |s| {
+                for _ in 0..8 {
+                    s.spawn(|| {});
+                }
+            });
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "stats() observed executed tasks before their submission"
+        );
+    }
+
+    #[test]
+    fn lane_snapshots_track_per_lane_activity() {
+        let pool = Executor::with_threads(2);
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..64 {
+                s.spawn(|| std::thread::sleep(Duration::from_micros(50)));
+            }
+        });
+        let lanes = pool.lane_snapshots();
+        let stats = pool.stats();
+        assert!(!lanes.is_empty(), "a run must leave live lanes behind");
+        assert!(
+            lanes.windows(2).all(|w| w[0].lane_id < w[1].lane_id),
+            "snapshots are ordered by monotonic lane id"
+        );
+        let lane_executed: u64 =
+            lanes.iter().map(|l| l.short_executed + l.resident_executed).sum();
+        assert!(
+            lane_executed <= stats.tasks_executed,
+            "live-lane totals ({lane_executed}) cannot exceed the pool aggregate \
+             ({})",
+            stats.tasks_executed
+        );
+        assert_eq!(
+            stats.tasks_executed + stats.tasks_helped,
+            64,
+            "every task ran on a lane or a helping caller"
+        );
+        let pops: u64 = lanes.iter().map(|l| l.injector_pops).sum();
+        assert!(pops <= stats.injector_pops, "per-lane pops are a subset of the aggregate");
+        if stats.tasks_executed > 0 {
+            assert!(
+                stats.injector_pops + stats.steals_succeeded > 0,
+                "lane-executed short tasks arrive via the injector or steals"
+            );
+            assert!(stats.deque_depth_hwm >= 1, "a batch refill records a depth watermark");
+        }
+    }
+
+    #[test]
+    fn retired_lanes_leave_the_snapshot_but_keep_the_aggregates() {
+        let pool = Executor::with_idle_retirement(2, Duration::from_millis(15));
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.lanes_live() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(pool.lane_snapshots().is_empty(), "retired lanes deregister their counters");
+        let stats = pool.stats();
+        assert!(stats.lanes_retired >= 1);
+        assert_eq!(stats.tasks_executed + stats.tasks_helped, 8, "aggregates survive retirement");
+    }
+
+    #[test]
+    fn annotate_executor_telemetry_registers_the_full_family() {
+        let telemetry = patty_telemetry::Telemetry::enabled();
+        let pool = Executor::with_threads(2);
+        pool.scope(SpawnMode::Pooled, |s| {
+            for _ in 0..4 {
+                s.spawn(|| {});
+            }
+        });
+        annotate_executor_telemetry(&telemetry, &pool);
+        let report = telemetry.report();
+        for name in [
+            "executor.lanes_spawned",
+            "executor.lanes_retired",
+            "executor.lanes_live",
+            "executor.short_submitted",
+            "executor.tasks_executed",
+            "executor.tasks_helped",
+            "executor.steals_attempted",
+            "executor.steals_succeeded",
+            "executor.injector_pops",
+            "executor.parks",
+            "executor.deque_depth_hwm",
+        ] {
+            assert!(
+                report.counter(name).is_some(),
+                "executor family counter {name} must always be registered"
+            );
+        }
+        assert_eq!(report.counter("executor.short_submitted"), Some(4));
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod parfor;
 pub mod pipeline;
 
 pub use config::{LoopTuning, PipelineTuning};
-pub use executor::{Executor, ExecutorStats, SpawnMode};
+pub use executor::{
+    annotate_executor_telemetry, Executor, ExecutorStats, LaneSnapshot, SpawnMode,
+};
 pub use fault::{register_fault_counters, CancelToken, FailurePolicy, RunOptions, RuntimeError};
 pub use masterworker::{Item, MasterWorker};
 pub use parfor::ParallelFor;

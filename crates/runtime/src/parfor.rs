@@ -20,7 +20,7 @@ use crate::executor::{Executor, SpawnMode};
 use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
-use patty_telemetry::{Counter, Telemetry};
+use patty_telemetry::{Counter, Histogram, LocalHistogram, Telemetry};
 use patty_trace::{Tracer, WorkerTracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -30,6 +30,53 @@ use std::time::Instant;
 /// `remaining / (workers * GUIDED_K)` indices, so every worker gets
 /// roughly `GUIDED_K` claims per "round" of the remaining space.
 const GUIDED_K: usize = 2;
+
+/// Per-run telemetry handles: `parfor.items`/`parfor.chunks` counters
+/// and the `parfor.chunk_size` histogram, pre-registered so recording
+/// never hashes a name. Default handles are inert.
+#[derive(Default)]
+struct ChunkMeters {
+    items: Counter,
+    chunks: Counter,
+    chunk_size: Histogram,
+}
+
+impl ChunkMeters {
+    /// Record one claimed chunk directly (sequential and cold paths).
+    fn record(&self, len: usize) {
+        self.chunks.incr();
+        self.items.add(len as u64);
+        self.chunk_size.record(len as u64);
+    }
+
+    /// Fold one worker's private tallies into the shared sink — the hot
+    /// paths accumulate locally and pay this once per worker per run.
+    fn flush(&self, local: &LocalChunkMeters) {
+        if local.chunks == 0 {
+            return;
+        }
+        self.chunks.add(local.chunks);
+        self.items.add(local.items);
+        self.chunk_size.merge(&local.sizes);
+    }
+}
+
+/// One worker's chunk tallies: plain fields, no atomics, flushed via
+/// [`ChunkMeters::flush`] when the worker's claim loop exits.
+#[derive(Default)]
+struct LocalChunkMeters {
+    items: u64,
+    chunks: u64,
+    sizes: LocalHistogram,
+}
+
+impl LocalChunkMeters {
+    fn record(&mut self, len: usize) {
+        self.chunks += 1;
+        self.items += len as u64;
+        self.sizes.record(len as u64);
+    }
+}
 
 /// A tunable data-parallel loop executor.
 #[derive(Clone, Debug)]
@@ -157,20 +204,19 @@ impl ParallelFor {
         self
     }
 
-    /// Counter handles for one run (inert when telemetry is disabled).
-    fn counters(&self) -> (Counter, Counter) {
+    /// Telemetry handles for one run (inert when telemetry is
+    /// disabled). Registered once per run so worker loops never touch
+    /// the sink's name maps.
+    fn meters(&self) -> ChunkMeters {
         if self.telemetry.is_enabled() {
-            (self.telemetry.counter("parfor.items"), self.telemetry.counter("parfor.chunks"))
+            ChunkMeters {
+                items: self.telemetry.counter("parfor.items"),
+                chunks: self.telemetry.counter("parfor.chunks"),
+                chunk_size: self.telemetry.histogram("parfor.chunk_size"),
+            }
         } else {
-            (Counter::disabled(), Counter::disabled())
+            ChunkMeters::default()
         }
-    }
-
-    /// Record one claimed chunk.
-    fn record_chunk(&self, items: &Counter, chunks: &Counter, len: usize) {
-        chunks.incr();
-        items.add(len as u64);
-        self.telemetry.record("parfor.chunk_size", len as u64);
     }
 
     /// Map the index space `0..n` through `f`, returning results in index
@@ -180,12 +226,12 @@ impl ParallelFor {
         O: Send,
         F: Fn(usize) -> O + Sync,
     {
-        let (items, chunks) = self.counters();
+        let meters = self.meters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             let wt = self.tracer.worker(stage_id, 0);
             if n > 0 {
-                self.record_chunk(&items, &chunks, n);
+                meters.record(n);
                 let trace_start = wt.item_start(0);
                 let out = (0..n).map(f).collect();
                 wt.item_end_n(0, n as u64, trace_start);
@@ -200,16 +246,15 @@ impl ParallelFor {
         Executor::global().scope(self.spawn_mode, |scope| {
             let results = &results;
             let next = &next;
-            let items = &items;
-            let chunks = &chunks;
+            let meters = &meters;
             for worker in 0..self.workers.min(n) {
                 let wt = self.tracer.worker(stage_id, worker);
                 scope.spawn(move || {
                     let run_start = wt.tick();
                     let mut busy_ns = 0u64;
-                    let mut chunks_done = 0u64;
+                    let mut local = LocalChunkMeters::default();
                     while let Some(range) = self.claim(next, n) {
-                        self.record_chunk(items, chunks, range.len());
+                        local.record(range.len());
                         let trace_start = wt.item_start(range.start as u64);
                         for (slot, i) in results[range.clone()].iter().zip(range.clone()) {
                             *slot.lock() = Some(f(i));
@@ -217,9 +262,9 @@ impl ParallelFor {
                         let ended =
                             wt.item_end_n(range.start as u64, range.len() as u64, trace_start);
                         busy_ns += ended.since(trace_start);
-                        chunks_done += 1;
                     }
-                    wt.worker_idle(run_start, busy_ns, chunks_done);
+                    wt.worker_idle(run_start, busy_ns, local.chunks);
+                    meters.flush(&local);
                 });
             }
         });
@@ -235,13 +280,13 @@ impl ParallelFor {
     where
         F: Fn(usize) + Sync,
     {
-        let (items, chunks) = self.counters();
+        let meters = self.meters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             if n == 0 {
                 return;
             }
-            self.record_chunk(&items, &chunks, n);
+            meters.record(n);
             let wt = self.tracer.worker(stage_id, 0);
             let trace_start = wt.item_start(0);
             (0..n).for_each(f);
@@ -252,16 +297,15 @@ impl ParallelFor {
         let f = &f;
         Executor::global().scope(self.spawn_mode, |scope| {
             let next = &next;
-            let items = &items;
-            let chunks = &chunks;
+            let meters = &meters;
             for worker in 0..self.workers.min(n) {
                 let wt = self.tracer.worker(stage_id, worker);
                 scope.spawn(move || {
                     let run_start = wt.tick();
                     let mut busy_ns = 0u64;
-                    let mut chunks_done = 0u64;
+                    let mut local = LocalChunkMeters::default();
                     while let Some(range) = self.claim(next, n) {
-                        self.record_chunk(items, chunks, range.len());
+                        local.record(range.len());
                         let trace_start = wt.item_start(range.start as u64);
                         for i in range.clone() {
                             f(i);
@@ -269,9 +313,9 @@ impl ParallelFor {
                         let ended =
                             wt.item_end_n(range.start as u64, range.len() as u64, trace_start);
                         busy_ns += ended.since(trace_start);
-                        chunks_done += 1;
                     }
-                    wt.worker_idle(run_start, busy_ns, chunks_done);
+                    wt.worker_idle(run_start, busy_ns, local.chunks);
+                    meters.flush(&local);
                 });
             }
         });
@@ -473,7 +517,7 @@ impl ParallelFor {
         if n == 0 {
             return opts.cancel.is_cancelled().then_some(RuntimeError::Cancelled);
         }
-        let (items, chunks) = self.counters();
+        let meters = self.meters();
         let stage_id = self.tracer.stage("parfor");
         // One tracer handle per potential worker id; `run_indices` is
         // shared between workers and picks its handle by worker id.
@@ -535,28 +579,31 @@ impl ParallelFor {
             false
         };
         if self.sequential || self.workers <= 1 || n <= 1 {
-            self.record_chunk(&items, &chunks, n);
+            meters.record(n);
             run_indices(0, 0..n);
         } else {
             let next = AtomicUsize::new(0);
-            let counters = (items, chunks);
             Executor::global().scope(self.spawn_mode, |scope| {
                 let next = &next;
                 let run_indices = &run_indices;
-                let counters = &counters;
+                let meters = &meters;
                 for worker in 0..self.workers.min(n) {
                     let cancel = cancel.clone();
-                    scope.spawn(move || loop {
-                        if cancel.is_cancelled() {
-                            return;
+                    scope.spawn(move || {
+                        let mut local = LocalChunkMeters::default();
+                        loop {
+                            if cancel.is_cancelled() {
+                                break;
+                            }
+                            let Some(range) = self.claim(next, n) else {
+                                break;
+                            };
+                            local.record(range.len());
+                            if run_indices(worker, range) {
+                                break;
+                            }
                         }
-                        let Some(range) = self.claim(next, n) else {
-                            return;
-                        };
-                        self.record_chunk(&counters.0, &counters.1, range.len());
-                        if run_indices(worker, range) {
-                            return;
-                        }
+                        meters.flush(&local);
                     });
                 }
             });
@@ -576,13 +623,13 @@ impl ParallelFor {
         F: Fn(A, usize) -> A + Sync,
         C: Fn(A, A) -> A,
     {
-        let (items, chunks) = self.counters();
+        let meters = self.meters();
         let stage_id = self.tracer.stage("parfor");
         if self.sequential || self.workers <= 1 || n <= 1 {
             if n == 0 {
                 return identity;
             }
-            self.record_chunk(&items, &chunks, n);
+            meters.record(n);
             let wt = self.tracer.worker(stage_id, 0);
             let trace_start = wt.item_start(0);
             let out = (0..n).fold(identity, fold);
@@ -592,7 +639,7 @@ impl ParallelFor {
         let next = AtomicUsize::new(0);
         let next = &next;
         let fold = &fold;
-        let counters = &(items, chunks);
+        let meters = &meters;
         // Pool tasks return no value, so each worker parks its private
         // accumulator in a slot; a panic in `fold` unwinds through the
         // scope (legacy re-panic semantics) leaving that slot `None`.
@@ -606,15 +653,16 @@ impl ParallelFor {
                 scope.spawn(move || {
                     let run_start = wt.tick();
                     let mut busy_ns = 0u64;
-                    let mut chunks_done = 0u64;
+                    let mut local = LocalChunkMeters::default();
                     let mut acc = seed;
                     loop {
                         let Some(range) = self.claim(next, n) else {
-                            wt.worker_idle(run_start, busy_ns, chunks_done);
+                            wt.worker_idle(run_start, busy_ns, local.chunks);
+                            meters.flush(&local);
                             *slot.lock() = Some(acc);
                             return;
                         };
-                        self.record_chunk(&counters.0, &counters.1, range.len());
+                        local.record(range.len());
                         let trace_start = wt.item_start(range.start as u64);
                         let first = range.start as u64;
                         let len = range.len() as u64;
@@ -623,7 +671,6 @@ impl ParallelFor {
                         }
                         let ended = wt.item_end_n(first, len, trace_start);
                         busy_ns += ended.since(trace_start);
-                        chunks_done += 1;
                     }
                 });
             }

@@ -27,7 +27,7 @@ use crate::fault::{
     panic_payload, ErrorSlot, FailurePolicy, FaultCounters, RunOptions, RuntimeError,
 };
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use patty_telemetry::Telemetry;
+use patty_telemetry::{LocalHistogram, Telemetry};
 use patty_trace::{Tracer, WorkerTracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -324,7 +324,12 @@ impl<T: Send + 'static> Pipeline<T> {
             for stage in &stages {
                 let (tx, rx) = bounded::<Batch<T>>(cap);
                 let items = self.telemetry.counter(&format!("pipeline.stage.{}.items", stage.name));
-                let queue_metric = format!("pipeline.stage.{}.queue_depth", stage.name);
+                // Pre-registered once per stage: the worker loop records
+                // queue occupancy with a few relaxed atomic adds, never a
+                // name lookup.
+                let depth = self
+                    .telemetry
+                    .histogram(&format!("pipeline.stage.{}.queue_depth", stage.name));
                 let span_name = format!("pipeline.stage.{}.wall_per_worker", stage.name);
                 let stage_id = self.tracer.stage(&stage.name);
                 for worker in 0..stage.replication {
@@ -333,7 +338,7 @@ impl<T: Send + 'static> Pipeline<T> {
                     let stage_tx = tx.clone();
                     let items = items.clone();
                     let telemetry = self.telemetry.clone();
-                    let queue_metric = queue_metric.clone();
+                    let depth = depth.clone();
                     let span_name = span_name.clone();
                     let stage_name = stage.name.clone();
                     let cancel = cancel.clone();
@@ -344,6 +349,10 @@ impl<T: Send + 'static> Pipeline<T> {
                     scope.spawn_resident(move || {
                         let _wall = telemetry.span(&span_name);
                         let record_depth = telemetry.is_enabled();
+                        // Occupancy samples accumulate worker-locally
+                        // (plain arithmetic) and fold into the shared
+                        // histogram once, when this worker exits.
+                        let mut local_depth = LocalHistogram::new();
                         let run_start = wt.tick();
                         let mut wait_start = run_start;
                         let mut busy_ns = 0u64;
@@ -361,7 +370,7 @@ impl<T: Send + 'static> Pipeline<T> {
                                 // Occupancy left behind in the input buffer —
                                 // a persistently full buffer marks this stage
                                 // as the bottleneck, an empty one as starved.
-                                telemetry.record(&queue_metric, stage_rx.len() as u64);
+                                local_depth.record(stage_rx.len() as u64);
                             }
                             // One clock read covers the receive wait and
                             // the compute start of the whole batch.
@@ -412,7 +421,6 @@ impl<T: Send + 'static> Pipeline<T> {
                                 let ended = wt.item_end_n(first, done, started);
                                 busy_ns += ended.since(started);
                                 items_done += done;
-                                items.add(done);
                                 if stage_tx.send((first, out_run)).is_err() {
                                     break;
                                 }
@@ -425,6 +433,10 @@ impl<T: Send + 'static> Pipeline<T> {
                             }
                         }
                         wt.worker_idle(run_start, busy_ns, items_done);
+                        // One flush per worker: the local tallies the
+                        // loop kept anyway become the shared counters.
+                        items.add(items_done);
+                        depth.merge(&local_depth);
                     });
                 }
                 drop(tx);

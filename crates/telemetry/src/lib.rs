@@ -42,9 +42,87 @@ use std::time::Instant;
 /// up to 2^62 and beyond in the final bucket.
 const BUCKETS: usize = 64;
 
+/// Log2 bucket of a value: 0 for zero, `floor(log2(v)) + 1` otherwise.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Shared histogram storage. Lock-free: every field is a relaxed
+/// atomic, so the instrumented hot paths (one [`Histogram::record`] per
+/// pipeline batch, one [`Histogram::merge`] per parallel-for worker)
+/// never take a lock or touch the registry map.
 struct HistogramCore {
     /// bucket\[i\] counts values v with floor(log2(v)) == i-1 (bucket 0
     /// counts zeros).
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first observation.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn merge(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (slot, &n) in self.buckets.iter().zip(&local.buckets) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        self.min.fetch_min(local.min, Ordering::Relaxed);
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    fn summary(&self, name: &str) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum,
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        }
+    }
+}
+
+/// A thread-local histogram accumulator for the tightest loops: workers
+/// record into plain fields (no atomics at all) and fold the whole
+/// batch into the shared [`Histogram`] once, via
+/// [`Histogram::merge`] — one flush per worker per run instead of one
+/// shared-cacheline RMW per observation.
+#[derive(Clone, Debug)]
+pub struct LocalHistogram {
     buckets: [u64; BUCKETS],
     count: u64,
     sum: u64,
@@ -52,25 +130,63 @@ struct HistogramCore {
     max: u64,
 }
 
-impl Default for HistogramCore {
-    fn default() -> HistogramCore {
-        HistogramCore { buckets: [0; BUCKETS], count: 0, sum: 0, min: 0, max: 0 }
+impl Default for LocalHistogram {
+    fn default() -> LocalHistogram {
+        LocalHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 }
 
-impl HistogramCore {
-    fn record(&mut self, value: u64) {
-        let idx = if value == 0 { 0 } else { (64 - value.leading_zeros()) as usize };
-        self.buckets[idx.min(BUCKETS - 1)] += 1;
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
+impl LocalHistogram {
+    pub fn new() -> LocalHistogram {
+        LocalHistogram::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Pre-registered histogram handle, the distribution-shaped sibling of
+/// [`Counter`]: recording is lock-free (a handful of relaxed atomic
+/// adds), and a [`LocalHistogram`] batch folds in with one
+/// [`Histogram::merge`]. On a disabled handle both are inert.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("enabled", &self.core.is_some()).finish()
+    }
+}
+
+impl Histogram {
+    /// The inert handle (what disabled telemetry hands out).
+    pub fn disabled() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.record(value);
+        }
+    }
+
+    /// Fold a worker-local batch into the shared histogram.
+    pub fn merge(&self, local: &LocalHistogram) {
+        if let Some(core) = &self.core {
+            core.merge(local);
+        }
     }
 }
 
@@ -112,7 +228,7 @@ pub struct TunerIteration {
 #[derive(Default)]
 struct Inner {
     counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
-    histograms: Mutex<HashMap<String, HistogramCore>>,
+    histograms: Mutex<HashMap<String, Arc<HistogramCore>>>,
     spans: Mutex<HashMap<String, SpanStats>>,
     tuner: Mutex<Vec<TunerIteration>>,
 }
@@ -169,10 +285,21 @@ impl Telemetry {
         }
     }
 
-    /// Record one observation into the named histogram.
+    /// Pre-register a histogram. The returned handle records with a few
+    /// relaxed atomic adds — no lock, no hashing; on a disabled handle
+    /// it is inert.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let core = self.inner.as_ref().map(|inner| {
+            Arc::clone(inner.histograms.lock().entry(name.to_string()).or_default())
+        });
+        Histogram { core }
+    }
+
+    /// One-shot observation into the named histogram (cold paths only —
+    /// pays a map lookup; hot loops should hold a [`Histogram`]).
     pub fn record(&self, name: &str, value: u64) {
-        if let Some(inner) = &self.inner {
-            inner.histograms.lock().entry(name.to_string()).or_default().record(value);
+        if self.inner.is_some() {
+            self.histogram(name).record(value);
         }
     }
 
@@ -216,15 +343,8 @@ impl Telemetry {
             .histograms
             .lock()
             .iter()
-            .filter(|(_, h)| h.count > 0)
-            .map(|(name, h)| HistogramSummary {
-                name: name.clone(),
-                count: h.count,
-                sum: h.sum,
-                min: h.min,
-                max: h.max,
-                mean: h.sum as f64 / h.count as f64,
-            })
+            .map(|(name, h)| h.summary(name))
+            .filter(|h| h.count > 0)
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
         let mut spans: Vec<SpanSummary> = inner
@@ -528,6 +648,58 @@ mod tests {
             Some(&Json::Int(4))
         );
         assert_eq!(iters[0].get("improved"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn histogram_handles_share_one_core_across_threads() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("chunk_size");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                thread::spawn(move || {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Re-registering the same name sees the same core.
+        tel.histogram("chunk_size").record(5000);
+        let report = tel.report();
+        let s = &report.histograms[0];
+        assert_eq!((s.count, s.min, s.max), (4001, 0, 5000));
+        assert_eq!(s.sum, 4 * (0..1000u64).sum::<u64>() + 5000);
+    }
+
+    #[test]
+    fn local_histogram_merge_matches_direct_recording() {
+        let direct = Telemetry::enabled();
+        let merged = Telemetry::enabled();
+        let mut local = LocalHistogram::new();
+        assert!(local.is_empty());
+        for v in [0u64, 1, 7, 64, 900] {
+            direct.record("h", v);
+            local.record(v);
+        }
+        merged.histogram("h").merge(&local);
+        assert_eq!(direct.report().histograms, merged.report().histograms);
+    }
+
+    #[test]
+    fn disabled_and_empty_histograms_stay_out_of_reports() {
+        let h = Histogram::disabled();
+        h.record(7);
+        h.merge(&LocalHistogram::new());
+        let tel = Telemetry::enabled();
+        let registered = tel.histogram("never_observed");
+        registered.merge(&LocalHistogram::new());
+        // Registered-but-empty histograms are filtered, matching the
+        // old lazy-registration report shape.
+        assert!(tel.report().histograms.is_empty());
     }
 
     #[test]

@@ -158,10 +158,20 @@ struct EventRing {
     mask: u64,
     stage: u16,
     worker: u16,
+    /// Live overflow accounting: bumped on every push that overwrites
+    /// an old event, so ring wrap is visible in a telemetry report
+    /// without ever taking a full snapshot. Inert unless the tracer was
+    /// wired via [`Tracer::wire_overflow_counter`].
+    overflow: patty_telemetry::Counter,
 }
 
 impl EventRing {
-    fn new(capacity: usize, stage: u16, worker: u16) -> EventRing {
+    fn new(
+        capacity: usize,
+        stage: u16,
+        worker: u16,
+        overflow: patty_telemetry::Counter,
+    ) -> EventRing {
         let cap = capacity.next_power_of_two().max(2);
         EventRing {
             slots: (0..cap).map(|_| Slot::new()).collect(),
@@ -169,12 +179,18 @@ impl EventRing {
             mask: cap as u64 - 1,
             stage,
             worker,
+            overflow,
         }
     }
 
     #[inline]
     fn push(&self, kind: EventKind, tick_ns: u64, item: u64, dur_ns: u64, count: u64) {
         let n = self.head.load(Ordering::Relaxed);
+        if n > self.mask {
+            // The slot we are about to claim still holds a live event:
+            // this push overwrites it.
+            self.overflow.incr();
+        }
         let slot = &self.slots[(n & self.mask) as usize];
         let packed =
             kind as u64 | (self.stage as u64) << 8 | (self.worker as u64) << 24;
@@ -247,6 +263,9 @@ struct Inner {
     /// order and defines the stage ids of all events.
     stages: Mutex<Vec<String>>,
     rings: Mutex<Vec<Arc<EventRing>>>,
+    /// Counter cloned into each ring at registration; rings created
+    /// before [`Tracer::wire_overflow_counter`] keep an inert clone.
+    overflow: Mutex<patty_telemetry::Counter>,
 }
 
 impl Inner {
@@ -258,7 +277,12 @@ impl Inner {
         if let Some(r) = rings.iter().find(|r| r.stage == stage && r.worker == worker) {
             return Arc::clone(r);
         }
-        let r = Arc::new(EventRing::new(self.capacity, stage, worker));
+        let r = Arc::new(EventRing::new(
+            self.capacity,
+            stage,
+            worker,
+            self.overflow.lock().clone(),
+        ));
         rings.push(Arc::clone(&r));
         r
     }
@@ -318,8 +342,23 @@ impl Tracer {
                 capacity,
                 stages: Mutex::new(Vec::new()),
                 rings: Mutex::new(Vec::new()),
+                overflow: Mutex::new(patty_telemetry::Counter::disabled()),
             })),
         }
+    }
+
+    /// Cross-wire ring overflow into the sink's `trace.dropped_events`
+    /// counter: every push that overwrites a live event bumps it at
+    /// write time, so wrap is visible in a plain telemetry report
+    /// without taking a full trace snapshot. The counter is registered
+    /// immediately (so it appears at 0 in schema-stable reports). Call
+    /// before workers register — rings created earlier keep an inert
+    /// counter clone. Inert on disabled tracer or telemetry handles.
+    pub fn wire_overflow_counter(&self, telemetry: &patty_telemetry::Telemetry) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        *inner.overflow.lock() = telemetry.counter("trace.dropped_events");
     }
 
     /// A live tracer on the virtual clock: every clock read advances a
@@ -333,6 +372,7 @@ impl Tracer {
                 capacity,
                 stages: Mutex::new(Vec::new()),
                 rings: Mutex::new(Vec::new()),
+                overflow: Mutex::new(patty_telemetry::Counter::disabled()),
             })),
         }
     }
@@ -607,6 +647,10 @@ impl Trace {
 /// Push the trace's headline numbers into a telemetry sink, so a
 /// profile that also traced carries `trace.*` counters next to the
 /// `fault.*` family (the "layered on patty-telemetry" seam).
+///
+/// `trace.dropped_events` here is the snapshot-time total; a tracer
+/// wired with [`Tracer::wire_overflow_counter`] already streams drops
+/// into the same counter live, so use one mechanism per sink, not both.
 pub fn annotate_telemetry(trace: &Trace, telemetry: &patty_telemetry::Telemetry) {
     if !telemetry.is_enabled() {
         return;
@@ -775,6 +819,42 @@ mod tests {
         let report = tracer.report();
         assert_eq!(report.tuner_steps, 2);
         assert!(report.stages.is_empty(), "tuner steps are not a pipeline stage");
+    }
+
+    #[test]
+    fn wired_overflow_counter_counts_wraps_live_without_a_snapshot() {
+        // Satellite regression: ring wrap must be visible in telemetry
+        // the moment it happens, not only after a full snapshot.
+        let tracer = Tracer::deterministic(4);
+        let telemetry = patty_telemetry::Telemetry::enabled();
+        tracer.wire_overflow_counter(&telemetry);
+        assert_eq!(
+            telemetry.report().counter("trace.dropped_events"),
+            Some(0),
+            "wiring registers the counter at 0 before any event"
+        );
+        let wt = tracer.worker(tracer.stage("s"), 0);
+        for i in 0..10u64 {
+            wt.fault(i);
+        }
+        // No snapshot yet — the live counter alone reports the wrap.
+        assert_eq!(telemetry.report().counter("trace.dropped_events"), Some(6));
+        // And the snapshot agrees with the live count.
+        assert_eq!(tracer.snapshot().dropped_events, 6);
+    }
+
+    #[test]
+    fn overflow_wiring_is_inert_on_disabled_handles() {
+        let tracer = Tracer::disabled();
+        tracer.wire_overflow_counter(&patty_telemetry::Telemetry::enabled());
+        let tracer = Tracer::deterministic(2);
+        let telemetry = patty_telemetry::Telemetry::disabled();
+        tracer.wire_overflow_counter(&telemetry);
+        let wt = tracer.worker(tracer.stage("s"), 0);
+        for i in 0..8u64 {
+            wt.fault(i);
+        }
+        assert_eq!(tracer.snapshot().dropped_events, 6, "tracing itself is unaffected");
     }
 
     #[test]

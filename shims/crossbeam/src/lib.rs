@@ -13,6 +13,7 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
     struct State<T> {
@@ -24,6 +25,11 @@ pub mod channel {
     struct Chan<T> {
         state: Mutex<State<T>>,
         capacity: usize,
+        /// Mirror of `state.queue.len()`, updated under the state lock
+        /// but readable without it — crossbeam's `len()` is lock-free,
+        /// and telemetry samples queue occupancy from hot worker loops,
+        /// so `len()` must not contend with senders and receivers.
+        depth: AtomicUsize,
         not_empty: Condvar,
         not_full: Condvar,
     }
@@ -75,6 +81,7 @@ pub mod channel {
         let chan = Arc::new(Chan {
             state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
             capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
@@ -97,6 +104,7 @@ pub mod channel {
                 }
                 if st.queue.len() < self.chan.capacity {
                     st.queue.push_back(value);
+                    self.chan.depth.store(st.queue.len(), Ordering::Relaxed);
                     self.chan.not_empty.notify_one();
                     return Ok(());
                 }
@@ -116,6 +124,7 @@ pub mod channel {
             let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    self.chan.depth.store(st.queue.len(), Ordering::Relaxed);
                     self.chan.not_full.notify_one();
                     return Ok(v);
                 }
@@ -138,6 +147,7 @@ pub mod channel {
             let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    self.chan.depth.store(st.queue.len(), Ordering::Relaxed);
                     self.chan.not_full.notify_one();
                     return Ok(v);
                 }
@@ -163,6 +173,7 @@ pub mod channel {
             let mut st = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
             match st.queue.pop_front() {
                 Some(v) => {
+                    self.chan.depth.store(st.queue.len(), Ordering::Relaxed);
                     self.chan.not_full.notify_one();
                     Ok(v)
                 }
@@ -171,14 +182,11 @@ pub mod channel {
             }
         }
 
-        /// Number of elements currently buffered.
+        /// Number of elements currently buffered (approximate under
+        /// races, like crossbeam's — reads a lock-free mirror rather
+        /// than contending with senders and receivers).
         pub fn len(&self) -> usize {
-            self.chan
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .queue
-                .len()
+            self.chan.depth.load(Ordering::Relaxed)
         }
 
         pub fn is_empty(&self) -> bool {
