@@ -5,7 +5,7 @@
 //! gate — a tool for directing optimization work.
 
 use patty_bench::{print_table, time_median};
-use patty_minilang::{bytecode, parse, run, vm, Engine, InterpOptions};
+use patty_minilang::{bytecode, optimize, parse, run, vm, Engine, InterpOptions, PgoOptions};
 use std::hint::black_box;
 
 const SAMPLES: usize = 7;
@@ -92,23 +92,43 @@ fn main() {
     );
 
     // Split execution vs loop-trace recording on the heaviest corpus
-    // programs: same run with tracing on and off.
+    // programs (plus the traced-mode stragglers): same run with tracing
+    // on and off, with the VM in its PGO-optimized shape for each mode.
     let mut rows = Vec::new();
     for p in patty_corpus::all_programs() {
-        if !["raytracer", "matmul", "nbody", "graph_bfs", "tokenizer"].contains(&p.name) {
+        if ![
+            "raytracer",
+            "matmul",
+            "nbody",
+            "graph_bfs",
+            "tokenizer",
+            "spellcheck",
+            "wordstats",
+            "csv_analytics",
+        ]
+        .contains(&p.name)
+        {
             continue;
         }
         let program = p.parse();
         let compiled = bytecode::compile(&program);
         let cost = run(&program, opts(Engine::Ast)).unwrap().profile.total_cost.max(1);
+        let optimized = |trace: bool| {
+            let o = InterpOptions { trace_loops: trace, ..InterpOptions::default() };
+            let (_, profile) = vm::profile_ops(&compiled, "main", vec![], o).unwrap();
+            let popts = if trace { PgoOptions::traced() } else { PgoOptions::exec() };
+            optimize(&compiled, &profile, &popts).0
+        };
+        let (opt_on, opt_off) = (optimized(true), optimized(false));
         let t = |engine: Engine, trace: bool| {
             let o = InterpOptions { engine, trace_loops: trace, ..InterpOptions::default() };
+            let code = if trace { &opt_on } else { &opt_off };
             let d = time_median(SAMPLES, || match engine {
                 Engine::Ast => {
                     black_box(run(&program, o.clone()).unwrap());
                 }
                 Engine::Vm => {
-                    black_box(vm::run_compiled(&compiled, "main", vec![], o.clone()).unwrap());
+                    black_box(vm::run_compiled(code, "main", vec![], o.clone()).unwrap());
                 }
             });
             d.as_nanos() as f64 / cost as f64
@@ -122,11 +142,78 @@ fn main() {
             format!("{vm_on:.1}"),
             format!("{vm_off:.1}"),
             format!("{:.2}x", ast_off / vm_off),
+            format!("{:.2}x", ast_on / vm_on),
         ]);
     }
     print_table(
-        "trace recording split (ns/cost)",
-        &["program", "ast on", "ast off", "vm on", "vm off", "off-ratio"],
+        "trace recording split (ns/cost, PGO-optimized VM)",
+        &["program", "ast on", "ast off", "vm on", "vm off", "off-ratio", "on-ratio"],
+        &rows,
+    );
+
+    // PGO diagnostics: the measured top-10 opcode pairs across the corpus
+    // (what the fusion pass sees), per-program fusion reports, and an
+    // optimized-vs-unoptimized A/B so fusion wins are visible in CI logs.
+    let mut pair_totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut opt_pair_totals: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    let mut rows = Vec::new();
+    for p in patty_corpus::all_programs() {
+        let program = p.parse();
+        let compiled = bytecode::compile(&program);
+        let exec = InterpOptions { trace_loops: false, ..InterpOptions::default() };
+        let (_, profile) = vm::profile_ops(&compiled, "main", vec![], exec.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        for (pair, count) in profile.top_pairs(10) {
+            *pair_totals.entry(pair).or_insert(0) += count;
+        }
+        let (optimized, report) = optimize(&compiled, &profile, &PgoOptions::exec());
+        let (opt_out, opt_profile) = vm::profile_ops(&optimized, "main", vec![], exec.clone())
+            .unwrap_or_else(|e| panic!("{} optimized: {e}", p.name));
+        let cost = opt_out.profile.total_cost.max(1);
+        for (pair, count) in opt_profile.top_pairs(10) {
+            *opt_pair_totals.entry(pair).or_insert(0) += count;
+        }
+        let plain_t = time_median(SAMPLES, || {
+            black_box(vm::run_compiled(&compiled, "main", vec![], exec.clone()).unwrap());
+        });
+        let opt_t = time_median(SAMPLES, || {
+            black_box(vm::run_compiled(&optimized, "main", vec![], exec.clone()).unwrap());
+        });
+        rows.push(vec![
+            p.name.to_string(),
+            format!("{} -> {}", report.ops_before, report.ops_after),
+            report.fused.iter().map(|f| f.sites).sum::<u64>().to_string(),
+            format!("{:.2}", profile.total_ops() as f64 / cost as f64),
+            format!("{:.2}", opt_profile.total_ops() as f64 / cost as f64),
+            format!("{:.2}x", plain_t.as_nanos() as f64 / opt_t.as_nanos().max(1) as f64),
+        ]);
+    }
+    let mut pairs: Vec<(String, u64)> = pair_totals.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(10);
+    print_table(
+        "top-10 measured opcode pairs (corpus, exec mode)",
+        &["pair", "dynamic count"],
+        &pairs
+            .into_iter()
+            .map(|(p, c)| vec![p, c.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    let mut pairs: Vec<(String, u64)> = opt_pair_totals.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(10);
+    print_table(
+        "top-10 opcode pairs AFTER optimization (corpus, exec mode)",
+        &["pair", "dynamic count"],
+        &pairs
+            .into_iter()
+            .map(|(p, c)| vec![p, c.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "per-program fusion (exec mode)",
+        &["program", "ops", "fusion sites", "dispatch/cost before", "after", "opt speedup"],
         &rows,
     );
 }

@@ -42,6 +42,15 @@ pub struct ChessOptions {
     pub stop_on_first_failure: bool,
     /// Search algorithm.
     pub mode: SearchMode,
+    /// Known-bad decision sequences to explore *first* (DPOR only) —
+    /// typically the failure witnesses of an earlier run, i.e. the
+    /// schedules behind previously reported `sched_trace_hash`es (see
+    /// [`Report::failure_schedules`]). A regression on a known bug then
+    /// surfaces on the very first schedule instead of after the search
+    /// rediscovers the interleaving. Stale entries (the test changed and
+    /// a recorded choice is no longer runnable) degrade gracefully to
+    /// the default choice at that step.
+    pub seed_schedules: Vec<Vec<usize>>,
 }
 
 impl Default for ChessOptions {
@@ -52,6 +61,7 @@ impl Default for ChessOptions {
             preemption_bound: None,
             stop_on_first_failure: false,
             mode: SearchMode::Dfs,
+            seed_schedules: Vec::new(),
         }
     }
 }
@@ -87,6 +97,15 @@ impl Report {
     /// Did any schedule fail?
     pub fn failed(&self) -> bool {
         !self.failures.is_empty()
+    }
+
+    /// The witness schedule of every recorded failure, in report order —
+    /// the decision sequences behind the report's `sched_trace_hash`es.
+    /// Feed these into [`ChessOptions::seed_schedules`] on the next run
+    /// so known-bad interleavings are re-checked before the search
+    /// explores anything new.
+    pub fn failure_schedules(&self) -> Vec<Vec<usize>> {
+        self.failures.iter().map(|f| f.schedule.clone()).collect()
     }
 
     /// How much of the (estimated) schedule space the budget explored,

@@ -80,18 +80,94 @@ impl CondCtx {
     }
 }
 
+/// Type-specialization hint attached to arithmetic ops by the PGO pass
+/// ([`crate::pgo`]): when profile feedback shows an operand site is
+/// monomorphic, the VM tries the specialized fast path first and deopts
+/// to the generic [`crate::builtins::binary_op`] on any mismatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Spec {
+    /// No feedback (or polymorphic site): generic dispatch only.
+    None,
+    /// Site only ever saw `int ⊗ int`.
+    Int,
+    /// Site only ever saw `float ⊗ float`.
+    Float,
+}
+
 /// One bytecode instruction. Jump targets are absolute indices into the
 /// program-wide code array; `name` fields index [`CompiledProgram::names`];
 /// `slot` fields index the current frame's slot window.
+///
+/// Variants are declared hottest-first (measured by [`crate::pgo`]'s
+/// opcode frequency counters over the corpus) so the hot opcodes share
+/// low discriminants and pack into the same icache lines of the
+/// dispatch jump table. The `Op::*Bin*`, `Op::*Tick*`, `Op::*Slot*`
+/// fused variants declared before [`Op::StmtEnter`] are
+/// *superinstructions*: they never come out of [`compile`], only out of
+/// [`crate::pgo::optimize`], and each is observationally identical to
+/// the sequence of plain ops it replaces.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Op {
     /// Add `n` virtual cost units (coalesced expression-node ticks).
     Tick(u32),
+    /// Fused `LoadSlot` + `Binary`: pop lhs, combine with the slot value.
+    LoadSlotBin { slot: u32, name: u32, op: BinOp, spec: Spec },
+    /// Fused `Const` + `Binary`: pop lhs, combine with the constant.
+    ConstBin { idx: u32, op: BinOp, spec: Spec },
+    /// `Binary` with a type-specialized fast path.
+    BinarySpec { op: BinOp, spec: Spec },
+    /// Fused `Binary` + `JumpIfFalse` (compare-and-branch).
+    BinJumpIfFalse { op: BinOp, spec: Spec, target: u32, cond: CondCtx },
+    /// Fused back-edge: `Jump` whose target was a `Tick(n)` — the tick is
+    /// executed as part of the jump and the target advanced past it.
+    TickJump { n: u32, target: u32 },
+    /// Fused `StmtEnter` + `Tick(n)` (statement prologue + first ticks).
+    StmtEnterTick { id: NodeId, line: u32, n: u8 },
+    /// Fused `LoadSlot` + `StoreSlot` (slot-to-slot copy); `aux` indexes
+    /// [`CompiledProgram::move_aux`] for the two slot/name pairs.
+    SlotMove { aux: u32 },
+    /// `CompoundSlot` specialized for `int ⊗= int` sites.
+    CompoundSlotInt { slot: u32, name: u32, op: AssignOp },
+    /// Fused `IterStmtEnter` + `StmtEnter` + `Tick(n)` — the fixed
+    /// three-op prologue of every direct loop-body statement in traced
+    /// programs (both enters carry the same statement id).
+    IterStmtEnterTick { id: NodeId, line: u32, n: u8 },
+    /// Fused `StmtExit` + `IterStmtExit` — the matching epilogue.
+    StmtExitIter { loop_idx: u32, slot: u32 },
+    /// Fused `Tick(n)` + `LoadSlot`: segment-start ticks that follow an
+    /// error-capable op (so tick hoisting could not merge them further
+    /// back) are swallowed by the load that almost always comes next.
+    TickLoadSlot { slot: u32, name: u32, n: u8 },
+    /// Fused `StmtExit` + `StmtEnter` + `Tick(n)` — the boundary between
+    /// two consecutive statements, one dispatch instead of three.
+    StmtExitEnterTick { id: NodeId, line: u32, n: u8 },
+    /// Fused `StoreSlot` + `StmtExit` — assignment statements end this way.
+    StoreSlotExit { slot: u32, name: u32 },
+    /// Fused `LoadSlot` + `LoadField`; `aux` indexes
+    /// [`CompiledProgram::move_aux`] as `[slot, slot_name, field_name, 0]`.
+    SlotField { aux: u32 },
+    /// Two consecutive `LoadSlot`s; `aux` indexes
+    /// [`CompiledProgram::move_aux`] for the two slot/name pairs.
+    LoadSlot2 { aux: u32 },
     /// Statement prologue: set the current line, tick 1, count a hit, and
     /// mark the cost watermark for inclusive-cost accounting.
     StmtEnter { id: NodeId, line: u32 },
     /// Statement epilogue: add `cost - mark + 1` to the statement's cost.
     StmtExit,
+    /// Push a constant from the pool.
+    Const { idx: u32 },
+    /// Push a local slot's value (records a `Read` when tracing).
+    LoadSlot { slot: u32, name: u32 },
+    /// Pop into a local slot (records a `Write`; declarations and plain
+    /// assignments behave identically at runtime).
+    StoreSlot { slot: u32, name: u32 },
+    /// Compound assignment to a local slot: pop rhs, read old, combine.
+    CompoundSlot { slot: u32, name: u32, op: AssignOp },
+    /// Non-logical binary operator on the two top stack values.
+    Binary(BinOp),
+    Jump { target: u32 },
+    /// Pop a condition; jump when false; error when not a bool.
+    JumpIfFalse { target: u32, cond: CondCtx },
     /// Direct loop-body statement prologue: set the trace context's
     /// current statement and mark the cost watermark.
     IterStmtEnter { stmt: NodeId },
@@ -112,30 +188,16 @@ pub(crate) enum Op {
     EndLoop,
     /// Drop the innermost foreach iteration state (break/return unwind).
     PopIterState,
-    /// Push a constant from the pool.
-    Const { idx: u32 },
     /// Discard the top of stack (expression statements).
     Pop,
-    /// Push a local slot's value (records a `Read` when tracing).
-    LoadSlot { slot: u32, name: u32 },
-    /// Pop into a local slot (records a `Write`; declarations and plain
-    /// assignments behave identically at runtime).
-    StoreSlot { slot: u32, name: u32 },
-    /// Compound assignment to a local slot: pop rhs, read old, combine.
-    CompoundSlot { slot: u32, name: u32, op: AssignOp },
     /// Reference to a name with no visible binding: runtime error.
     UndefVar { name: u32, kind: UndefKind },
     Unary(UnOp),
-    /// Non-logical binary operator on the two top stack values.
-    Binary(BinOp),
     /// Coerce the logical-operator rhs to bool (`logic on <type>` error).
     ToBool,
     /// Short-circuit check of the logical-operator lhs: on a decided
     /// result, push it and jump past the rhs.
     ShortCircuit { and: bool, target: u32 },
-    Jump { target: u32 },
-    /// Pop a condition; jump when false; error when not a bool.
-    JumpIfFalse { target: u32, cond: CondCtx },
     /// Pop base, push field value (records a `Read`).
     LoadField { name: u32 },
     /// Pop base then rhs, store the field (records a `Write`).
@@ -238,6 +300,14 @@ pub struct CompiledProgram {
     /// Builtin-method tag per interned name (parallel to `names`), so the
     /// VM dispatches list/string methods without comparing strings.
     pub(crate) method_tags: Vec<Option<MethodTag>>,
+    /// Aux payloads for fused [`Op::SlotMove`] ops, in emission order:
+    /// `[src_slot, src_name, dst_slot, dst_name]`. Out-of-line so `Op`
+    /// stays within its 12-byte budget.
+    pub(crate) move_aux: Vec<[u32; 4]>,
+    /// Set by [`crate::pgo::optimize`] when trace-only bookkeeping ops
+    /// were stripped: such a program can only run with
+    /// `trace_loops = false` ([`crate::vm::run_compiled`] enforces this).
+    pub(crate) stripped_tracing: bool,
 }
 
 impl CompiledProgram {
@@ -380,6 +450,8 @@ impl<'p> Compiler<'p> {
             class_names,
             names_rc,
             method_tags,
+            move_aux: Vec::new(),
+            stripped_tracing: false,
         }
     }
 
@@ -963,6 +1035,14 @@ mod tests {
             .sum();
         assert_eq!(total, 5, "tick mass preserved");
         assert!(ticks < 5, "ticks coalesced, got {ticks}");
+    }
+
+    #[test]
+    fn op_stays_within_its_size_budget() {
+        // The dispatch loop reads one `Op` per step; superinstruction
+        // payloads must not widen the array element (12 bytes = max
+        // two-u32 payload + discriminant, 4-aligned).
+        assert!(std::mem::size_of::<Op>() <= 12, "{}", std::mem::size_of::<Op>());
     }
 
     #[test]

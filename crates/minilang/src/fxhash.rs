@@ -15,6 +15,9 @@ pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// A `HashSet` keyed with [`FxHasher`].
 pub(crate) type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 
+/// A `HashMap` keyed by the same multiply-rotate hasher.
+pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 #[derive(Default)]

@@ -350,7 +350,7 @@ impl<'p> Interp<'p> {
             StmtKind::VarDecl { name, init } => {
                 let v = self.eval(init)?;
                 let serial = self.frame_serial();
-                self.record(DynLoc::Local(serial, name.clone()), AccessKind::Write);
+                self.record(DynLoc::Local(serial, name.as_str().into()), AccessKind::Write);
                 self.frame().declare(name, v);
                 Ok(Flow::Normal)
             }
@@ -588,7 +588,7 @@ impl<'p> Interp<'p> {
                 let new = if op == AssignOp::Set {
                     rhs
                 } else {
-                    self.record(DynLoc::Local(serial, name.clone()), AccessKind::Read);
+                    self.record(DynLoc::Local(serial, name.as_str().into()), AccessKind::Read);
                     let old = self
                         .frame()
                         .lookup(name)
@@ -596,7 +596,7 @@ impl<'p> Interp<'p> {
                         .ok_or_else(|| self.err(format!("undefined variable `{name}`")))?;
                     self.apply_compound(op, &old, &rhs)?
                 };
-                self.record(DynLoc::Local(serial, name.clone()), AccessKind::Write);
+                self.record(DynLoc::Local(serial, name.as_str().into()), AccessKind::Write);
                 if !self.frame().assign(name, new) {
                     return Err(self.err(format!("assignment to undefined variable `{name}`")));
                 }
@@ -612,7 +612,7 @@ impl<'p> Interp<'p> {
                 let new = if op == AssignOp::Set {
                     rhs
                 } else {
-                    self.record(DynLoc::Field(o.id, field.clone()), AccessKind::Read);
+                    self.record(DynLoc::Field(o.id, field.as_str().into()), AccessKind::Read);
                     let old = o
                         .fields
                         .borrow()
@@ -621,7 +621,7 @@ impl<'p> Interp<'p> {
                         .ok_or_else(|| self.err(format!("no field `{field}`")))?;
                     self.apply_compound(op, &old, &rhs)?
                 };
-                self.record(DynLoc::Field(o.id, field.clone()), AccessKind::Write);
+                self.record(DynLoc::Field(o.id, field.as_str().into()), AccessKind::Write);
                 o.fields.borrow_mut().set(field, new);
             }
             LValueKind::Index { base, index } => {
@@ -673,7 +673,7 @@ impl<'p> Interp<'p> {
             ExprKind::Null => Ok(Value::Null),
             ExprKind::Var(name) => {
                 let serial = self.frame_serial();
-                self.record(DynLoc::Local(serial, name.clone()), AccessKind::Read);
+                self.record(DynLoc::Local(serial, name.as_str().into()), AccessKind::Read);
                 self.frame()
                     .lookup(name)
                     .cloned()
@@ -712,7 +712,7 @@ impl<'p> Interp<'p> {
                 let b = self.eval(base)?;
                 match &b {
                     Value::Object(o) => {
-                        self.record(DynLoc::Field(o.id, field.clone()), AccessKind::Read);
+                        self.record(DynLoc::Field(o.id, field.as_str().into()), AccessKind::Read);
                         o.fields
                             .borrow()
                             .get(field)

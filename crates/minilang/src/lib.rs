@@ -32,6 +32,7 @@ pub mod error;
 pub(crate) mod fxhash;
 pub mod interp;
 pub mod parser;
+pub mod pgo;
 pub mod pretty;
 pub mod profile;
 pub mod resolve;
@@ -45,6 +46,7 @@ pub use bytecode::CompiledProgram;
 pub use error::LangError;
 pub use interp::{run, run_func, Engine, InterpOptions, Outcome};
 pub use parser::parse;
+pub use pgo::{optimize, OpProfile, PgoOptions, PgoReport};
 pub use pretty::print_program;
 pub use profile::{AccessKind, CarriedDep, DepKind, DynLoc, LoopTrace, Profile};
 pub use span::{NodeId, Span};

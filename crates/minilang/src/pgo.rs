@@ -1,0 +1,914 @@
+//! Profile-guided bytecode optimization: the stage between
+//! [`crate::bytecode::compile`] and [`crate::vm`] execution.
+//!
+//! The VM's profile contract (byte-identical [`crate::profile::Profile`]
+//! vs the tree-walker) makes the compiled form safe to rewrite
+//! aggressively — any transformation that preserves the observable op
+//! sequence semantics is checked by the engine-differential suites. This
+//! module closes the profile loop the way bytecode VMs with
+//! opcode-frequency infrastructure do:
+//!
+//! 1. **Counters** ([`OpProfile`]): opcode and adjacent-pair frequency
+//!    counts plus per-site operand-type feedback. Collected behind a
+//!    cheap profiling switch in the VM ([`crate::vm::profile_ops`]), or
+//!    synthesized statically from loop nesting ([`OpProfile::synthetic`])
+//!    when no measured profile exists.
+//! 2. **Superinstruction fusion** ([`optimize`]): the measured-hottest
+//!    adjacent pairs are rewritten into single fused ops — slot-load +
+//!    binop, constant + binop, compare + branch, slot-load + slot-store,
+//!    statement-enter + tick — and back-edge jumps whose target is a
+//!    tick absorb it ([`Op::TickJump`]). Fusion never crosses a *barrier*
+//!    (a jump target or function entry): control entering mid-pair must
+//!    still observe the second op alone.
+//! 3. **Dispatch ordering**: `Op` variants are declared hottest-first
+//!    (per these counters) so hot discriminants cluster; the measured
+//!    ranking is exported for observability.
+//! 4. **Type specialization**: arithmetic sites whose feedback is
+//!    monomorphic (`int⊗int` or `float⊗float`) get a [`Spec`] hint or a
+//!    dedicated op; every fast path deopts to the generic
+//!    [`crate::builtins::binary_op`] on operand mismatch, so stale
+//!    feedback can never change a result.
+//! 5. **Trace-op stripping** (exec mode only): the six loop-trace
+//!    bookkeeping ops are no-ops when `trace_loops` is off; stripping
+//!    them removes dispatch steps entirely. Stripped programs refuse to
+//!    run with tracing enabled.
+
+use crate::bytecode::{CompiledFunc, CompiledProgram, Op, Spec};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Number of distinct [`Op`] kinds (dense counter index space).
+pub(crate) const N_OP_KINDS: usize = 58;
+
+/// Dense discriminant of an op, for the frequency counters.
+pub(crate) fn op_kind(op: &Op) -> u8 {
+    match op {
+        Op::Tick(_) => 0,
+        Op::LoadSlotBin { .. } => 1,
+        Op::ConstBin { .. } => 2,
+        Op::BinarySpec { .. } => 3,
+        Op::BinJumpIfFalse { .. } => 4,
+        Op::TickJump { .. } => 5,
+        Op::StmtEnterTick { .. } => 6,
+        Op::SlotMove { .. } => 7,
+        Op::CompoundSlotInt { .. } => 8,
+        Op::IterStmtEnterTick { .. } => 9,
+        Op::StmtExitIter { .. } => 10,
+        Op::StmtEnter { .. } => 11,
+        Op::StmtExit => 12,
+        Op::Const { .. } => 13,
+        Op::LoadSlot { .. } => 14,
+        Op::StoreSlot { .. } => 15,
+        Op::CompoundSlot { .. } => 16,
+        Op::Binary(_) => 17,
+        Op::Jump { .. } => 18,
+        Op::JumpIfFalse { .. } => 19,
+        Op::IterStmtEnter { .. } => 20,
+        Op::IterStmtExit { .. } => 21,
+        Op::BeginLoop { .. } => 22,
+        Op::IterStart { .. } => 23,
+        Op::EndIterBody => 24,
+        Op::EndLoop => 25,
+        Op::PopIterState => 26,
+        Op::Pop => 27,
+        Op::UndefVar { .. } => 28,
+        Op::Unary(_) => 29,
+        Op::ToBool => 30,
+        Op::ShortCircuit { .. } => 31,
+        Op::LoadField { .. } => 32,
+        Op::StoreField { .. } => 33,
+        Op::CompoundField { .. } => 34,
+        Op::LoadIndex => 35,
+        Op::StoreIndex => 36,
+        Op::CompoundIndex { .. } => 37,
+        Op::MakeList { .. } => 38,
+        Op::CallFunc { .. } => 39,
+        Op::CallMethod { .. } => 40,
+        Op::CallBuiltin { .. } => 41,
+        Op::Work => 42,
+        Op::UnknownCall { .. } => 43,
+        Op::AllocObject { .. } => 44,
+        Op::InitField { .. } => 45,
+        Op::CallCtor { .. } => 46,
+        Op::PositionalInit { .. } => 47,
+        Op::NoClass { .. } => 48,
+        Op::CtorRecursion => 49,
+        Op::ForeachIter => 50,
+        Op::ForeachNext { .. } => 51,
+        Op::Ret => 52,
+        Op::TickLoadSlot { .. } => 53,
+        Op::StmtExitEnterTick { .. } => 54,
+        Op::StoreSlotExit { .. } => 55,
+        Op::SlotField { .. } => 56,
+        Op::LoadSlot2 { .. } => 57,
+    }
+}
+
+/// Snake-case name of an op kind, for reports and metric labels.
+pub(crate) fn op_kind_name(kind: u8) -> &'static str {
+    const NAMES: [&str; N_OP_KINDS] = [
+        "tick",
+        "load_slot_bin",
+        "const_bin",
+        "binary_spec",
+        "bin_jump_if_false",
+        "tick_jump",
+        "stmt_enter_tick",
+        "slot_move",
+        "compound_slot_int",
+        "iter_stmt_enter_tick",
+        "stmt_exit_iter",
+        "stmt_enter",
+        "stmt_exit",
+        "const",
+        "load_slot",
+        "store_slot",
+        "compound_slot",
+        "binary",
+        "jump",
+        "jump_if_false",
+        "iter_stmt_enter",
+        "iter_stmt_exit",
+        "begin_loop",
+        "iter_start",
+        "end_iter_body",
+        "end_loop",
+        "pop_iter_state",
+        "pop",
+        "undef_var",
+        "unary",
+        "to_bool",
+        "short_circuit",
+        "load_field",
+        "store_field",
+        "compound_field",
+        "load_index",
+        "store_index",
+        "compound_index",
+        "make_list",
+        "call_func",
+        "call_method",
+        "call_builtin",
+        "work",
+        "unknown_call",
+        "alloc_object",
+        "init_field",
+        "call_ctor",
+        "positional_init",
+        "no_class",
+        "ctor_recursion",
+        "foreach_iter",
+        "foreach_next",
+        "ret",
+        "tick_load_slot",
+        "stmt_exit_enter_tick",
+        "store_slot_exit",
+        "slot_field",
+        "load_slot2",
+    ];
+    NAMES[kind as usize]
+}
+
+/// Operand-type feedback bits for one code site.
+pub(crate) const SAW_INT_INT: u8 = 1;
+pub(crate) const SAW_FLOAT_FLOAT: u8 = 2;
+pub(crate) const SAW_OTHER: u8 = 4;
+
+/// Classify one binary-operand pair into feedback bits.
+#[inline]
+pub(crate) fn type_flags(l: &Value, r: &Value) -> u8 {
+    match (l, r) {
+        (Value::Int(_), Value::Int(_)) => SAW_INT_INT,
+        (Value::Float(_), Value::Float(_)) => SAW_FLOAT_FLOAT,
+        _ => SAW_OTHER,
+    }
+}
+
+/// Mutable counter state threaded through a profiled VM run
+/// ([`crate::vm::profile_ops`]).
+pub(crate) struct OpCounters {
+    pub(crate) ops: Vec<u64>,
+    pub(crate) pairs: Vec<u64>,
+    pub(crate) feedback: Vec<u8>,
+    prev: u8,
+}
+
+impl OpCounters {
+    pub(crate) fn new(code_len: usize) -> OpCounters {
+        OpCounters {
+            ops: vec![0; N_OP_KINDS],
+            pairs: vec![0; N_OP_KINDS * N_OP_KINDS],
+            feedback: vec![0; code_len],
+            // `Ret` as the phantom predecessor of the first op: the
+            // (ret, entry) pair is never fusible anyway.
+            prev: op_kind(&Op::Ret),
+        }
+    }
+
+    /// Count one dispatched op (and the dynamic pair with its predecessor).
+    #[inline]
+    pub(crate) fn count(&mut self, kind: u8) {
+        self.ops[kind as usize] += 1;
+        self.pairs[self.prev as usize * N_OP_KINDS + kind as usize] += 1;
+        self.prev = kind;
+    }
+
+    /// Record operand types for the arithmetic op at code index `pc`.
+    #[inline]
+    pub(crate) fn see_types(&mut self, pc: usize, l: &Value, r: &Value) {
+        self.feedback[pc] |= type_flags(l, r);
+    }
+}
+
+/// An opcode/pair frequency profile plus per-site type feedback, either
+/// measured by a profiled VM run or synthesized from static loop nesting.
+pub struct OpProfile {
+    pub(crate) op_counts: Vec<u64>,
+    /// Row-major `N_OP_KINDS × N_OP_KINDS` adjacent-pair counts.
+    pub(crate) pair_counts: Vec<u64>,
+    /// Per-code-index operand-type bits (empty when synthetic).
+    pub(crate) type_feedback: Vec<u8>,
+    /// True when collected from an actual run (enables specialization).
+    pub measured: bool,
+}
+
+impl OpProfile {
+    pub(crate) fn from_counters(c: OpCounters) -> OpProfile {
+        OpProfile {
+            op_counts: c.ops,
+            pair_counts: c.pairs,
+            type_feedback: c.feedback,
+            measured: true,
+        }
+    }
+
+    /// Synthesize a profile from static loop nesting: every op weighs
+    /// `10^min(depth, 3)`, approximating "inner loops dominate". Pairs
+    /// split by fusion barriers so the static counts rank exactly the
+    /// pairs the fusion pass may touch. Deterministic by construction.
+    pub fn synthetic(prog: &CompiledProgram) -> OpProfile {
+        let code = &prog.code;
+        let barrier = barriers(prog);
+        let mut op_counts = vec![0u64; N_OP_KINDS];
+        let mut pair_counts = vec![0u64; N_OP_KINDS * N_OP_KINDS];
+        let mut entry = vec![false; code.len() + 1];
+        for f in &prog.funcs {
+            entry[f.entry as usize] = true;
+        }
+        let mut depth: u32 = 0;
+        for (i, op) in code.iter().enumerate() {
+            if entry[i] {
+                depth = 0;
+            }
+            let w = 10u64.pow(depth.min(3));
+            let k = op_kind(op);
+            op_counts[k as usize] += w;
+            if i + 1 < code.len() && !barrier[i + 1] && !entry[i + 1] {
+                pair_counts[k as usize * N_OP_KINDS + op_kind(&code[i + 1]) as usize] += w;
+            }
+            match op {
+                Op::BeginLoop { .. } => depth += 1,
+                // Inline `EndLoop`s on return-unwind paths decrement too
+                // early; the saturation keeps the heuristic sane.
+                Op::EndLoop => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        OpProfile { op_counts, pair_counts, type_feedback: Vec::new(), measured: false }
+    }
+
+    #[inline]
+    pub(crate) fn pair(&self, a: u8, b: u8) -> u64 {
+        self.pair_counts[a as usize * N_OP_KINDS + b as usize]
+    }
+
+    /// The `k` hottest adjacent pairs, as `("first+second", count)`,
+    /// count-descending (name-ascending tiebreak — deterministic).
+    pub fn top_pairs(&self, k: usize) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> = self
+            .pair_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let a = (i / N_OP_KINDS) as u8;
+                let b = (i % N_OP_KINDS) as u8;
+                (format!("{}+{}", op_kind_name(a), op_kind_name(b)), c)
+            })
+            .collect();
+        all.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// The `k` hottest op kinds by dispatch count, descending.
+    pub fn dispatch_ranks(&self, k: usize) -> Vec<(&'static str, u64)> {
+        let mut all: Vec<(&'static str, u64)> = self
+            .op_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (op_kind_name(i as u8), c))
+            .collect();
+        all.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(y.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Total dispatched (or statically weighted) ops.
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.iter().sum()
+    }
+}
+
+/// What [`optimize`] is allowed to do.
+#[derive(Clone, Copy, Debug)]
+pub struct PgoOptions {
+    /// Rewrite hot adjacent pairs into superinstructions.
+    pub fuse: bool,
+    /// Delete the six trace-only bookkeeping ops (exec mode only — the
+    /// result refuses to run with `trace_loops` enabled).
+    pub strip_tracing: bool,
+    /// Apply type-specialized arithmetic where feedback is monomorphic
+    /// (needs a measured profile; no-op on synthetic ones).
+    pub specialize: bool,
+    /// Minimum profile count for a pair to be fused.
+    pub min_pair_count: u64,
+}
+
+impl PgoOptions {
+    /// Full optimization for `trace_loops = false` execution.
+    pub fn exec() -> PgoOptions {
+        PgoOptions { fuse: true, strip_tracing: true, specialize: true, min_pair_count: 1 }
+    }
+
+    /// Optimization that preserves the loop-trace contract.
+    pub fn traced() -> PgoOptions {
+        PgoOptions { fuse: true, strip_tracing: false, specialize: true, min_pair_count: 1 }
+    }
+}
+
+/// One fused pair kind in a [`PgoReport`].
+#[derive(Clone, Debug)]
+pub struct FusedPair {
+    /// `"first+second"` label of the source pair.
+    pub pair: &'static str,
+    /// Number of code sites rewritten.
+    pub sites: u64,
+    /// Profile count of the source pair (how hot the fusion is).
+    pub hits: u64,
+}
+
+/// What one [`optimize`] call did — the observability payload.
+#[derive(Clone, Debug, Default)]
+pub struct PgoReport {
+    /// Fused pair kinds, hits-descending.
+    pub fused: Vec<FusedPair>,
+    /// Hottest op kinds by profile count, descending (top 10).
+    pub dispatch_top: Vec<(&'static str, u64)>,
+    /// Total profile op count (denominator for the ranking).
+    pub total_ops: u64,
+    /// Sites rewritten to `int⊗int` fast paths.
+    pub specialized_int: u64,
+    /// Sites rewritten to `float⊗float` fast paths.
+    pub specialized_float: u64,
+    /// Trace bookkeeping ops deleted.
+    pub stripped_ops: u64,
+    /// Back-edge jumps that absorbed their target tick.
+    pub threaded_jumps: u64,
+    /// Expression-node ticks merged into their segment's first tick.
+    pub hoisted_ticks: u64,
+    /// Code size before optimization.
+    pub ops_before: u64,
+    /// Code size after optimization.
+    pub ops_after: u64,
+}
+
+impl PgoReport {
+    /// One-line human summary (CLI diagnostics).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let fused_sites: u64 = self.fused.iter().map(|f| f.sites).sum();
+        let _ = write!(
+            s,
+            "pgo: {} -> {} ops ({} fused sites, {} stripped, {} hoisted ticks, {} threaded, {} int / {} float specialized)",
+            self.ops_before,
+            self.ops_after,
+            fused_sites,
+            self.stripped_ops,
+            self.hoisted_ticks,
+            self.threaded_jumps,
+            self.specialized_int,
+            self.specialized_float,
+        );
+        s
+    }
+}
+
+/// Mark every code index control can enter non-sequentially: jump
+/// targets and function entries. Fusion must not swallow an op at a
+/// barrier, and tick coalescing across one would misattribute cost.
+fn barriers(prog: &CompiledProgram) -> Vec<bool> {
+    let mut b = vec![false; prog.code.len() + 1];
+    for op in &prog.code {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::ShortCircuit { target, .. }
+            | Op::ForeachNext { target, .. }
+            | Op::TickJump { target, .. }
+            | Op::BinJumpIfFalse { target, .. } => b[*target as usize] = true,
+            _ => {}
+        }
+    }
+    for f in &prog.funcs {
+        b[f.entry as usize] = true;
+    }
+    b
+}
+
+/// Is this op pure loop-trace bookkeeping (a no-op when `trace_loops`
+/// is off)? `PopIterState` is *not*: it manages real foreach state.
+fn strippable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::IterStmtEnter { .. }
+            | Op::IterStmtExit { .. }
+            | Op::BeginLoop { .. }
+            | Op::IterStart { .. }
+            | Op::EndIterBody
+            | Op::EndLoop
+    )
+}
+
+/// Specialization hint for a binary-op site from its feedback bits.
+/// Float `Rem` is a type error in the generic path, so it never
+/// specializes; everything else has an exact fast-path equivalent.
+fn spec_for(feedback: u8, op: crate::ast::BinOp) -> Spec {
+    use crate::ast::BinOp;
+    match feedback {
+        SAW_INT_INT => Spec::Int,
+        SAW_FLOAT_FLOAT if op != BinOp::Rem => Spec::Float,
+        _ => Spec::None,
+    }
+}
+
+/// Rewrite `prog` under `profile`. Returns the optimized program and a
+/// report of what changed. The result is observationally identical to
+/// the input for any run the input supports (a stripped program only
+/// supports `trace_loops = false`, which [`crate::vm::run_compiled`]
+/// enforces).
+pub fn optimize(
+    prog: &CompiledProgram,
+    profile: &OpProfile,
+    opts: &PgoOptions,
+) -> (CompiledProgram, PgoReport) {
+    let code = &prog.code;
+    let n = code.len();
+    let old_barrier = barriers(prog);
+
+    // Pass A — strip trace bookkeeping and hoist-merge ticks. `map1[old]
+    // = mid index` (for a deleted op: the next surviving index, where its
+    // jump targets land).
+    //
+    // Tick hoisting: within a straight-line segment — no jump target, no
+    // op that can raise an error, no statement/trace bookkeeping (which
+    // snapshots cost), no control transfer — every tick merges into the
+    // segment's *first* tick. Cost is only observable at those hard
+    // points: a step-limit abort discards all interpreter state and
+    // reports the current line, which only changes at (hard) `StmtEnter`,
+    // so moving cost earlier across loads/stores/consts cannot change
+    // any outcome. Hoisting (rather than sinking) lets the merged tick
+    // coalesce into `StmtEnterTick` and `TickJump`, and frees pairs like
+    // `LoadSlot`+`Binary` of the interleaved expression-node ticks.
+    let mut mid: Vec<Op> = Vec::with_capacity(n);
+    let mut mid_src: Vec<u32> = Vec::with_capacity(n);
+    let mut map1 = vec![0u32; n + 1];
+    let mut stripped_ops = 0u64;
+    let mut hoisted_ticks = 0u64;
+    // Index into `mid` of the current segment's open tick, if any.
+    let mut tick_site: Option<usize> = None;
+    let tick_transparent = |op: &Op| {
+        matches!(
+            op,
+            Op::LoadSlot { .. } | Op::Const { .. } | Op::StoreSlot { .. } | Op::Pop
+        )
+    };
+    for (i, op) in code.iter().enumerate() {
+        if old_barrier[i] {
+            // Control can land here: cost accumulated after this point
+            // must not migrate before it.
+            tick_site = None;
+        }
+        map1[i] = mid.len() as u32;
+        if opts.strip_tracing && strippable(op) {
+            // Deleted trace ops are no-ops in exec mode; ticks may merge
+            // straight across them.
+            stripped_ops += 1;
+            continue;
+        }
+        match op {
+            Op::Tick(t) if opts.fuse => {
+                if let Some(site) = tick_site {
+                    if let Op::Tick(acc) = &mut mid[site] {
+                        *acc = acc.saturating_add(*t);
+                    }
+                    hoisted_ticks += 1;
+                    continue;
+                }
+                tick_site = Some(mid.len());
+                mid.push(*op);
+                mid_src.push(i as u32);
+            }
+            _ => {
+                if !tick_transparent(op) {
+                    tick_site = None;
+                }
+                mid.push(*op);
+                mid_src.push(i as u32);
+            }
+        }
+    }
+    map1[n] = mid.len() as u32;
+    let mut barrier1 = vec![false; mid.len() + 1];
+    for (i, &is_b) in old_barrier.iter().enumerate() {
+        if is_b {
+            barrier1[map1[i] as usize] = true;
+        }
+    }
+
+    // Pass B — greedy pair fusion + type specialization. Fusing (j, j+1)
+    // requires j+1 not be a barrier: control entering there must still
+    // execute the second op alone.
+    let feedback = |mid_j: usize| -> u8 {
+        if profile.measured {
+            profile.type_feedback.get(mid_src[mid_j] as usize).copied().unwrap_or(0)
+        } else {
+            0
+        }
+    };
+    const RULES: [(&str, u8, u8); 12] = [
+        ("stmt_enter+tick", 11, 0),
+        ("load_slot+binary", 14, 17),
+        ("const+binary", 13, 17),
+        ("binary+jump_if_false", 17, 19),
+        ("load_slot+store_slot", 14, 15),
+        ("iter_stmt_enter+stmt_enter", 20, 11),
+        ("stmt_exit+iter_stmt_exit", 12, 21),
+        ("tick+load_slot", 0, 14),
+        ("stmt_exit+stmt_enter", 12, 11),
+        ("store_slot+stmt_exit", 15, 12),
+        ("load_slot+load_field", 14, 32),
+        ("load_slot+load_slot", 14, 14),
+    ];
+    let mut rule_sites = [0u64; RULES.len()];
+    let mut out: Vec<Op> = Vec::with_capacity(mid.len());
+    let mut map2 = vec![0u32; mid.len() + 1];
+    let mut move_aux = prog.move_aux.clone();
+    let mut specialized_int = 0u64;
+    let mut specialized_float = 0u64;
+    // Pair gating. At the default threshold (1) fusion is structural:
+    // tick hoisting just rearranged adjacency, so the measured pre-hoist
+    // pair counts undercount what is now adjacent, and a fused op is
+    // never slower than the pair it replaces. Higher thresholds gate on
+    // the measured count, treating interleaved ticks as transparent.
+    let pair_ok = |rule: usize| {
+        if opts.min_pair_count <= 1 {
+            return true;
+        }
+        let (_, a, b) = RULES[rule];
+        let through_ticks = profile.pair(a, 0).min(profile.pair(0, b));
+        profile.pair(a, b).max(through_ticks) >= opts.min_pair_count
+    };
+    let mut j = 0usize;
+    while j < mid.len() {
+        map2[j] = out.len() as u32;
+        let op = mid[j];
+        // Triple fusion first: the fixed prologue of a traced loop-body
+        // statement (both enters carry the same id, asserted here), and
+        // the exit/enter/tick boundary between consecutive statements.
+        if opts.fuse && j + 2 < mid.len() && !barrier1[j + 1] && !barrier1[j + 2] {
+            let fused3 = match (mid[j], mid[j + 1], mid[j + 2]) {
+                (Op::IterStmtEnter { stmt }, Op::StmtEnter { id, line }, Op::Tick(t))
+                    if stmt == id && t <= 255 && pair_ok(5) =>
+                {
+                    rule_sites[5] += 1;
+                    Some(Op::IterStmtEnterTick { id, line, n: t as u8 })
+                }
+                (Op::StmtExit, Op::StmtEnter { id, line }, Op::Tick(t))
+                    if t <= 255 && pair_ok(8) =>
+                {
+                    rule_sites[8] += 1;
+                    Some(Op::StmtExitEnterTick { id, line, n: t as u8 })
+                }
+                _ => None,
+            };
+            if let Some(f) = fused3 {
+                out.push(f);
+                map2[j + 1] = (out.len() - 1) as u32;
+                map2[j + 2] = (out.len() - 1) as u32;
+                j += 3;
+                continue;
+            }
+        }
+        if opts.fuse && j + 1 < mid.len() && !barrier1[j + 1] {
+            let next = mid[j + 1];
+            let fused = match (op, next) {
+                (Op::StmtEnter { id, line }, Op::Tick(t)) if t <= 255 && pair_ok(0) => {
+                    rule_sites[0] += 1;
+                    Some(Op::StmtEnterTick { id, line, n: t as u8 })
+                }
+                (Op::IterStmtEnter { stmt }, Op::StmtEnter { id, line })
+                    if stmt == id && pair_ok(5) =>
+                {
+                    rule_sites[5] += 1;
+                    Some(Op::IterStmtEnterTick { id, line, n: 0 })
+                }
+                (Op::StmtExit, Op::IterStmtExit { loop_idx, slot }) if pair_ok(6) => {
+                    rule_sites[6] += 1;
+                    Some(Op::StmtExitIter { loop_idx, slot })
+                }
+                (Op::StmtExit, Op::StmtEnter { id, line }) if pair_ok(8) => {
+                    rule_sites[8] += 1;
+                    Some(Op::StmtExitEnterTick { id, line, n: 0 })
+                }
+                // Jump-target ticks (`barrier1[j]`) are left alone: Pass D
+                // threads unconditional back-edges through them instead,
+                // which also covers heads not followed by a slot load.
+                (Op::Tick(t), Op::LoadSlot { slot, name })
+                    if t <= 255 && !barrier1[j] && pair_ok(7) =>
+                {
+                    rule_sites[7] += 1;
+                    Some(Op::TickLoadSlot { slot, name, n: t as u8 })
+                }
+                (Op::StoreSlot { slot, name }, Op::StmtExit) if pair_ok(9) => {
+                    rule_sites[9] += 1;
+                    Some(Op::StoreSlotExit { slot, name })
+                }
+                (Op::LoadSlot { slot, name }, Op::LoadField { name: field })
+                    if pair_ok(10) =>
+                {
+                    rule_sites[10] += 1;
+                    let aux = move_aux.len() as u32;
+                    move_aux.push([slot, name, field, 0]);
+                    Some(Op::SlotField { aux })
+                }
+                // Skip when the op after the second load would rather fuse
+                // with it (`LoadSlotBin`/`SlotMove`/`SlotField` keep the
+                // operand off the stack entirely, which beats a paired
+                // push).
+                (Op::LoadSlot { slot, name }, Op::LoadSlot { slot: s2, name: n2 })
+                    if pair_ok(11)
+                        && !(j + 2 < mid.len()
+                            && !barrier1[j + 2]
+                            && matches!(
+                                mid[j + 2],
+                                Op::Binary(_) | Op::StoreSlot { .. } | Op::LoadField { .. }
+                            )) =>
+                {
+                    rule_sites[11] += 1;
+                    let aux = move_aux.len() as u32;
+                    move_aux.push([slot, name, s2, n2]);
+                    Some(Op::LoadSlot2 { aux })
+                }
+                (Op::LoadSlot { slot, name }, Op::Binary(b)) if pair_ok(1) => {
+                    rule_sites[1] += 1;
+                    let spec = if opts.specialize { spec_for(feedback(j + 1), b) } else { Spec::None };
+                    Some(Op::LoadSlotBin { slot, name, op: b, spec })
+                }
+                (Op::Const { idx }, Op::Binary(b)) if pair_ok(2) => {
+                    rule_sites[2] += 1;
+                    let spec = if opts.specialize { spec_for(feedback(j + 1), b) } else { Spec::None };
+                    Some(Op::ConstBin { idx, op: b, spec })
+                }
+                (Op::Binary(b), Op::JumpIfFalse { target, cond }) if pair_ok(3) => {
+                    rule_sites[3] += 1;
+                    let spec = if opts.specialize { spec_for(feedback(j), b) } else { Spec::None };
+                    Some(Op::BinJumpIfFalse { op: b, spec, target, cond })
+                }
+                (Op::LoadSlot { slot, name }, Op::StoreSlot { slot: dst, name: dst_name })
+                    if pair_ok(4) =>
+                {
+                    rule_sites[4] += 1;
+                    let aux = move_aux.len() as u32;
+                    move_aux.push([slot, name, dst, dst_name]);
+                    Some(Op::SlotMove { aux })
+                }
+                _ => None,
+            };
+            if let Some(f) = fused {
+                match f {
+                    Op::LoadSlotBin { spec: Spec::Int, .. }
+                    | Op::ConstBin { spec: Spec::Int, .. }
+                    | Op::BinJumpIfFalse { spec: Spec::Int, .. } => specialized_int += 1,
+                    Op::LoadSlotBin { spec: Spec::Float, .. }
+                    | Op::ConstBin { spec: Spec::Float, .. }
+                    | Op::BinJumpIfFalse { spec: Spec::Float, .. } => specialized_float += 1,
+                    _ => {}
+                }
+                out.push(f);
+                // The swallowed op is not a barrier, so nothing jumps to
+                // `j + 1`; map it to the fused op for completeness.
+                map2[j + 1] = (out.len() - 1) as u32;
+                j += 2;
+                continue;
+            }
+        }
+        let rewritten = if opts.specialize {
+            match op {
+                Op::Binary(b) => match spec_for(feedback(j), b) {
+                    Spec::None => op,
+                    spec => {
+                        if spec == Spec::Int {
+                            specialized_int += 1;
+                        } else {
+                            specialized_float += 1;
+                        }
+                        Op::BinarySpec { op: b, spec }
+                    }
+                },
+                // Compound slot ops are only `+=`/`-=`/`*=`, all wrapping
+                // on int×int — the specialized op is guard-free there.
+                Op::CompoundSlot { slot, name, op: aop } if feedback(j) == SAW_INT_INT => {
+                    specialized_int += 1;
+                    Op::CompoundSlotInt { slot, name, op: aop }
+                }
+                other => other,
+            }
+        } else {
+            op
+        };
+        out.push(rewritten);
+        j += 1;
+    }
+    map2[mid.len()] = out.len() as u32;
+
+    // Pass C — retarget: targets were copied verbatim in old-code space.
+    let remap = |t: u32| map2[map1[t as usize] as usize];
+    for op in &mut out {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::ShortCircuit { target, .. }
+            | Op::ForeachNext { target, .. }
+            | Op::TickJump { target, .. }
+            | Op::BinJumpIfFalse { target, .. } => *target = remap(*target),
+            _ => {}
+        }
+    }
+    let funcs: Vec<CompiledFunc> = prog
+        .funcs
+        .iter()
+        .map(|f| CompiledFunc { entry: remap(f.entry), ..*f })
+        .collect();
+
+    // Pass D — back-edge tick threading: a `Jump` whose (final) target
+    // is a `Tick(t)` executes the tick inside the jump and lands past
+    // it. The tick stays for the fall-through entry path.
+    let mut threaded_jumps = 0u64;
+    if opts.fuse {
+        for i in 0..out.len() {
+            if let Op::Jump { target } = out[i] {
+                if let Some(Op::Tick(t)) = out.get(target as usize) {
+                    out[i] = Op::TickJump { n: *t, target: target + 1 };
+                    threaded_jumps += 1;
+                }
+            }
+        }
+    }
+
+    let mut fused: Vec<FusedPair> = RULES
+        .iter()
+        .zip(rule_sites.iter())
+        .filter(|(_, &sites)| sites > 0)
+        .map(|((pair, a, b), &sites)| FusedPair { pair, sites, hits: profile.pair(*a, *b) })
+        .collect();
+    fused.sort_by(|x, y| y.hits.cmp(&x.hits).then_with(|| x.pair.cmp(y.pair)));
+    let report = PgoReport {
+        fused,
+        dispatch_top: profile.dispatch_ranks(10),
+        total_ops: profile.total_ops(),
+        specialized_int,
+        specialized_float,
+        stripped_ops,
+        threaded_jumps,
+        hoisted_ticks,
+        ops_before: n as u64,
+        ops_after: out.len() as u64,
+    };
+    let optimized = CompiledProgram {
+        code: out,
+        consts: prog.consts.clone(),
+        names: prog.names.clone(),
+        funcs,
+        classes: prog.classes.clone(),
+        free_funcs: prog.free_funcs.clone(),
+        class_by_name: prog.class_by_name.clone(),
+        loop_infos: prog.loop_infos.clone(),
+        n_stmts: prog.n_stmts,
+        class_names: prog.class_names.clone(),
+        names_rc: prog.names_rc.clone(),
+        method_tags: prog.method_tags.clone(),
+        move_aux,
+        stripped_tracing: opts.strip_tracing || prog.stripped_tracing,
+    };
+    (optimized, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::parser::parse;
+
+    fn program(src: &str) -> CompiledProgram {
+        compile(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn synthetic_profile_weights_loop_bodies_heavier() {
+        let prog = program(
+            "fn main() { var s = 0; for (var i = 0; i < 9; i = i + 1) { s = s + i; } return s; }",
+        );
+        let profile = OpProfile::synthetic(&prog);
+        assert!(!profile.measured);
+        // The loop-body pair (load_slot, binary) must outrank any
+        // top-level pair thanks to the 10x depth weight.
+        let pairs = profile.top_pairs(5);
+        assert!(pairs[0].1 >= 10, "{pairs:?}");
+    }
+
+    #[test]
+    fn fusion_emits_superinstructions_and_keeps_targets_valid() {
+        let prog = program(
+            "fn main() { var s = 0; for (var i = 0; i < 9; i = i + 1) { s = s + i; } return s; }",
+        );
+        let (opt, report) = optimize(&prog, &OpProfile::synthetic(&prog), &PgoOptions::exec());
+        assert!(opt.stripped_tracing);
+        assert!(report.stripped_ops > 0, "{report:?}");
+        assert!(!report.fused.is_empty(), "{report:?}");
+        assert!(report.ops_after < report.ops_before, "{}", report.summary());
+        assert!(opt.code.iter().any(|op| matches!(op, Op::LoadSlotBin { .. })), "no fusion");
+        // No stripped trace op survives, and every jump target is in
+        // bounds and not inside a fused pair (fused pairs are single
+        // ops, so any in-bounds target is fine).
+        for op in &opt.code {
+            assert!(!super::strippable(op), "{op:?} survived stripping");
+            match op {
+                Op::Jump { target }
+                | Op::JumpIfFalse { target, .. }
+                | Op::ShortCircuit { target, .. }
+                | Op::ForeachNext { target, .. }
+                | Op::TickJump { target, .. }
+                | Op::BinJumpIfFalse { target, .. } => {
+                    assert!((*target as usize) < opt.code.len(), "target out of bounds");
+                }
+                _ => {}
+            }
+        }
+        for f in &opt.funcs {
+            assert!((f.entry as usize) < opt.code.len());
+        }
+    }
+
+    #[test]
+    fn traced_options_keep_trace_ops() {
+        let prog = program("fn main() { var s = 0; while (s < 3) { s += 1; } return s; }");
+        let (opt, report) = optimize(&prog, &OpProfile::synthetic(&prog), &PgoOptions::traced());
+        assert!(!opt.stripped_tracing);
+        assert_eq!(report.stripped_ops, 0);
+        assert!(opt.code.iter().any(|op| matches!(op, Op::IterStart { .. })));
+    }
+
+    #[test]
+    fn back_edges_absorb_their_target_tick() {
+        let prog = program("fn main() { var s = 0; while (s < 3) { s += 1; } return s; }");
+        let (opt, report) = optimize(&prog, &OpProfile::synthetic(&prog), &PgoOptions::exec());
+        assert!(report.threaded_jumps > 0, "{}", report.summary());
+        assert!(opt.code.iter().any(|op| matches!(op, Op::TickJump { .. })));
+    }
+
+    #[test]
+    fn fusion_never_swallows_a_jump_target() {
+        // `continue` jumps to the for-update statement: its `StmtEnter`
+        // is a barrier and must stay dispatchable on its own.
+        let prog = program(
+            "fn main() { var s = 0; for (var i = 0; i < 9; i = i + 1) { if (i == 1) { continue; } s = s + i; } return s; }",
+        );
+        let barrier = super::barriers(&prog);
+        let (opt, _) = optimize(&prog, &OpProfile::synthetic(&prog), &PgoOptions::exec());
+        assert!(barrier.iter().any(|&b| b));
+        // Structural sanity: re-deriving barriers on the optimized code
+        // never lands past the end.
+        let b2 = super::barriers(&opt);
+        assert_eq!(b2.len(), opt.code.len() + 1);
+    }
+
+    #[test]
+    fn op_kind_names_are_unique_and_total() {
+        let mut names: Vec<&str> = (0..N_OP_KINDS as u8).map(op_kind_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_OP_KINDS);
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::span::NodeId;
 use crate::value::HeapId;
+use std::rc::Rc;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Read or write, for memory accesses.
@@ -27,10 +28,12 @@ pub enum AccessKind {
 /// precise where the static one must be optimistic.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DynLoc {
-    /// A local variable cell in a specific activation frame.
-    Local(u32, String),
+    /// A local variable cell in a specific activation frame. Names are
+    /// shared `Rc<str>`s so materializing a record is a refcount bump,
+    /// not a string allocation (profiles hold tens of thousands).
+    Local(u32, Rc<str>),
     /// A field of a specific heap object.
-    Field(HeapId, String),
+    Field(HeapId, Rc<str>),
     /// An element of a specific list at a specific index.
     Elem(HeapId, i64),
     /// The structure (length) of a specific list; `add`/`clear` write it,

@@ -21,15 +21,22 @@
 //!   compile-time loop/statement slots, and traced accesses in plain `Copy`
 //!   records. The canonical `BTreeMap`-shaped [`Profile`] — byte-identical
 //!   to the tree-walker's — is materialized once, after the run;
-//! * loop-trace recording hides behind one cached `record_active` flag that
-//!   is only recomputed when the trace-context stack changes.
+//! * loop-trace recording hides behind one cached `record_active` flag,
+//!   maintained incrementally alongside the list of actively-recording
+//!   contexts (`rec_ctxs`), and record-time dedup hashes a one-word
+//!   packed key instead of a four-word tuple;
+//! * programs usually arrive pre-optimized by [`crate::pgo`]:
+//!   superinstructions, type-specialized arithmetic and (in exec mode)
+//!   stripped trace bookkeeping, all driven by opcode-frequency profiles
+//!   the VM itself can collect ([`profile_ops`]).
 
-use crate::ast::Program;
+use crate::ast::{AssignOp, BinOp, Program};
 use crate::builtins::{binary_op, call_builtin, call_builtin_method_tagged, Host};
-use crate::bytecode::{compile, compound_bin, CompiledProgram, Op, UndefKind};
+use crate::bytecode::{compile, compound_bin, CompiledProgram, Op, Spec, UndefKind};
 use crate::error::LangError;
-use crate::fxhash::FxHashSet;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interp::{InterpOptions, Outcome};
+use crate::pgo::{op_kind, optimize, OpCounters, OpProfile, PgoOptions};
 use crate::profile::{AccessKind, AccessSet, DynLoc, LoopTrace, Profile};
 use crate::span::NodeId;
 use crate::value::{FieldTable, HeapId, ListData, ObjectData, Value};
@@ -37,7 +44,10 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-/// Compile `program` and run a named free function on the VM.
+/// Compile `program`, apply the default (statically-synthesized) PGO
+/// pass, and run a named free function on the VM. One-shot runs always
+/// get fusion this way; callers with a measured [`OpProfile`] compile
+/// and [`optimize`] themselves for the full treatment.
 pub fn run_func(
     program: &Program,
     name: &str,
@@ -45,7 +55,10 @@ pub fn run_func(
     options: InterpOptions,
 ) -> Result<Outcome, LangError> {
     let compiled = compile(program);
-    run_compiled(&compiled, name, args, options)
+    let profile = OpProfile::synthetic(&compiled);
+    let popts = if options.trace_loops { PgoOptions::traced() } else { PgoOptions::exec() };
+    let (optimized, _) = optimize(&compiled, &profile, &popts);
+    run_compiled(&optimized, name, args, options)
 }
 
 /// Run a named free function of an already-compiled program. Compiling once
@@ -56,14 +69,57 @@ pub fn run_compiled(
     args: Vec<Value>,
     options: InterpOptions,
 ) -> Result<Outcome, LangError> {
-    let func = *compiled
-        .free_funcs
-        .get(name)
-        .ok_or_else(|| LangError::runtime(0, format!("no function `{name}`")))?;
+    let func = lookup_entry(compiled, name, &options)?;
     let mut vm = Vm::new(compiled, options);
     let result = vm.run(func, args)?;
     let profile = vm.build_profile();
     Ok(Outcome { result, output: vm.output, profile })
+}
+
+/// Run with opcode/pair frequency counters and operand-type feedback
+/// enabled (the PGO profiling switch) and return the measured profile
+/// alongside the outcome. The counted run is observationally identical
+/// to a plain one; feed the profile to [`optimize`] for a faster rerun.
+pub fn profile_ops(
+    compiled: &CompiledProgram,
+    name: &str,
+    args: Vec<Value>,
+    options: InterpOptions,
+) -> Result<(Outcome, OpProfile), LangError> {
+    let func = lookup_entry(compiled, name, &options)?;
+    let mut vm = Vm::new(compiled, options);
+    vm.counters = Some(Box::new(OpCounters::new(compiled.code.len())));
+    let result = if vm.options.trace_loops {
+        vm.run_ops::<true, true>(func, args)?
+    } else {
+        vm.run_ops::<true, false>(func, args)?
+    };
+    let profile = vm.build_profile();
+    let counters = *vm.counters.take().expect("profiling counters");
+    let outcome = Outcome { result, output: vm.output, profile };
+    Ok((outcome, OpProfile::from_counters(counters)))
+}
+
+/// Shared entry lookup + the stripped-program guard: a program whose
+/// trace bookkeeping ops were deleted by [`optimize`] cannot honor the
+/// loop-trace contract and must refuse rather than silently produce an
+/// empty trace.
+fn lookup_entry(
+    compiled: &CompiledProgram,
+    name: &str,
+    options: &InterpOptions,
+) -> Result<u32, LangError> {
+    if compiled.stripped_tracing && options.trace_loops {
+        return Err(LangError::runtime(
+            0,
+            "program was optimized without trace support (re-optimize without strip_tracing to trace loops)",
+        ));
+    }
+    compiled
+        .free_funcs
+        .get(name)
+        .copied()
+        .ok_or_else(|| LangError::runtime(0, format!("no function `{name}`")))
 }
 
 /// One activation record. `base` is the frame's window into the slot file;
@@ -90,6 +146,7 @@ enum LocLite {
 /// canonical ordered access sets when the profile is built).
 #[derive(Clone, Copy)]
 struct AccessRec {
+    iter: u32,
     stmt: NodeId,
     loc: LocLite,
     kind: AccessKind,
@@ -106,15 +163,38 @@ struct LoopRun {
     /// Which slots ever executed: the tree-walker creates a cost entry on
     /// first execution even when the attributed delta is zero.
     stmt_seen: Vec<bool>,
-    /// Unique access records of the traced iteration prefix.
-    traced: Vec<Vec<AccessRec>>,
+    /// Unique access records of the traced iteration prefix, flattened
+    /// into one vector (each record carries its iteration index) so a
+    /// recorded iteration costs no allocation and the profile build
+    /// sorts once per loop instead of once per iteration.
+    records: Vec<AccessRec>,
     /// Record-time dedup: a traced outer-loop iteration can replay the
     /// same few access sites thousands of times (whole subcomputations run
-    /// under it), and only the first occurrence matters. Filtering here
-    /// with a cheap hash keeps the expensive canonical conversion in
-    /// [`Vm::build_profile`] proportional to *unique* accesses.
-    seen: FxHashSet<(u32, NodeId, LocLite, AccessKind)>,
+    /// under it), and only the first occurrence matters. The key is the
+    /// `(location, kind)` pair packed into one `u64` ([`pack_key`]); the
+    /// value is the recording context's *generation* stamp, which changes
+    /// exactly when its `(iteration, statement)` context does — so `stored
+    /// gen == current gen` means "already recorded here". One-word keys
+    /// hash several times faster than the old 4-word tuple key, which
+    /// dominated traced-mode time on trace-heavy programs. Interleaved
+    /// same-loop activations (recursion) can alias a slot and re-admit a
+    /// duplicate, which is harmless: [`Vm::build_profile`] sorts and
+    /// dedups each iteration canonically anyway.
+    seen: FxHashMap<u64, u32>,
+    /// Direct-mapped shortcut in front of `seen`: repeat accesses arrive
+    /// in bursts from the same few sites, so a tiny fixed-size cache of
+    /// `(key, gen)` pairs answers most "already recorded here?" queries
+    /// without touching the hash map. `(0, 0)` means empty — generation
+    /// stamps start at 1, so no live entry collides with it. A false
+    /// miss (evicted entry) just falls through to the exact map.
+    cache: Box<[(u64, u32); DEDUP_CACHE]>,
+    /// Exact fallback for locations whose ids overflow the packed-key
+    /// bit budget (never hit in practice; correctness backstop).
+    seen_wide: FxHashSet<(u32, NodeId, LocLite, AccessKind)>,
 }
+
+/// Entries in [`LoopRun::cache`]; must be a power of two.
+const DEDUP_CACHE: usize = 64;
 
 /// An active loop-trace context, mirroring the tree-walker's stack.
 struct VmTraceCtx {
@@ -122,6 +202,46 @@ struct VmTraceCtx {
     iter: usize,
     recording: bool,
     cur_stmt: Option<NodeId>,
+    /// Globally-unique stamp of the current `(iter, cur_stmt)` activation
+    /// (reassigned at every `IterStmtEnter`), keying record-time dedup.
+    gen: u32,
+}
+
+/// Pack a `(location, kind)` dedup key into one word: 2 tag bits, 1 kind
+/// bit, then variant-specific id/name bits. Returns `None` when an id
+/// exceeds its bit budget (the exact wide-key fallback takes over).
+#[inline]
+fn pack_key(loc: LocLite, kind: AccessKind) -> Option<u64> {
+    let k = match kind {
+        AccessKind::Read => 0u64,
+        AccessKind::Write => 1u64,
+    };
+    Some(match loc {
+        LocLite::Local(serial, name) => {
+            if name >= 1 << 28 {
+                return None;
+            }
+            (k << 61) | ((name as u64) << 32) | serial as u64
+        }
+        LocLite::Field(id, name) => {
+            if id >= 1 << 40 || name >= 1 << 20 {
+                return None;
+            }
+            (1 << 62) | (k << 61) | ((name as u64) << 40) | id
+        }
+        LocLite::Elem(id, i) => {
+            if id >= 1 << 28 || !(-(1i64 << 31)..1 << 31).contains(&i) {
+                return None;
+            }
+            (2 << 62) | (k << 61) | (((i + (1 << 31)) as u64) << 28) | id
+        }
+        LocLite::ListStruct(id) => {
+            if id >= 1 << 40 {
+                return None;
+            }
+            (3 << 62) | (k << 61) | id
+        }
+    })
 }
 
 struct Vm<'p> {
@@ -148,7 +268,7 @@ struct Vm<'p> {
     loop_runs: Vec<LoopRun>,
     /// Names recorded by builtins that are not in the compile-time table
     /// (ids offset past `prog.names`).
-    dyn_names: Vec<String>,
+    dyn_names: Vec<Rc<str>>,
     /// Monomorphic method-dispatch cache, indexed by interned method name:
     /// `(class index, function index)`. Valid only for receivers whose
     /// class `Rc` is the program's pooled one (anything the VM allocated),
@@ -164,9 +284,19 @@ struct Vm<'p> {
     traces: Vec<VmTraceCtx>,
     rng: u64,
     current_line: u32,
-    /// Cached: `trace_loops` and some trace context is recording with a
-    /// current statement. Recomputed only when the trace stack changes.
+    /// Cached: some trace context is recording with a current statement
+    /// (equivalently: `rec_ctxs` is non-empty). Maintained incrementally
+    /// by the trace ops — no per-record scan of the context stack.
     record_active: bool,
+    /// Indices into `traces` of contexts that are actively recording
+    /// (recording == true and cur_stmt set), innermost last. Only the
+    /// innermost context ever toggles its `cur_stmt`, so this stays
+    /// correct with O(1) push/pop at the trace ops.
+    rec_ctxs: Vec<u32>,
+    /// Source of `VmTraceCtx::gen` stamps.
+    gen_next: u32,
+    /// PGO profiling counters, present only under [`profile_ops`].
+    counters: Option<Box<OpCounters>>,
 }
 
 impl<'p> Vm<'p> {
@@ -194,8 +324,10 @@ impl<'p> Vm<'p> {
                         iterations: 0,
                         stmt_cost: vec![0; info.stmts.len()],
                         stmt_seen: vec![false; info.stmts.len()],
-                        traced: Vec::new(),
-                        seen: FxHashSet::default(),
+                        records: Vec::new(),
+                        seen: FxHashMap::default(),
+                        cache: Box::new([(0, 0); DEDUP_CACHE]),
+                        seen_wide: FxHashSet::default(),
                     })
                     .collect()
             } else {
@@ -212,11 +344,38 @@ impl<'p> Vm<'p> {
             rng,
             current_line: 0,
             record_active: false,
+            rec_ctxs: Vec::new(),
+            gen_next: 0,
+            counters: None,
         }
     }
 
     fn err(&self, msg: impl Into<String>) -> LangError {
         LangError::runtime(self.current_line, msg)
+    }
+
+    /// Terminal error-op constructors, outlined so their formatting code
+    /// stays off the dispatch loop's hot path (they always end the run).
+    #[cold]
+    #[inline(never)]
+    fn undef_var_err(&self, name: u32, kind: UndefKind) -> LangError {
+        let name = self.name(name);
+        match kind {
+            UndefKind::Read => self.err(format!("undefined variable `{name}`")),
+            UndefKind::Assign => self.err(format!("assignment to undefined variable `{name}`")),
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn unknown_call_err(&self, name: u32) -> LangError {
+        self.err(format!("unknown function `{}`", self.name(name)))
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn no_class_err(&self, name: u32) -> LangError {
+        self.err(format!("no class `{}`", self.name(name)))
     }
 
     #[inline]
@@ -249,34 +408,39 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn recompute_record_active(&mut self) {
-        self.record_active = self.options.trace_loops
-            && self
-                .traces
-                .iter()
-                .any(|c| c.recording && c.cur_stmt.is_some());
-    }
-
     /// Record one access into every active recording trace context —
     /// a `Copy` push per context, like the tree-walker's
-    /// `record_access` but without per-access allocation.
+    /// `record_access` but without per-access allocation. Iterates only
+    /// the contexts known to be recording (`rec_ctxs`), and dedups via
+    /// the packed one-word key (see [`LoopRun::seen`]).
     fn record_lite(&mut self, loc: LocLite, kind: AccessKind) {
-        for ctx in &self.traces {
-            if !ctx.recording {
+        for &ci in &self.rec_ctxs {
+            let ctx = &self.traces[ci as usize];
+            debug_assert!(ctx.recording);
+            let Some(stmt) = ctx.cur_stmt else {
+                debug_assert!(false, "rec_ctxs entry without a current statement");
                 continue;
-            }
-            let Some(stmt) = ctx.cur_stmt else { continue };
+            };
             let run = &mut self.loop_runs[ctx.loop_idx as usize];
             // A repeat access can only land in an iteration (and statement
             // entry) that its first occurrence already created, so skipping
             // it changes nothing downstream.
-            if !run.seen.insert((ctx.iter as u32, stmt, loc, kind)) {
+            let fresh = match pack_key(loc, kind) {
+                Some(key) => {
+                    let slot = (key ^ (key >> 32)) as usize & (DEDUP_CACHE - 1);
+                    if run.cache[slot] == (key, ctx.gen) {
+                        false
+                    } else {
+                        run.cache[slot] = (key, ctx.gen);
+                        run.seen.insert(key, ctx.gen) != Some(ctx.gen)
+                    }
+                }
+                None => run.seen_wide.insert((ctx.iter as u32, stmt, loc, kind)),
+            };
+            if !fresh {
                 continue;
             }
-            while run.traced.len() <= ctx.iter {
-                run.traced.push(Vec::new());
-            }
-            run.traced[ctx.iter].push(AccessRec { stmt, loc, kind });
+            run.records.push(AccessRec { iter: ctx.iter as u32, stmt, loc, kind });
         }
     }
 
@@ -321,23 +485,33 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Resolve an interned name as a shared `Rc<str>` — a refcount bump,
+    /// so materializing profile records never allocates strings.
+    fn resolve_rc(&self, id: u32) -> Rc<str> {
+        let id = id as usize;
+        let n = self.prog.names.len();
+        if id < n {
+            self.prog.names_rc[id].clone()
+        } else {
+            self.dyn_names[id - n].clone()
+        }
+    }
+
     /// Intern a name recorded at runtime (builtin-reported locations whose
     /// names are not in the compile-time table). Cold path.
     fn intern_dyn(&mut self, name: &str) -> u32 {
         let base = self.prog.names.len();
-        if let Some(i) = self.dyn_names.iter().position(|n| n == name) {
+        if let Some(i) = self.dyn_names.iter().position(|n| &**n == name) {
             return (base + i) as u32;
         }
-        self.dyn_names.push(name.to_string());
+        self.dyn_names.push(Rc::from(name));
         (base + self.dyn_names.len() - 1) as u32
     }
 
     fn loc_full(&self, loc: LocLite) -> DynLoc {
         match loc {
-            LocLite::Local(serial, name) => {
-                DynLoc::Local(serial, self.resolve_name(name).to_string())
-            }
-            LocLite::Field(id, name) => DynLoc::Field(id, self.resolve_name(name).to_string()),
+            LocLite::Local(serial, name) => DynLoc::Local(serial, self.resolve_rc(name)),
+            LocLite::Field(id, name) => DynLoc::Field(id, self.resolve_rc(name)),
             LocLite::Elem(id, i) => DynLoc::Elem(id, i),
             LocLite::ListStruct(id) => DynLoc::ListStruct(id),
         }
@@ -391,7 +565,7 @@ impl<'p> Vm<'p> {
         // and deduplication below work on integers. Skipped when nothing
         // was traced (tracing off, or no loop recorded an access).
         let mut name_rank = Vec::new();
-        if self.loop_runs.iter().any(|r| !r.traced.is_empty()) {
+        if self.loop_runs.iter().any(|r| !r.records.is_empty()) {
             let n_names = self.prog.names.len() + self.dyn_names.len();
             let mut by_str: Vec<u32> = (0..n_names as u32).collect();
             by_str.sort_unstable_by_key(|&id| self.resolve_name(id));
@@ -407,6 +581,10 @@ impl<'p> Vm<'p> {
 
         let loop_runs = std::mem::take(&mut self.loop_runs);
         let mut traces: Vec<(NodeId, LoopTrace)> = Vec::new();
+        // Scratch buffers reused across loops and iterations; `drain`
+        // empties them while keeping their capacity.
+        let mut stmt_sets: Vec<(NodeId, AccessSet)> = Vec::new();
+        let mut set_buf: Vec<(DynLoc, AccessKind)> = Vec::new();
         for (idx, run) in loop_runs.into_iter().enumerate() {
             if !run.entered {
                 continue;
@@ -420,25 +598,37 @@ impl<'p> Vm<'p> {
                 .filter(|&(_, &seen)| seen)
                 .map(|(slot, _)| (info.stmts[slot], run.stmt_cost[slot]))
                 .collect();
-            for mut recs in run.traced {
-                recs.sort_unstable_by_key(|r| {
-                    (r.stmt, Self::loc_sort_key(r.loc, &name_rank), r.kind)
-                });
-                recs.dedup_by_key(|r| {
-                    (r.stmt, Self::loc_sort_key(r.loc, &name_rank), r.kind)
-                });
-                let mut stmt_sets: Vec<(NodeId, AccessSet)> = Vec::new();
-                let mut i = 0;
-                while i < recs.len() {
-                    let stmt = recs[i].stmt;
-                    let mut set: Vec<(DynLoc, AccessKind)> = Vec::new();
-                    while i < recs.len() && recs[i].stmt == stmt {
-                        set.push((self.loc_full(recs[i].loc), recs[i].kind));
+            // One sort per loop over (iteration, canonical record key);
+            // keys are precomputed once per record so neither the sort nor
+            // the duplicate skip below recomputes them per comparison.
+            type RecKey = (u32, NodeId, (u8, u64, u64), AccessKind);
+            let mut keyed: Vec<(RecKey, LocLite)> = run
+                .records
+                .iter()
+                .map(|r| ((r.iter, r.stmt, Self::loc_sort_key(r.loc, &name_rank), r.kind), r.loc))
+                .collect();
+            keyed.sort_unstable_by_key(|a| a.0);
+            let mut i = 0;
+            while i < keyed.len() {
+                let iter = keyed[i].0 .0;
+                // Iterations that recorded nothing still get their (empty)
+                // trace entry, exactly like the tree-walker's padding.
+                while t.traced.len() < iter as usize {
+                    t.traced.push(BTreeMap::new());
+                }
+                while i < keyed.len() && keyed[i].0 .0 == iter {
+                    let stmt = keyed[i].0 .1;
+                    while i < keyed.len() && keyed[i].0 .0 == iter && keyed[i].0 .1 == stmt {
+                        // Equal keys are duplicates by construction
+                        // (equal ranks mean equal name strings).
+                        if i == 0 || keyed[i].0 != keyed[i - 1].0 {
+                            set_buf.push((self.loc_full(keyed[i].1), keyed[i].0 .3));
+                        }
                         i += 1;
                     }
-                    stmt_sets.push((stmt, AccessSet::from_iter(set)));
+                    stmt_sets.push((stmt, AccessSet::from_iter(set_buf.drain(..))));
                 }
-                t.traced.push(BTreeMap::from_iter(stmt_sets));
+                t.traced.push(BTreeMap::from_iter(stmt_sets.drain(..)));
             }
             traces.push((info.id, t));
         }
@@ -494,6 +684,24 @@ impl<'p> Vm<'p> {
     }
 
     fn run(&mut self, entry_func: u32, args: Vec<Value>) -> Result<Value, LangError> {
+        if self.options.trace_loops {
+            self.run_ops::<false, true>(entry_func, args)
+        } else {
+            self.run_ops::<false, false>(entry_func, args)
+        }
+    }
+
+    /// The dispatch loop, monomorphized over the PGO profiling switch and
+    /// the tracing switch: with `PROFILE = false` the counter hooks vanish
+    /// entirely, and with `TRACED = false` (execution mode) every
+    /// `record_active` test and trace-bookkeeping branch constant-folds
+    /// away, so plain runs pay nothing for either capability.
+    /// `TRACED` must equal `options.trace_loops`.
+    fn run_ops<const PROFILE: bool, const TRACED: bool>(
+        &mut self,
+        entry_func: u32,
+        args: Vec<Value>,
+    ) -> Result<Value, LangError> {
         let argc = args.len();
         self.stack.extend(args);
         let mut pc = self.call(entry_func, argc, None, usize::MAX, None)?;
@@ -505,10 +713,204 @@ impl<'p> Vm<'p> {
         };
         let code: &'p [Op] = &self.prog.code;
         loop {
-            let op = code[pc];
+            debug_assert!(pc < code.len(), "pc out of bounds");
+            // SAFETY: `pc` is a compiled function entry, a jump target, or
+            // sequential from one of those. `bytecode::compile` keeps every
+            // target in-bounds and terminates every path with `Ret` (or
+            // `UndefVar`), and `pgo::optimize` remaps targets through the
+            // same invariant, so `pc` never reaches `code.len()`.
+            let op = unsafe { *code.get_unchecked(pc) };
+            if PROFILE {
+                if let Some(c) = self.counters.as_deref_mut() {
+                    c.count(op_kind(&op));
+                }
+            }
             pc += 1;
             match op {
                 Op::Tick(n) => self.tick(n as u64)?,
+                Op::TickJump { n, target } => {
+                    self.tick(n as u64)?;
+                    pc = target as usize;
+                }
+                Op::StmtEnterTick { id, line, n } => {
+                    self.current_line = line;
+                    // One combined limit check for `StmtEnter`'s own tick
+                    // and the fused `Tick(n)`: the abort decision and
+                    // line are identical, and the mark is backdated so
+                    // `StmtExit`'s `cost - mark + 1` matches
+                    // `StmtEnter; Tick(n)` exactly.
+                    self.tick(1 + n as u64)?;
+                    self.stmt_hits[id.0 as usize] += 1;
+                    self.stmt_marks.push((id, self.cost - n as u64));
+                }
+                Op::IterStmtEnterTick { id, line, n } => {
+                    if TRACED {
+                        let top = self.traces.len().wrapping_sub(1) as u32;
+                        if let Some(ctx) = self.traces.last_mut() {
+                            ctx.cur_stmt = Some(id);
+                            self.gen_next += 1;
+                            ctx.gen = self.gen_next;
+                            if ctx.recording {
+                                if self.rec_ctxs.last() != Some(&top) {
+                                    self.rec_ctxs.push(top);
+                                }
+                                self.record_active = true;
+                            }
+                        }
+                        self.iter_marks.push(self.cost);
+                    }
+                    self.current_line = line;
+                    self.tick(1 + n as u64)?;
+                    self.stmt_hits[id.0 as usize] += 1;
+                    self.stmt_marks.push((id, self.cost - n as u64));
+                }
+                Op::StmtExitIter { loop_idx, slot } => {
+                    let (id, mark) = self.stmt_marks.pop().expect("stmt mark underflow");
+                    self.stmt_cost[id.0 as usize] += self.cost - mark + 1;
+                    if TRACED {
+                        let mark = self.iter_marks.pop().expect("iter mark underflow");
+                        let delta = self.cost - mark;
+                        let run = &mut self.loop_runs[loop_idx as usize];
+                        run.stmt_cost[slot as usize] += delta;
+                        run.stmt_seen[slot as usize] = true;
+                    }
+                }
+                Op::TickLoadSlot { slot, name, n } => {
+                    self.tick(n as u64)?;
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
+                    }
+                    self.stack.push(self.slots[base + slot as usize].clone());
+                }
+                Op::StmtExitEnterTick { id, line, n } => {
+                    let (prev, mark) = self.stmt_marks.pop().expect("stmt mark underflow");
+                    self.stmt_cost[prev.0 as usize] += self.cost - mark + 1;
+                    self.current_line = line;
+                    self.tick(1 + n as u64)?;
+                    self.stmt_hits[id.0 as usize] += 1;
+                    self.stmt_marks.push((id, self.cost - n as u64));
+                }
+                Op::StoreSlotExit { slot, name } => {
+                    let v = self.pop();
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
+                    }
+                    self.slots[base + slot as usize] = v;
+                    let (id, mark) = self.stmt_marks.pop().expect("stmt mark underflow");
+                    self.stmt_cost[id.0 as usize] += self.cost - mark + 1;
+                }
+                Op::SlotField { aux } => {
+                    let [slot, slot_name, field_name, _] = self.prog.move_aux[aux as usize];
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, slot_name), AccessKind::Read);
+                    }
+                    let b = self.slots[base + slot as usize].clone();
+                    match &b {
+                        Value::Object(o) => {
+                            if TRACED && self.record_active {
+                                self.record_lite(
+                                    LocLite::Field(o.id, field_name),
+                                    AccessKind::Read,
+                                );
+                            }
+                            let v = o
+                                .fields
+                                .borrow()
+                                .get_interned(&self.prog.names_rc[field_name as usize])
+                                .cloned()
+                                .ok_or_else(|| {
+                                    self.err(format!(
+                                        "no field `{}` on {}",
+                                        self.name(field_name),
+                                        o.class
+                                    ))
+                                })?;
+                            self.stack.push(v);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "cannot read field `{}` of {}",
+                                self.name(field_name),
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                Op::LoadSlot2 { aux } => {
+                    let [s1, n1, s2, n2] = self.prog.move_aux[aux as usize];
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, n1), AccessKind::Read);
+                        self.record_lite(LocLite::Local(serial, n2), AccessKind::Read);
+                    }
+                    self.stack.push(self.slots[base + s1 as usize].clone());
+                    self.stack.push(self.slots[base + s2 as usize].clone());
+                }
+                Op::LoadSlotBin { slot, name, op, spec } => {
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
+                    }
+                    let l = self.pop();
+                    let out = spec_binary(op, spec, &l, &self.slots[base + slot as usize])
+                        .map_err(|m| self.err(m))?;
+                    self.stack.push(out);
+                }
+                Op::ConstBin { idx, op, spec } => {
+                    let l = self.pop();
+                    let out = spec_binary(op, spec, &l, &self.prog.consts[idx as usize])
+                        .map_err(|m| self.err(m))?;
+                    self.stack.push(out);
+                }
+                Op::BinarySpec { op, spec } => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    let out = spec_binary(op, spec, &l, &r).map_err(|m| self.err(m))?;
+                    self.stack.push(out);
+                }
+                Op::BinJumpIfFalse { op, spec, target, cond } => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    let v = spec_binary(op, spec, &l, &r).map_err(|m| self.err(m))?;
+                    let b = v.as_bool().ok_or_else(|| {
+                        self.err(format!("{} condition is {}", cond.label(), v.type_name()))
+                    })?;
+                    if !b {
+                        pc = target as usize;
+                    }
+                }
+                Op::SlotMove { aux } => {
+                    let [src, src_name, dst, dst_name] = self.prog.move_aux[aux as usize];
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, src_name), AccessKind::Read);
+                        self.record_lite(LocLite::Local(serial, dst_name), AccessKind::Write);
+                    }
+                    self.slots[base + dst as usize] = self.slots[base + src as usize].clone();
+                }
+                Op::CompoundSlotInt { slot, name, op } => {
+                    let rhs = self.pop();
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
+                    }
+                    let new = if let (Value::Int(a), Value::Int(b)) =
+                        (&self.slots[base + slot as usize], &rhs)
+                    {
+                        // Compound ops are only `+=`/`-=`/`*=`: wrapping
+                        // int arithmetic, no error path.
+                        Value::Int(match op {
+                            AssignOp::Add => a.wrapping_add(*b),
+                            AssignOp::Sub => a.wrapping_sub(*b),
+                            AssignOp::Mul => a.wrapping_mul(*b),
+                            AssignOp::Set => unreachable!("compound ops only"),
+                        })
+                    } else {
+                        // Deopt: stale feedback — generic path, same errors.
+                        let old = self.slots[base + slot as usize].clone();
+                        binary_op(compound_bin(op), &old, &rhs).map_err(|m| self.err(m))?
+                    };
+                    if TRACED && self.record_active {
+                        self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
+                    }
+                    self.slots[base + slot as usize] = new;
+                }
                 Op::StmtEnter { id, line } => {
                     self.current_line = line;
                     self.tick(1)?;
@@ -520,16 +922,26 @@ impl<'p> Vm<'p> {
                     self.stmt_cost[id.0 as usize] += self.cost - mark + 1;
                 }
                 Op::IterStmtEnter { stmt } => {
-                    if self.options.trace_loops {
+                    if TRACED {
+                        let top = self.traces.len().wrapping_sub(1) as u32;
                         if let Some(ctx) = self.traces.last_mut() {
                             ctx.cur_stmt = Some(stmt);
+                            self.gen_next += 1;
+                            ctx.gen = self.gen_next;
+                            if ctx.recording {
+                                // Consecutive direct statements re-enter
+                                // without an intervening clear; push once.
+                                if self.rec_ctxs.last() != Some(&top) {
+                                    self.rec_ctxs.push(top);
+                                }
+                                self.record_active = true;
+                            }
                         }
-                        self.recompute_record_active();
                         self.iter_marks.push(self.cost);
                     }
                 }
                 Op::IterStmtExit { loop_idx, slot } => {
-                    if self.options.trace_loops {
+                    if TRACED {
                         let mark = self.iter_marks.pop().expect("iter mark underflow");
                         let delta = self.cost - mark;
                         let run = &mut self.loop_runs[loop_idx as usize];
@@ -538,42 +950,54 @@ impl<'p> Vm<'p> {
                     }
                 }
                 Op::BeginLoop { loop_idx } => {
-                    if self.options.trace_loops {
+                    if TRACED {
                         self.loop_runs[loop_idx as usize].entered = true;
+                        // Not recording until `IterStart` decides; no
+                        // `rec_ctxs` change.
                         self.traces.push(VmTraceCtx {
                             loop_idx,
                             iter: 0,
                             recording: false,
                             cur_stmt: None,
+                            gen: 0,
                         });
-                        self.recompute_record_active();
                     }
                 }
                 Op::IterStart { loop_idx } => {
-                    if self.options.trace_loops {
+                    if TRACED {
                         let run = &mut self.loop_runs[loop_idx as usize];
                         let global_iter = run.iterations as usize;
                         run.iterations += 1;
                         if let Some(ctx) = self.traces.last_mut() {
+                            // `cur_stmt` is always clear here: a fresh
+                            // `BeginLoop` or the previous iteration's
+                            // `EndIterBody` preceded us.
+                            debug_assert!(ctx.cur_stmt.is_none());
                             ctx.iter = global_iter;
                             ctx.recording = global_iter < self.options.trace_iters;
-                            ctx.cur_stmt = None;
                         }
-                        self.recompute_record_active();
                     }
                 }
                 Op::EndIterBody => {
-                    if self.options.trace_loops {
+                    if TRACED {
+                        let top = self.traces.len().wrapping_sub(1) as u32;
                         if let Some(ctx) = self.traces.last_mut() {
                             ctx.cur_stmt = None;
                         }
-                        self.recompute_record_active();
+                        if self.rec_ctxs.last() == Some(&top) {
+                            self.rec_ctxs.pop();
+                        }
+                        self.record_active = !self.rec_ctxs.is_empty();
                     }
                 }
                 Op::EndLoop => {
-                    if self.options.trace_loops {
+                    if TRACED {
                         self.traces.pop();
-                        self.recompute_record_active();
+                        // `EndIterBody` always precedes (even on unwind
+                        // paths), so the popped context cannot still be
+                        // in `rec_ctxs`.
+                        debug_assert!(self.rec_ctxs.last() != Some(&(self.traces.len() as u32)));
+                        self.record_active = !self.rec_ctxs.is_empty();
                     }
                 }
                 Op::PopIterState => {
@@ -586,40 +1010,37 @@ impl<'p> Vm<'p> {
                     self.pop();
                 }
                 Op::LoadSlot { slot, name } => {
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
                     }
                     self.stack.push(self.slots[base + slot as usize].clone());
                 }
                 Op::StoreSlot { slot, name } => {
                     let v = self.pop();
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
                     }
                     self.slots[base + slot as usize] = v;
                 }
                 Op::CompoundSlot { slot, name, op } => {
                     let rhs = self.pop();
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Local(serial, name), AccessKind::Read);
                     }
                     let old = self.slots[base + slot as usize].clone();
+                    if PROFILE {
+                        if let Some(c) = self.counters.as_deref_mut() {
+                            c.see_types(pc - 1, &old, &rhs);
+                        }
+                    }
                     let new = binary_op(compound_bin(op), &old, &rhs)
                         .map_err(|m| self.err(m))?;
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Local(serial, name), AccessKind::Write);
                     }
                     self.slots[base + slot as usize] = new;
                 }
-                Op::UndefVar { name, kind } => {
-                    let name = self.name(name);
-                    return Err(match kind {
-                        UndefKind::Read => self.err(format!("undefined variable `{name}`")),
-                        UndefKind::Assign => {
-                            self.err(format!("assignment to undefined variable `{name}`"))
-                        }
-                    });
-                }
+                Op::UndefVar { name, kind } => return Err(self.undef_var_err(name, kind)),
                 Op::Unary(op) => {
                     use crate::ast::UnOp;
                     let v = self.pop();
@@ -639,6 +1060,11 @@ impl<'p> Vm<'p> {
                 Op::Binary(op) => {
                     let r = self.pop();
                     let l = self.pop();
+                    if PROFILE {
+                        if let Some(c) = self.counters.as_deref_mut() {
+                            c.see_types(pc - 1, &l, &r);
+                        }
+                    }
                     let out = binary_op(op, &l, &r).map_err(|m| self.err(m))?;
                     self.stack.push(out);
                 }
@@ -673,7 +1099,7 @@ impl<'p> Vm<'p> {
                     let b = self.pop();
                     match &b {
                         Value::Object(o) => {
-                            if self.record_active {
+                            if TRACED && self.record_active {
                                 self.record_lite(LocLite::Field(o.id, name), AccessKind::Read);
                             }
                             let v = o
@@ -709,7 +1135,7 @@ impl<'p> Vm<'p> {
                             obj.type_name()
                         )));
                     };
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Field(o.id, name), AccessKind::Write);
                     }
                     o.fields
@@ -726,7 +1152,7 @@ impl<'p> Vm<'p> {
                             obj.type_name()
                         )));
                     };
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Field(o.id, name), AccessKind::Read);
                     }
                     let old = o
@@ -737,7 +1163,7 @@ impl<'p> Vm<'p> {
                         .ok_or_else(|| self.err(format!("no field `{}`", self.name(name))))?;
                     let new = binary_op(compound_bin(op), &old, &rhs)
                         .map_err(|m| self.err(m))?;
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Field(o.id, name), AccessKind::Write);
                     }
                     o.fields
@@ -758,7 +1184,7 @@ impl<'p> Vm<'p> {
                     if *i < 0 || *i >= len {
                         return Err(self.err(format!("index {i} out of bounds (len {len})")));
                     }
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Elem(l.id, *i), AccessKind::Read);
                     }
                     let v = l.items.borrow()[*i as usize].clone();
@@ -783,7 +1209,7 @@ impl<'p> Vm<'p> {
                     let new = match op {
                         Op::StoreIndex => rhs,
                         Op::CompoundIndex { op } => {
-                            if self.record_active {
+                            if TRACED && self.record_active {
                                 self.record_lite(LocLite::Elem(l.id, i), AccessKind::Read);
                             }
                             let old = l.items.borrow()[i as usize].clone();
@@ -791,7 +1217,7 @@ impl<'p> Vm<'p> {
                         }
                         _ => unreachable!(),
                     };
-                    if self.record_active {
+                    if TRACED && self.record_active {
                         self.record_lite(LocLite::Elem(l.id, i), AccessKind::Write);
                     }
                     l.items.borrow_mut()[i as usize] = new;
@@ -903,9 +1329,7 @@ impl<'p> Vm<'p> {
                     self.tick(n as u64)?;
                     self.stack.push(Value::Null);
                 }
-                Op::UnknownCall { name } => {
-                    return Err(self.err(format!("unknown function `{}`", self.name(name))));
-                }
+                Op::UnknownCall { name } => return Err(self.unknown_call_err(name)),
                 Op::AllocObject { class } => {
                     let id = self.fresh_heap();
                     let n_fields = self.prog.classes[class as usize].field_names.len();
@@ -953,9 +1377,7 @@ impl<'p> Vm<'p> {
                     }
                     self.stack.push(obj);
                 }
-                Op::NoClass { name } => {
-                    return Err(self.err(format!("no class `{}`", self.name(name))));
-                }
+                Op::NoClass { name } => return Err(self.no_class_err(name)),
                 Op::CtorRecursion => {
                     // Field initializers that construct their own class
                     // diverge under the tree-walker; report the resource
@@ -966,7 +1388,7 @@ impl<'p> Vm<'p> {
                     let iterable = self.pop();
                     let items: Vec<Value> = match &iterable {
                         Value::List(l) => {
-                            if self.record_active {
+                            if TRACED && self.record_active {
                                 self.record_lite(LocLite::ListStruct(l.id), AccessKind::Read);
                             }
                             l.items.borrow().clone()
@@ -1014,6 +1436,83 @@ impl<'p> Vm<'p> {
             }
         }
     }
+}
+
+/// Exact `int ⊗ int` result of the generic [`binary_op`] path, with the
+/// allocation- and match-cascade-free shape the specialized ops inline.
+#[inline(always)]
+fn int_bin(op: BinOp, a: i64, b: i64) -> Result<Value, String> {
+    Ok(match op {
+        BinOp::Add => Value::Int(a.wrapping_add(b)),
+        BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+        BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+        BinOp::Div => {
+            if b == 0 {
+                return Err("division by zero".into());
+            }
+            Value::Int(a / b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err("remainder by zero".into());
+            }
+            Value::Int(a % b)
+        }
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt => Value::Bool(a < b),
+        BinOp::Le => Value::Bool(a <= b),
+        BinOp::Gt => Value::Bool(a > b),
+        BinOp::Ge => Value::Bool(a >= b),
+        BinOp::And | BinOp::Or => unreachable!("handled by short-circuit evaluation"),
+    })
+}
+
+/// Exact `float ⊗ float` result of the generic path. `Rem` never
+/// specializes to float (it is a type error generically), and NaN
+/// comparisons reproduce the generic "incomparable values" error.
+#[inline(always)]
+fn float_bin(op: BinOp, a: f64, b: f64) -> Result<Value, String> {
+    let cmp = |ord: fn(std::cmp::Ordering) -> bool| match a.partial_cmp(&b) {
+        Some(o) => Ok(Value::Bool(ord(o))),
+        None => Err("incomparable values".into()),
+    };
+    match op {
+        BinOp::Add => Ok(Value::Float(a + b)),
+        BinOp::Sub => Ok(Value::Float(a - b)),
+        BinOp::Mul => Ok(Value::Float(a * b)),
+        BinOp::Div => Ok(Value::Float(a / b)),
+        BinOp::Eq => Ok(Value::Bool(a == b)),
+        BinOp::Ne => Ok(Value::Bool(a != b)),
+        BinOp::Lt => cmp(|o| o.is_lt()),
+        BinOp::Le => cmp(|o| o.is_le()),
+        BinOp::Gt => cmp(|o| o.is_gt()),
+        BinOp::Ge => cmp(|o| o.is_ge()),
+        BinOp::Rem => unreachable!("float rem never specializes"),
+        BinOp::And | BinOp::Or => unreachable!("handled by short-circuit evaluation"),
+    }
+}
+
+/// Specialized binary evaluation: try the hinted monomorphic fast path
+/// first, deopt to the generic [`binary_op`] on any operand mismatch —
+/// identical results and identical errors either way, so stale type
+/// feedback can never change observable behavior.
+#[inline(always)]
+fn spec_binary(op: BinOp, spec: Spec, l: &Value, r: &Value) -> Result<Value, String> {
+    match spec {
+        Spec::Int => {
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                return int_bin(op, *a, *b);
+            }
+        }
+        Spec::Float => {
+            if let (Value::Float(a), Value::Float(b)) = (l, r) {
+                return float_bin(op, *a, *b);
+            }
+        }
+        Spec::None => {}
+    }
+    binary_op(op, l, r)
 }
 
 impl Host for Vm<'_> {

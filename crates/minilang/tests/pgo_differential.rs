@@ -1,0 +1,306 @@
+//! Differential tests for the PGO stage: a program optimized with a
+//! *measured* profile (fusion + dispatch reordering + type
+//! specialization + trace stripping) must be observationally identical
+//! to the unoptimized bytecode and to the tree-walking interpreter —
+//! same result, same printed output, same `LangError` (line + message)
+//! and a **byte-identical** `Profile::to_json()` rendering.
+//!
+//! The suite covers the whole benchmark corpus, targeted fusion-barrier
+//! programs (jump targets landing where a superinstruction pair would
+//! otherwise form), deopt paths for the type-specialized ops, and
+//! randomly generated loop-heavy programs.
+
+use patty_minilang::bytecode::compile;
+use patty_minilang::vm::{profile_ops, run_compiled};
+use patty_minilang::{
+    optimize, parse, run, Engine, InterpOptions, OpProfile, PgoOptions, Program,
+};
+use proptest::prelude::*;
+
+/// Exercise every engine/optimization combination on one program and
+/// assert full observational identity.
+///
+/// * tree-walker vs unoptimized VM vs measured-profile-optimized VM
+///   (traced options) — result, output, profile JSON, errors;
+/// * exec-mode (`strip_tracing`) optimized VM vs the same three with
+///   tracing off — exec profiles keep statement shares, so the JSON
+///   must still match byte-for-byte.
+fn assert_pgo_agrees(program: &Program, base: &InterpOptions) {
+    let compiled = compile(program);
+
+    for trace_loops in [true, false] {
+        let opts = InterpOptions { trace_loops, engine: Engine::Vm, ..base.clone() };
+        let ast = run(program, InterpOptions { engine: Engine::Ast, ..opts.clone() });
+        let plain = run_compiled(&compiled, "main", Vec::new(), opts.clone());
+
+        // The counted (profiling) run must itself be observationally
+        // identical, and it yields the measured profile we optimize with.
+        let measured = match profile_ops(&compiled, "main", Vec::new(), opts.clone()) {
+            Ok((outcome, profile)) => {
+                let plain_ok = plain.as_ref().expect("plain run agrees with profiled run");
+                assert_eq!(format!("{:?}", plain_ok.result), format!("{:?}", outcome.result));
+                assert_eq!(plain_ok.output, outcome.output);
+                assert_eq!(plain_ok.profile.to_json(), outcome.profile.to_json());
+                profile
+            }
+            Err(e) => {
+                assert_eq!(plain.as_ref().err(), Some(&e), "profiled run error agrees");
+                OpProfile::synthetic(&compiled)
+            }
+        };
+
+        let popts = if trace_loops { PgoOptions::traced() } else { PgoOptions::exec() };
+        let (optimized, _) = optimize(&compiled, &measured, &popts);
+        let opt = run_compiled(&optimized, "main", Vec::new(), opts.clone());
+
+        match (&ast, &plain, &opt) {
+            (Ok(a), Ok(p), Ok(o)) => {
+                assert_eq!(format!("{:?}", a.result), format!("{:?}", o.result));
+                assert_eq!(&a.output, &o.output);
+                assert_eq!(a.profile.to_json(), p.profile.to_json());
+                assert_eq!(p.profile.to_json(), o.profile.to_json());
+            }
+            (Err(a), Err(p), Err(o)) => {
+                assert_eq!(a, p);
+                assert_eq!(p, o);
+            }
+            _ => panic!(
+                "engines disagree (trace_loops={trace_loops}): ast={:?} plain={:?} opt={:?}",
+                ast.as_ref().map(|o| &o.output),
+                plain.as_ref().map(|o| &o.output),
+                opt.as_ref().map(|o| &o.output),
+            ),
+        }
+    }
+}
+
+fn assert_src_agrees(src: &str, opts: &InterpOptions) {
+    let program = parse(src).expect("test program parses");
+    assert_pgo_agrees(&program, opts);
+}
+
+// ---- whole corpus ----
+
+#[test]
+fn corpus_programs_survive_pgo_unchanged() {
+    for prog in patty_corpus::all_programs() {
+        let program = prog.parse();
+        assert_pgo_agrees(&program, &InterpOptions::default());
+    }
+}
+
+// ---- fusion barriers: jump targets landing mid-pair ----
+
+/// A `continue` jumps to the while-condition re-check, whose first op is
+/// the `LoadSlot` of a `LoadSlot`+`Binary` candidate pair. Fusing that
+/// pair would swallow the jump target; the barrier must prevent it.
+#[test]
+fn continue_target_blocks_condition_pair_fusion() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var i = 0; var s = 0;\n\
+         while (i < 20) {\n\
+           i = i + 1;\n\
+           if (i % 3 == 0) { continue; }\n\
+           s = s + i;\n\
+         }\n\
+         print(s);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+/// `break` out of a foreach lands after `EndLoop` on a `LoadSlot` that a
+/// following `Binary` would pair with.
+#[test]
+fn break_target_blocks_post_loop_pair_fusion() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var s = 0;\n\
+         foreach (i in range(0, 50)) {\n\
+           if (i > 7) { break; }\n\
+           s += i;\n\
+         }\n\
+         var t = s * 2;\n\
+         print(t);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+/// An if/else join point: the else-branch jump targets the eligible
+/// `LoadSlot`+`StoreSlot` move after the if — barrier case for SlotMove.
+#[test]
+fn if_join_blocks_slot_move_fusion() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var a = 1; var b = 2; var c = 0;\n\
+         foreach (i in range(0, 10)) {\n\
+           if (i % 2 == 0) { a = a + i; } else { b = b + i; }\n\
+           c = a;\n\
+           c = c + b;\n\
+         }\n\
+         print(c);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+// ---- type specialization and deopt ----
+
+/// A loop that is int/int for many iterations, then sees a float: the
+/// specialized op's guard must deopt to the generic path mid-run with no
+/// observable difference.
+#[test]
+fn int_specialized_op_deopts_on_float() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var s = 0;\n\
+         foreach (i in range(0, 30)) {\n\
+           var x = 1;\n\
+           if (i == 25) { x = 0.5; }\n\
+           s = s + x;\n\
+         }\n\
+         print(s);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+/// Pure float arithmetic picks the float fast path; comparisons and
+/// division must match the generic `binary_op` exactly.
+#[test]
+fn float_specialized_arithmetic_matches_generic() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var s = 0.0;\n\
+         foreach (i in range(0, 40)) {\n\
+           s = s + 1.5;\n\
+           s = s * 1.01;\n\
+           if (s > 100.0) { s = s / 2.0; }\n\
+         }\n\
+         print(s);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+/// Errors inside specialized/fused ops must carry the same line and
+/// message as the generic path: division by zero after a hot int loop.
+#[test]
+fn division_by_zero_error_is_identical_through_fusion() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var s = 0; var d = 5;\n\
+         foreach (i in range(0, 20)) {\n\
+           d = d - 1;\n\
+           s = s + 100 / d;\n\
+         }\n\
+         print(s);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+/// Step-limit exhaustion can now trigger inside a fused `TickJump` or
+/// `StmtEnterTick`; the reported error must match the tree-walker's.
+#[test]
+fn step_limit_error_is_identical_through_fusion() {
+    for limit in [50, 97, 214, 1003] {
+        assert_src_agrees(
+            "fn main() {\n\
+             var s = 0;\n\
+             while (true) { s = s + 1; }\n\
+             }",
+            &InterpOptions { step_limit: limit, ..InterpOptions::default() },
+        );
+    }
+}
+
+/// A type error mid-loop (int + string) after the profile saw only
+/// int/int: the deopt guard must produce the generic error text.
+#[test]
+fn type_error_after_int_profile_is_identical() {
+    assert_src_agrees(
+        "fn main() {\n\
+         var s = 0;\n\
+         foreach (i in range(0, 15)) {\n\
+           var x = 1;\n\
+           if (i == 12) { x = \"oops\"; }\n\
+           s = s + x;\n\
+         }\n\
+         print(s);\n\
+         }",
+        &InterpOptions::default(),
+    );
+}
+
+// ---- generated programs ----
+
+fn arb_term() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..9).prop_map(|v| v.to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        (1u32..40).prop_map(|v| format!("{}.5", v)),
+    ]
+}
+
+fn arb_binexpr() -> impl Strategy<Value = String> {
+    (arb_term(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("%"), Just("/")], arb_term())
+        .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+}
+
+fn arb_cond() -> impl Strategy<Value = String> {
+    (arb_term(), prop_oneof![Just("<"), Just("<="), Just(">"), Just("=="), Just("!=")], arb_term())
+        .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let assign = (prop_oneof![Just("a"), Just("b"), Just("c")], arb_binexpr())
+        .prop_map(|(v, e)| format!("{v} = {e};"));
+    let compound =
+        (prop_oneof![Just("a"), Just("b"), Just("c")], prop_oneof![Just("+="), Just("-="), Just("*=")], arb_term())
+            .prop_map(|(v, op, e)| format!("{v} {op} {e};"));
+    if depth == 0 {
+        return prop_oneof![assign, compound].boxed();
+    }
+    let iff = (arb_cond(), arb_stmt(depth - 1), arb_stmt(depth - 1))
+        .prop_map(|(c, t, e)| format!("if {c} {{ {t} }} else {{ {e} }}"));
+    let foreach = (2u32..12, proptest::collection::vec(arb_stmt(depth - 1), 1..3), any::<bool>())
+        .prop_map(|(n, body, skip)| {
+            let guard = if skip { "if (i % 3 == 0) { continue; } " } else { "" };
+            format!("foreach (i in range(0, {n})) {{ {guard}{} }}", body.join(" "))
+        });
+    let whileloop = (2u32..10, proptest::collection::vec(arb_stmt(depth - 1), 1..3))
+        .prop_map(|(n, body)| {
+            format!("var w = 0; while (w < {n}) {{ w = w + 1; {} }}", body.join(" "))
+        });
+    prop_oneof![3 => assign, 2 => compound, 2 => iff, 2 => foreach, 1 => whileloop].boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_stmt(2), 1..6).prop_map(|stmts| {
+        format!(
+            "fn main() {{ var a = 3; var b = 4; var c = 5; {} print(a); print(b); print(c); }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_programs_survive_pgo(src in arb_program()) {
+        let program = parse(&src).expect("generated program parses");
+        assert_pgo_agrees(&program, &InterpOptions::default());
+    }
+
+    // The same generated programs under a tight step limit: exhaustion
+    // lands inside fused ops at arbitrary points.
+    #[test]
+    fn generated_programs_agree_on_step_limits(src in arb_program(), limit in 20u64..400) {
+        let program = parse(&src).expect("generated program parses");
+        assert_pgo_agrees(&program, &InterpOptions { step_limit: limit, ..InterpOptions::default() });
+    }
+}

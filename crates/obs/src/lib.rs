@@ -28,10 +28,13 @@
 //! source: `patty_executor_*` (pool aggregates and `lane`-labelled
 //! series), `patty_runtime_*` (telemetry counters, histograms, spans),
 //! `patty_trace_*` (trace-report aggregates and `stage`-labelled
-//! series), `patty_vm_*` (profiler retention stats).
+//! series), `patty_vm_*` (profiler retention stats and the VM's
+//! profile-guided-optimization picture: superinstruction hits and
+//! dispatch ranks).
 
 use patty_json::Json;
 use patty_minilang::profile::ProfileStats;
+use patty_minilang::PgoReport;
 use patty_runtime::{ExecutorStats, LaneSnapshot};
 use patty_telemetry::TelemetryReport;
 use patty_trace::TraceReport;
@@ -274,6 +277,31 @@ impl MetricsRegistry {
         self.set("patty_vm_traced_iterations_total", Counter, "Traced (loop, iteration) pairs retained by the profiler.", &[], stats.traced_iterations as u64);
         self.set("patty_vm_recorded_accesses_total", Counter, "Recorded (statement, location, kind) access entries.", &[], stats.recorded_accesses as u64);
         self.set("patty_vm_counted_statements", Gauge, "Statements with cost/hit counters.", &[], stats.counted_statements as u64);
+    }
+
+    /// Ingest a [`PgoReport`] from the VM's profile-guided optimizer:
+    /// superinstruction fusion outcomes (per-pair dynamic hits and static
+    /// sites) and the measured dispatch picture (total dispatched ops and
+    /// the frequency rank of the hottest opcodes).
+    pub fn ingest_vm_pgo(&mut self, report: &PgoReport) {
+        use MetricKind::{Counter, Gauge};
+        for f in &report.fused {
+            let labels: &[(&str, &str)] = &[("pair", f.pair)];
+            self.set("patty_vm_superinstruction_hits", Counter, "Dynamic executions of each fused superinstruction pair in the profiled run.", labels, f.hits);
+            self.set("patty_vm_superinstruction_sites", Gauge, "Static code sites rewritten to each fused superinstruction pair.", labels, f.sites);
+        }
+        self.set("patty_vm_dispatch_ops_total", Counter, "Opcodes dispatched during the profiled VM run.", &[], report.total_ops);
+        for (rank, (op, _count)) in report.dispatch_top.iter().enumerate() {
+            self.set(
+                "patty_vm_dispatch_rank",
+                Gauge,
+                "Frequency rank (1 = hottest) of the most-dispatched opcodes in the profiled run.",
+                &[("op", op)],
+                rank as u64 + 1,
+            );
+        }
+        self.set("patty_vm_specialized_sites", Gauge, "Arithmetic sites rewritten to type-specialized opcodes (by operand type).", &[("type", "int")], report.specialized_int);
+        self.set("patty_vm_specialized_sites", Gauge, "Arithmetic sites rewritten to type-specialized opcodes (by operand type).", &[("type", "float")], report.specialized_float);
     }
 
     /// Prometheus text exposition format: `# HELP` and `# TYPE` per

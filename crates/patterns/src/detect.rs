@@ -138,7 +138,7 @@ pub fn detect_loop(
                 .into_iter()
                 .filter(|d| match &d.loc {
                     patty_minilang::profile::DynLoc::Local(_, name) => {
-                        !iteration_locals.contains(name)
+                        !iteration_locals.contains(name.as_ref() as &str)
                     }
                     _ => true,
                 })

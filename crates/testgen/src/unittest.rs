@@ -74,7 +74,9 @@ fn cell_name(
 ) -> Option<String> {
     match loc {
         DynLoc::Local(frame, name) => {
-            if iteration_locals.contains(name) || reductions.contains(name) {
+            if iteration_locals.contains(name.as_ref() as &str)
+                || reductions.iter().any(|r| r.as_str() == name.as_ref())
+            {
                 None
             } else {
                 Some(format!("local:{frame}:{name}"))
