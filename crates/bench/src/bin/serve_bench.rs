@@ -1,0 +1,244 @@
+//! Serve guard: the artifact service must make repeat work free and
+//! overload harmless.
+//!
+//! `patty serve` exists for two performance claims:
+//!
+//! * **repeat work is free** — a job whose program hash is already in
+//!   the artifact cache is answered from memory, orders of magnitude
+//!   faster than recomputing the analysis. Guarded as a ratio (warm
+//!   hit at least [`WARM_SPEEDUP`]× faster than the cold compute) and
+//!   as an absolute tail bound (p99 warm hit under [`P99_TARGET`]).
+//! * **overload sheds, it does not stall** — when clients offer more
+//!   than admission control accepts, the excess is refused quickly
+//!   with a structured `retry_after` hint; nobody hangs behind a full
+//!   queue. Guarded by driving more concurrent jobs than the service's
+//!   whole capacity (running + queued) and bounding every response —
+//!   shed or computed — by [`STALL_BOUND`].
+//!
+//! A fourth guard pins the PR's bugfix: a repeated `tune` of the same
+//! source must be served from the cache, not recomputed.
+//!
+//! The cold/warm and tune jobs are real `Patty` runs over the corpus
+//! AVIStream program (the paper's pipeline case study); the overload
+//! jobs are synthetic sleepers so the offered load is controlled.
+//! Prints a table and writes machine-readable `BENCH_serve.json`.
+
+use patty_bench::print_table;
+use patty_json::Json;
+use patty_serve::{AdmissionConfig, CacheConfig, JobKind, ServeConfig, Served, Service};
+use patty_tool::PattyJobRunner;
+use std::time::{Duration, Instant};
+
+/// Warm cache hits sampled for the latency distribution.
+const WARM_SAMPLES: usize = 512;
+/// A warm hit must beat the cold compute by at least this factor.
+const WARM_SPEEDUP: f64 = 20.0;
+/// p99 warm-hit latency budget.
+const P99_TARGET: Duration = Duration::from_millis(5);
+/// Concurrent jobs offered to the overload service (its capacity is
+/// `max_concurrent + queue_limit` = 3, so this is better than 2×).
+const OVERLOAD_OFFERED: usize = 8;
+/// No response — shed or computed — may take longer than this under
+/// overload. Sheds are immediate; computed jobs drain a 3-deep queue
+/// of ~40 ms sleepers, so 2 s only fails if something actually hangs.
+const STALL_BOUND: Duration = Duration::from_secs(2);
+
+fn in_memory_service(runner: PattyJobRunner) -> Service<PattyJobRunner> {
+    Service::new(
+        runner,
+        ServeConfig {
+            cache: CacheConfig { shards: 8, capacity: 1024, spill_dir: None },
+            admission: AdmissionConfig::default(),
+            job_deadline: Duration::from_secs(60),
+            use_executor: true,
+        },
+    )
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let program = patty_corpus::avistream_program();
+    let source = program.source;
+
+    // --- cold compute vs warm cache hit (real analyze jobs) ---------
+    let svc = in_memory_service(PattyJobRunner::new());
+    let t0 = Instant::now();
+    let cold = svc.submit(JobKind::Analyze, source);
+    let cold_t = t0.elapsed();
+    assert!(matches!(cold, Served::Computed { .. }), "first analyze must compute: {cold:?}");
+
+    let mut warm: Vec<Duration> = (0..WARM_SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            let served = svc.submit(JobKind::Analyze, source);
+            assert!(matches!(served, Served::Hit { .. }), "repeat analyze must hit: {served:?}");
+            t0.elapsed()
+        })
+        .collect();
+    warm.sort();
+    let warm_p50 = percentile(&warm, 0.50);
+    let warm_p99 = percentile(&warm, 0.99);
+    let speedup = cold_t.as_secs_f64() / warm_p50.as_secs_f64().max(1e-9);
+
+    // --- repeated tune is served from the cache (the PR bugfix) -----
+    let t0 = Instant::now();
+    let tune_cold = svc.submit(JobKind::Tune, source);
+    let tune_cold_t = t0.elapsed();
+    let t0 = Instant::now();
+    let tune_warm = svc.submit(JobKind::Tune, source);
+    let tune_warm_t = t0.elapsed();
+    let tune_cached = matches!(tune_cold, Served::Computed { .. })
+        && matches!(&tune_warm, Served::Hit { result, .. }
+            if matches!(&tune_cold, Served::Computed { result: first, .. } if result == first));
+
+    // --- overload: offered > capacity must shed fast, never stall ---
+    let sleeper = |_kind: JobKind, _src: &str, ctl: &patty_serve::JobCtl| {
+        for _ in 0..4 {
+            ctl.checkpoint()?;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(Json::obj().with("ok", Json::Bool(true)))
+    };
+    let overload = Service::new(
+        sleeper,
+        ServeConfig {
+            cache: CacheConfig { shards: 2, capacity: 64, spill_dir: None },
+            admission: AdmissionConfig {
+                max_concurrent: 1,
+                queue_limit: 2,
+                max_queue_wait: Duration::from_millis(500),
+                retry_after: Duration::from_millis(10),
+            },
+            job_deadline: Duration::from_secs(10),
+            // Jobs run on the submitting client threads so offered
+            // concurrency is exactly OVERLOAD_OFFERED, independent of
+            // the host's lane count.
+            use_executor: false,
+        },
+    );
+    let mut outcomes: Vec<(Duration, &'static str, u64)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..OVERLOAD_OFFERED)
+            .map(|i| {
+                let overload = &overload;
+                s.spawn(move || {
+                    let src = format!("overload job {i}");
+                    let t0 = Instant::now();
+                    let served = overload.submit(JobKind::Analyze, &src);
+                    let (tag, retry) = match served {
+                        Served::Computed { .. } => ("computed", 0),
+                        Served::Shed { retry_after_ms } => ("shed", retry_after_ms),
+                        Served::Hit { .. } => ("hit", 0),
+                        Served::Coalesced { .. } => ("coalesced", 0),
+                        Served::Failed { .. } => ("failed", 0),
+                    };
+                    (t0.elapsed(), tag, retry)
+                })
+            })
+            .collect();
+        outcomes.extend(handles.into_iter().map(|h| h.join().expect("client thread")));
+    });
+    let shed: Vec<_> = outcomes.iter().filter(|(_, tag, _)| *tag == "shed").collect();
+    let computed = outcomes.iter().filter(|(_, tag, _)| *tag == "computed").count();
+    let failed = outcomes.iter().filter(|(_, tag, _)| *tag == "failed").count();
+    let slowest = outcomes.iter().map(|(t, _, _)| *t).max().unwrap_or_default();
+    let sheds_hinted = shed.iter().all(|(_, _, retry)| *retry > 0);
+    let shed_ok = !shed.is_empty()
+        && sheds_hinted
+        && computed >= 1
+        && failed == 0
+        && slowest <= STALL_BOUND;
+
+    print_table(
+        "serve guard: artifact cache and admission control",
+        &["measure", "value"],
+        &[
+            vec!["cold analyze".into(), format!("{cold_t:?}")],
+            vec!["warm hit p50".into(), format!("{warm_p50:?}")],
+            vec!["warm hit p99".into(), format!("{warm_p99:?}")],
+            vec!["warm speedup".into(), format!("{speedup:.0}x")],
+            vec!["tune cold / warm".into(), format!("{tune_cold_t:?} / {tune_warm_t:?}")],
+            vec![
+                "overload (offered 8, cap 3)".into(),
+                format!("{} shed, {computed} computed, slowest {slowest:?}", shed.len()),
+            ],
+        ],
+    );
+
+    let guards = [
+        (
+            "serve_warm_hit_20x_cold",
+            speedup >= WARM_SPEEDUP,
+            format!("cold {cold_t:?} vs warm p50 {warm_p50:?} = {speedup:.0}x"),
+        ),
+        (
+            "serve_warm_p99_under_target",
+            warm_p99 <= P99_TARGET,
+            format!("p99 {warm_p99:?} vs target {P99_TARGET:?}"),
+        ),
+        (
+            "serve_overload_sheds_not_stalls",
+            shed_ok,
+            format!(
+                "{} shed (hints {sheds_hinted}), {computed} computed, {failed} failed, \
+                 slowest {slowest:?} vs bound {STALL_BOUND:?}",
+                shed.len()
+            ),
+        ),
+        (
+            "serve_tune_repeat_cached",
+            tune_cached,
+            format!("cold {tune_cold_t:?} computed, warm {tune_warm_t:?} identical cache hit"),
+        ),
+    ];
+
+    let stats = svc.cache().stats();
+    let mut json = vec![Json::obj()
+        .with("bench", Json::Str("serve_latency".into()))
+        .with("cold_analyze_us", Json::Int(cold_t.as_micros() as i64))
+        .with("warm_hit_p50_us", Json::Int(warm_p50.as_micros() as i64))
+        .with("warm_hit_p99_us", Json::Int(warm_p99.as_micros() as i64))
+        .with("warm_speedup", Json::Float(speedup))
+        .with("warm_samples", Json::Int(WARM_SAMPLES as i64))
+        .with("tune_cold_us", Json::Int(tune_cold_t.as_micros() as i64))
+        .with("tune_warm_us", Json::Int(tune_warm_t.as_micros() as i64))
+        .with("cache_memory_hits", Json::Int(stats.hits.iter().sum::<u64>() as i64))
+        .with("cache_misses", Json::Int(stats.misses.iter().sum::<u64>() as i64))];
+    json.push(
+        Json::obj()
+            .with("bench", Json::Str("serve_overload".into()))
+            .with("offered", Json::Int(OVERLOAD_OFFERED as i64))
+            .with("capacity", Json::Int(3))
+            .with("shed", Json::Int(shed.len() as i64))
+            .with("computed", Json::Int(computed as i64))
+            .with("failed", Json::Int(failed as i64))
+            .with("slowest_response_us", Json::Int(slowest.as_micros() as i64)),
+    );
+    json.extend(guards.iter().map(|(name, passed, detail)| {
+        Json::obj()
+            .with("guard", Json::Str((*name).into()))
+            .with(
+                "result",
+                Json::Str(if *passed { "guard_passed" } else { "guard_failed" }.into()),
+            )
+            .with("detail", Json::Str(detail.clone()))
+    }));
+    std::fs::write("BENCH_serve.json", Json::Arr(json).to_string_pretty() + "\n")
+        .expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    let mut any_failed = false;
+    for (name, passed, detail) in &guards {
+        if *passed {
+            println!("guard passed: {name} ({detail})");
+        } else {
+            eprintln!("guard FAILED: {name} ({detail})");
+            any_failed = true;
+        }
+    }
+    assert!(!any_failed, "serve guard failed");
+}

@@ -544,6 +544,13 @@ pub mod de {
             .ok_or_else(|| format!("{what}: field `{key}` must be a string, got {}", v.type_name()))
     }
 
+    /// Fetch an optional string field: `None` when the field is
+    /// absent or not a string. Used by line protocols where optional
+    /// fields are common and a missing one is not an error.
+    pub fn opt_str_field(obj: &Json, key: &str) -> Option<String> {
+        obj.get(key).and_then(Json::as_str).map(str::to_string)
+    }
+
     pub fn i64_field(obj: &Json, key: &str, what: &str) -> Result<i64, String> {
         let v = field(obj, key, what)?;
         v.as_i64()

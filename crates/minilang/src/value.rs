@@ -87,6 +87,29 @@ impl FieldTable {
             .map(|(_, v)| v)
     }
 
+    /// Offset-validated lookup for the VM's field inline cache: the value
+    /// at entry `idx` iff that entry's key is `name`. A cached offset is a
+    /// hint, not a fact — fields can be added at runtime, so two objects
+    /// of one class may lay the same name out at different offsets — and
+    /// the key re-check is what makes a stale hint a miss instead of a
+    /// wrong answer.
+    pub fn get_at(&self, idx: usize, name: &Rc<str>) -> Option<&Value> {
+        match self.entries.get(idx) {
+            Some((k, v)) if Rc::ptr_eq(k, name) || k.as_ref() == name.as_ref() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Like [`FieldTable::get_interned`], but also returns the entry
+    /// offset so the caller can cache it for [`FieldTable::get_at`].
+    pub fn get_interned_at(&self, name: &Rc<str>) -> Option<(usize, &Value)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find(|(_, (k, _))| Rc::ptr_eq(k, name) || k.as_ref() == name.as_ref())
+            .map(|(i, (_, v))| (i, v))
+    }
+
     /// Insert or replace, allocating a new interned key on first insert.
     pub fn set(&mut self, name: &str, value: Value) {
         match self.get_mut(name) {

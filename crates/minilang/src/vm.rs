@@ -96,8 +96,11 @@ pub fn profile_ops(
     };
     let profile = vm.build_profile();
     let counters = *vm.counters.take().expect("profiling counters");
+    let mut op_profile = OpProfile::from_counters(counters);
+    op_profile.field_ic_hits = vm.field_ic_hits;
+    op_profile.field_ic_misses = vm.field_ic_misses;
     let outcome = Outcome { result, output: vm.output, profile };
-    Ok((outcome, OpProfile::from_counters(counters)))
+    Ok((outcome, op_profile))
 }
 
 /// Shared entry lookup + the stripped-program guard: a program whose
@@ -275,6 +278,19 @@ struct Vm<'p> {
     /// checked by pointer identity on every hit. Name-keyed rather than
     /// site-keyed so every call site of e.g. `.dot()` shares one entry.
     method_cache: Vec<Option<(u32, u32)>>,
+    /// Monomorphic field-load inline cache, indexed by interned field
+    /// name: `(class index, entry offset in the receiver's field table)`.
+    /// Same keying and pointer-identity discipline as `method_cache`,
+    /// with one extra guard: the key at the cached offset is re-checked
+    /// on every hit, because field tables can grow at runtime and two
+    /// same-class objects may place a late-added field at different
+    /// offsets. Any mismatch deopts to the linear-scan slow path, which
+    /// re-records the cache.
+    field_cache: Vec<Option<(u32, u32)>>,
+    /// Field-IC effectiveness counters, exported by [`profile_ops`] into
+    /// the measured [`OpProfile`] (and from there into `PgoReport`).
+    field_ic_hits: u64,
+    field_ic_misses: u64,
     /// Reusable argument buffer for builtin calls (no per-call `Vec`).
     scratch: Vec<Value>,
     heap_next: HeapId,
@@ -335,6 +351,9 @@ impl<'p> Vm<'p> {
             },
             dyn_names: Vec::new(),
             method_cache: vec![None; prog.names.len()],
+            field_cache: vec![None; prog.names.len()],
+            field_ic_hits: 0,
+            field_ic_misses: 0,
             scratch: Vec::with_capacity(8),
             heap_next: 1,
             frame_next: 1,
@@ -352,6 +371,41 @@ impl<'p> Vm<'p> {
 
     fn err(&self, msg: impl Into<String>) -> LangError {
         LangError::runtime(self.current_line, msg)
+    }
+
+    /// Field load through the monomorphic inline cache — shared by
+    /// `LoadField` and the fused `SlotField`. Hit path: one pointer
+    /// comparison on the class plus one on the key at the cached offset.
+    /// Miss path: the linear scan [`FieldTable::get_interned_at`], then
+    /// the cache is (re)recorded iff the receiver's class `Rc` is the
+    /// program's pooled one (the same publication rule as the method
+    /// cache, checked by pointer identity).
+    #[inline]
+    fn load_field_cached(&mut self, o: &ObjectData, name: u32) -> Result<Value, LangError> {
+        let prog = self.prog;
+        let site = name as usize;
+        let key = &prog.names_rc[site];
+        if let Some((ci, off)) = self.field_cache[site] {
+            if Rc::ptr_eq(&o.class, &prog.class_names[ci as usize]) {
+                if let Some(v) = o.fields.borrow().get_at(off as usize, key) {
+                    self.field_ic_hits += 1;
+                    return Ok(v.clone());
+                }
+            }
+        }
+        self.field_ic_misses += 1;
+        let fields = o.fields.borrow();
+        let (off, v) = fields.get_interned_at(key).ok_or_else(|| {
+            self.err(format!("no field `{}` on {}", self.name(name), o.class))
+        })?;
+        let v = v.clone();
+        drop(fields);
+        if let Some(&ci) = prog.class_by_name.get(&*o.class) {
+            if Rc::ptr_eq(&o.class, &prog.class_names[ci as usize]) {
+                self.field_cache[site] = Some((ci, off as u32));
+            }
+        }
+        Ok(v)
     }
 
     /// Terminal error-op constructors, outlined so their formatting code
@@ -813,18 +867,7 @@ impl<'p> Vm<'p> {
                                     AccessKind::Read,
                                 );
                             }
-                            let v = o
-                                .fields
-                                .borrow()
-                                .get_interned(&self.prog.names_rc[field_name as usize])
-                                .cloned()
-                                .ok_or_else(|| {
-                                    self.err(format!(
-                                        "no field `{}` on {}",
-                                        self.name(field_name),
-                                        o.class
-                                    ))
-                                })?;
+                            let v = self.load_field_cached(o, field_name)?;
                             self.stack.push(v);
                         }
                         other => {
@@ -1102,18 +1145,7 @@ impl<'p> Vm<'p> {
                             if TRACED && self.record_active {
                                 self.record_lite(LocLite::Field(o.id, name), AccessKind::Read);
                             }
-                            let v = o
-                                .fields
-                                .borrow()
-                                .get_interned(&self.prog.names_rc[name as usize])
-                                .cloned()
-                                .ok_or_else(|| {
-                                    self.err(format!(
-                                        "no field `{}` on {}",
-                                        self.name(name),
-                                        o.class
-                                    ))
-                                })?;
+                            let v = self.load_field_cached(o, name)?;
                             self.stack.push(v);
                         }
                         other => {

@@ -183,6 +183,8 @@ impl MetricsRegistry {
             ("patty_executor_parks_total", "Times a lane parked with nothing runnable.", Counter, stats.parks),
             ("patty_executor_unparks_total", "Times a parked lane woke (notify or idle-wait timeout).", Counter, stats.unparks),
             ("patty_executor_deque_depth_hwm", "Highest local-deque depth any lane observed after a batch refill.", Gauge, stats.deque_depth_hwm),
+            ("patty_executor_affinity_hits_total", "Hinted resident tasks that ran on their remembered lane.", Counter, stats.affinity_hits),
+            ("patty_executor_affinity_misses_total", "Hinted resident tasks that ran on a different lane or off-pool.", Counter, stats.affinity_misses),
         ];
         for (name, help, kind, value) in g {
             self.set(name, *kind, help, &[], *value);
@@ -302,6 +304,8 @@ impl MetricsRegistry {
         }
         self.set("patty_vm_specialized_sites", Gauge, "Arithmetic sites rewritten to type-specialized opcodes (by operand type).", &[("type", "int")], report.specialized_int);
         self.set("patty_vm_specialized_sites", Gauge, "Arithmetic sites rewritten to type-specialized opcodes (by operand type).", &[("type", "float")], report.specialized_float);
+        self.set("patty_vm_field_ic_hits_total", Counter, "Field loads served by the monomorphic inline cache during the profiled VM run.", &[], report.field_ic_hits);
+        self.set("patty_vm_field_ic_misses_total", Counter, "Field loads that took the slow path (cold first loads plus inline-cache deopts) during the profiled VM run.", &[], report.field_ic_misses);
     }
 
     /// Prometheus text exposition format: `# HELP` and `# TYPE` per
@@ -385,6 +389,8 @@ mod tests {
             parks: 9,
             unparks: 9,
             deque_depth_hwm: 7,
+            affinity_hits: 3,
+            affinity_misses: 1,
         };
         let lanes = vec![
             LaneSnapshot { lane_id: 0, short_executed: 50, resident_executed: 1, ..LaneSnapshot::default() },

@@ -32,6 +32,8 @@ fn golden_registry() -> MetricsRegistry {
             parks: 12,
             unparks: 12,
             deque_depth_hwm: 9,
+            affinity_hits: 5,
+            affinity_misses: 1,
         },
         &[
             LaneSnapshot {
@@ -92,6 +94,8 @@ fn golden_registry() -> MetricsRegistry {
         total_ops: 15000,
         specialized_int: 5,
         specialized_float: 2,
+        field_ic_hits: 4100,
+        field_ic_misses: 7,
         ..PgoReport::default()
     });
     reg

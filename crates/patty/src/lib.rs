@@ -31,9 +31,14 @@ pub mod chesscmd;
 pub mod faultcheck;
 pub mod overlay;
 pub mod process;
+pub mod servecmd;
 pub mod statscmd;
 
 pub use chesscmd::{chess_explore, chess_replay, chess_run, render_replay, ChessReport};
+pub use servecmd::{
+    analyze_artifact, faultcheck_artifact, render_tune_artifact, trace_artifact, tune_artifact,
+    tune_cached, PattyJobRunner,
+};
 pub use faultcheck::{faultcheck, FaultcheckReport, Outcome, Scenario};
 pub use overlay::{render_candidates, render_hotspots, render_overlay, render_process_chart, Phase};
 pub use statscmd::stats_registry;

@@ -43,6 +43,14 @@
 //!                               # --deterministic makes the output
 //!                               # byte-stable (virtual clock, no
 //!                               # wall-clock pool execution)
+//! patty serve [--addr HOST:PORT] [--stdin] [--cache-dir DIR]
+//!             [--no-spill] [--cache-capacity N] [--shards N]
+//!             [--max-concurrent N] [--queue-limit N] [--deadline-ms N]
+//!                               # daemon mode: a patty-json line protocol
+//!                               # over TCP (or stdin/stdout loopback)
+//!                               # accepting analyze|tune|faultcheck|trace
+//!                               # jobs, content-addressed artifact cache,
+//!                               # admission control, live `stats` scrape
 //! patty modes                   # describe the four operation modes
 //! ```
 //!
@@ -73,7 +81,7 @@ fn main() {
 }
 
 fn run(args: &[String]) -> i32 {
-    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|chess|trace|stats|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]\n       patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]\n       patty faultcheck <file.mini> [--replay HASH]\n       patty stats <file.mini> [--format prom|json] [--watch] [--deterministic] [--interval MS] [--iterations N]";
+    let usage = "usage: patty <analyze|annotate|transform|validate|tune|profile|faultcheck|chess|trace|stats|serve|modes> [file.mini]\n       patty trace <file.mini> [--out FILE] [--format chrome|flame|summary]\n       patty chess <file.mini> [--mode dpor|dfs] [--replay HASH]\n       patty faultcheck <file.mini> [--replay HASH]\n       patty stats <file.mini> [--format prom|json] [--watch] [--deterministic] [--interval MS] [--iterations N]\n       patty serve [--addr HOST:PORT] [--stdin] [--cache-dir DIR] [--no-spill] [--cache-capacity N] [--shards N] [--max-concurrent N] [--queue-limit N] [--deadline-ms N]";
     let Some(cmd) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -81,6 +89,10 @@ fn run(args: &[String]) -> i32 {
     if cmd == "modes" {
         print!("{}", patty_tool::describe_modes());
         return 0;
+    }
+    // `serve` takes no input file: jobs arrive over the wire.
+    if cmd == "serve" {
+        return patty_tool::servecmd::serve(&args[1..]);
     }
     let known = [
         "analyze", "annotate", "transform", "validate", "tune", "profile", "faultcheck", "chess",
@@ -102,6 +114,12 @@ fn run(args: &[String]) -> i32 {
         }
     };
     let patty = Patty::new();
+    if cmd == "tune" {
+        // Tuning routes through the content-addressed artifact cache:
+        // repeat invocations over an unchanged file are served from the
+        // spilled artifact instead of re-running the search.
+        return patty_tool::tune_cached(&patty, &source);
+    }
     if cmd == "trace" {
         return trace(&patty, &source, &args[2..]);
     }
@@ -146,7 +164,6 @@ fn run(args: &[String]) -> i32 {
         "annotate" => annotate(&run),
         "transform" => transform(&run),
         "validate" => validate(&patty, &run),
-        "tune" => tune(&patty, &run),
         other => unreachable!("command `{other}` validated above"),
     }
     0
@@ -503,14 +520,3 @@ fn validate(patty: &Patty, run: &PattyRun) {
     }
 }
 
-fn tune(patty: &Patty, run: &PattyRun) {
-    for (name, result) in patty.tune_performance(run) {
-        println!("{name}: {} evaluations", result.evaluations);
-        let first = result.history.first().map(|h| h.1).unwrap_or(f64::NAN);
-        println!("  initial cost: {first:.0}");
-        println!("  best cost:    {:.0}", result.best_score);
-        for p in &result.best.params {
-            println!("    {} = {} ({})", p.name, p.value, p.location);
-        }
-    }
-}

@@ -1,6 +1,7 @@
 //! End-to-end tests of the `patty` binary: the CLI is the substitute for
 //! the paper's IDE integration, so its commands must work on real files.
 
+use patty_json::Json;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -91,6 +92,160 @@ fn tune_reports_improvement() {
     assert!(stdout.contains("initial cost"), "{stdout}");
     assert!(stdout.contains("best cost"));
     assert!(stdout.contains("replication"));
+}
+
+/// The tune bugfix: a second invocation over an unchanged file must be
+/// served from the content-addressed artifact cache — byte-identical
+/// output, no recomputation.
+#[test]
+fn tune_repeat_is_served_from_the_artifact_cache() {
+    let file = write_temp("tune_cached.mini", PIPELINE_SRC);
+    let cache_dir = std::env::temp_dir().join("patty-cli-tests").join("tune-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = || {
+        let out = Command::new(patty_bin())
+            .args(["tune", file.to_str().unwrap()])
+            .env("PATTY_CACHE_DIR", &cache_dir)
+            .output()
+            .expect("patty runs");
+        (
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+            out.status.success(),
+        )
+    };
+    let (cold, cold_err, ok) = run();
+    assert!(ok, "stderr: {cold_err}");
+    assert!(!cold_err.contains("artifact cache"), "first run computes: {cold_err}");
+    assert!(cold.contains("initial cost"), "{cold}");
+    let (warm, warm_err, ok2) = run();
+    assert!(ok2, "stderr: {warm_err}");
+    assert!(
+        warm_err.contains("served from artifact cache"),
+        "second run must hit the cache: {warm_err}"
+    );
+    assert_eq!(cold, warm, "cached output is byte-identical to the computed one");
+}
+
+/// `patty serve --stdin` is the loopback daemon: one JSON request per
+/// line in, one response per line out, `shutdown` ends the session.
+#[test]
+fn serve_stdin_round_trips_analyze_tune_and_stats() {
+    use std::io::Write as _;
+    let mut child = Command::new(patty_bin())
+        .args(["serve", "--stdin", "--no-spill"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("patty serve spawns");
+    let req = |id: i64, op: &str, source: Option<&str>| {
+        let mut r = Json::obj()
+            .with("id", Json::Int(id))
+            .with("op", Json::Str(op.to_string()));
+        if let Some(s) = source {
+            r = r.with("source", Json::Str(s.to_string()));
+        }
+        format!("{r}\n")
+    };
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        stdin.write_all(req(1, "analyze", Some(PIPELINE_SRC)).as_bytes()).unwrap();
+        stdin.write_all(req(2, "tune", Some(PIPELINE_SRC)).as_bytes()).unwrap();
+        stdin.write_all(req(3, "tune", Some(PIPELINE_SRC)).as_bytes()).unwrap();
+        stdin.write_all(req(4, "stats", None).as_bytes()).unwrap();
+        stdin.write_all(req(5, "shutdown", None).as_bytes()).unwrap();
+    }
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let lines: Vec<Json> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| patty_json::parse(l).expect("every response line is JSON"))
+        .collect();
+    assert_eq!(lines.len(), 5, "one response per request");
+    let analyze = &lines[0];
+    assert_eq!(analyze.get("status").and_then(|s| s.as_str()), Some("ok"));
+    let candidates = analyze
+        .get("result")
+        .and_then(|r| r.get("candidates"))
+        .and_then(|c| c.as_arr())
+        .expect("analyze artifact lists candidates");
+    assert!(!candidates.is_empty(), "pipeline detected over the wire");
+    assert_eq!(lines[1].get("cached").and_then(|c| c.as_str()), Some("no"));
+    assert_eq!(
+        lines[2].get("cached").and_then(|c| c.as_str()),
+        Some("memory"),
+        "repeat tune is a cache hit: {}",
+        lines[2]
+    );
+    let stats = lines[3].get("result").and_then(|r| r.as_obj()).expect("stats families");
+    assert!(
+        stats.iter().any(|(k, _)| k.starts_with("patty_serve_")),
+        "stats exposes patty_serve_* families"
+    );
+    assert_eq!(lines[4].get("op").and_then(|o| o.as_str()), Some("shutdown"));
+}
+
+/// The real daemon path: bind an ephemeral loopback port, learn it from
+/// the stderr banner, round-trip analyze + repeat tune + stats over a
+/// TCP connection, and shut the daemon down cleanly over the wire.
+#[test]
+fn serve_tcp_round_trips_over_loopback() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    let mut child = Command::new(patty_bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--no-spill"])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("patty serve spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(stderr.read_line(&mut line).unwrap() > 0, "daemon exited before binding");
+        if let Some(pos) = line.find("listening on ") {
+            break line[pos + "listening on ".len()..].trim().to_string();
+        }
+    };
+
+    let stream = TcpStream::connect(&addr).expect("connect to daemon");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |req: Json| -> Json {
+        let mut w = &stream;
+        w.write_all(format!("{req}\n").as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        patty_json::parse(line.trim()).expect("response line is JSON")
+    };
+    let req = |id: i64, op: &str, source: Option<&str>| {
+        let mut r = Json::obj()
+            .with("id", Json::Int(id))
+            .with("op", Json::Str(op.to_string()));
+        if let Some(s) = source {
+            r = r.with("source", Json::Str(s.to_string()));
+        }
+        r
+    };
+
+    let analyze = send(req(1, "analyze", Some(PIPELINE_SRC)));
+    assert_eq!(analyze.get("status").and_then(|s| s.as_str()), Some("ok"), "{analyze}");
+    let cold = send(req(2, "tune", Some(PIPELINE_SRC)));
+    assert_eq!(cold.get("cached").and_then(|c| c.as_str()), Some("no"));
+    let warm = send(req(3, "tune", Some(PIPELINE_SRC)));
+    assert_eq!(warm.get("cached").and_then(|c| c.as_str()), Some("memory"), "{warm}");
+    let stats = send(req(4, "stats", None));
+    let families = stats.get("result").and_then(|r| r.as_obj()).expect("stats families");
+    assert!(
+        families.iter().any(|(k, _)| k.starts_with("patty_serve_")),
+        "stats exposes patty_serve_* families over TCP"
+    );
+    let bye = send(req(5, "shutdown", None));
+    assert_eq!(bye.get("status").and_then(|s| s.as_str()), Some("ok"), "{bye}");
+
+    let status = child.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exits cleanly");
 }
 
 #[test]

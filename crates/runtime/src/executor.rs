@@ -46,6 +46,62 @@ use std::time::Duration;
 /// A submitted closure, lifetime-erased by [`Scope`].
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Sentinel lane id meaning "no affinity recorded yet".
+const NO_LANE: u64 = u64::MAX;
+
+/// A sticky lane preference for resident tasks that recur across runs
+/// (a pipeline's stage workers). The slot remembers the lane that last
+/// executed a task carrying it; on the next submission a parked lane
+/// *prefers* its own-hinted tasks, so a recurring worker lands on the
+/// same lane (warm stack, warm deque) run after run. Purely a hint:
+/// it never delays execution — a lane that finds no own-hinted task
+/// takes the front of the queue, preserving the resident
+/// deadlock-freedom invariant unchanged.
+#[derive(Clone, Debug)]
+pub struct AffinityHint(Arc<AtomicU64>);
+
+// Not derived: the empty slot is the NO_LANE sentinel, not lane 0.
+impl Default for AffinityHint {
+    fn default() -> AffinityHint {
+        AffinityHint::new()
+    }
+}
+
+impl AffinityHint {
+    pub fn new() -> AffinityHint {
+        AffinityHint(Arc::new(AtomicU64::new(NO_LANE)))
+    }
+
+    /// Lane id recorded by the last execution, if any.
+    pub fn lane(&self) -> Option<u64> {
+        match self.0.load(Ordering::SeqCst) {
+            NO_LANE => None,
+            id => Some(id),
+        }
+    }
+}
+
+/// A resident task together with its optional lane preference.
+struct ResidentTask {
+    task: Task,
+    hint: Option<AffinityHint>,
+}
+
+/// Process-wide registry of named affinity slots, so recurring workers
+/// (keyed by e.g. `"stage.worker"`) keep their lane preference across
+/// pattern runs even when the pattern object itself is rebuilt per run.
+static AFFINITY_SLOTS: OnceLock<Mutex<std::collections::HashMap<String, AffinityHint>>> =
+    OnceLock::new();
+
+/// The shared affinity slot for `key`, created on first use. Slots are
+/// never removed: a retired lane's id simply stops matching and the
+/// next execution re-records, so a stale slot costs one miss.
+pub fn stage_affinity(key: &str) -> AffinityHint {
+    let slots = AFFINITY_SLOTS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+    slots.entry(key.to_string()).or_default().clone()
+}
+
 /// Hard ceiling on pool capacity, whatever `PATTY_THREADS` says.
 pub const MAX_POOL_THREADS: usize = 512;
 
@@ -120,6 +176,12 @@ pub struct ExecutorStats {
     pub unparks: u64,
     /// Highest local-deque depth any lane observed after a batch refill.
     pub deque_depth_hwm: u64,
+    /// Hinted resident tasks that ran on their remembered lane.
+    pub affinity_hits: u64,
+    /// Hinted resident tasks that ran elsewhere (different lane, fresh
+    /// lane, or the ephemeral overflow path). First executions carry no
+    /// expectation and count as neither.
+    pub affinity_misses: u64,
 }
 
 struct Stats {
@@ -136,6 +198,8 @@ struct Stats {
     parks: AtomicU64,
     unparks: AtomicU64,
     deque_depth_hwm: AtomicU64,
+    affinity_hits: AtomicU64,
+    affinity_misses: AtomicU64,
 }
 
 impl Stats {
@@ -154,6 +218,8 @@ impl Stats {
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
             deque_depth_hwm: AtomicU64::new(0),
+            affinity_hits: AtomicU64::new(0),
+            affinity_misses: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +239,8 @@ impl Stats {
         let parks = self.parks.load(Ordering::SeqCst);
         let unparks = self.unparks.load(Ordering::SeqCst);
         let deque_depth_hwm = self.deque_depth_hwm.load(Ordering::SeqCst);
+        let affinity_hits = self.affinity_hits.load(Ordering::SeqCst);
+        let affinity_misses = self.affinity_misses.load(Ordering::SeqCst);
         ExecutorStats {
             short_submitted: self.short_submitted.load(Ordering::SeqCst),
             resident_handoffs: self.resident_handoffs.load(Ordering::SeqCst),
@@ -187,6 +255,8 @@ impl Stats {
             parks,
             unparks,
             deque_depth_hwm,
+            affinity_hits,
+            affinity_misses,
         }
     }
 
@@ -283,7 +353,7 @@ pub struct LaneSnapshot {
 /// distinct lane already parked on the condvar that will take it.
 struct Registry {
     /// Resident tasks reserved for idle lanes (never more than `idle`).
-    resident: VecDeque<Task>,
+    resident: VecDeque<ResidentTask>,
     /// Lanes currently parked on the condvar.
     idle: usize,
     /// Lanes alive (running or parked).
@@ -455,20 +525,27 @@ impl Executor {
     /// Submit a resident (possibly blocking) task: idle-lane handoff,
     /// else a new lane below the cap, else an ephemeral thread. The
     /// task therefore always gets a dedicated thread of execution.
-    fn submit_resident(&self, task: Task) {
+    fn submit_resident(&self, task: Task, hint: Option<AffinityHint>) {
         let inner = &self.inner;
         let mut reg = inner.lock();
         if reg.resident.len() < reg.idle && !reg.shutdown {
             // Count before publishing, so a concurrent stats() reader
             // never sees the task executed but not yet submitted.
             inner.stats.resident_handoffs.fetch_add(1, Ordering::SeqCst);
-            reg.resident.push_back(task);
+            reg.resident.push_back(ResidentTask { task, hint });
             drop(reg);
             inner.work_available.notify_all();
         } else if reg.live < inner.cap && !reg.shutdown {
-            self.spawn_lane(&mut reg, Some(task));
+            self.spawn_lane(&mut reg, Some(ResidentTask { task, hint }));
         } else {
             drop(reg);
+            // The overflow thread is not a lane: a remembered lane
+            // preference is unmet (miss) and the slot resets.
+            if let Some(h) = &hint {
+                if h.0.swap(NO_LANE, Ordering::SeqCst) != NO_LANE {
+                    inner.stats.affinity_misses.fetch_add(1, Ordering::SeqCst);
+                }
+            }
             inner.stats.ephemeral_spawns.fetch_add(1, Ordering::SeqCst);
             std::thread::Builder::new()
                 .name("patty-ephemeral".into())
@@ -498,7 +575,7 @@ impl Executor {
     }
 
     /// Start one lane. Caller holds the registry lock.
-    fn spawn_lane(&self, reg: &mut Registry, first: Option<Task>) {
+    fn spawn_lane(&self, reg: &mut Registry, first: Option<ResidentTask>) {
         let inner = &self.inner;
         let lane = Worker::with_capacity(LANE_DEQUE_CAP);
         let lane_id = reg.next_lane_id;
@@ -619,7 +696,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        self.spawn_inner(f, false);
+        self.spawn_inner(f, false, None);
     }
 
     /// Spawn a resident task that may block on channels for the whole
@@ -628,10 +705,21 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        self.spawn_inner(f, true);
+        self.spawn_inner(f, true, None);
     }
 
-    fn spawn_inner<F>(&self, f: F, resident: bool)
+    /// Spawn a resident task carrying a sticky lane preference: the
+    /// pool prefers the lane that last executed a task with the same
+    /// hint (see [`AffinityHint`]). In [`SpawnMode::PerRun`] the hint
+    /// is ignored — there are no lanes to prefer.
+    pub fn spawn_resident_with_affinity<F>(&self, hint: &AffinityHint, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.spawn_inner(f, true, Some(hint.clone()));
+    }
+
+    fn spawn_inner<F>(&self, f: F, resident: bool, hint: Option<AffinityHint>)
     where
         F: FnOnce() + Send + 'env,
     {
@@ -656,7 +744,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
         };
         match self.mode {
-            SpawnMode::Pooled if resident => self.executor.submit_resident(task),
+            SpawnMode::Pooled if resident => self.executor.submit_resident(task, hint),
             SpawnMode::Pooled => self.executor.submit_short(task),
             SpawnMode::PerRun => {
                 // Legacy shape: one detached OS thread per task. The
@@ -747,6 +835,23 @@ fn self_rotate(cache: &StealerCache, i: usize) -> usize {
     cache.next.wrapping_add(i)
 }
 
+/// Record where a hinted resident task actually ran: the slot learns
+/// this lane, and a pre-existing expectation scores a hit (same lane)
+/// or a miss (anywhere else). First executions set the slot silently.
+fn record_affinity(inner: &Inner, lane_id: u64, hint: Option<&AffinityHint>) {
+    if let Some(h) = hint {
+        let prev = h.0.swap(lane_id, Ordering::SeqCst);
+        if prev == NO_LANE {
+            return;
+        }
+        if prev == lane_id {
+            inner.stats.affinity_hits.fetch_add(1, Ordering::SeqCst);
+        } else {
+            inner.stats.affinity_misses.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Pre-register the `executor.*` counter family on a telemetry sink and
 /// fill it from the pool's current stats, mirroring the always-present
 /// `fault.*` family: a `patty profile` report enumerates the executor
@@ -768,6 +873,8 @@ pub fn annotate_executor_telemetry(telemetry: &patty_telemetry::Telemetry, execu
         ("executor.injector_pops", stats.injector_pops),
         ("executor.parks", stats.parks),
         ("executor.deque_depth_hwm", stats.deque_depth_hwm),
+        ("executor.affinity_hits", stats.affinity_hits),
+        ("executor.affinity_misses", stats.affinity_misses),
     ] {
         telemetry.counter(name).add(value);
     }
@@ -787,14 +894,15 @@ fn lane_main(
     lane: Worker<Task>,
     lane_id: u64,
     me: Arc<LaneStats>,
-    first: Option<Task>,
+    first: Option<ResidentTask>,
 ) {
     let mut cache = StealerCache::new();
     let mut idle_since: Option<std::time::Instant> = None;
-    if let Some(task) = first {
+    if let Some(resident) = first {
         inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
         me.resident_executed.fetch_add(1, Ordering::SeqCst);
-        run_task(task);
+        record_affinity(&inner, lane_id, resident.hint.as_ref());
+        run_task(resident.task);
     }
     loop {
         // Local LIFO work first (cache-warm), then refill from the
@@ -836,12 +944,25 @@ fn lane_main(
         // injector re-check under the lock closes the missed-wakeup
         // window (submit_short pushes before it takes this lock).
         let mut reg = inner.lock();
-        if let Some(task) = reg.resident.pop_front() {
+        // Prefer a resident task hinted at this lane; otherwise take
+        // the front unconditionally — preference reorders, it never
+        // strands a task (the resident invariant needs every parked
+        // lane to accept any queued task).
+        let hinted = reg
+            .resident
+            .iter()
+            .position(|t| t.hint.as_ref().is_some_and(|h| h.0.load(Ordering::SeqCst) == lane_id));
+        let picked = match hinted {
+            Some(i) => reg.resident.remove(i),
+            None => reg.resident.pop_front(),
+        };
+        if let Some(resident) = picked {
             drop(reg);
             idle_since = None;
             inner.stats.tasks_executed.fetch_add(1, Ordering::SeqCst);
             me.resident_executed.fetch_add(1, Ordering::SeqCst);
-            run_task(task);
+            record_affinity(&inner, lane_id, resident.hint.as_ref());
+            run_task(resident.task);
             continue;
         }
         if !inner.injector.is_empty() {
@@ -1236,6 +1357,63 @@ mod tests {
             );
         }
         assert_eq!(report.counter("executor.short_submitted"), Some(4));
+    }
+
+    /// Deterministic affinity lifecycle on a single-lane pool: the
+    /// first hinted execution records the lane (neither hit nor miss),
+    /// every subsequent one lands on the remembered lane and scores a
+    /// hit, and an unrelated hint never perturbs the counts.
+    #[test]
+    fn affinity_hint_sticks_to_its_lane_across_runs() {
+        let pool = Executor::with_threads(1);
+        let hint = AffinityHint::new();
+        let other = AffinityHint::new();
+        assert_eq!(hint.lane(), None);
+        // The handoff path needs the lane parked; waiting for a fresh
+        // park between rounds keeps the lifecycle deterministic (no
+        // ephemeral fallback stealing the run).
+        let wait_for_park = |pool: &Executor, parks_before: u64| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while pool.stats().parks <= parks_before {
+                assert!(std::time::Instant::now() < deadline, "lane never parked");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        for round in 0..3 {
+            let parks = pool.stats().parks;
+            if round > 0 {
+                wait_for_park(&pool, parks);
+            }
+            pool.scope(SpawnMode::Pooled, |s| {
+                s.spawn_resident_with_affinity(&hint, || {
+                    std::thread::sleep(Duration::from_micros(50));
+                });
+            });
+            let stats = pool.stats();
+            assert_eq!(
+                stats.affinity_hits,
+                round,
+                "round {round}: every re-execution after the first is a hit"
+            );
+            assert_eq!(stats.affinity_misses, 0, "a 1-lane pool can never miss");
+            assert_eq!(hint.lane(), Some(0), "the slot remembers lane 0");
+        }
+        pool.scope(SpawnMode::Pooled, |s| {
+            s.spawn_resident_with_affinity(&other, || {});
+            s.spawn_resident(|| {});
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.affinity_hits, 2, "unhinted/first-use tasks do not score");
+        assert_eq!(stats.affinity_misses, 0);
+    }
+
+    #[test]
+    fn stage_affinity_returns_the_same_slot_per_key() {
+        let a = stage_affinity("test-exec.A.0");
+        let b = stage_affinity("test-exec.A.0");
+        let c = stage_affinity("test-exec.B.0");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same key, same slot");
+        assert!(!Arc::ptr_eq(&a.0, &c.0), "distinct keys get distinct slots");
     }
 
     #[test]

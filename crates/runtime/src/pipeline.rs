@@ -346,7 +346,13 @@ impl<T: Send + 'static> Pipeline<T> {
                     let counters = counters.clone();
                     let stage_deadline = opts.stage_deadline;
                     let wt = self.tracer.worker(stage_id, worker);
-                    scope.spawn_resident(move || {
+                    // Sticky lane preference per (effective stage ×
+                    // worker): the slot outlives this run, so the next
+                    // run of the same pipeline shape lands each worker
+                    // on its previous lane (warm stack and deque).
+                    let affinity =
+                        crate::executor::stage_affinity(&format!("pipeline.{}.{worker}", stage.name));
+                    scope.spawn_resident_with_affinity(&affinity, move || {
                         let _wall = telemetry.span(&span_name);
                         let record_depth = telemetry.is_enabled();
                         // Occupancy samples accumulate worker-locally

@@ -1,0 +1,112 @@
+//! The patty-json line protocol.
+//!
+//! One request object per line, one response object per line, both
+//! rendered compact (patty-json's `to_string` never emits newlines).
+//!
+//! Request grammar:
+//!
+//! ```text
+//! {"id": <int>, "op": "analyze"|"tune"|"faultcheck"|"trace"|"stats"|"shutdown",
+//!  "source": "<minilang program>"}        // required for job ops
+//! ```
+//!
+//! Responses always echo `id` and `op` and carry a `status`:
+//!
+//! ```text
+//! {"id":1,"op":"analyze","status":"ok","cached":"memory"|"disk"|"coalesced"|"no",
+//!  "micros":N,"result":{...}}
+//! {"id":1,"op":"tune","status":"shed","retry_after_ms":N}
+//! {"id":1,"op":"trace","status":"error"|"deadline","error":"..."}
+//! ```
+
+use patty_json::{de, Json};
+
+/// A parsed request line. `id` defaults to 0 when absent so replies
+/// can always echo something.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    pub id: i64,
+    pub op: String,
+    pub source: Option<String>,
+}
+
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = patty_json::parse(line).map_err(|e| format!("bad request json: {e}"))?;
+    if v.as_obj().is_none() {
+        return Err(format!("request must be a json object, got {}", v.type_name()));
+    }
+    let op = de::str_field(&v, "op", "request")?;
+    let id = v.get("id").and_then(Json::as_i64).unwrap_or(0);
+    let source = de::opt_str_field(&v, "source");
+    Ok(Request { id, op, source })
+}
+
+pub fn ok_response(id: i64, op: &str, cached: &str, micros: u64, result: Json) -> Json {
+    Json::obj()
+        .with("id", Json::Int(id))
+        .with("op", Json::Str(op.into()))
+        .with("status", Json::Str("ok".into()))
+        .with("cached", Json::Str(cached.into()))
+        .with("micros", Json::Int(micros as i64))
+        .with("result", result)
+}
+
+pub fn shed_response(id: i64, op: &str, retry_after_ms: u64) -> Json {
+    Json::obj()
+        .with("id", Json::Int(id))
+        .with("op", Json::Str(op.into()))
+        .with("status", Json::Str("shed".into()))
+        .with("retry_after_ms", Json::Int(retry_after_ms as i64))
+}
+
+pub fn error_response(id: i64, op: &str, error: &str, deadline: bool) -> Json {
+    let status = if deadline { "deadline" } else { "error" };
+    Json::obj()
+        .with("id", Json::Int(id))
+        .with("op", Json::Str(op.into()))
+        .with("status", Json::Str(status.into()))
+        .with("error", Json::Str(error.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request_line() {
+        let req = parse_request(r#"{"id": 7, "op": "analyze", "source": "x = 1"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request {
+                id: 7,
+                op: "analyze".into(),
+                source: Some("x = 1".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn id_and_source_are_optional_op_is_not() {
+        let req = parse_request(r#"{"op": "stats"}"#).unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.source, None);
+        assert!(parse_request(r#"{"id": 1}"#).is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request("{nope").is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_and_round_trip() {
+        let ok = ok_response(3, "tune", "memory", 42, Json::obj().with("k", Json::Int(1)));
+        let line = ok.to_string();
+        assert!(!line.contains('\n'));
+        let back = patty_json::parse(&line).unwrap();
+        assert_eq!(back.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(back.get("micros").and_then(Json::as_i64), Some(42));
+
+        let shed = shed_response(1, "tune", 50).to_string();
+        assert!(shed.contains("\"retry_after_ms\":50"));
+        let err = error_response(1, "trace", "boom", true);
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("deadline"));
+    }
+}

@@ -1,0 +1,777 @@
+//! The service proper: single-flight dedup, deadline watchdog, job
+//! execution on the shared executor pool, the line protocol loop, and
+//! the live metrics scrape.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::cache::{CacheConfig, CacheSource, ShardedCache};
+use crate::metrics::{ServeMetrics, OPS, STATS_OP};
+use crate::protocol::{error_response, ok_response, parse_request, shed_response, Request};
+use crate::{job_hash, JobKind};
+use patty_json::Json;
+use patty_obs::{MetricKind, MetricsRegistry};
+use patty_runtime::fault::panic_payload;
+use patty_runtime::{CancelToken, Executor, SpawnMode};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a job implementation gets to cooperate with the service:
+/// the job's cancel token (the deadline watchdog cancels it when the
+/// budget runs out) and the remaining time, for passing into
+/// `RunOptions` of any plan the job executes.
+pub struct JobCtl {
+    cancel: CancelToken,
+    deadline: Duration,
+    started: Instant,
+}
+
+impl JobCtl {
+    /// A detached control for direct runner tests.
+    pub fn unbounded() -> JobCtl {
+        JobCtl {
+            cancel: CancelToken::new(),
+            deadline: Duration::from_secs(3600),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Time left in the job's budget (zero when overdrawn).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_sub(self.started.elapsed())
+    }
+
+    /// Cooperative cancellation point: call between phases; an `Err`
+    /// means the deadline watchdog (or shutdown) cancelled this job.
+    pub fn checkpoint(&self) -> Result<(), String> {
+        if self.cancel.is_cancelled() || self.remaining().is_zero() {
+            Err("job cancelled: deadline exceeded".to_string())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Computes one job. Implementations must be panic-tolerant callers:
+/// the service catches panics and turns them into error responses,
+/// and the admission permit is released either way.
+pub trait JobRunner: Send + Sync + 'static {
+    fn run(&self, kind: JobKind, source: &str, ctl: &JobCtl) -> Result<Json, String>;
+}
+
+impl<F> JobRunner for F
+where
+    F: Fn(JobKind, &str, &JobCtl) -> Result<Json, String> + Send + Sync + 'static,
+{
+    fn run(&self, kind: JobKind, source: &str, ctl: &JobCtl) -> Result<Json, String> {
+        self(kind, source, ctl)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub cache: CacheConfig,
+    pub admission: AdmissionConfig,
+    /// Wall budget per job; the watchdog cancels the job's token past it.
+    pub job_deadline: Duration,
+    /// Run job bodies inside the shared executor pool (the default).
+    /// Off runs them on the calling thread — for deterministic tests.
+    pub use_executor: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache: CacheConfig::default(),
+            admission: AdmissionConfig::default(),
+            job_deadline: Duration::from_secs(30),
+            use_executor: true,
+        }
+    }
+}
+
+/// The outcome of one submitted job.
+#[derive(Clone, Debug)]
+pub enum Served {
+    /// Served from the artifact cache.
+    Hit {
+        result: Json,
+        source: CacheSource,
+        micros: u64,
+    },
+    /// Computed fresh (and now cached).
+    Computed { result: Json, micros: u64 },
+    /// Coalesced onto an identical in-flight job; shares its result.
+    Coalesced { result: Json, micros: u64 },
+    /// Load-shed by admission control.
+    Shed { retry_after_ms: u64 },
+    /// The job failed; `deadline` distinguishes budget exhaustion.
+    Failed {
+        error: String,
+        deadline: bool,
+        micros: u64,
+    },
+}
+
+impl Served {
+    /// The `cached` field of the wire response.
+    pub fn cached_tag(&self) -> &'static str {
+        match self {
+            Served::Hit { source, .. } => source.as_str(),
+            Served::Computed { .. } => "no",
+            Served::Coalesced { .. } => "coalesced",
+            _ => "-",
+        }
+    }
+}
+
+enum FlightResult {
+    Ok(Json),
+    Shed(u64),
+    Fail { error: String, deadline: bool },
+}
+
+struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: FlightResult) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FlightResult {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(res) = slot.take() {
+                // Put a clone back for any other waiter.
+                let copy = match &res {
+                    FlightResult::Ok(v) => FlightResult::Ok(v.clone()),
+                    FlightResult::Shed(r) => FlightResult::Shed(*r),
+                    FlightResult::Fail { error, deadline } => FlightResult::Fail {
+                        error: error.clone(),
+                        deadline: *deadline,
+                    },
+                };
+                *slot = Some(copy);
+                return res;
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+/// Deadline watchdog: one thread cancelling expired job tokens, so a
+/// wedged job body cannot hold its admission slot past the budget.
+struct WatchdogInner {
+    jobs: Mutex<HashMap<u64, (Instant, CancelToken)>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    fired: AtomicU64,
+}
+
+struct Watchdog {
+    inner: Arc<WatchdogInner>,
+    seq: AtomicU64,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Watchdog {
+    fn new() -> Watchdog {
+        let inner = Arc::new(WatchdogInner {
+            jobs: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            fired: AtomicU64::new(0),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("patty-serve-watchdog".into())
+            .spawn(move || watchdog_main(&thread_inner))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            inner,
+            seq: AtomicU64::new(0),
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    fn register(&self, deadline_at: Instant, token: CancelToken) -> u64 {
+        let id = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .insert(id, (deadline_at, token));
+        self.inner.cv.notify_all();
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        self.inner.jobs.lock().unwrap().remove(&id);
+    }
+
+    fn fired_total(&self) -> u64 {
+        self.inner.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        if let Some(handle) = self.handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn watchdog_main(inner: &WatchdogInner) {
+    let mut jobs = inner.jobs.lock().unwrap();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        let expired: Vec<u64> = jobs
+            .iter()
+            .filter_map(|(&id, (at, _))| {
+                if *at <= now {
+                    Some(id)
+                } else {
+                    next = Some(next.map_or(*at, |n| n.min(*at)));
+                    None
+                }
+            })
+            .collect();
+        for id in expired {
+            if let Some((_, token)) = jobs.remove(&id) {
+                token.cancel();
+                inner.fired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let wait = next
+            .map(|at| at.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(100))
+            .min(Duration::from_millis(100));
+        let (next_jobs, _) = inner.cv.wait_timeout(jobs, wait).unwrap();
+        jobs = next_jobs;
+    }
+}
+
+pub struct Service<R: JobRunner> {
+    runner: R,
+    cfg: ServeConfig,
+    cache: ShardedCache,
+    admission: Admission,
+    metrics: ServeMetrics,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    watchdog: Watchdog,
+    stop: AtomicBool,
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
+
+impl<R: JobRunner> Service<R> {
+    pub fn new(runner: R, cfg: ServeConfig) -> Service<R> {
+        Service {
+            cache: ShardedCache::new(cfg.cache.clone()),
+            admission: Admission::new(cfg.admission.clone()),
+            metrics: ServeMetrics::new(),
+            inflight: Mutex::new(HashMap::new()),
+            watchdog: Watchdog::new(),
+            stop: AtomicBool::new(false),
+            runner,
+            cfg,
+        }
+    }
+
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Deadlines the watchdog has enforced.
+    pub fn deadlines_fired(&self) -> u64 {
+        self.watchdog.fired_total()
+    }
+
+    /// Ask the serve loops to wind down.
+    pub fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Submit one job: cache → single-flight → admission → compute.
+    pub fn submit(&self, kind: JobKind, source: &str) -> Served {
+        let start = Instant::now();
+        let op = kind.index();
+        self.metrics.bump_job(op);
+        let hash = job_hash(kind, source);
+        if let Some((result, cache_source)) = self.cache.get(kind, hash) {
+            let micros = elapsed_us(start);
+            self.metrics.record(op, micros);
+            return Served::Hit {
+                result,
+                source: cache_source,
+                micros,
+            };
+        }
+
+        // Single-flight: exactly one leader computes; identical
+        // concurrent requests wait on the leader's flight.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&hash) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::new());
+                    inflight.insert(hash, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.metrics.bump_singleflight();
+            let micros_of = |s: Instant| elapsed_us(s);
+            return match flight.wait() {
+                FlightResult::Ok(result) => {
+                    let micros = micros_of(start);
+                    self.metrics.record(op, micros);
+                    Served::Coalesced { result, micros }
+                }
+                FlightResult::Shed(retry_after_ms) => Served::Shed { retry_after_ms },
+                FlightResult::Fail { error, deadline } => Served::Failed {
+                    error,
+                    deadline,
+                    micros: micros_of(start),
+                },
+            };
+        }
+
+        let outcome = self.lead(kind, hash, source, start);
+        let flight_result = match &outcome {
+            Served::Computed { result, .. } => FlightResult::Ok(result.clone()),
+            Served::Shed { retry_after_ms } => FlightResult::Shed(*retry_after_ms),
+            Served::Failed {
+                error, deadline, ..
+            } => FlightResult::Fail {
+                error: error.clone(),
+                deadline: *deadline,
+            },
+            // The leader took the miss path; hits happen before the
+            // flight is registered.
+            Served::Hit { .. } | Served::Coalesced { .. } => unreachable!(),
+        };
+        self.inflight.lock().unwrap().remove(&hash);
+        flight.fill(flight_result);
+        outcome
+    }
+
+    fn lead(&self, kind: JobKind, hash: u64, source: &str, start: Instant) -> Served {
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(shed) => {
+                return Served::Shed {
+                    retry_after_ms: shed.retry_after_ms,
+                }
+            }
+        };
+        let ctl = JobCtl {
+            cancel: CancelToken::new(),
+            deadline: self.cfg.job_deadline,
+            started: Instant::now(),
+        };
+        let watch_id = self
+            .watchdog
+            .register(ctl.started + self.cfg.job_deadline, ctl.cancel.clone());
+        let result = self.run_job(kind, source, &ctl);
+        self.watchdog.unregister(watch_id);
+        let overdrawn = ctl.cancel.is_cancelled() || ctl.remaining().is_zero();
+        drop(permit);
+
+        let micros = elapsed_us(start);
+        match result {
+            Ok(result) => {
+                self.cache.insert(kind, hash, &result);
+                self.metrics.record(kind.index(), micros);
+                Served::Computed { result, micros }
+            }
+            Err(error) => {
+                if overdrawn {
+                    self.metrics.bump_deadline();
+                } else {
+                    self.metrics.bump_error();
+                }
+                Served::Failed {
+                    error,
+                    deadline: overdrawn,
+                    micros,
+                }
+            }
+        }
+    }
+
+    /// Run the job body on the shared executor pool (dogfooding the
+    /// runtime this service exists to serve), catching panics.
+    fn run_job(&self, kind: JobKind, source: &str, ctl: &JobCtl) -> Result<Json, String> {
+        let body = || {
+            std::panic::catch_unwind(AssertUnwindSafe(|| self.runner.run(kind, source, ctl)))
+                .unwrap_or_else(|payload| Err(format!("job panicked: {}", panic_payload(&*payload))))
+        };
+        if !self.cfg.use_executor {
+            return body();
+        }
+        let slot: Mutex<Option<Result<Json, String>>> = Mutex::new(None);
+        Executor::global().scope(SpawnMode::Pooled, |scope| {
+            scope.spawn_resident(|| {
+                *slot.lock().unwrap() = Some(body());
+            });
+        });
+        slot.into_inner()
+            .unwrap()
+            .expect("executor scope returned before the job task ran")
+    }
+
+    /// The live `patty_serve_*` scrape plus the executor's own families.
+    pub fn scrape(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let cs = self.cache.stats();
+        for kind in JobKind::ALL {
+            let labels = [("kind", kind.as_str())];
+            let i = kind.index();
+            reg.set(
+                "patty_serve_cache_hits_total",
+                MetricKind::Counter,
+                "Jobs served from the in-memory artifact cache.",
+                &labels,
+                cs.hits[i],
+            );
+            reg.set(
+                "patty_serve_cache_disk_hits_total",
+                MetricKind::Counter,
+                "Jobs served from the on-disk artifact spill.",
+                &labels,
+                cs.disk_hits[i],
+            );
+            reg.set(
+                "patty_serve_cache_misses_total",
+                MetricKind::Counter,
+                "Jobs that required a fresh computation.",
+                &labels,
+                cs.misses[i],
+            );
+        }
+        reg.set(
+            "patty_serve_cache_entries",
+            MetricKind::Gauge,
+            "Artifacts resident in memory across all shards.",
+            &[],
+            cs.entries as u64,
+        );
+        reg.set(
+            "patty_serve_cache_evictions_total",
+            MetricKind::Counter,
+            "LRU evictions across all shards.",
+            &[],
+            cs.evictions,
+        );
+        reg.set(
+            "patty_serve_cache_inserts_total",
+            MetricKind::Counter,
+            "Artifacts inserted after a computed job.",
+            &[],
+            cs.inserts,
+        );
+        reg.set(
+            "patty_serve_cache_spill_errors_total",
+            MetricKind::Counter,
+            "Failed on-disk spill writes (artifact stays memory-only).",
+            &[],
+            cs.spill_errors,
+        );
+        let (running, queued) = self.admission.depth();
+        reg.set(
+            "patty_serve_running_jobs",
+            MetricKind::Gauge,
+            "Jobs holding an admission permit right now.",
+            &[],
+            running as u64,
+        );
+        reg.set(
+            "patty_serve_queue_depth",
+            MetricKind::Gauge,
+            "Jobs waiting for an admission permit right now.",
+            &[],
+            queued as u64,
+        );
+        reg.set(
+            "patty_serve_queue_highwater",
+            MetricKind::Gauge,
+            "Deepest admission queue observed since start.",
+            &[],
+            self.admission.queue_highwater(),
+        );
+        reg.set(
+            "patty_serve_admitted_total",
+            MetricKind::Counter,
+            "Jobs granted an admission permit.",
+            &[],
+            self.admission.admitted_total(),
+        );
+        reg.set(
+            "patty_serve_shed_total",
+            MetricKind::Counter,
+            "Jobs rejected by admission control with a retry hint.",
+            &[],
+            self.admission.shed_total(),
+        );
+        reg.set(
+            "patty_serve_singleflight_waits_total",
+            MetricKind::Counter,
+            "Requests coalesced onto an identical in-flight job.",
+            &[],
+            self.metrics.singleflight_total(),
+        );
+        reg.set(
+            "patty_serve_job_errors_total",
+            MetricKind::Counter,
+            "Jobs that failed (panic or language/runtime error).",
+            &[],
+            self.metrics.errors_total(),
+        );
+        reg.set(
+            "patty_serve_deadline_exceeded_total",
+            MetricKind::Counter,
+            "Jobs cancelled by the deadline watchdog.",
+            &[],
+            self.metrics.deadlines_total(),
+        );
+        for (i, op) in OPS.iter().enumerate() {
+            let labels = [("op", *op)];
+            reg.set(
+                "patty_serve_jobs_total",
+                MetricKind::Counter,
+                "Requests received, by endpoint.",
+                &labels,
+                self.metrics.jobs_total(i),
+            );
+            if let Some(lat) = self.metrics.latency(i) {
+                reg.set(
+                    "patty_serve_latency_count_total",
+                    MetricKind::Counter,
+                    "Latency samples recorded, by endpoint.",
+                    &labels,
+                    lat.count,
+                );
+                reg.set(
+                    "patty_serve_latency_sum_us_total",
+                    MetricKind::Counter,
+                    "Total request latency in microseconds, by endpoint.",
+                    &labels,
+                    lat.sum_us,
+                );
+                for (stat, value) in [
+                    ("p50", lat.p50_us),
+                    ("p95", lat.p95_us),
+                    ("p99", lat.p99_us),
+                    ("max", lat.max_us),
+                ] {
+                    reg.set(
+                        "patty_serve_latency_us",
+                        MetricKind::Gauge,
+                        "Request latency quantiles over the sliding window, by endpoint.",
+                        &[("op", op), ("stat", stat)],
+                        value,
+                    );
+                }
+            }
+        }
+        let executor = Executor::global();
+        reg.ingest_executor(&executor.stats(), &executor.lane_snapshots());
+        reg
+    }
+
+    /// Handle one request line; returns the response and whether this
+    /// was a shutdown request.
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        match parse_request(line) {
+            Err(e) => (error_response(0, "?", &e, false), false),
+            Ok(req) => self.handle_request(&req),
+        }
+    }
+
+    pub fn handle_request(&self, req: &Request) -> (Json, bool) {
+        match req.op.as_str() {
+            "stats" => {
+                let start = Instant::now();
+                self.metrics.bump_job(STATS_OP);
+                let reg = self.scrape();
+                let micros = elapsed_us(start);
+                self.metrics.record(STATS_OP, micros);
+                (
+                    ok_response(req.id, "stats", "live", micros, reg.to_json_value()),
+                    false,
+                )
+            }
+            "shutdown" => {
+                self.request_shutdown();
+                (
+                    Json::obj()
+                        .with("id", Json::Int(req.id))
+                        .with("op", Json::Str("shutdown".into()))
+                        .with("status", Json::Str("ok".into())),
+                    true,
+                )
+            }
+            op => match JobKind::parse(op) {
+                None => (
+                    error_response(
+                        req.id,
+                        op,
+                        &format!(
+                            "unknown op {op:?} (expected analyze|tune|faultcheck|trace|stats|shutdown)"
+                        ),
+                        false,
+                    ),
+                    false,
+                ),
+                Some(kind) => {
+                    let Some(source) = req.source.as_deref() else {
+                        return (
+                            error_response(req.id, op, "job request missing `source`", false),
+                            false,
+                        );
+                    };
+                    let served = self.submit(kind, source);
+                    let cached = served.cached_tag();
+                    let resp = match served {
+                        Served::Hit { result, micros, .. }
+                        | Served::Computed { result, micros }
+                        | Served::Coalesced { result, micros } => {
+                            ok_response(req.id, op, cached, micros, result)
+                        }
+                        Served::Shed { retry_after_ms } => {
+                            shed_response(req.id, op, retry_after_ms)
+                        }
+                        Served::Failed {
+                            error, deadline, ..
+                        } => error_response(req.id, op, &error, deadline),
+                    };
+                    (resp, false)
+                }
+            },
+        }
+    }
+
+    /// Serve the line protocol sequentially from any reader/writer
+    /// pair — the `--stdin` loopback and the smoke tests.
+    pub fn serve_lines<Rd: BufRead, W: Write>(&self, reader: Rd, mut out: W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, shutdown) = self.handle_line(line.trim());
+            writeln!(out, "{resp}")?;
+            out.flush()?;
+            if shutdown || self.shutdown_requested() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept loop: each connection is a resident task on the shared
+    /// executor pool. Returns once a `shutdown` op arrives (or
+    /// `request_shutdown` is called) and live connections wind down.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        Executor::global().scope(SpawnMode::Pooled, |scope| -> io::Result<()> {
+            loop {
+                if self.shutdown_requested() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn_resident(move || {
+                            let _ = self.serve_conn(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    fn serve_conn(&self, stream: TcpStream) -> io::Result<()> {
+        // A short read timeout lets the handler notice shutdown while
+        // idle; partial lines accumulate across timeouts.
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut out = stream;
+        let mut line = String::new();
+        loop {
+            if self.shutdown_requested() {
+                return Ok(());
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) => {
+                    if !line.trim().is_empty() {
+                        let (resp, shutdown) = self.handle_line(line.trim());
+                        writeln!(out, "{resp}")?;
+                        out.flush()?;
+                        if shutdown {
+                            return Ok(());
+                        }
+                    }
+                    line.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

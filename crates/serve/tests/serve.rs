@@ -1,0 +1,270 @@
+//! Service-level integration tests: cache round-trips, single-flight
+//! coalescing, deadline enforcement, load-shed, the line-protocol
+//! loopback, and a full TCP round-trip with clean shutdown.
+
+use patty_json::Json;
+use patty_serve::{
+    AdmissionConfig, CacheConfig, JobCtl, JobKind, ServeConfig, Served, Service,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A runner that counts invocations and fabricates a JSON artifact.
+fn counting_runner(
+    calls: Arc<AtomicU64>,
+    delay: Duration,
+) -> impl Fn(JobKind, &str, &JobCtl) -> Result<Json, String> + Send + Sync + 'static {
+    move |kind, source, ctl| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + delay;
+        while std::time::Instant::now() < deadline {
+            ctl.checkpoint()?;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(Json::obj()
+            .with("kind", Json::Str(kind.as_str().into()))
+            .with("len", Json::Int(source.len() as i64)))
+    }
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        cache: CacheConfig {
+            shards: 4,
+            capacity: 64,
+            spill_dir: None,
+        },
+        admission: AdmissionConfig {
+            max_concurrent: 2,
+            queue_limit: 2,
+            max_queue_wait: Duration::from_millis(200),
+            retry_after: Duration::from_millis(5),
+        },
+        job_deadline: Duration::from_secs(5),
+        use_executor: false,
+    }
+}
+
+#[test]
+fn repeat_job_is_a_cache_hit_and_runs_once() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let svc = Service::new(counting_runner(Arc::clone(&calls), Duration::ZERO), quick_config());
+    let first = svc.submit(JobKind::Analyze, "x = 1");
+    assert!(matches!(first, Served::Computed { .. }), "{first:?}");
+    let second = svc.submit(JobKind::Analyze, "x = 1");
+    match second {
+        Served::Hit { result, .. } => {
+            assert_eq!(result.get("len").and_then(Json::as_i64), Some(5));
+        }
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+    // A different kind over the same source is a distinct artifact.
+    let tune = svc.submit(JobKind::Tune, "x = 1");
+    assert!(matches!(tune, Served::Computed { .. }));
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn identical_inflight_jobs_coalesce_onto_one_computation() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let svc = Arc::new(Service::new(
+        counting_runner(Arc::clone(&calls), Duration::from_millis(80)),
+        quick_config(),
+    ));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            svc.submit(JobKind::Trace, "same program")
+        }));
+    }
+    let outcomes: Vec<Served> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let computed = outcomes
+        .iter()
+        .filter(|o| matches!(o, Served::Computed { .. }))
+        .count();
+    let coalesced = outcomes
+        .iter()
+        .filter(|o| matches!(o, Served::Coalesced { .. }))
+        .count();
+    assert_eq!(computed, 1, "{outcomes:?}");
+    assert_eq!(coalesced, 3, "{outcomes:?}");
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "single-flight ran the job once");
+    assert_eq!(svc.metrics().singleflight_total(), 3);
+}
+
+#[test]
+fn watchdog_cancels_a_job_past_its_deadline() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut cfg = quick_config();
+    cfg.job_deadline = Duration::from_millis(60);
+    // The job wants 10 s; the watchdog must cancel it far earlier.
+    let svc = Service::new(
+        counting_runner(Arc::clone(&calls), Duration::from_secs(10)),
+        cfg,
+    );
+    let t = std::time::Instant::now();
+    let out = svc.submit(JobKind::Faultcheck, "slow");
+    assert!(t.elapsed() < Duration::from_secs(5), "deadline did not bite");
+    match out {
+        Served::Failed { deadline, .. } => assert!(deadline, "expected a deadline failure"),
+        other => panic!("expected a deadline failure, got {other:?}"),
+    }
+    assert_eq!(svc.metrics().deadlines_total(), 1);
+    assert!(svc.deadlines_fired() >= 1);
+}
+
+#[test]
+fn overload_sheds_with_a_retry_hint_instead_of_queueing_unboundedly() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut cfg = quick_config();
+    cfg.admission = AdmissionConfig {
+        max_concurrent: 1,
+        queue_limit: 1,
+        max_queue_wait: Duration::from_millis(400),
+        retry_after: Duration::from_millis(7),
+    };
+    let svc = Arc::new(Service::new(
+        counting_runner(Arc::clone(&calls), Duration::from_millis(120)),
+        cfg,
+    ));
+    // Distinct sources so single-flight cannot coalesce them.
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            svc.submit(JobKind::Analyze, &format!("program {i}"))
+        }));
+    }
+    let outcomes: Vec<Served> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            Served::Shed { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        })
+        .collect();
+    assert!(!shed.is_empty(), "expected sheds under 6x overload: {outcomes:?}");
+    assert!(shed.iter().all(|&ms| ms >= 7), "retry hints present: {shed:?}");
+    assert!(svc.admission().queue_highwater() <= 1, "queue stayed bounded");
+    assert_eq!(svc.admission().depth(), (0, 0), "all permits released");
+}
+
+#[test]
+fn jobs_run_on_the_shared_executor_pool() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut cfg = quick_config();
+    cfg.use_executor = true;
+    let svc = Service::new(counting_runner(calls, Duration::ZERO), cfg);
+    match svc.submit(JobKind::Analyze, "pooled") {
+        Served::Computed { result, .. } => {
+            assert_eq!(result.get("kind").and_then(Json::as_str), Some("analyze"));
+        }
+        other => panic!("expected a computed result, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_job_becomes_an_error_response_and_releases_its_permit() {
+    let svc = Service::new(
+        |_: JobKind, source: &str, _: &JobCtl| -> Result<Json, String> {
+            if source == "boom" {
+                panic!("runner exploded");
+            }
+            Ok(Json::Null)
+        },
+        quick_config(),
+    );
+    match svc.submit(JobKind::Analyze, "boom") {
+        Served::Failed {
+            error, deadline, ..
+        } => {
+            assert!(error.contains("runner exploded"), "{error}");
+            assert!(!deadline);
+        }
+        other => panic!("expected a failure, got {other:?}"),
+    }
+    assert_eq!(svc.admission().depth(), (0, 0));
+    // The error is not cached: a good job under the same kind works.
+    assert!(matches!(
+        svc.submit(JobKind::Analyze, "fine"),
+        Served::Computed { .. }
+    ));
+}
+
+#[test]
+fn line_loopback_round_trips_jobs_stats_and_shutdown() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let svc = Service::new(counting_runner(calls, Duration::ZERO), quick_config());
+    let input = "\
+{\"id\":1,\"op\":\"analyze\",\"source\":\"x = 1\"}\n\
+{\"id\":2,\"op\":\"analyze\",\"source\":\"x = 1\"}\n\
+{\"id\":3,\"op\":\"nonsense\"}\n\
+{\"id\":4,\"op\":\"stats\"}\n\
+{\"id\":5,\"op\":\"shutdown\"}\n\
+{\"id\":6,\"op\":\"analyze\",\"source\":\"never reached\"}\n";
+    let mut out: Vec<u8> = Vec::new();
+    svc.serve_lines(BufReader::new(input.as_bytes()), &mut out).unwrap();
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| patty_json::parse(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 5, "shutdown stops the loop");
+    assert_eq!(lines[0].get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(lines[0].get("cached").and_then(Json::as_str), Some("no"));
+    assert_eq!(lines[1].get("cached").and_then(Json::as_str), Some("memory"));
+    assert_eq!(lines[2].get("status").and_then(Json::as_str), Some("error"));
+    let stats = &lines[3];
+    assert_eq!(stats.get("status").and_then(Json::as_str), Some("ok"));
+    let families = stats.get("result").unwrap();
+    assert!(
+        families.get("patty_serve_cache_hits_total").is_some()
+            || families
+                .as_obj()
+                .is_some_and(|o| o.iter().any(|(k, _)| k.starts_with("patty_serve_"))),
+        "stats carries patty_serve_* families: {families}"
+    );
+    assert_eq!(lines[4].get("op").and_then(Json::as_str), Some("shutdown"));
+}
+
+#[test]
+fn tcp_server_round_trips_and_shuts_down_cleanly() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut cfg = quick_config();
+    cfg.use_executor = true;
+    let svc = Arc::new(Service::new(counting_runner(calls, Duration::ZERO), cfg));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || svc.serve_tcp(listener))
+    };
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |req: &str| -> Json {
+        writeln!(stream, "{req}").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        patty_json::parse(line.trim()).unwrap()
+    };
+
+    let first = ask("{\"id\":1,\"op\":\"trace\",\"source\":\"pipeline here\"}");
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(first.get("cached").and_then(Json::as_str), Some("no"));
+    let warm = ask("{\"id\":2,\"op\":\"trace\",\"source\":\"pipeline here\"}");
+    assert_eq!(warm.get("cached").and_then(Json::as_str), Some("memory"));
+    let stats = ask("{\"id\":3,\"op\":\"stats\"}");
+    assert_eq!(stats.get("op").and_then(Json::as_str), Some("stats"));
+    let bye = ask("{\"id\":4,\"op\":\"shutdown\"}");
+    assert_eq!(bye.get("status").and_then(Json::as_str), Some("ok"));
+
+    server.join().unwrap().unwrap();
+    assert!(svc.shutdown_requested());
+}
